@@ -1,0 +1,107 @@
+//! Ablation benches over the design choices DESIGN.md calls out:
+//! anti-entropy exchange mode, PSO update rule, and topology service.
+//!
+//! Criterion reports the *runtime* of each configuration at equal budget;
+//! the corresponding solution-quality comparison is produced by
+//! `repro ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossipopt_core::prelude::*;
+use std::hint::black_box;
+
+fn base_spec() -> DistributedPsoSpec {
+    DistributedPsoSpec {
+        nodes: 32,
+        particles_per_node: 8,
+        gossip_every: 8,
+        ..Default::default()
+    }
+}
+
+fn bench_exchange_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/exchange-mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("push", ExchangeMode::Push),
+        ("pull", ExchangeMode::Pull),
+        ("push-pull", ExchangeMode::PushPull),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let spec = DistributedPsoSpec {
+                coordination: CoordinationKind::GossipBest(mode),
+                ..base_spec()
+            };
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/update-rule");
+    group.sample_size(10);
+    for (name, params) in [
+        ("paper-1995", PsoParams::paper_1995()),
+        ("constriction", PsoParams::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            let spec = DistributedPsoSpec {
+                solver: gossipopt_core::experiment::SolverSpec::Pso(*params),
+                ..base_spec()
+            };
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/topology");
+    group.sample_size(10);
+    for (name, topology) in [
+        ("newscast", TopologyKind::Newscast),
+        ("mesh", TopologyKind::FullMesh),
+        ("ring", TopologyKind::Ring),
+        ("star", TopologyKind::Star),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &topology,
+            |b, &topology| {
+                let spec = DistributedPsoSpec {
+                    topology,
+                    ..base_spec()
+                };
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exchange_modes,
+    bench_update_rule,
+    bench_topologies
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmarks: objective evaluation throughput.
+//!
+//! Establishes the cost floor of a simulated "function evaluation" — the
+//! unit the paper measures time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossipopt_functions::{by_name, names};
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use std::hint::black_box;
+
+fn bench_evals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functions/eval");
+    let mut rng = Xoshiro256pp::seeded(1);
+    for name in names() {
+        let f = by_name(name, 10).expect("registered");
+        let x: Vec<f64> = (0..f.dim())
+            .map(|d| {
+                let (lo, hi) = f.bounds(d);
+                rng.range_f64(lo, hi)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(*name), &x, |b, x| {
+            b.iter(|| black_box(f.eval(black_box(x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evals);
+criterion_main!(benches);

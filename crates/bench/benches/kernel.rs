@@ -1,0 +1,74 @@
+//! Microbenchmarks: cycle-kernel tick throughput.
+//!
+//! Measures the simulator's overhead per tick at several network sizes for
+//! a no-op protocol and a chatty protocol (one message per node per tick),
+//! separating kernel cost from protocol cost in the paper-scale runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossipopt_sim::{Application, Ctx, CycleConfig, CycleEngine, NodeId};
+use std::hint::black_box;
+
+#[derive(Debug, Clone)]
+struct Quiet;
+impl Application for Quiet {
+    type Message = ();
+    fn on_join(&mut self, _c: &[NodeId], _ctx: &mut Ctx<'_, ()>) {}
+    fn on_tick(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+    fn on_message(&mut self, _f: NodeId, _m: (), _ctx: &mut Ctx<'_, ()>) {}
+}
+
+#[derive(Debug, Clone)]
+struct Chatty {
+    peer: Option<NodeId>,
+    seen: u64,
+}
+impl Application for Chatty {
+    type Message = u64;
+    fn on_join(&mut self, contacts: &[NodeId], _ctx: &mut Ctx<'_, u64>) {
+        self.peer = contacts.first().copied();
+    }
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(p) = self.peer {
+            ctx.send(p, self.seen + 1);
+        }
+    }
+    fn on_message(&mut self, _f: NodeId, m: u64, _ctx: &mut Ctx<'_, u64>) {
+        self.seen = self.seen.max(m);
+    }
+}
+
+fn bench_quiet_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/tick-quiet");
+    for &n in &[64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut e: CycleEngine<Quiet> = CycleEngine::new(CycleConfig::seeded(1));
+            for _ in 0..n {
+                e.insert(Quiet);
+            }
+            b.iter(|| black_box(e.tick()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chatty_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/tick-chatty");
+    for &n in &[64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut e: CycleEngine<Chatty> = CycleEngine::new(CycleConfig::seeded(2));
+            for _ in 0..n {
+                e.insert(Chatty {
+                    peer: None,
+                    seen: 0,
+                });
+            }
+            b.iter(|| black_box(e.tick()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quiet_ticks, bench_chatty_ticks);
+criterion_main!(benches);

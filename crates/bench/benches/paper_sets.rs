@@ -1,0 +1,110 @@
+//! One criterion bench per paper experiment set.
+//!
+//! Each benchmark times a *representative cell* of the corresponding
+//! table/figure at a small fixed size, tracking the end-to-end cost of the
+//! regeneration pipeline (network construction, simulation, observation).
+//! The full tables/figures are produced by the `repro` binary; these
+//! benches exist so `cargo bench` exercises every experiment path and
+//! catches performance regressions in it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossipopt_core::prelude::*;
+use std::hint::black_box;
+
+/// Set 1 cell: n = 16, k = 16, r = k, 256 evals/node, sphere.
+fn bench_set1_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_sets");
+    group.sample_size(10);
+    group.bench_function("set1/quality-vs-swarm-cell", |b| {
+        let spec = DistributedPsoSpec {
+            nodes: 16,
+            particles_per_node: 16,
+            gossip_every: 16,
+            ..Default::default()
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Set 2 cell: n = 64, total budget 2^14, k = 8.
+fn bench_set2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_sets");
+    group.sample_size(10);
+    group.bench_function("set2/quality-vs-netsize-cell", |b| {
+        let spec = DistributedPsoSpec {
+            nodes: 64,
+            particles_per_node: 8,
+            gossip_every: 8,
+            ..Default::default()
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_distributed_pso(&spec, "griewank", Budget::Total(1 << 14), seed).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Set 3 cell: n = 32, k = 16, r = 64 (the slowest-coordination end).
+fn bench_set3_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_sets");
+    group.sample_size(10);
+    group.bench_function("set3/cycle-length-cell", |b| {
+        let spec = DistributedPsoSpec {
+            nodes: 32,
+            particles_per_node: 16,
+            gossip_every: 64,
+            ..Default::default()
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_distributed_pso(&spec, "zakharov", Budget::PerNode(256), seed).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Set 4 cell: threshold run on sphere, n = 32.
+fn bench_set4_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_sets");
+    group.sample_size(10);
+    group.bench_function("set4/time-to-threshold-cell", |b| {
+        let spec = DistributedPsoSpec {
+            nodes: 32,
+            particles_per_node: 16,
+            gossip_every: 16,
+            stop_at_quality: Some(1e-10),
+            ..Default::default()
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                run_distributed_pso(&spec, "sphere", Budget::Total(1 << 16), seed).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set1_cell,
+    bench_set2_cell,
+    bench_set3_cell,
+    bench_set4_cell
+);
+criterion_main!(benches);

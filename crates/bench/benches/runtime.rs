@@ -1,0 +1,83 @@
+//! Runtime-substrate benchmarks: wire codec throughput, channel transport
+//! latency, and a full threaded-cluster deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossipopt_core::experiment::DistributedPsoSpec;
+use gossipopt_core::messages::Msg;
+use gossipopt_core::rumor::GlobalBest;
+use gossipopt_gossip::AntiEntropyMsg;
+use gossipopt_runtime::{decode, encode, run_cluster, ChannelNet, ClusterConfig, Transport};
+use gossipopt_sim::NodeId;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn offer(dim: usize) -> Msg {
+    Msg::Coord(AntiEntropyMsg::Offer(GlobalBest {
+        x: (0..dim).map(|i| i as f64 * 0.5 - 1.0).collect(),
+        f: 1.25,
+    }))
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/wire");
+    for dim in [2usize, 10, 100] {
+        let msg = offer(dim);
+        group.bench_with_input(BenchmarkId::new("encode", dim), &msg, |b, msg| {
+            b.iter(|| black_box(encode(black_box(msg))))
+        });
+        let bytes = encode(&msg);
+        group.bench_with_input(BenchmarkId::new("decode", dim), &bytes, |b, bytes| {
+            b.iter(|| black_box(decode(black_box(bytes)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/channel");
+    group.bench_function("send+recv", |b| {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        let bb = net.endpoint(NodeId(1));
+        let payload = encode(&offer(10));
+        b.iter(|| {
+            a.send(NodeId(1), payload.clone());
+            black_box(bb.recv(Duration::ZERO))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cluster_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/cluster");
+    group.sample_size(10);
+    for nodes in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("deploy-200-evals", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let spec = DistributedPsoSpec {
+                        nodes,
+                        particles_per_node: 8,
+                        gossip_every: 8,
+                        ..Default::default()
+                    };
+                    let mut cfg = ClusterConfig::new(spec, "sphere");
+                    cfg.budget_per_node = 200;
+                    cfg.linger = Duration::from_millis(5);
+                    black_box(run_cluster(&cfg).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_channel_transport,
+    bench_cluster_deploy
+);
+criterion_main!(benches);

@@ -1,0 +1,594 @@
+//! Extension experiments beyond the paper's four sets.
+//!
+//! These exercise the claims the paper makes qualitatively but does not
+//! measure (churn robustness, loss tolerance, negligible overhead, overlay
+//! quality) and its future-work directions (solver diversification), plus
+//! ablations over the design choices called out in DESIGN.md.
+
+use gossipopt_core::prelude::*;
+use gossipopt_gossip::{graph, Newscast, NewscastConfig, NewscastMsg};
+use gossipopt_sim::{Application, Ctx, CycleConfig, CycleEngine, NodeId};
+use gossipopt_util::Summary;
+use serde::Serialize;
+
+/// A labeled quality aggregate — the row type of most extension tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct LabeledQuality {
+    /// Experiment-specific label (e.g. churn rate, solver name).
+    pub label: String,
+    /// Objective function.
+    pub function: String,
+    /// Quality aggregate over repetitions.
+    pub quality: Summary,
+}
+
+fn base_spec(nodes: usize) -> DistributedPsoSpec {
+    DistributedPsoSpec {
+        nodes,
+        particles_per_node: 16,
+        gossip_every: 16,
+        ..Default::default()
+    }
+}
+
+/// EXT-churn: solution quality under balanced churn (population-neutral
+/// crash/join rates), per the paper's §3.3.4 robustness claim.
+pub fn churn_sweep(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    let mut rows = Vec::new();
+    for function in ["sphere", "griewank"] {
+        for &rate in &[0.0, 1e-4, 1e-3, 1e-2] {
+            let mut spec = base_spec(128);
+            if rate > 0.0 {
+                spec.churn = ChurnConfig::balanced(rate, 128);
+            }
+            let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+            rows.push(LabeledQuality {
+                label: format!("churn={rate}"),
+                function: function.into(),
+                quality: rep.quality,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// EXT-loss: solution quality under message loss ("messages can be lost,
+/// with the only effect of slowing down the spreading of information").
+pub fn loss_sweep(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    let mut rows = Vec::new();
+    for function in ["sphere", "griewank"] {
+        for &loss in &[0.0, 0.1, 0.25, 0.5] {
+            let spec = DistributedPsoSpec {
+                loss_prob: loss,
+                ..base_spec(64)
+            };
+            let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+            rows.push(LabeledQuality {
+                label: format!("loss={loss}"),
+                function: function.into(),
+                quality: rep.quality,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// EXT-async: the cycle-based results replayed on the event-driven kernel
+/// (jittered clocks, real message latency) — checking that the paper's
+/// synchronous-rounds abstraction is not load-bearing.
+pub fn async_comparison(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    use gossipopt_core::experiment::{run_distributed_async, AsyncOpts};
+    use gossipopt_functions::by_name;
+    use gossipopt_util::OnlineStats;
+    use std::sync::Arc;
+    let mut rows = Vec::new();
+    for function in ["sphere", "griewank"] {
+        let spec = base_spec(64);
+        let sync = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: "kernel=cycle".into(),
+            function: function.into(),
+            quality: sync.quality,
+        });
+        for (label, opts) in [
+            (
+                "kernel=event lat=U(1,20)",
+                AsyncOpts::default(),
+            ),
+            (
+                "kernel=event lat=Exp(30)",
+                AsyncOpts {
+                    latency: gossipopt_sim::Latency::Exponential(30.0),
+                    ..AsyncOpts::default()
+                },
+            ),
+        ] {
+            let mut stats = OnlineStats::new();
+            for r in 0..reps {
+                let obj: Arc<dyn gossipopt_functions::Objective> =
+                    Arc::from(by_name(function, 10).expect("registered"));
+                let report =
+                    run_distributed_async(&spec, obj, Budget::PerNode(1000), opts, seed + r)?;
+                stats.push(report.best_quality);
+            }
+            rows.push(LabeledQuality {
+                label: label.into(),
+                function: function.into(),
+                quality: stats.summary(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// EXT-solvers: the future-work solver diversification — each registered
+/// solver, plus a heterogeneous mix, on three landscapes.
+pub fn solver_comparison(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    let mut rows = Vec::new();
+    let mut configs: Vec<(String, SolverSpec)> = gossipopt_solvers::solver_names()
+        .iter()
+        .map(|n| (n.to_string(), SolverSpec::Named(n.to_string())))
+        .collect();
+    configs.push((
+        "mix(pso,de,es)".into(),
+        SolverSpec::Mix(vec![
+            SolverSpec::Named("pso".into()),
+            SolverSpec::Named("de".into()),
+            SolverSpec::Named("es".into()),
+        ]),
+    ));
+    configs.push((
+        "mix(pso,cmaes,nm)".into(),
+        SolverSpec::Mix(vec![
+            SolverSpec::Named("pso".into()),
+            SolverSpec::Named("cmaes".into()),
+            SolverSpec::Named("nelder-mead".into()),
+        ]),
+    ));
+    for function in ["sphere", "rastrigin", "griewank"] {
+        for (label, solver) in &configs {
+            let spec = DistributedPsoSpec {
+                solver: solver.clone(),
+                ..base_spec(64)
+            };
+            let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+            rows.push(LabeledQuality {
+                label: label.clone(),
+                function: function.into(),
+                quality: rep.quality,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// EXT-baselines: the paper's design point against its two extremes and
+/// the centralized-coordinator strawman, at equal total budget.
+pub fn baselines_comparison(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    let nodes = 64usize;
+    let per_node = 1000u64;
+    let mut rows = Vec::new();
+    for function in ["sphere", "rastrigin", "griewank"] {
+        // Distributed gossip (the paper).
+        let gossip = run_repeated(
+            &base_spec(nodes),
+            function,
+            Budget::PerNode(per_node),
+            reps,
+            seed,
+        )?;
+        rows.push(LabeledQuality {
+            label: "gossip".into(),
+            function: function.into(),
+            quality: gossip.quality,
+        });
+        // No coordination.
+        let iso_spec = DistributedPsoSpec {
+            coordination: CoordinationKind::None,
+            ..base_spec(nodes)
+        };
+        let iso = run_repeated(&iso_spec, function, Budget::PerNode(per_node), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: "isolated".into(),
+            function: function.into(),
+            quality: iso.quality,
+        });
+        // Master–slave star.
+        let ms_spec = DistributedPsoSpec {
+            topology: TopologyKind::Star,
+            coordination: CoordinationKind::MasterSlave,
+            ..base_spec(nodes)
+        };
+        let ms = run_repeated(&ms_spec, function, Budget::PerNode(per_node), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: "master-slave".into(),
+            function: function.into(),
+            quality: ms.quality,
+        });
+        // Centralized single swarm, same total evaluations and particles.
+        let mut stats = gossipopt_util::OnlineStats::new();
+        for r in 0..reps {
+            let rep = run_centralized_pso(
+                function,
+                10,
+                16 * nodes,
+                PsoParams::default(),
+                per_node * nodes as u64,
+                None,
+                seed + r,
+            )?;
+            stats.push(rep.best_quality);
+        }
+        rows.push(LabeledQuality {
+            label: "centralized".into(),
+            function: function.into(),
+            quality: stats.summary(),
+        });
+    }
+    Ok(rows)
+}
+
+/// EXT-ablation rows: design-choice sweeps (exchange mode, view size,
+/// update rule, topology).
+pub fn ablation(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    let mut rows = Vec::new();
+    let function = "griewank";
+
+    // Anti-entropy exchange mode.
+    for (label, mode) in [
+        ("mode=push", ExchangeMode::Push),
+        ("mode=pull", ExchangeMode::Pull),
+        ("mode=push-pull", ExchangeMode::PushPull),
+    ] {
+        let spec = DistributedPsoSpec {
+            coordination: CoordinationKind::GossipBest(mode),
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: label.into(),
+            function: function.into(),
+            quality: rep.quality,
+        });
+    }
+
+    // NEWSCAST view size.
+    for view_size in [2usize, 4, 8, 20, 40] {
+        let spec = DistributedPsoSpec {
+            newscast: gossipopt_gossip::NewscastConfig {
+                view_size,
+                exchange_every: 10,
+            },
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: format!("view={view_size}"),
+            function: function.into(),
+            quality: rep.quality,
+        });
+    }
+
+    // PSO update rule: as printed in the paper vs the convergent default.
+    for (label, params) in [
+        ("pso=paper-1995", PsoParams::paper_1995()),
+        ("pso=constriction", PsoParams::default()),
+    ] {
+        let spec = DistributedPsoSpec {
+            solver: SolverSpec::Pso(params),
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, "sphere", Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: label.into(),
+            function: "sphere".into(),
+            quality: rep.quality,
+        });
+    }
+
+    // Search-space partitioning (future work) vs whole-domain search.
+    for zones in [0usize, 8, 64] {
+        let spec = DistributedPsoSpec {
+            partition_zones: zones,
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, "rastrigin", Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: if zones == 0 {
+                "zones=off".into()
+            } else {
+                format!("zones={zones}")
+            },
+            function: "rastrigin".into(),
+            quality: rep.quality,
+        });
+    }
+
+    // Topology under gossip coordination.
+    for (label, topology) in [
+        ("topo=newscast", TopologyKind::Newscast),
+        ("topo=mesh", TopologyKind::FullMesh),
+        ("topo=ring", TopologyKind::Ring),
+        ("topo=star", TopologyKind::Star),
+        ("topo=4-out", TopologyKind::KOut(4)),
+        ("topo=grid", TopologyKind::Grid),
+        (
+            "topo=small-world",
+            TopologyKind::SmallWorld { k: 4, beta: 0.2 },
+        ),
+        ("topo=ER(0.1)", TopologyKind::ErdosRenyi(0.1)),
+    ] {
+        let spec = DistributedPsoSpec {
+            topology,
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: label.into(),
+            function: function.into(),
+            quality: rep.quality,
+        });
+    }
+
+    // Coordination service: the paper's anti-entropy against the
+    // background section's rumor mongering and island-model migration.
+    for (label, coordination) in [
+        (
+            "coord=anti-entropy",
+            CoordinationKind::GossipBest(ExchangeMode::PushPull),
+        ),
+        (
+            "coord=rumor(k=2,p=0.5)",
+            CoordinationKind::RumorBest(gossipopt_gossip::RumorConfig {
+                fanout: 2,
+                stop_prob: 0.5,
+            }),
+        ),
+        (
+            "coord=rumor(k=4,p=0.2)",
+            CoordinationKind::RumorBest(gossipopt_gossip::RumorConfig {
+                fanout: 4,
+                stop_prob: 0.2,
+            }),
+        ),
+        ("coord=migrate(1)", CoordinationKind::Migrate { migrants: 1 }),
+        ("coord=migrate(4)", CoordinationKind::Migrate { migrants: 4 }),
+        ("coord=none", CoordinationKind::None),
+    ] {
+        let spec = DistributedPsoSpec {
+            coordination,
+            ..base_spec(64)
+        };
+        let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: label.into(),
+            function: function.into(),
+            quality: rep.quality,
+        });
+    }
+    Ok(rows)
+}
+
+/// EXT-deploy: the simulator's prediction vs the live threaded deployment
+/// (channel and UDP transports) for the same specification — the
+/// reproduction's end-to-end validity check, aggregated over seeds.
+pub fn deployment_comparison(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> {
+    use gossipopt_runtime::{run_cluster, ClusterConfig, TransportKind};
+    use gossipopt_util::OnlineStats;
+    let budget = 1000u64;
+    let mut rows = Vec::new();
+    for function in ["sphere", "griewank"] {
+        let spec = base_spec(16);
+        let sim = run_repeated(&spec, function, Budget::PerNode(budget), reps, seed)?;
+        rows.push(LabeledQuality {
+            label: "substrate=simulator".into(),
+            function: function.into(),
+            quality: sim.quality,
+        });
+        for (label, transport) in [
+            ("substrate=threads+channels", TransportKind::Channel),
+            ("substrate=threads+udp", TransportKind::Udp),
+        ] {
+            let mut stats = OnlineStats::new();
+            for r in 0..reps {
+                let mut cfg = ClusterConfig::new(spec.clone(), function);
+                cfg.budget_per_node = budget;
+                cfg.seed = seed + r;
+                cfg.transport = transport;
+                cfg.deadline = std::time::Duration::from_secs(120);
+                let report = run_cluster(&cfg)?;
+                stats.push(report.best_quality);
+            }
+            rows.push(LabeledQuality {
+                label: label.into(),
+                function: function.into(),
+                quality: stats.summary(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// A convergence trace: `(time, global quality)` series for one config.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRow {
+    /// Configuration label.
+    pub label: String,
+    /// Objective function.
+    pub function: String,
+    /// Sampled `(tick, quality)` series.
+    pub series: Vec<(u64, f64)>,
+}
+
+/// EXT-trace: best-so-far convergence curves (a view the paper doesn't
+/// plot but that explains its tables): network sizes at fixed per-node
+/// budget, on an easy and a hard function.
+pub fn convergence_traces(seed: u64) -> Result<Vec<TraceRow>, CoreError> {
+    let mut rows = Vec::new();
+    for function in ["sphere", "griewank"] {
+        for &n in &[1usize, 16, 256] {
+            let spec = DistributedPsoSpec {
+                trace_every: Some(10),
+                ..base_spec(n)
+            };
+            let report = run_distributed_pso(&spec, function, Budget::PerNode(1000), seed)?;
+            rows.push(TraceRow {
+                label: format!("n={n}"),
+                function: function.into(),
+                series: report.trace,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One snapshot of overlay health.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverlayRow {
+    /// Scenario label.
+    pub label: String,
+    /// NEWSCAST view size `c`.
+    pub view_size: usize,
+    /// Weakly connected?
+    pub weakly_connected: bool,
+    /// Strongly connected?
+    pub strongly_connected: bool,
+    /// Mean in-degree.
+    pub in_degree_avg: f64,
+    /// In-degree standard deviation.
+    pub in_degree_std: f64,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+    /// Mean shortest-path length (sampled).
+    pub avg_path_len: f64,
+    /// Fraction of view entries referencing dead nodes.
+    pub stale_fraction: f64,
+}
+
+/// Pure-NEWSCAST host application for overlay analysis.
+struct NcApp {
+    nc: Newscast,
+}
+
+impl Application for NcApp {
+    type Message = NewscastMsg;
+
+    fn on_join(&mut self, contacts: &[NodeId], ctx: &mut Ctx<'_, NewscastMsg>) {
+        let now = ctx.now;
+        self.nc.on_join(contacts, now, ctx.rng());
+    }
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, NewscastMsg>) {
+        let (self_id, now) = (ctx.self_id, ctx.now);
+        if let Some((peer, msg)) = self.nc.on_tick(self_id, now, ctx.rng()) {
+            ctx.send(peer, msg);
+        }
+    }
+    fn on_message(&mut self, from: NodeId, msg: NewscastMsg, ctx: &mut Ctx<'_, NewscastMsg>) {
+        let (self_id, now) = (ctx.self_id, ctx.now);
+        if let Some(reply) = self.nc.handle(self_id, from, msg, now, ctx.rng()) {
+            ctx.send(from, reply);
+        }
+    }
+}
+
+fn snapshot(engine: &CycleEngine<NcApp>, label: &str, view_size: usize) -> OverlayRow {
+    let live: Vec<NodeId> = engine.nodes().map(|(id, _)| id).collect();
+    let index: std::collections::HashMap<NodeId, usize> =
+        live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut stale = 0usize;
+    let mut total = 0usize;
+    let adj: Vec<Vec<usize>> = engine
+        .nodes()
+        .map(|(_, app)| {
+            app.nc
+                .view()
+                .ids()
+                .filter_map(|id| {
+                    total += 1;
+                    match index.get(&id) {
+                        Some(&i) => Some(i),
+                        None => {
+                            stale += 1;
+                            None
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let indeg = graph::in_degree_stats(&adj);
+    let mut rng = gossipopt_util::Xoshiro256pp::seeded(42);
+    OverlayRow {
+        label: label.to_string(),
+        view_size,
+        weakly_connected: graph::is_weakly_connected(&adj),
+        strongly_connected: graph::is_strongly_connected(&adj),
+        in_degree_avg: indeg.mean(),
+        in_degree_std: indeg.std_dev(),
+        clustering: graph::avg_clustering(&adj),
+        avg_path_len: graph::avg_path_length(&adj, 8, &mut rng),
+        stale_fraction: if total == 0 {
+            0.0
+        } else {
+            stale as f64 / total as f64
+        },
+    }
+}
+
+/// EXT-overlay: NEWSCAST overlay health across view sizes, before and
+/// after a 50 % simultaneous crash (the paper's `c = 20` robustness claim).
+pub fn overlay_analysis(nodes: usize, seed: u64) -> Vec<OverlayRow> {
+    let mut rows = Vec::new();
+    for &view_size in &[4usize, 8, 20] {
+        let cfg = CycleConfig::seeded(seed ^ view_size as u64);
+        let mut engine: CycleEngine<NcApp> = CycleEngine::new(cfg);
+        for _ in 0..nodes {
+            engine.insert(NcApp {
+                nc: Newscast::new(NewscastConfig {
+                    view_size,
+                    exchange_every: 1,
+                }),
+            });
+        }
+        engine.run(30);
+        rows.push(snapshot(&engine, "steady", view_size));
+        engine.crash_fraction(0.5);
+        rows.push(snapshot(&engine, "after-50%-crash", view_size));
+        engine.run(30);
+        rows.push(snapshot(&engine, "after-repair", view_size));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_analysis_shapes_and_repair() {
+        let rows = overlay_analysis(64, 1);
+        assert_eq!(rows.len(), 9); // 3 view sizes x 3 phases
+        let c20_steady = rows
+            .iter()
+            .find(|r| r.view_size == 20 && r.label == "steady")
+            .unwrap();
+        assert!(c20_steady.weakly_connected);
+        assert!(c20_steady.stale_fraction < 0.01);
+        let c20_repaired = rows
+            .iter()
+            .find(|r| r.view_size == 20 && r.label == "after-repair")
+            .unwrap();
+        assert!(
+            c20_repaired.stale_fraction < 0.10,
+            "stale {} after repair",
+            c20_repaired.stale_fraction
+        );
+    }
+
+    #[test]
+    fn loss_sweep_runs_small() {
+        let rows = loss_sweep(1, 5).unwrap();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.quality.avg.is_finite()));
+    }
+}

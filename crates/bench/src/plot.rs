@@ -1,0 +1,400 @@
+//! Terminal rendering of the paper's figures.
+//!
+//! The paper presents its four experiment sets as scatter plots (solution
+//! quality or time against a swept parameter, one curve per configuration).
+//! This module renders the same series as ASCII scatter plots so `repro
+//! figures` can reproduce *figures*, not only tables, without a plotting
+//! dependency. Axes are linear in whatever the caller supplies — the
+//! figure builders pre-transform to `log10`/`log2` exactly like the
+//! paper's axes.
+
+use gossipopt_core::paper::{QualityCell, TimeCell};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Marker characters assigned to series in order.
+const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// One plotted curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; non-finite points are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// An ASCII plot canvas specification.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    /// Title printed above the canvas.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// Canvas width in character cells (excluding the y-label gutter).
+    pub width: usize,
+    /// Canvas height in character rows.
+    pub height: usize,
+}
+
+impl Plot {
+    /// A canvas sized for an 80-column terminal.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Plot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 60,
+            height: 18,
+        }
+    }
+
+    /// Render `series` onto the canvas.
+    pub fn render(&self, series: &[Series]) -> String {
+        let finite: Vec<(usize, f64, f64)> = series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| {
+                s.points
+                    .iter()
+                    .filter(|(x, y)| x.is_finite() && y.is_finite())
+                    .map(move |&(x, y)| (si, x, y))
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if finite.is_empty() {
+            let _ = writeln!(out, "  (no finite data)");
+            return out;
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &finite {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        // Degenerate ranges get unit padding so single points still plot.
+        if xmax - xmin < 1e-12 {
+            xmin -= 1.0;
+            xmax += 1.0;
+        }
+        if ymax - ymin < 1e-12 {
+            ymin -= 1.0;
+            ymax += 1.0;
+        }
+
+        let w = self.width.max(16);
+        let h = self.height.max(6);
+        let mut grid = vec![vec![' '; w]; h];
+        for &(si, x, y) in &finite {
+            let cx = ((x - xmin) / (xmax - xmin) * (w - 1) as f64).round() as usize;
+            // Row 0 is the top: invert y.
+            let cy = (h - 1)
+                - ((y - ymin) / (ymax - ymin) * (h - 1) as f64).round() as usize;
+            grid[cy.min(h - 1)][cx.min(w - 1)] = MARKERS[si % MARKERS.len()];
+        }
+
+        // Y-axis gutter: top / middle / bottom tick labels.
+        let gutter = 10;
+        for (row, cells) in grid.iter().enumerate() {
+            let tick = if row == 0 {
+                format!("{ymax:>9.2}")
+            } else if row == h / 2 {
+                format!("{:>9.2}", ymin + (ymax - ymin) * 0.5)
+            } else if row == h - 1 {
+                format!("{ymin:>9.2}")
+            } else {
+                " ".repeat(9)
+            };
+            let line: String = cells.iter().collect();
+            let _ = writeln!(out, "{tick} |{}", line.trim_end());
+        }
+        let _ = writeln!(out, "{}+{}", " ".repeat(gutter - 1), "-".repeat(w));
+        // X tick labels at the extremes and the midpoint.
+        let mid = format!("{:.2}", xmin + (xmax - xmin) * 0.5);
+        let right = format!("{xmax:.2}");
+        let left = format!("{xmin:<8.2}");
+        let total = w.saturating_sub(left.len() + right.len());
+        let lpad = total.saturating_sub(mid.len()) / 2;
+        let rpad = total.saturating_sub(mid.len()) - lpad;
+        let _ = writeln!(
+            out,
+            "{}{left}{}{mid}{}{right}",
+            " ".repeat(gutter),
+            " ".repeat(lpad),
+            " ".repeat(rpad)
+        );
+        let _ = writeln!(
+            out,
+            "{}[y: {}]  [x: {}]",
+            " ".repeat(gutter),
+            self.y_label,
+            self.x_label
+        );
+        // Legend.
+        let mut legend = String::new();
+        for (si, s) in series.iter().enumerate() {
+            if !s.points.is_empty() {
+                let _ = write!(legend, "{} {}   ", MARKERS[si % MARKERS.len()], s.label);
+            }
+        }
+        if !legend.is_empty() {
+            let _ = writeln!(out, "{}{}", " ".repeat(gutter), legend.trim_end());
+        }
+        out
+    }
+}
+
+fn log10_clamped(q: f64) -> f64 {
+    q.max(1e-300).log10()
+}
+
+/// The distinct functions present in a cell grid, in first-seen order.
+fn functions_of(keys: impl Iterator<Item = String>) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut ordered = Vec::new();
+    for f in keys {
+        if seen.insert(f.clone()) {
+            ordered.push(f);
+        }
+    }
+    ordered
+}
+
+/// Figure 1: per function, `log10(avg quality)` vs particles per node,
+/// one series per network size.
+pub fn figure1(cells: &[QualityCell]) -> String {
+    quality_figure(
+        cells,
+        "Figure 1: solution quality vs swarm size",
+        "particles per node (k)",
+        |c| c.key.k as f64,
+        |c| format!("size = {}", c.key.n),
+    )
+}
+
+/// Figure 2: per function, `log10(avg quality)` vs `log2(network size)`,
+/// one series per swarm size.
+pub fn figure2(cells: &[QualityCell]) -> String {
+    quality_figure(
+        cells,
+        "Figure 2: solution quality vs network size",
+        "log2(network size)",
+        |c| (c.key.n as f64).log2(),
+        |c| format!("particles = {}", c.key.k),
+    )
+}
+
+/// Figure 3: per function, `log10(avg quality)` vs gossip cycle length,
+/// one series per network size.
+pub fn figure3(cells: &[QualityCell]) -> String {
+    quality_figure(
+        cells,
+        "Figure 3: solution quality vs gossip cycle length",
+        "cycle length (r)",
+        |c| c.key.r as f64,
+        |c| format!("size = {}", c.key.n),
+    )
+}
+
+/// Figure 4: per function, `log10(avg time)` vs `log2(network size)`, one
+/// series per swarm size; cells that never hit the threshold are omitted
+/// (the paper's missing Griewank panel).
+pub fn figure4(cells: &[TimeCell]) -> String {
+    let mut out = String::new();
+    for function in functions_of(cells.iter().map(|c| c.key.function.clone())) {
+        let fcells: Vec<&TimeCell> = cells
+            .iter()
+            .filter(|c| c.key.function == function && c.hits > 0)
+            .collect();
+        if fcells.is_empty() {
+            let _ = writeln!(
+                out,
+                "Figure 4 [{function}]: no configuration reached the threshold (paper's \"–\")\n"
+            );
+            continue;
+        }
+        let mut series: Vec<Series> = Vec::new();
+        for c in &fcells {
+            let label = format!("particles = {}", c.key.k);
+            let x = (c.key.n as f64).log2();
+            let y = log10_clamped(c.time.avg);
+            match series.iter_mut().find(|s| s.label == label) {
+                Some(s) => s.points.push((x, y)),
+                None => series.push(Series {
+                    label,
+                    points: vec![(x, y)],
+                }),
+            }
+        }
+        let plot = Plot::new(
+            &format!("Figure 4: total time vs network size [{function}]"),
+            "log2(# of nodes)",
+            "log10(time)",
+        );
+        let _ = writeln!(out, "{}", plot.render(&series));
+    }
+    out
+}
+
+fn quality_figure(
+    cells: &[QualityCell],
+    title: &str,
+    x_label: &str,
+    x_of: impl Fn(&QualityCell) -> f64,
+    series_of: impl Fn(&QualityCell) -> String,
+) -> String {
+    let mut out = String::new();
+    for function in functions_of(cells.iter().map(|c| c.key.function.clone())) {
+        let mut series: Vec<Series> = Vec::new();
+        for c in cells.iter().filter(|c| c.key.function == function) {
+            let label = series_of(c);
+            let point = (x_of(c), log10_clamped(c.quality.avg));
+            match series.iter_mut().find(|s| s.label == label) {
+                Some(s) => s.points.push(point),
+                None => series.push(Series {
+                    label,
+                    points: vec![point],
+                }),
+            }
+        }
+        let plot = Plot::new(
+            &format!("{title} [{function}]"),
+            x_label,
+            "log10(quality)",
+        );
+        let _ = writeln!(out, "{}", plot.render(&series));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_core::paper::CellKey;
+    use gossipopt_util::Summary;
+
+    fn summary(avg: f64) -> Summary {
+        Summary {
+            count: 1,
+            avg,
+            min: avg,
+            max: avg,
+            var: 0.0,
+        }
+    }
+
+    fn qcell(function: &str, n: usize, k: usize, avg: f64) -> QualityCell {
+        QualityCell {
+            key: CellKey {
+                function: function.into(),
+                n,
+                k,
+                r: k as u64,
+            },
+            quality: summary(avg),
+        }
+    }
+
+    #[test]
+    fn render_places_markers_and_legend() {
+        let plot = Plot::new("demo", "x", "y");
+        let s = vec![
+            Series {
+                label: "a".into(),
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(0.5, 0.8)],
+            },
+        ];
+        let text = plot.render(&s);
+        assert!(text.contains('*'), "first series marker");
+        assert!(text.contains('o'), "second series marker");
+        assert!(text.contains("* a"), "legend entry");
+        assert!(text.contains("[x: x]"));
+        assert!(text.contains("demo"));
+    }
+
+    #[test]
+    fn render_handles_empty_and_degenerate_input() {
+        let plot = Plot::new("empty", "x", "y");
+        assert!(plot.render(&[]).contains("no finite data"));
+        let nan_only = vec![Series {
+            label: "nan".into(),
+            points: vec![(f64::NAN, 1.0)],
+        }];
+        assert!(plot.render(&nan_only).contains("no finite data"));
+        // A single point must still render without dividing by zero.
+        let single = vec![Series {
+            label: "dot".into(),
+            points: vec![(2.0, 3.0)],
+        }];
+        let text = plot.render(&single);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn figure1_groups_series_by_network_size() {
+        let cells = vec![
+            qcell("sphere", 1, 4, 1e-3),
+            qcell("sphere", 1, 16, 1e-6),
+            qcell("sphere", 100, 4, 1e-9),
+            qcell("sphere", 100, 16, 1e-12),
+            qcell("griewank", 1, 4, 0.5),
+        ];
+        let text = figure1(&cells);
+        assert!(text.contains("size = 1"));
+        assert!(text.contains("size = 100"));
+        assert!(text.contains("[sphere]"));
+        assert!(text.contains("[griewank]"));
+    }
+
+    #[test]
+    fn figure4_omits_threshold_misses() {
+        let hit = TimeCell {
+            key: CellKey {
+                function: "sphere".into(),
+                n: 4,
+                k: 8,
+                r: 8,
+            },
+            time: summary(1000.0),
+            evals: summary(4000.0),
+            hits: 5,
+            reps: 5,
+        };
+        let miss = TimeCell {
+            key: CellKey {
+                function: "griewank".into(),
+                n: 4,
+                k: 8,
+                r: 8,
+            },
+            time: Summary {
+                count: 0,
+                avg: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                var: f64::NAN,
+            },
+            evals: summary(0.0),
+            hits: 0,
+            reps: 5,
+        };
+        let text = figure4(&[hit, miss]);
+        assert!(text.contains("[sphere]"));
+        assert!(text.contains("griewank") && text.contains("paper's \"–\""));
+    }
+
+    #[test]
+    fn log_clamp_protects_zero_quality() {
+        assert_eq!(log10_clamped(0.0), -300.0);
+        assert_eq!(log10_clamped(1.0), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Table and CSV rendering in the paper's formats.
+
+use gossipopt_core::paper::{QualityCell, TimeCell};
+use gossipopt_util::csv::{fmt_f64, CsvTable};
+use gossipopt_util::stats::log10_clamped;
+use std::io;
+use std::path::Path;
+
+/// Render quality cells as a paper-style text table
+/// (`function n k r | avg min max Var`).
+pub fn quality_table(title: &str, cells: &[QualityCell]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>4} {:>4} | {:>13} {:>13} {:>13} {:>13}\n",
+        "function", "n", "k", "r", "avg", "min", "max", "Var"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>4} {:>4} | {:>13.5e} {:>13.5e} {:>13.5e} {:>13.5e}\n",
+            c.key.function, c.key.n, c.key.k, c.key.r, c.quality.avg, c.quality.min,
+            c.quality.max, c.quality.var
+        ));
+    }
+    out
+}
+
+/// Render time cells as a paper-style text table; cells that never hit the
+/// threshold print `-` (the paper's Griewank row).
+pub fn time_table(title: &str, cells: &[TimeCell]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>4} | {:>5} | {:>13} {:>13} {:>13}  (time = local evals/node)\n",
+        "function", "n", "k", "hits", "avg", "min", "max"
+    ));
+    for c in cells {
+        if c.hits == 0 {
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>4} | {:>2}/{:<2} | {:>13} {:>13} {:>13}\n",
+                c.key.function, c.key.n, c.key.k, c.hits, c.reps, "-", "-", "-"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>4} | {:>2}/{:<2} | {:>13.1} {:>13.1} {:>13.1}\n",
+                c.key.function, c.key.n, c.key.k, c.hits, c.reps, c.time.avg, c.time.min,
+                c.time.max
+            ));
+        }
+    }
+    out
+}
+
+/// Quality cells → CSV with a `log10(avg)` column matching the figures'
+/// "Solution quality (log)" axes.
+pub fn quality_csv(cells: &[QualityCell]) -> CsvTable {
+    let mut t = CsvTable::new([
+        "function", "n", "k", "r", "avg", "min", "max", "var", "log10_avg",
+    ]);
+    for c in cells {
+        t.push_row([
+            c.key.function.clone(),
+            c.key.n.to_string(),
+            c.key.k.to_string(),
+            c.key.r.to_string(),
+            fmt_f64(c.quality.avg),
+            fmt_f64(c.quality.min),
+            fmt_f64(c.quality.max),
+            fmt_f64(c.quality.var),
+            fmt_f64(log10_clamped(c.quality.avg)),
+        ]);
+    }
+    t
+}
+
+/// Time cells → CSV (`hits = 0` rows carry empty time columns).
+pub fn time_csv(cells: &[TimeCell]) -> CsvTable {
+    let mut t = CsvTable::new([
+        "function",
+        "n",
+        "k",
+        "hits",
+        "reps",
+        "time_avg",
+        "time_min",
+        "time_max",
+        "evals_avg",
+    ]);
+    for c in cells {
+        let (ta, tn, tx, ea) = if c.hits == 0 {
+            (String::new(), String::new(), String::new(), String::new())
+        } else {
+            (
+                fmt_f64(c.time.avg),
+                fmt_f64(c.time.min),
+                fmt_f64(c.time.max),
+                fmt_f64(c.evals.avg),
+            )
+        };
+        t.push_row([
+            c.key.function.clone(),
+            c.key.n.to_string(),
+            c.key.k.to_string(),
+            c.hits.to_string(),
+            c.reps.to_string(),
+            ta,
+            tn,
+            tx,
+            ea,
+        ]);
+    }
+    t
+}
+
+/// Serialize any result set to pretty JSON on disk.
+pub fn save_json<T: serde::Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_core::paper::CellKey;
+    use gossipopt_util::Summary;
+
+    fn qcell() -> QualityCell {
+        QualityCell {
+            key: CellKey {
+                function: "sphere".into(),
+                n: 10,
+                k: 16,
+                r: 16,
+            },
+            quality: Summary {
+                count: 3,
+                avg: 1.5e-10,
+                min: 1e-12,
+                max: 4e-10,
+                var: 1e-20,
+            },
+        }
+    }
+
+    fn tcell(hits: u64) -> TimeCell {
+        TimeCell {
+            key: CellKey {
+                function: "griewank".into(),
+                n: 4,
+                k: 8,
+                r: 8,
+            },
+            time: Summary {
+                count: hits,
+                avg: 120.0,
+                min: 100.0,
+                max: 150.0,
+                var: 25.0,
+            },
+            evals: Summary {
+                count: hits,
+                avg: 480.0,
+                min: 400.0,
+                max: 600.0,
+                var: 100.0,
+            },
+            hits,
+            reps: 8,
+        }
+    }
+
+    #[test]
+    fn quality_table_contains_cells() {
+        let s = quality_table("Set 1", &[qcell()]);
+        assert!(s.contains("Set 1"));
+        assert!(s.contains("sphere"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn time_table_dashes_on_miss() {
+        let s = time_table("Set 4", &[tcell(0)]);
+        assert!(s.contains('-'));
+        let s2 = time_table("Set 4", &[tcell(5)]);
+        assert!(s2.contains("120.0"));
+    }
+
+    #[test]
+    fn csv_shapes() {
+        let q = quality_csv(&[qcell()]);
+        assert_eq!(q.len(), 1);
+        assert!(q.render().contains("log10_avg"));
+        let t = time_csv(&[tcell(0), tcell(2)]);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains(",,")); // empty time cells on the miss row
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("gossipopt-report-test");
+        let path = dir.join("cells.json");
+        save_json(&path, &vec![qcell()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("sphere"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

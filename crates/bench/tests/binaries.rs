@@ -1,0 +1,140 @@
+//! Integration tests driving the user-facing binaries end to end.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gossipopt-cli"))
+}
+
+#[test]
+fn repro_smoke_set1_writes_artifacts() {
+    let dir = std::env::temp_dir().join("gossipopt-bin-test-set1");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro()
+        .args(["set1", "--scale", "smoke", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "missing table header");
+    assert!(stdout.contains("griewank"));
+    assert!(dir.join("set1_quality_vs_swarm.csv").exists());
+    assert!(dir.join("set1.json").exists());
+    let csv = std::fs::read_to_string(dir.join("set1_quality_vs_swarm.csv")).unwrap();
+    assert!(csv.lines().count() > 10, "CSV should hold the whole grid");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_unknown_command_and_scale() {
+    let out = repro().args(["not-a-set"]).output().unwrap();
+    assert!(!out.status.success());
+    let out2 = repro().args(["set1", "--scale", "bogus"]).output().unwrap();
+    assert!(!out2.status.success());
+}
+
+#[test]
+fn cli_emit_spec_roundtrips_through_run() {
+    let out = cli().arg("--emit-spec").output().expect("cli runs");
+    assert!(out.status.success());
+    let template = String::from_utf8(out.stdout).unwrap();
+    assert!(template.contains("\"nodes\""));
+
+    // Feed the emitted spec back through stdin and run a tiny experiment.
+    let mut child = cli()
+        .args([
+            "--spec", "-", "--function", "sphere", "--budget-per-node", "20", "--reps", "2",
+            "--seed", "3",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(template.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("JSON report");
+    assert_eq!(report["reps"], 2);
+    assert_eq!(report["runs"].as_array().unwrap().len(), 2);
+    assert!(report["quality"]["avg"].as_f64().unwrap().is_finite());
+}
+
+#[test]
+fn cli_rejects_bad_spec_and_function() {
+    let mut child = cli()
+        .args(["--spec", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"{ this is not json }")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+
+    let out2 = cli()
+        .args(["--function", "not-a-function", "--budget-per-node", "5"])
+        .output()
+        .unwrap();
+    assert!(!out2.status.success());
+    assert!(String::from_utf8_lossy(&out2.stderr).contains("unknown objective"));
+}
+
+#[test]
+fn cli_deploys_on_real_threads() {
+    let out = cli()
+        .args([
+            "--function", "sphere", "--budget-per-node", "50", "--deploy", "channel", "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("JSON report");
+    assert_eq!(v["deployment"], "Channel");
+    assert_eq!(v["total_evals"], 16 * 50); // default spec: 16 nodes
+    assert_eq!(v["decode_errors"], 0);
+    assert!(v["best_quality"].as_f64().unwrap().is_finite());
+
+    // Total budgets are simulator-only.
+    let bad = cli()
+        .args(["--budget-total", "100", "--deploy", "channel"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("per-node"));
+}
+
+#[test]
+fn cli_is_deterministic_per_seed() {
+    let run = || {
+        let out = cli()
+            .args([
+                "--function", "griewank", "--budget-per-node", "30", "--reps", "1", "--seed",
+                "99",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        v["quality"]["avg"].as_f64().unwrap()
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}

@@ -1,0 +1,171 @@
+//! Non-distributed baselines.
+//!
+//! The paper frames its design between two extremes: a single centralized
+//! run of the solver ("the original algorithm" on "a single, but much more
+//! powerful, machine") and embarrassingly parallel independent runs
+//! ("exploiting stochasticity"). Both are implemented here directly —
+//! without the network kernel — so comparisons are free of simulation
+//! overhead and the speedup/quality claims can be checked against clean
+//! references.
+
+use crate::CoreError;
+use gossipopt_functions::by_name;
+use gossipopt_solvers::{PsoParams, Solver, Swarm};
+use gossipopt_util::{StreamId, Xoshiro256pp};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Best quality reached (value − f*).
+    pub best_quality: f64,
+    /// Evaluations spent in total.
+    pub total_evals: u64,
+    /// Evaluations until `stop_at_quality` was reached, if requested/hit.
+    pub evals_to_threshold: Option<u64>,
+}
+
+/// One centralized PSO swarm of `particles` particles, `evals` evaluations.
+///
+/// This is the "single powerful machine" reference: the same total particle
+/// count and budget as a distributed run, but full information sharing at
+/// every step.
+pub fn run_centralized_pso(
+    function: &str,
+    dim: usize,
+    particles: usize,
+    params: PsoParams,
+    evals: u64,
+    stop_at_quality: Option<f64>,
+    seed: u64,
+) -> Result<BaselineReport, CoreError> {
+    let f = by_name(function, dim).ok_or_else(|| CoreError::UnknownFunction(function.into()))?;
+    let mut swarm = Swarm::new(particles, params);
+    let mut rng = Xoshiro256pp::derive(seed, StreamId(9, 0));
+    let mut evals_to_threshold = None;
+    let mut done = 0;
+    for e in 1..=evals {
+        swarm.step(f.as_ref(), &mut rng);
+        done = e;
+        if let Some(thr) = stop_at_quality {
+            let q = swarm.best().map(|b| b.f - f.optimum_value());
+            if q.is_some_and(|q| q <= thr) {
+                evals_to_threshold = Some(e);
+                break;
+            }
+        }
+    }
+    let quality = swarm
+        .best()
+        .map(|b| b.f - f.optimum_value())
+        .unwrap_or(f64::INFINITY);
+    Ok(BaselineReport {
+        best_quality: quality,
+        total_evals: done,
+        evals_to_threshold,
+    })
+}
+
+/// `runs` fully independent solver instances, each with `evals_each`
+/// evaluations; the report carries the best quality across runs (the
+/// "without coordination: exploiting stochasticity" extreme).
+pub fn run_independent(
+    function: &str,
+    dim: usize,
+    particles: usize,
+    params: PsoParams,
+    runs: usize,
+    evals_each: u64,
+    seed: u64,
+) -> Result<BaselineReport, CoreError> {
+    if runs == 0 {
+        return Err(CoreError::InvalidSpec("runs must be positive".into()));
+    }
+    // Validate the function once up front (threads just re-resolve).
+    by_name(function, dim).ok_or_else(|| CoreError::UnknownFunction(function.into()))?;
+    let qualities: Vec<f64> = (0..runs)
+        .into_par_iter()
+        .map(|i| {
+            let f = by_name(function, dim).expect("validated above");
+            let mut swarm = Swarm::new(particles, params);
+            let mut rng = Xoshiro256pp::derive(seed, StreamId(10, i as u64));
+            for _ in 0..evals_each {
+                swarm.step(f.as_ref(), &mut rng);
+            }
+            swarm
+                .best()
+                .map(|b| b.f - f.optimum_value())
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    let best = qualities.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(BaselineReport {
+        best_quality: best,
+        total_evals: runs as u64 * evals_each,
+        evals_to_threshold: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_converges_on_sphere() {
+        let r = run_centralized_pso("sphere", 10, 20, PsoParams::default(), 20_000, None, 1)
+            .unwrap();
+        assert!(r.best_quality < 1e-6, "reached {}", r.best_quality);
+        assert_eq!(r.total_evals, 20_000);
+    }
+
+    #[test]
+    fn centralized_threshold_stops_early() {
+        let r = run_centralized_pso(
+            "sphere",
+            10,
+            20,
+            PsoParams::default(),
+            100_000,
+            Some(1e-3),
+            2,
+        )
+        .unwrap();
+        let hit = r.evals_to_threshold.expect("threshold expected to be hit");
+        assert!(hit < 100_000);
+        assert_eq!(r.total_evals, hit);
+        assert!(r.best_quality <= 1e-3);
+    }
+
+    #[test]
+    fn independent_best_of_improves_with_more_runs() {
+        let one = run_independent("rastrigin", 5, 8, PsoParams::default(), 1, 400, 3).unwrap();
+        let many = run_independent("rastrigin", 5, 8, PsoParams::default(), 16, 400, 3).unwrap();
+        assert!(
+            many.best_quality <= one.best_quality,
+            "16 restarts {} vs 1 run {}",
+            many.best_quality,
+            one.best_quality
+        );
+        assert_eq!(many.total_evals, 16 * 400);
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(run_centralized_pso("zzz", 2, 4, PsoParams::default(), 10, None, 0).is_err());
+        assert!(run_independent("zzz", 2, 4, PsoParams::default(), 2, 10, 0).is_err());
+        assert!(matches!(
+            run_independent("sphere", 2, 4, PsoParams::default(), 0, 10, 0),
+            Err(CoreError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let a = run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7)
+            .unwrap();
+        let b = run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7)
+            .unwrap();
+        assert_eq!(a.best_quality, b.best_quality);
+    }
+}

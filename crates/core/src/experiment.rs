@@ -1,0 +1,986 @@
+//! Experiment specification, network construction and budgeted execution.
+//!
+//! This module is the reproduction's workhorse: it turns a declarative
+//! [`DistributedPsoSpec`] into a network of [`OptNode`]s inside the
+//! cycle-driven kernel, runs it under a [`Budget`], and reports the
+//! paper's figures of merit (solution quality, total evaluations, time in
+//! local evaluations per node). [`run_repeated`] executes independent
+//! repetitions (rayon-parallel) and is the basis of every table row and
+//! figure series.
+
+use crate::node::{CoordComp, OptNode, Role, TopologyComp};
+use crate::CoreError;
+use gossipopt_functions::{by_name, Objective};
+use gossipopt_gossip::{
+    sampler::topologies, AntiEntropy, ExchangeMode, Newscast, NewscastConfig, RumorConfig,
+    StaticSampler,
+};
+use gossipopt_sim::cycle::KernelStats;
+use gossipopt_sim::{
+    ChurnConfig, Control, CycleConfig, CycleEngine, EventConfig, EventEngine, Latency, NodeId,
+    Transport,
+};
+use gossipopt_solvers::{solver_by_name, PsoParams, Solver, Swarm};
+use gossipopt_util::{OnlineStats, Summary};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which topology service the nodes run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// NEWSCAST peer sampling (the paper's choice).
+    Newscast,
+    /// Static full mesh.
+    FullMesh,
+    /// Static star centered on the first node.
+    Star,
+    /// Static bidirectional ring.
+    Ring,
+    /// Static random digraph with the given out-degree.
+    KOut(usize),
+    /// Static 2-D torus grid (the paper's "mesh topology" sketch).
+    Grid,
+    /// Watts–Strogatz small world with lattice degree `k` and rewiring
+    /// probability `beta` (the PSO-neighborhood literature's graphs).
+    SmallWorld {
+        /// Ring-lattice degree (rounded up to even).
+        k: usize,
+        /// Edge rewiring probability in `[0, 1]`.
+        beta: f64,
+    },
+    /// Erdős–Rényi random graph with edge probability `p`.
+    ErdosRenyi(f64),
+}
+
+/// Which coordination service the nodes run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoordinationKind {
+    /// Anti-entropy diffusion of the global optimum (the paper's choice).
+    GossipBest(ExchangeMode),
+    /// Demers rumor mongering of the global optimum (fan-out `k`, stop
+    /// probability `p`) — the background section's alternative epidemic.
+    RumorBest(RumorConfig),
+    /// Island-model migration of whole individuals, `migrants` per
+    /// coordination event (future-work solver diversification).
+    Migrate {
+        /// Individuals sent per coordination event.
+        migrants: usize,
+    },
+    /// Centralized hub collection (master–slave baseline). Implies the
+    /// first node is the master regardless of topology.
+    MasterSlave,
+    /// No coordination: independent searches (stochasticity-only baseline).
+    None,
+}
+
+/// Which solver runs in the function optimization service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolverSpec {
+    /// A PSO swarm with explicit parameters (size = `particles_per_node`).
+    Pso(PsoParams),
+    /// A registered solver by name (`"pso"`, `"de"`, `"sa"`, `"es"`,
+    /// `"random"`), default-parameterized.
+    Named(String),
+    /// Heterogeneous deployment: node `i` runs `specs[i % len]` — the
+    /// paper's future-work "module diversification among peers".
+    Mix(Vec<SolverSpec>),
+}
+
+impl SolverSpec {
+    /// Build the solver for node `index`.
+    pub fn build(&self, k: usize, index: usize) -> Result<Box<dyn Solver>, CoreError> {
+        match self {
+            SolverSpec::Pso(params) => Ok(Box::new(Swarm::new(k, *params))),
+            SolverSpec::Named(name) => {
+                solver_by_name(name, k).ok_or_else(|| CoreError::UnknownSolver(name.clone()))
+            }
+            SolverSpec::Mix(specs) => {
+                if specs.is_empty() {
+                    return Err(CoreError::InvalidSpec("empty solver mix".into()));
+                }
+                specs[index % specs.len()].build(k, index / specs.len())
+            }
+        }
+    }
+}
+
+/// Evaluation budget of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Budget {
+    /// Each node performs this many local evaluations (the paper's first
+    /// and third experiment sets: "1000 evaluations per node").
+    PerNode(u64),
+    /// The network performs this many evaluations in total, evenly
+    /// distributed (second and fourth sets: `e = 2^20` total).
+    Total(u64),
+}
+
+impl Budget {
+    /// Local evaluations per node for a network of `n` nodes (at least 1).
+    pub fn per_node(&self, n: usize) -> u64 {
+        match *self {
+            Budget::PerNode(b) => b.max(1),
+            Budget::Total(e) => (e / n as u64).max(1),
+        }
+    }
+}
+
+/// Declarative description of a distributed optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedPsoSpec {
+    /// Network size `n`.
+    pub nodes: usize,
+    /// Swarm size per node `k` (population size for non-PSO solvers).
+    pub particles_per_node: usize,
+    /// Coordination period `r` in local evaluations.
+    pub gossip_every: u64,
+    /// Topology service choice.
+    pub topology: TopologyKind,
+    /// Coordination service choice.
+    pub coordination: CoordinationKind,
+    /// Function optimization service choice.
+    pub solver: SolverSpec,
+    /// NEWSCAST parameters (used when `topology == Newscast`).
+    pub newscast: NewscastConfig,
+    /// Churn process (crashes/joins per tick).
+    pub churn: ChurnConfig,
+    /// Message loss probability.
+    pub loss_prob: f64,
+    /// Dimensionality requested from the function registry.
+    pub function_dim: usize,
+    /// Stop early when global quality reaches this threshold (set 4).
+    pub stop_at_quality: Option<f64>,
+    /// Record `(tick, global quality)` every this many ticks.
+    pub trace_every: Option<u64>,
+    /// Search-space partitioning (future work): split the domain into this
+    /// many zones and confine node `i`'s solver to zone `i mod zones`
+    /// (`0` disables). The epidemic service still diffuses the global
+    /// best, so the network keeps a global view.
+    pub partition_zones: usize,
+}
+
+impl Default for DistributedPsoSpec {
+    fn default() -> Self {
+        DistributedPsoSpec {
+            nodes: 16,
+            particles_per_node: 16,
+            gossip_every: 16,
+            topology: TopologyKind::Newscast,
+            coordination: CoordinationKind::GossipBest(ExchangeMode::PushPull),
+            solver: SolverSpec::Pso(PsoParams::default()),
+            newscast: NewscastConfig {
+                view_size: 20,
+                exchange_every: 10,
+            },
+            churn: ChurnConfig::none(),
+            loss_prob: 0.0,
+            function_dim: 10,
+            stop_at_quality: None,
+            trace_every: None,
+            partition_zones: 0,
+        }
+    }
+}
+
+/// Outcome of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Global solution quality `min_p f(g_p) − f*` at the end.
+    pub best_quality: f64,
+    /// Raw best objective value.
+    pub best_value: f64,
+    /// Evaluations performed by all nodes together.
+    pub total_evals: u64,
+    /// Ticks run — the paper's "time" (local evaluations per node).
+    pub ticks: u64,
+    /// Tick at which `stop_at_quality` was first met, if it was.
+    pub reached_threshold_at: Option<u64>,
+    /// Coordination exchanges initiated network-wide (overhead metric).
+    pub coordination_exchanges: u64,
+    /// Kernel message statistics.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped (loss + dead letters).
+    pub messages_dropped: u64,
+    /// Live nodes at the end (differs from `nodes` under churn).
+    pub final_population: usize,
+    /// Sampled `(tick, global quality)` trace (empty unless requested).
+    pub trace: Vec<(u64, f64)>,
+}
+
+/// Cloneable recipe constructing framework nodes for a spec — shared by
+/// the cycle runner, the event-driven runner and the churn spawner.
+#[derive(Clone)]
+pub struct NodeRecipe {
+    spec: DistributedPsoSpec,
+    objective: Arc<dyn Objective>,
+    zones: Option<Vec<crate::partition::Zone>>,
+    static_neighbors: Option<Vec<Vec<NodeId>>>,
+    hub: NodeId,
+    per_node_budget: u64,
+}
+
+impl NodeRecipe {
+    /// Validate `spec` and precompute shared structures (zones, static
+    /// neighbor lists).
+    pub fn new(
+        spec: &DistributedPsoSpec,
+        objective: Arc<dyn Objective>,
+        budget: Budget,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if spec.nodes == 0 {
+            return Err(CoreError::InvalidSpec("nodes must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&spec.loss_prob) {
+            return Err(CoreError::InvalidSpec(format!(
+                "loss_prob {} out of [0,1]",
+                spec.loss_prob
+            )));
+        }
+        // Probe the solver spec early so later builds cannot fail.
+        spec.solver.build(spec.particles_per_node, 0)?;
+        let n = spec.nodes;
+        let zones = if spec.partition_zones > 0 {
+            Some(crate::partition::grid_zones(
+                objective.as_ref(),
+                spec.partition_zones,
+            ))
+        } else {
+            None
+        };
+        let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let static_neighbors = match spec.topology {
+            TopologyKind::Newscast => None,
+            TopologyKind::FullMesh => Some(topologies::full_mesh(&ids)),
+            TopologyKind::Star => Some(topologies::star(&ids)),
+            TopologyKind::Ring => Some(topologies::ring(&ids)),
+            TopologyKind::KOut(k) => {
+                let mut topo_rng = gossipopt_util::Xoshiro256pp::seeded(seed ^ 0x0070_9311);
+                Some(topologies::k_out_random(&ids, k, &mut topo_rng))
+            }
+            TopologyKind::Grid => Some(topologies::torus_grid(&ids)),
+            TopologyKind::SmallWorld { k, beta } => {
+                if !(0.0..=1.0).contains(&beta) {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "small-world beta {beta} out of [0,1]"
+                    )));
+                }
+                let mut topo_rng = gossipopt_util::Xoshiro256pp::seeded(seed ^ 0x0077_5357);
+                Some(topologies::watts_strogatz(&ids, k, beta, &mut topo_rng))
+            }
+            TopologyKind::ErdosRenyi(p) => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "Erdős–Rényi p {p} out of [0,1]"
+                    )));
+                }
+                let mut topo_rng = gossipopt_util::Xoshiro256pp::seeded(seed ^ 0x00e7_d057);
+                Some(topologies::erdos_renyi(&ids, p, &mut topo_rng))
+            }
+        };
+        Ok(NodeRecipe {
+            spec: spec.clone(),
+            objective,
+            zones,
+            static_neighbors,
+            hub: NodeId(0),
+            per_node_budget: budget.per_node(n),
+        })
+    }
+
+    /// Per-node evaluation budget this recipe applies.
+    pub fn per_node_budget(&self) -> u64 {
+        self.per_node_budget
+    }
+
+    fn node_objective(&self, index: usize) -> Arc<dyn Objective> {
+        match &self.zones {
+            None => Arc::clone(&self.objective),
+            Some(zs) => Arc::new(crate::partition::restrict_to_zone(
+                Arc::clone(&self.objective),
+                &zs[index % zs.len()],
+            )),
+        }
+    }
+
+    /// Build the node for slot `index`. Indices beyond the initial range
+    /// (churn joiners) fall back to hub-only static neighbors.
+    pub fn build(&self, index: usize) -> Result<OptNode, CoreError> {
+        let spec = &self.spec;
+        let solver = spec.solver.build(spec.particles_per_node, index)?;
+        let topology = match &self.static_neighbors {
+            None => TopologyComp::Newscast(Newscast::new(spec.newscast)),
+            Some(lists) => {
+                let nbrs = lists.get(index).cloned().unwrap_or_else(|| vec![self.hub]);
+                TopologyComp::Static(StaticSampler::new(nbrs))
+            }
+        };
+        let (coord, role) = match spec.coordination {
+            CoordinationKind::GossipBest(mode) => {
+                (CoordComp::Gossip(AntiEntropy::new(mode)), Role::Peer)
+            }
+            CoordinationKind::RumorBest(cfg) => {
+                (CoordComp::Rumor(crate::rumor::BestRumor::new(cfg)), Role::Peer)
+            }
+            CoordinationKind::Migrate { migrants } => {
+                (CoordComp::Migrate { migrants }, Role::Peer)
+            }
+            CoordinationKind::MasterSlave => {
+                if index == 0 {
+                    (CoordComp::MasterSlave, Role::Master)
+                } else {
+                    (CoordComp::MasterSlave, Role::Slave(self.hub))
+                }
+            }
+            CoordinationKind::None => (CoordComp::Isolated, Role::Peer),
+        };
+        Ok(OptNode::new(
+            self.node_objective(index),
+            solver,
+            topology,
+            coord,
+            role,
+            spec.gossip_every,
+            Some(self.per_node_budget),
+        ))
+    }
+}
+
+/// Build and run one experiment on `objective` under `budget` with `seed`.
+pub fn run_distributed(
+    spec: &DistributedPsoSpec,
+    objective: Arc<dyn Objective>,
+    budget: Budget,
+    seed: u64,
+) -> Result<RunReport, CoreError> {
+    let recipe = NodeRecipe::new(spec, objective, budget, seed)?;
+    let n = spec.nodes;
+    let per_node_budget = recipe.per_node_budget();
+
+    let mut cfg = CycleConfig::seeded(seed);
+    cfg.transport = Transport::lossy(spec.loss_prob);
+    cfg.churn = spec.churn;
+    cfg.bootstrap_sample = spec.newscast.view_size.min(n.saturating_sub(1)).max(1);
+
+    let mut engine: CycleEngine<OptNode> = CycleEngine::new(cfg);
+    for i in 0..n {
+        engine.insert(recipe.build(i)?);
+    }
+    if !spec.churn.is_static() {
+        // Churn joiners: same recipe, indexed by their node id.
+        let recipe2 = recipe.clone();
+        engine.set_spawner(move |id, _rng| {
+            recipe2
+                .build(id.raw() as usize)
+                .expect("recipe was validated at construction")
+        });
+    }
+
+    // Budget in ticks: every node evaluates once per tick until its local
+    // budget is exhausted, so `per_node_budget` ticks exhaust the run. Under
+    // a Total budget with churn the observer additionally enforces the
+    // global cap.
+    let max_ticks = per_node_budget;
+    let total_cap = match budget {
+        Budget::Total(e) => Some(e),
+        Budget::PerNode(_) => None,
+    };
+
+    let mut trace: Vec<(u64, f64)> = Vec::new();
+    let mut reached_at: Option<u64> = None;
+    let stop_quality = spec.stop_at_quality;
+    let trace_every = spec.trace_every;
+
+    let ticks = engine.run_until(max_ticks, |now, view| {
+        let mut quality = f64::INFINITY;
+        let mut evals = 0u64;
+        for (_, node) in view.iter() {
+            quality = quality.min(node.quality());
+            evals += node.evals();
+        }
+        if let Some(every) = trace_every {
+            if now % every == 0 {
+                trace.push((now, quality));
+            }
+        }
+        if let Some(thr) = stop_quality {
+            if quality <= thr && reached_at.is_none() {
+                reached_at = Some(now);
+                return Control::Stop;
+            }
+        }
+        if let Some(cap) = total_cap {
+            if evals >= cap {
+                return Control::Stop;
+            }
+        }
+        Control::Continue
+    });
+
+    let mut quality = f64::INFINITY;
+    let mut value = f64::INFINITY;
+    let mut total_evals = 0u64;
+    let mut exchanges = 0u64;
+    for (_, node) in engine.nodes() {
+        quality = quality.min(node.quality());
+        if let Some(b) = node.best() {
+            value = value.min(b.f);
+        }
+        total_evals += node.evals();
+        exchanges += node.exchanges_initiated();
+    }
+    let stats: KernelStats = engine.stats();
+    Ok(RunReport {
+        best_quality: quality,
+        best_value: value,
+        total_evals,
+        ticks,
+        reached_threshold_at: reached_at,
+        coordination_exchanges: exchanges,
+        messages_sent: stats.sent,
+        messages_delivered: stats.delivered,
+        messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,
+        final_population: engine.alive_count(),
+        trace,
+    })
+}
+
+/// Asynchronous-deployment options for [`run_distributed_async`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncOpts {
+    /// Period of each node's local clock, in simulated time units.
+    pub tick_period: u64,
+    /// Message latency model.
+    pub latency: Latency,
+    /// Randomize initial clock phases.
+    pub jitter_phase: bool,
+}
+
+impl Default for AsyncOpts {
+    fn default() -> Self {
+        AsyncOpts {
+            tick_period: 10,
+            latency: Latency::Uniform(1, 20),
+            jitter_phase: true,
+        }
+    }
+}
+
+/// Run the spec on the **event-driven** kernel: unsynchronized per-node
+/// clocks and real message latency, the regime a deployment over the
+/// Internet would face. Exercises the same [`OptNode`] protocol as
+/// [`run_distributed`]; used by the `EXT-async` experiment to check that
+/// the paper's cycle-based results survive asynchrony.
+pub fn run_distributed_async(
+    spec: &DistributedPsoSpec,
+    objective: Arc<dyn Objective>,
+    budget: Budget,
+    opts: AsyncOpts,
+    seed: u64,
+) -> Result<RunReport, CoreError> {
+    let recipe = NodeRecipe::new(spec, objective, budget, seed)?;
+    let n = spec.nodes;
+    let per_node_budget = recipe.per_node_budget();
+
+    let mut cfg = EventConfig::seeded(seed);
+    cfg.transport = Transport {
+        loss_prob: spec.loss_prob,
+        latency: opts.latency,
+    };
+    cfg.tick_period = opts.tick_period;
+    cfg.jitter_phase = opts.jitter_phase;
+    cfg.churn = spec.churn;
+    cfg.bootstrap_sample = spec.newscast.view_size.min(n.saturating_sub(1)).max(1);
+
+    let mut engine: EventEngine<OptNode> = EventEngine::new(cfg);
+    for i in 0..n {
+        engine.insert(recipe.build(i)?);
+    }
+    if !spec.churn.is_static() {
+        let recipe2 = recipe.clone();
+        engine.set_spawner(move |id, _rng| {
+            recipe2
+                .build(id.raw() as usize)
+                .expect("recipe was validated at construction")
+        });
+    }
+
+    // Time horizon: enough periods for every node to burn its budget plus
+    // slack for latency stragglers.
+    let max_time = per_node_budget * opts.tick_period + 10 * opts.tick_period + 200;
+    let total_cap = match budget {
+        Budget::Total(e) => Some(e),
+        Budget::PerNode(_) => None,
+    };
+    let mut trace: Vec<(u64, f64)> = Vec::new();
+    let mut reached_at: Option<u64> = None;
+    let stop_quality = spec.stop_at_quality;
+    let trace_every = spec.trace_every.map(|t| t * opts.tick_period);
+
+    let end = engine.run_until(max_time, opts.tick_period, |now, view| {
+        let mut quality = f64::INFINITY;
+        let mut evals = 0u64;
+        for (_, node) in view.iter() {
+            quality = quality.min(node.quality());
+            evals += node.evals();
+        }
+        if let Some(every) = trace_every {
+            if now % every == 0 {
+                trace.push((now, quality));
+            }
+        }
+        if let Some(thr) = stop_quality {
+            if quality <= thr && reached_at.is_none() {
+                reached_at = Some(now);
+                return Control::Stop;
+            }
+        }
+        if let Some(cap) = total_cap {
+            if evals >= cap {
+                return Control::Stop;
+            }
+        }
+        Control::Continue
+    });
+
+    let mut quality = f64::INFINITY;
+    let mut value = f64::INFINITY;
+    let mut total_evals = 0u64;
+    let mut exchanges = 0u64;
+    for (_, node) in engine.nodes() {
+        quality = quality.min(node.quality());
+        if let Some(b) = node.best() {
+            value = value.min(b.f);
+        }
+        total_evals += node.evals();
+        exchanges += node.exchanges_initiated();
+    }
+    Ok(RunReport {
+        best_quality: quality,
+        best_value: value,
+        total_evals,
+        ticks: end / opts.tick_period,
+        reached_threshold_at: reached_at.map(|t| t / opts.tick_period),
+        coordination_exchanges: exchanges,
+        messages_sent: engine.delivered() + engine.dropped(),
+        messages_delivered: engine.delivered(),
+        messages_dropped: engine.dropped(),
+        final_population: engine.alive_count(),
+        trace,
+    })
+}
+
+/// Run the spec on a registry function (`function_dim` applies).
+pub fn run_distributed_pso(
+    spec: &DistributedPsoSpec,
+    function: &str,
+    budget: Budget,
+    seed: u64,
+) -> Result<RunReport, CoreError> {
+    let objective: Arc<dyn Objective> = Arc::from(
+        by_name(function, spec.function_dim)
+            .ok_or_else(|| CoreError::UnknownFunction(function.to_string()))?,
+    );
+    run_distributed(spec, objective, budget, seed)
+}
+
+/// Aggregated outcome over repetitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedReport {
+    /// Quality aggregate over repetitions (the paper's `avg min max Var`).
+    pub quality: Summary,
+    /// Aggregate of ticks (time) over repetitions.
+    pub time: Summary,
+    /// Aggregate of total evaluations over repetitions.
+    pub evals: Summary,
+    /// How many repetitions hit `stop_at_quality` (when set).
+    pub threshold_hits: u64,
+    /// Every individual report, in repetition order.
+    pub runs: Vec<RunReport>,
+}
+
+/// Run `reps` independent repetitions (seeds `base_seed..base_seed+reps`),
+/// in parallel when multiple cores are available.
+pub fn run_repeated(
+    spec: &DistributedPsoSpec,
+    function: &str,
+    budget: Budget,
+    reps: u64,
+    base_seed: u64,
+) -> Result<RepeatedReport, CoreError> {
+    let runs: Result<Vec<RunReport>, CoreError> = (0..reps)
+        .into_par_iter()
+        .map(|rep| run_distributed_pso(spec, function, budget, base_seed + rep))
+        .collect();
+    let runs = runs?;
+    let quality: OnlineStats = runs.iter().map(|r| r.best_quality).collect();
+    let time: OnlineStats = runs.iter().map(|r| r.ticks as f64).collect();
+    let evals: OnlineStats = runs.iter().map(|r| r.total_evals as f64).collect();
+    let threshold_hits = runs
+        .iter()
+        .filter(|r| r.reached_threshold_at.is_some())
+        .count() as u64;
+    Ok(RepeatedReport {
+        quality: quality.summary(),
+        time: time.summary(),
+        evals: evals.summary(),
+        threshold_hits,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DistributedPsoSpec {
+        DistributedPsoSpec {
+            nodes: 8,
+            particles_per_node: 4,
+            gossip_every: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn per_node_budget_is_exact() {
+        let r = run_distributed_pso(&small_spec(), "sphere", Budget::PerNode(50), 1).unwrap();
+        assert_eq!(r.ticks, 50);
+        assert_eq!(r.total_evals, 8 * 50);
+        assert!(r.best_quality.is_finite());
+        assert!(r.best_quality >= 0.0);
+    }
+
+    #[test]
+    fn total_budget_splits_evenly() {
+        let r = run_distributed_pso(&small_spec(), "sphere", Budget::Total(400), 2).unwrap();
+        assert_eq!(r.ticks, 50);
+        assert_eq!(r.total_evals, 400);
+    }
+
+    #[test]
+    fn budget_per_node_floors_at_one() {
+        assert_eq!(Budget::Total(4).per_node(100), 1);
+        assert_eq!(Budget::PerNode(0).per_node(3), 1);
+        assert_eq!(Budget::Total(1 << 20).per_node(1024), 1024);
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let e = run_distributed_pso(&small_spec(), "nope", Budget::PerNode(5), 3).unwrap_err();
+        assert!(matches!(e, CoreError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = small_spec();
+        s.nodes = 0;
+        assert!(matches!(
+            run_distributed_pso(&s, "sphere", Budget::PerNode(5), 0),
+            Err(CoreError::InvalidSpec(_))
+        ));
+        let mut s2 = small_spec();
+        s2.loss_prob = 2.0;
+        assert!(matches!(
+            run_distributed_pso(&s2, "sphere", Budget::PerNode(5), 0),
+            Err(CoreError::InvalidSpec(_))
+        ));
+        let s3 = DistributedPsoSpec {
+            solver: SolverSpec::Named("bogus".into()),
+            ..small_spec()
+        };
+        assert!(matches!(
+            run_distributed_pso(&s3, "sphere", Budget::PerNode(5), 0),
+            Err(CoreError::UnknownSolver(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_distributed_pso(&small_spec(), "griewank", Budget::PerNode(60), 9).unwrap();
+        let b = run_distributed_pso(&small_spec(), "griewank", Budget::PerNode(60), 9).unwrap();
+        assert_eq!(a.best_quality, b.best_quality);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        let c = run_distributed_pso(&small_spec(), "griewank", Budget::PerNode(60), 10).unwrap();
+        assert_ne!(a.best_quality, c.best_quality);
+    }
+
+    #[test]
+    fn gossip_beats_isolation_on_average() {
+        // The paper's core claim in miniature: with a fixed per-node
+        // budget, coordinated nodes reach better global quality than
+        // isolated ones on a multimodal function. Aggregate over seeds to
+        // damp noise.
+        let coord_spec = DistributedPsoSpec {
+            nodes: 16,
+            particles_per_node: 4,
+            gossip_every: 4,
+            ..Default::default()
+        };
+        let iso_spec = DistributedPsoSpec {
+            coordination: CoordinationKind::None,
+            ..coord_spec.clone()
+        };
+        let coord =
+            run_repeated(&coord_spec, "rastrigin", Budget::PerNode(300), 6, 100).unwrap();
+        let iso = run_repeated(&iso_spec, "rastrigin", Budget::PerNode(300), 6, 100).unwrap();
+        assert!(
+            coord.quality.avg <= iso.quality.avg,
+            "gossip {} vs isolated {}",
+            coord.quality.avg,
+            iso.quality.avg
+        );
+    }
+
+    #[test]
+    fn threshold_stop_reports_time() {
+        let spec = DistributedPsoSpec {
+            nodes: 8,
+            particles_per_node: 8,
+            gossip_every: 8,
+            stop_at_quality: Some(1e-2),
+            ..Default::default()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(20_000), 4).unwrap();
+        assert!(r.reached_threshold_at.is_some(), "sphere should hit 1e-2");
+        let t = r.reached_threshold_at.unwrap();
+        assert_eq!(r.ticks, t);
+        assert!(t < 20_000);
+    }
+
+    #[test]
+    fn trace_is_sampled_and_monotone() {
+        let spec = DistributedPsoSpec {
+            trace_every: Some(10),
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(100), 5).unwrap();
+        assert_eq!(r.trace.len(), 10);
+        for w in r.trace.windows(2) {
+            assert!(w[1].1 <= w[0].1, "global quality must be monotone");
+            assert_eq!(w[1].0 - w[0].0, 10);
+        }
+    }
+
+    #[test]
+    fn master_slave_and_static_topologies_run() {
+        for topology in [
+            TopologyKind::FullMesh,
+            TopologyKind::Star,
+            TopologyKind::Ring,
+            TopologyKind::KOut(3),
+            TopologyKind::Grid,
+            TopologyKind::SmallWorld { k: 4, beta: 0.2 },
+            TopologyKind::ErdosRenyi(0.4),
+        ] {
+            let spec = DistributedPsoSpec {
+                topology,
+                ..small_spec()
+            };
+            let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(30), 6).unwrap();
+            assert!(r.best_quality.is_finite(), "{topology:?}");
+        }
+        let ms = DistributedPsoSpec {
+            topology: TopologyKind::Star,
+            coordination: CoordinationKind::MasterSlave,
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&ms, "sphere", Budget::PerNode(50), 7).unwrap();
+        assert!(r.coordination_exchanges > 0, "slaves must report");
+    }
+
+    #[test]
+    fn churn_does_not_break_the_run() {
+        let spec = DistributedPsoSpec {
+            churn: ChurnConfig {
+                crash_prob_per_tick: 0.01,
+                joins_per_tick: 0.08,
+                min_nodes: 2,
+                max_nodes: 32,
+            },
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(200), 8).unwrap();
+        assert!(r.best_quality.is_finite());
+        assert!(r.final_population >= 2);
+    }
+
+    #[test]
+    fn rumor_coordination_runs_and_spreads() {
+        let spec = DistributedPsoSpec {
+            coordination: CoordinationKind::RumorBest(RumorConfig {
+                fanout: 2,
+                stop_prob: 0.5,
+            }),
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(100), 21).unwrap();
+        assert!(r.best_quality.is_finite());
+        assert!(r.coordination_exchanges > 0, "rumors must be pushed");
+        // Deterministic per seed like every other mode.
+        let r2 = run_distributed_pso(&spec, "sphere", Budget::PerNode(100), 21).unwrap();
+        assert_eq!(r.best_quality.to_bits(), r2.best_quality.to_bits());
+    }
+
+    #[test]
+    fn migration_coordination_runs() {
+        let spec = DistributedPsoSpec {
+            coordination: CoordinationKind::Migrate { migrants: 1 },
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "rastrigin", Budget::PerNode(150), 22).unwrap();
+        assert!(r.best_quality.is_finite());
+        assert!(r.coordination_exchanges > 0, "migrants must be sent");
+    }
+
+    #[test]
+    fn all_coordination_modes_beat_or_match_isolation_on_rastrigin() {
+        // The paper's claim generalized across our coordination services:
+        // sharing information never hurts the expected global quality.
+        let base = DistributedPsoSpec {
+            nodes: 16,
+            particles_per_node: 4,
+            gossip_every: 4,
+            ..Default::default()
+        };
+        let iso = run_repeated(
+            &DistributedPsoSpec {
+                coordination: CoordinationKind::None,
+                ..base.clone()
+            },
+            "rastrigin",
+            Budget::PerNode(300),
+            6,
+            500,
+        )
+        .unwrap();
+        for coordination in [
+            CoordinationKind::GossipBest(ExchangeMode::PushPull),
+            CoordinationKind::RumorBest(RumorConfig {
+                fanout: 2,
+                stop_prob: 0.5,
+            }),
+            CoordinationKind::Migrate { migrants: 1 },
+        ] {
+            let spec = DistributedPsoSpec {
+                coordination,
+                ..base.clone()
+            };
+            let rep = run_repeated(&spec, "rastrigin", Budget::PerNode(300), 6, 500).unwrap();
+            assert!(
+                rep.quality.avg <= iso.quality.avg * 1.05,
+                "{coordination:?}: {} vs isolated {}",
+                rep.quality.avg,
+                iso.quality.avg
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_assigns_round_robin() {
+        let spec = DistributedPsoSpec {
+            solver: SolverSpec::Mix(vec![
+                SolverSpec::Named("pso".into()),
+                SolverSpec::Named("de".into()),
+            ]),
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(30), 9).unwrap();
+        assert!(r.best_quality.is_finite());
+    }
+
+    #[test]
+    fn repeated_aggregates_match_runs() {
+        let rep = run_repeated(&small_spec(), "sphere", Budget::PerNode(40), 5, 1000).unwrap();
+        assert_eq!(rep.runs.len(), 5);
+        assert_eq!(rep.quality.count, 5);
+        let min = rep
+            .runs
+            .iter()
+            .map(|r| r.best_quality)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(rep.quality.min, min);
+        assert_eq!(rep.time.avg, 40.0);
+    }
+
+    #[test]
+    fn partitioned_search_runs_and_keeps_global_quality_semantics() {
+        let spec = DistributedPsoSpec {
+            nodes: 8,
+            particles_per_node: 6,
+            gossip_every: 6,
+            partition_zones: 8,
+            ..Default::default()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(300), 12).unwrap();
+        assert!(r.best_quality.is_finite());
+        assert!(r.best_quality >= 0.0);
+        // One of the 8 zones contains the optimum at the domain centre;
+        // its owner should have pushed the global best well below a
+        // zone-less random init.
+        assert!(r.best_quality < 1e3, "quality {}", r.best_quality);
+    }
+
+    #[test]
+    fn async_runner_matches_protocol_semantics() {
+        let spec = small_spec();
+        let obj: Arc<dyn Objective> =
+            Arc::from(gossipopt_functions::by_name("sphere", 10).unwrap());
+        let r = run_distributed_async(
+            &spec,
+            Arc::clone(&obj),
+            Budget::PerNode(200),
+            AsyncOpts::default(),
+            31,
+        )
+        .unwrap();
+        assert!(r.best_quality.is_finite());
+        assert!(r.best_quality >= 0.0);
+        assert_eq!(r.total_evals, 8 * 200, "budgets respected under jitter");
+        // Deterministic too.
+        let r2 = run_distributed_async(&spec, obj, Budget::PerNode(200), AsyncOpts::default(), 31)
+            .unwrap();
+        assert_eq!(r.best_quality.to_bits(), r2.best_quality.to_bits());
+    }
+
+    #[test]
+    fn async_and_cycle_agree_qualitatively() {
+        let spec = DistributedPsoSpec {
+            nodes: 16,
+            particles_per_node: 8,
+            gossip_every: 8,
+            ..Default::default()
+        };
+        let obj: Arc<dyn Objective> =
+            Arc::from(gossipopt_functions::by_name("sphere", 10).unwrap());
+        let sync = run_distributed(&spec, Arc::clone(&obj), Budget::PerNode(500), 32).unwrap();
+        let asyn = run_distributed_async(
+            &spec,
+            obj,
+            Budget::PerNode(500),
+            AsyncOpts::default(),
+            32,
+        )
+        .unwrap();
+        let ls = sync.best_quality.max(f64::MIN_POSITIVE).log10();
+        let la = asyn.best_quality.max(f64::MIN_POSITIVE).log10();
+        assert!(
+            (ls - la).abs() < 8.0,
+            "cycle 1e{ls:.1} vs async 1e{la:.1} diverge wildly"
+        );
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_crash() {
+        let lossy = DistributedPsoSpec {
+            loss_prob: 0.5,
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&lossy, "sphere", Budget::PerNode(100), 11).unwrap();
+        assert!(r.messages_dropped > 0);
+        assert!(r.best_quality.is_finite());
+    }
+}

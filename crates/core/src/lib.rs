@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! # gossipopt-core
+//!
+//! The decentralized optimization framework of Biazzini, Brunato &
+//! Montresor (2008), assembled from the workspace substrates:
+//!
+//! * **topology service** — NEWSCAST peer sampling (or a static mesh /
+//!   star / ring / random digraph for the baseline topologies the paper
+//!   sketches);
+//! * **function optimization service** — any [`gossipopt_solvers::Solver`]
+//!   (per-node PSO swarms in the paper's instantiation);
+//! * **coordination service** — anti-entropy diffusion of the best-known
+//!   optimum (plus the master–slave and no-coordination baselines, and the
+//!   search-space-partitioning strategy from the paper's future work).
+//!
+//! [`node::OptNode`] composes the three services into one
+//! [`gossipopt_sim::Application`]; [`experiment`] builds networks of them,
+//! runs budgeted simulations and aggregates repetitions; [`paper`]
+//! enumerates the exact parameter grids of the paper's four experiment
+//! sets (Tables 1–4 / Figures 1–4).
+//!
+//! ```
+//! use gossipopt_core::prelude::*;
+//!
+//! let spec = DistributedPsoSpec {
+//!     nodes: 16,
+//!     particles_per_node: 8,
+//!     gossip_every: 8,
+//!     ..Default::default()
+//! };
+//! let report = run_distributed_pso(&spec, "sphere", Budget::PerNode(100), 7).unwrap();
+//! assert_eq!(report.ticks, 100);
+//! assert!(report.best_quality.is_finite());
+//! ```
+
+pub mod baselines;
+pub mod experiment;
+pub mod messages;
+pub mod node;
+pub mod paper;
+pub mod partition;
+pub mod rumor;
+
+use std::fmt;
+
+/// Errors surfaced by the framework's builders and runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested objective function name is not registered.
+    UnknownFunction(String),
+    /// The requested solver name is not registered.
+    UnknownSolver(String),
+    /// The specification is internally inconsistent.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownFunction(n) => write!(f, "unknown objective function: {n}"),
+            CoreError::UnknownSolver(n) => write!(f, "unknown solver: {n}"),
+            CoreError::InvalidSpec(m) => write!(f, "invalid experiment spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use crate::experiment::{
+        run_distributed, run_distributed_async, run_distributed_pso, run_repeated, AsyncOpts,
+        Budget, CoordinationKind, DistributedPsoSpec, RunReport, SolverSpec, TopologyKind,
+    };
+    pub use crate::baselines::{run_centralized_pso, run_independent, BaselineReport};
+    pub use crate::node::OptNode;
+    pub use crate::CoreError;
+    pub use gossipopt_functions::{by_name as function_by_name, Objective};
+    pub use gossipopt_gossip::ExchangeMode;
+    pub use gossipopt_sim::ChurnConfig;
+    pub use gossipopt_solvers::{BestPoint, PsoParams, Solver};
+}

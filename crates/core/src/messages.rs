@@ -1,0 +1,44 @@
+//! The wire protocol of a framework node: the union of its services'
+//! message types.
+
+use crate::rumor::GlobalBest;
+use gossipopt_gossip::rumor::RumorAck;
+use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg};
+
+/// Messages exchanged between [`crate::node::OptNode`]s.
+///
+/// Each variant belongs to one service, mirroring how the paper's layers
+/// multiplex one transport.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Topology service traffic (NEWSCAST view exchange).
+    Newscast(NewscastMsg),
+    /// Coordination service traffic (anti-entropy optimum diffusion).
+    Coord(AntiEntropyMsg<GlobalBest>),
+    /// Rumor-mongering coordination: a pushed optimum.
+    RumorPush(GlobalBest),
+    /// Rumor-mongering coordination: feedback for an earlier push (the
+    /// pusher's cooling signal).
+    RumorFeedback(RumorAck),
+    /// Island-model coordination: a migrating individual.
+    Migrant(GlobalBest),
+    /// Master–slave baseline: slave reports its best to the hub.
+    MasterReport(GlobalBest),
+    /// Master–slave baseline: hub pushes the current global best.
+    MasterUpdate(GlobalBest),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = Msg::MasterReport(GlobalBest {
+            x: vec![1.0],
+            f: 0.5,
+        });
+        let c = m.clone();
+        assert!(format!("{c:?}").contains("MasterReport"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The paper's four experiment sets (Tables 1–4, Figures 1–4).
+//!
+//! Each `run_setN` enumerates the exact parameter grid of the paper's §4
+//! and aggregates repetitions into the `avg/min/max/Var` format of its
+//! tables. A [`Scale`] makes the grids shrinkable: the paper's full scale
+//! (50 repetitions, networks to 2^16 nodes, 2^20-evaluation budgets) takes
+//! CPU-days on one core, so the reproduction harness defaults to a reduced
+//! scale that preserves every qualitative shape and can be dialed up with
+//! `--full`.
+//!
+//! | Set | Sweep | Budget | Measures |
+//! |---|---|---|---|
+//! | 1 | `n ∈ {1,10,100,1000}`, `k ∈ {1,4,8,16,32}`, `r = k` | 1000 evals/node | quality |
+//! | 2 | `n = 2^0..2^16`, `k ∈ {1,4,8,16,32}`, `r = k` | `2^20` total | quality |
+//! | 3 | `n ∈ {10,100,1000}`, `k = 16`, `r ∈ {2,4,…,64}` | 1000 evals/node | quality |
+//! | 4 | `n = 2^0..2^10`, `k ∈ {1,4,8,16}`, `r = k` | stop at `1e-10`, cap `2^20` | time |
+
+use crate::experiment::{run_repeated, Budget, DistributedPsoSpec};
+use crate::CoreError;
+use gossipopt_functions::paper_suite;
+use gossipopt_util::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Grid-shrinking knobs for the experiment sets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Repetitions per cell (paper: 50).
+    pub reps: u64,
+    /// Cap on swept network sizes (paper: 65536 in set 2).
+    pub max_nodes: usize,
+    /// Right-shift applied to the `2^20` total budgets (paper: 0).
+    pub budget_shift: u32,
+    /// Per-node budget for sets 1 and 3 (paper: 1000).
+    pub per_node_evals: u64,
+    /// Stride over the network-size exponents in set 2 (paper: 1, i.e.
+    /// every power of two; the reduced scale uses 2).
+    pub netsize_step: usize,
+    /// Base seed; cells derive disjoint seed ranges from it.
+    pub base_seed: u64,
+}
+
+impl Scale {
+    /// The paper's full scale. ~10^10 evaluations; expect CPU-days.
+    pub fn paper() -> Self {
+        Scale {
+            reps: 50,
+            max_nodes: 1 << 16,
+            budget_shift: 0,
+            per_node_evals: 1000,
+            netsize_step: 1,
+            base_seed: 20080414, // IPDPS 2008
+        }
+    }
+
+    /// Reduced scale for a single-core box: same grids, fewer repetitions,
+    /// networks to 2^10, budgets 2^16.
+    pub fn reduced() -> Self {
+        Scale {
+            reps: 8,
+            max_nodes: 1 << 10,
+            budget_shift: 4,
+            per_node_evals: 1000,
+            netsize_step: 2,
+            base_seed: 20080414,
+        }
+    }
+
+    /// Tiny scale for tests.
+    pub fn smoke() -> Self {
+        Scale {
+            reps: 2,
+            max_nodes: 16,
+            budget_shift: 10,
+            per_node_evals: 64,
+            netsize_step: 2,
+            base_seed: 7,
+        }
+    }
+
+    fn total_budget(&self) -> u64 {
+        (1u64 << 20) >> self.budget_shift
+    }
+}
+
+/// Identifies one cell of an experiment grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Objective function (registry name).
+    pub function: String,
+    /// Network size `n`.
+    pub n: usize,
+    /// Particles per node `k`.
+    pub k: usize,
+    /// Coordination period `r` (local evaluations).
+    pub r: u64,
+}
+
+/// A quality-measuring cell result (sets 1–3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityCell {
+    /// Cell coordinates.
+    pub key: CellKey,
+    /// Quality aggregate over repetitions.
+    pub quality: Summary,
+}
+
+/// A time-measuring cell result (set 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeCell {
+    /// Cell coordinates.
+    pub key: CellKey,
+    /// Time (ticks = local evals/node) over repetitions **that hit the
+    /// threshold**; empty (`count = 0`) when none did (the paper's "–").
+    pub time: Summary,
+    /// Total network evaluations over threshold-hitting repetitions.
+    pub evals: Summary,
+    /// Repetitions that reached the threshold.
+    pub hits: u64,
+    /// Repetitions run.
+    pub reps: u64,
+}
+
+fn spec_for(n: usize, k: usize, r: u64) -> DistributedPsoSpec {
+    DistributedPsoSpec {
+        nodes: n,
+        particles_per_node: k,
+        gossip_every: r,
+        ..Default::default()
+    }
+}
+
+fn cell_seed(scale: &Scale, set: u64, index: u64) -> u64 {
+    // Disjoint, deterministic seed blocks per cell.
+    scale.base_seed
+        .wrapping_add(set.wrapping_mul(0x9E37_79B9))
+        .wrapping_add(index.wrapping_mul(104_729))
+}
+
+/// Set 1 — quality vs swarm size at fixed per-node budget (Table 1/Fig 1).
+pub fn run_set1(scale: &Scale) -> Result<Vec<QualityCell>, CoreError> {
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    for f in paper_suite() {
+        for &n in &[1usize, 10, 100, 1000] {
+            if n > scale.max_nodes {
+                continue;
+            }
+            for &k in &[1usize, 4, 8, 16, 32] {
+                let spec = spec_for(n, k, k as u64);
+                let rep = run_repeated(
+                    &spec,
+                    &f.name,
+                    Budget::PerNode(scale.per_node_evals),
+                    scale.reps,
+                    cell_seed(scale, 1, idx),
+                )?;
+                out.push(QualityCell {
+                    key: CellKey {
+                        function: f.name.clone(),
+                        n,
+                        k,
+                        r: k as u64,
+                    },
+                    quality: rep.quality,
+                });
+                idx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Set 2 — quality vs network size at fixed total budget (Table 2/Fig 2).
+pub fn run_set2(scale: &Scale) -> Result<Vec<QualityCell>, CoreError> {
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    let budget = scale.total_budget();
+    for f in paper_suite() {
+        for i in (0..=16).step_by(scale.netsize_step.max(1)) {
+            let n = 1usize << i;
+            if n > scale.max_nodes {
+                continue;
+            }
+            for &k in &[1usize, 4, 8, 16, 32] {
+                let spec = spec_for(n, k, k as u64);
+                let rep = run_repeated(
+                    &spec,
+                    &f.name,
+                    Budget::Total(budget),
+                    scale.reps,
+                    cell_seed(scale, 2, idx),
+                )?;
+                out.push(QualityCell {
+                    key: CellKey {
+                        function: f.name.clone(),
+                        n,
+                        k,
+                        r: k as u64,
+                    },
+                    quality: rep.quality,
+                });
+                idx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Set 3 — quality vs coordination period `r` (Table 3/Fig 3).
+pub fn run_set3(scale: &Scale) -> Result<Vec<QualityCell>, CoreError> {
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    let k = 16usize;
+    for f in paper_suite() {
+        for &n in &[10usize, 100, 1000] {
+            if n > scale.max_nodes {
+                continue;
+            }
+            for r in (1..=16).map(|m| 4 * m as u64) {
+                let spec = spec_for(n, k, r);
+                let rep = run_repeated(
+                    &spec,
+                    &f.name,
+                    Budget::PerNode(scale.per_node_evals),
+                    scale.reps,
+                    cell_seed(scale, 3, idx),
+                )?;
+                out.push(QualityCell {
+                    key: CellKey {
+                        function: f.name.clone(),
+                        n,
+                        k,
+                        r,
+                    },
+                    quality: rep.quality,
+                });
+                idx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Set 4 — time to reach quality `1e-10` vs network size (Table 4/Fig 4).
+pub fn run_set4(scale: &Scale) -> Result<Vec<TimeCell>, CoreError> {
+    use gossipopt_util::OnlineStats;
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    let cap = scale.total_budget();
+    for f in paper_suite() {
+        for i in 0..=10 {
+            let n = 1usize << i;
+            if n > scale.max_nodes {
+                continue;
+            }
+            for &k in &[1usize, 4, 8, 16] {
+                let mut spec = spec_for(n, k, k as u64);
+                spec.stop_at_quality = Some(1e-10);
+                let rep = run_repeated(
+                    &spec,
+                    &f.name,
+                    Budget::Total(cap),
+                    scale.reps,
+                    cell_seed(scale, 4, idx),
+                )?;
+                let mut time = OnlineStats::new();
+                let mut evals = OnlineStats::new();
+                for run in &rep.runs {
+                    if run.reached_threshold_at.is_some() {
+                        time.push(run.ticks as f64);
+                        evals.push(run.total_evals as f64);
+                    }
+                }
+                out.push(TimeCell {
+                    key: CellKey {
+                        function: f.name.clone(),
+                        n,
+                        k,
+                        r: k as u64,
+                    },
+                    time: time.summary(),
+                    evals: evals.summary(),
+                    hits: rep.threshold_hits,
+                    reps: scale.reps,
+                });
+                idx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-function best row (lowest average quality over the swept cells) —
+/// how the paper's Tables 1–3 summarize each set.
+pub fn best_rows(cells: &[QualityCell]) -> Vec<QualityCell> {
+    let mut best: Vec<QualityCell> = Vec::new();
+    for c in cells {
+        match best.iter_mut().find(|b| b.key.function == c.key.function) {
+            None => best.push(c.clone()),
+            Some(b) => {
+                let better = match (c.quality.avg.is_nan(), b.quality.avg.is_nan()) {
+                    (false, true) => true,
+                    (false, false) => c.quality.avg < b.quality.avg,
+                    _ => false,
+                };
+                if better {
+                    *b = c.clone();
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_set1_grid_shape() {
+        let cells = run_set1(&Scale::smoke()).unwrap();
+        // 6 functions x n in {1,10} (<=16) x 5 swarm sizes.
+        assert_eq!(cells.len(), 6 * 2 * 5);
+        for c in &cells {
+            assert_eq!(c.key.r, c.key.k as u64);
+            assert_eq!(c.quality.count, 2);
+            assert!(c.quality.min <= c.quality.avg && c.quality.avg <= c.quality.max);
+        }
+    }
+
+    #[test]
+    fn smoke_set2_network_sizes_capped() {
+        let cells = run_set2(&Scale::smoke()).unwrap();
+        let max_n = cells.iter().map(|c| c.key.n).max().unwrap();
+        assert!(max_n <= 16);
+        assert!(cells.iter().any(|c| c.key.n == 1));
+        assert!(cells.iter().all(|c| c.quality.avg >= 0.0));
+    }
+
+    #[test]
+    fn smoke_set3_r_sweep() {
+        let mut scale = Scale::smoke();
+        scale.max_nodes = 10;
+        let cells = run_set3(&scale).unwrap();
+        // 6 functions x 1 network size x 16 r values.
+        assert_eq!(cells.len(), 6 * 16);
+        assert!(cells.iter().all(|c| c.key.k == 16));
+        let rs: Vec<u64> = cells.iter().take(16).map(|c| c.key.r).collect();
+        assert_eq!(rs[0], 4);
+        assert_eq!(rs[15], 64);
+    }
+
+    #[test]
+    fn smoke_set4_reports_hits_and_misses() {
+        let mut scale = Scale::smoke();
+        scale.budget_shift = 6; // 2^14 cap so sphere can actually hit 1e-10
+        scale.max_nodes = 4;
+        let cells = run_set4(&scale).unwrap();
+        assert!(!cells.is_empty());
+        for c in &cells {
+            assert!(c.hits <= c.reps);
+            if c.hits == 0 {
+                assert_eq!(c.time.count, 0);
+            } else {
+                assert!(c.time.avg >= 1.0);
+            }
+        }
+        // Sphere converges fast: at least one sphere cell should hit.
+        let sphere_hits: u64 = cells
+            .iter()
+            .filter(|c| c.key.function == "sphere")
+            .map(|c| c.hits)
+            .sum();
+        assert!(sphere_hits > 0, "sphere should reach 1e-10 somewhere");
+    }
+
+    #[test]
+    fn best_rows_selects_minimum_avg() {
+        let mk = |f: &str, avg: f64| QualityCell {
+            key: CellKey {
+                function: f.into(),
+                n: 1,
+                k: 1,
+                r: 1,
+            },
+            quality: Summary {
+                count: 1,
+                avg,
+                min: avg,
+                max: avg,
+                var: 0.0,
+            },
+        };
+        let rows = best_rows(&[mk("a", 2.0), mk("a", 1.0), mk("b", 0.5), mk("a", 3.0)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].quality.avg, 1.0);
+        assert_eq!(rows[1].quality.avg, 0.5);
+    }
+}

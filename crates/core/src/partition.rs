@@ -1,0 +1,132 @@
+//! Search-space partitioning — the third coordination strategy the paper
+//! sketches ("partitioning of the search space in non-overlapping zones
+//! under the responsibility of each node") and part of its future work
+//! ("diverse domain space allocation").
+//!
+//! The domain is split into `zones` axis-aligned boxes by recursive
+//! bisection of the widest dimension (a k-d decomposition), node `i` owns
+//! zone `i mod zones`, confines its swarm there with a clamping bound
+//! policy, and the usual epidemic service still diffuses the globally best
+//! point, so the network as a whole retains a global view.
+
+use gossipopt_functions::{Objective, RestrictedObjective};
+use std::sync::Arc;
+
+/// One axis-aligned zone: per-dimension `(lo, hi)`.
+pub type Zone = Vec<(f64, f64)>;
+
+/// Split `f`'s box domain into exactly `zones` non-overlapping boxes
+/// covering it, by recursive bisection of the widest side. `zones ≥ 1`.
+pub fn grid_zones(f: &dyn Objective, zones: usize) -> Vec<Zone> {
+    assert!(zones >= 1, "need at least one zone");
+    let root: Zone = (0..f.dim()).map(|d| f.bounds(d)).collect();
+    let mut boxes = vec![root];
+    while boxes.len() < zones {
+        // Split the box with the largest volume share along its widest side.
+        let (idx, _) = boxes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| volume(a).total_cmp(&volume(b)))
+            .expect("non-empty");
+        let zone = boxes.swap_remove(idx);
+        let (wd, _) = zone
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| (a.1 - a.0).total_cmp(&(b.1 - b.0)))
+            .expect("non-empty dims");
+        let mid = 0.5 * (zone[wd].0 + zone[wd].1);
+        let mut left = zone.clone();
+        let mut right = zone;
+        left[wd].1 = mid;
+        right[wd].0 = mid;
+        boxes.push(left);
+        boxes.push(right);
+    }
+    boxes
+}
+
+fn volume(zone: &Zone) -> f64 {
+    zone.iter().map(|(lo, hi)| (hi - lo).max(0.0)).product()
+}
+
+/// Restrict `objective` to `zone` (advertised bounds shrink; evaluation is
+/// unchanged).
+pub fn restrict_to_zone(
+    objective: Arc<dyn Objective>,
+    zone: &Zone,
+) -> RestrictedObjective<Arc<dyn Objective>> {
+    let lo: Vec<f64> = zone.iter().map(|z| z.0).collect();
+    let hi: Vec<f64> = zone.iter().map(|z| z.1).collect();
+    RestrictedObjective::new(objective, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::Sphere;
+
+    #[test]
+    fn one_zone_is_the_whole_domain() {
+        let f = Sphere::new(3);
+        let zones = grid_zones(&f, 1);
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0], vec![(-100.0, 100.0); 3]);
+    }
+
+    #[test]
+    fn zones_partition_the_volume() {
+        let f = Sphere::new(4);
+        for n in [2usize, 3, 5, 8, 16] {
+            let zones = grid_zones(&f, n);
+            assert_eq!(zones.len(), n);
+            let total: f64 = zones.iter().map(volume).sum();
+            let domain: f64 = 200f64.powi(4);
+            assert!(
+                (total - domain).abs() / domain < 1e-9,
+                "{n} zones cover {total} of {domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn zones_are_disjoint_on_samples() {
+        use gossipopt_util::{Rng64, Xoshiro256pp};
+        let f = Sphere::new(3);
+        let zones = grid_zones(&f, 8);
+        let mut rng = Xoshiro256pp::seeded(1);
+        for _ in 0..500 {
+            let x: Vec<f64> = (0..3).map(|_| rng.range_f64(-100.0, 100.0)).collect();
+            // Interior points (away from cut planes) are in exactly one zone.
+            let hits = zones
+                .iter()
+                .filter(|z| {
+                    x.iter()
+                        .zip(z.iter())
+                        .all(|(v, (lo, hi))| *v > lo + 1e-9 && *v < hi - 1e-9)
+                })
+                .count();
+            assert!(hits <= 1, "point in {hits} zone interiors");
+        }
+    }
+
+    #[test]
+    fn restriction_narrows_bounds() {
+        let f: Arc<dyn Objective> = Arc::new(Sphere::new(2));
+        let zones = grid_zones(f.as_ref(), 4);
+        let restricted = restrict_to_zone(Arc::clone(&f), &zones[0]);
+        let (lo, hi) = restricted.bounds(0);
+        assert!(lo >= -100.0 && hi <= 100.0 && hi - lo < 200.0);
+        // Evaluation semantics unchanged.
+        assert_eq!(restricted.eval(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn splits_prefer_widest_dimension() {
+        let f = Sphere::new(2);
+        let zones = grid_zones(&f, 2);
+        // First cut must halve one dimension fully.
+        let z0 = &zones[0];
+        let widths: Vec<f64> = z0.iter().map(|(lo, hi)| hi - lo).collect();
+        assert!(widths.contains(&100.0) && widths.contains(&200.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! The coordination service's rumor type: the best-known optimum, plus
+//! the rumor-mongering diffusion state built on it.
+
+use gossipopt_gossip::rumor::{RumorAck, RumorConfig};
+use gossipopt_gossip::Rumor;
+use gossipopt_solvers::BestPoint;
+use serde::{Deserialize, Serialize};
+
+/// A `⟨g, f(g)⟩` pair as diffused by the anti-entropy coordination service
+/// (newtype so the [`Rumor`] ordering lives in this crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalBest {
+    /// Position of the best-known optimum.
+    pub x: Vec<f64>,
+    /// Its objective value `f(g)`.
+    pub f: f64,
+}
+
+impl GlobalBest {
+    /// Convert from the solver-side best point.
+    pub fn from_point(p: &BestPoint) -> Self {
+        GlobalBest {
+            x: p.x.clone(),
+            f: p.f,
+        }
+    }
+
+    /// Convert into the solver-side best point.
+    pub fn to_point(&self) -> BestPoint {
+        BestPoint {
+            x: self.x.clone(),
+            f: self.f,
+        }
+    }
+}
+
+impl Rumor for GlobalBest {
+    fn better_than(&self, other: &Self) -> bool {
+        // NaN-safe: a NaN value never wins.
+        self.f.total_cmp(&other.f).is_lt() && self.f.is_finite()
+    }
+}
+
+/// Rumor-mongering diffusion of the best-known optimum — Demers' "Gossip"
+/// model (fan-out `k`, stop probability `p`) specialized to optimization.
+///
+/// Plain rumor mongering distinguishes rumor *generations*; in a
+/// decentralized optimization there is no global generation counter, so
+/// supersession is by fitness instead: an incoming optimum is *new* when
+/// it strictly improves on the locally known one and *duplicate*
+/// otherwise. A node is *hot* (actively pushing) from the moment it
+/// learns or produces an improvement until enough duplicate feedback
+/// cools it down — exactly the `k`/`p` trade-off of the paper's
+/// background section, with the anti-entropy mode as the always-on
+/// alternative.
+#[derive(Debug, Clone)]
+pub struct BestRumor {
+    cfg: RumorConfig,
+    value: Option<GlobalBest>,
+    hot: bool,
+    /// Pushes sent (overhead accounting).
+    pub pushes_sent: u64,
+}
+
+impl BestRumor {
+    /// New cold state with no known optimum.
+    pub fn new(cfg: RumorConfig) -> Self {
+        BestRumor {
+            cfg,
+            value: None,
+            hot: false,
+            pushes_sent: 0,
+        }
+    }
+
+    /// The best optimum this node knows.
+    pub fn value(&self) -> Option<&GlobalBest> {
+        self.value.as_ref()
+    }
+
+    /// Actively spreading?
+    pub fn is_hot(&self) -> bool {
+        self.hot
+    }
+
+    /// Offer the local solver's current best. Becoming the new known
+    /// optimum re-heats the node (it has something new to tell).
+    pub fn offer_local(&mut self, g: GlobalBest) {
+        if self.value.as_ref().is_none_or(|v| g.better_than(v)) {
+            self.value = Some(g);
+            self.hot = true;
+        }
+    }
+
+    /// Handle a pushed optimum; the returned ack must be sent back to the
+    /// pusher (its cooling signal).
+    pub fn receive(&mut self, g: GlobalBest) -> RumorAck {
+        if self.value.as_ref().is_none_or(|v| g.better_than(v)) {
+            self.value = Some(g);
+            self.hot = true;
+            RumorAck::New
+        } else {
+            RumorAck::Duplicate
+        }
+    }
+
+    /// Feedback for an earlier push: duplicate acks cool the node with
+    /// probability `p`.
+    pub fn feedback(&mut self, ack: RumorAck, rng: &mut gossipopt_util::Xoshiro256pp) {
+        use gossipopt_util::Rng64;
+        if ack == RumorAck::Duplicate && self.hot && rng.chance(self.cfg.stop_prob) {
+            self.hot = false;
+        }
+    }
+
+    /// One spreading round: when hot, the payload to push and the fan-out.
+    pub fn on_tick(&mut self) -> Option<(GlobalBest, usize)> {
+        if !self.hot {
+            return None;
+        }
+        let g = self.value.clone()?;
+        self.pushes_sent += self.cfg.fanout as u64;
+        Some((g, self.cfg.fanout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_util::Xoshiro256pp;
+
+    #[test]
+    fn best_rumor_heats_on_improvement_only() {
+        let mut r = BestRumor::new(RumorConfig::default());
+        assert!(!r.is_hot());
+        r.offer_local(GlobalBest { x: vec![1.0], f: 5.0 });
+        assert!(r.is_hot());
+        let mut rng = Xoshiro256pp::seeded(1);
+        // Cool it down with duplicate feedback.
+        while r.is_hot() {
+            r.feedback(RumorAck::Duplicate, &mut rng);
+        }
+        // A non-improving offer stays cold; an improving one re-heats.
+        r.offer_local(GlobalBest { x: vec![1.0], f: 9.0 });
+        assert!(!r.is_hot(), "worse offer must not re-heat");
+        assert_eq!(r.value().unwrap().f, 5.0);
+        r.offer_local(GlobalBest { x: vec![0.5], f: 1.0 });
+        assert!(r.is_hot());
+    }
+
+    #[test]
+    fn best_rumor_receive_orders_by_fitness() {
+        let mut r = BestRumor::new(RumorConfig::default());
+        assert_eq!(r.receive(GlobalBest { x: vec![], f: 3.0 }), RumorAck::New);
+        assert_eq!(
+            r.receive(GlobalBest { x: vec![], f: 4.0 }),
+            RumorAck::Duplicate,
+            "worse optimum is a duplicate"
+        );
+        assert_eq!(r.receive(GlobalBest { x: vec![], f: 2.0 }), RumorAck::New);
+        assert_eq!(r.value().unwrap().f, 2.0);
+    }
+
+    #[test]
+    fn best_rumor_pushes_only_when_hot() {
+        let mut r = BestRumor::new(RumorConfig {
+            fanout: 3,
+            stop_prob: 1.0,
+        });
+        assert!(r.on_tick().is_none());
+        r.offer_local(GlobalBest { x: vec![], f: 1.0 });
+        let (g, k) = r.on_tick().unwrap();
+        assert_eq!((g.f, k), (1.0, 3));
+        assert_eq!(r.pushes_sent, 3);
+        // stop_prob = 1: first duplicate ack cools immediately.
+        let mut rng = Xoshiro256pp::seeded(2);
+        r.feedback(RumorAck::Duplicate, &mut rng);
+        assert!(r.on_tick().is_none());
+    }
+
+    #[test]
+    fn ordering_prefers_lower_f() {
+        let a = GlobalBest {
+            x: vec![0.0],
+            f: 1.0,
+        };
+        let b = GlobalBest {
+            x: vec![1.0],
+            f: 2.0,
+        };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        assert!(!a.better_than(&a));
+    }
+
+    #[test]
+    fn nan_never_wins() {
+        let nan = GlobalBest {
+            x: vec![],
+            f: f64::NAN,
+        };
+        let fin = GlobalBest {
+            x: vec![],
+            f: 1e300,
+        };
+        assert!(!nan.better_than(&fin));
+        assert!(fin.better_than(&nan));
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        let p = BestPoint {
+            x: vec![1.0, 2.0],
+            f: 3.0,
+        };
+        let g = GlobalBest::from_point(&p);
+        assert_eq!(g.to_point(), p);
+    }
+}

@@ -1,0 +1,180 @@
+//! Name-based construction of suite objectives.
+//!
+//! Experiment manifests identify functions by string (`"sphere"`,
+//! `"griewank"`, …); [`by_name`] resolves a name and a dimensionality into a
+//! boxed [`Objective`]. Fixed-dimension functions (`f2`, `schaffer`) ignore
+//! the requested dimension, mirroring the paper (F2 and Schaffer are 2-D
+//! while everything else is 10-D).
+
+use crate::extended::*;
+use crate::suite::*;
+use crate::Objective;
+use serde::{Deserialize, Serialize};
+
+/// Declarative function choice carried inside experiment configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Registry name, e.g. `"sphere"`.
+    pub name: String,
+    /// Requested dimensionality (ignored by fixed-dimension functions).
+    pub dim: usize,
+}
+
+impl FunctionSpec {
+    /// Spec for `name` at the paper's default dimensionality (10, except the
+    /// intrinsically 2-D functions).
+    pub fn paper_default(name: &str) -> Self {
+        FunctionSpec {
+            name: name.to_string(),
+            dim: 10,
+        }
+    }
+
+    /// Instantiate the objective; `None` if the name is unknown.
+    pub fn build(&self) -> Option<Box<dyn Objective>> {
+        by_name(&self.name, self.dim)
+    }
+}
+
+/// All registered names.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "f2",
+        "zakharov",
+        "rosenbrock",
+        "sphere",
+        "schaffer",
+        "schaffer-nd",
+        "griewank",
+        "rastrigin",
+        "ackley",
+        "schwefel12",
+        "step",
+        "styblinski-tang",
+        "levy",
+        "dixon-price",
+        "sum-squares",
+        "bent-cigar",
+        "ellipsoid",
+        "alpine1",
+        "salomon",
+        "schwefel226",
+        "trid",
+        "booth",
+        "beale",
+        "himmelblau",
+        "easom",
+        "drop-wave",
+        "branin",
+        "michalewicz",
+    ]
+}
+
+/// The six functions of the paper's evaluation, in its presentation order.
+pub fn paper_suite() -> Vec<FunctionSpec> {
+    ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"]
+        .iter()
+        .map(|n| FunctionSpec::paper_default(n))
+        .collect()
+}
+
+/// Construct a registered objective by name.
+///
+/// `dim` applies to the dimension-parametric functions; `"f2"` and
+/// `"schaffer"` are always 2-D.
+pub fn by_name(name: &str, dim: usize) -> Option<Box<dyn Objective>> {
+    let f: Box<dyn Objective> = match name {
+        "f2" => Box::new(DeJongF2::new()),
+        "zakharov" => Box::new(Zakharov::new(dim)),
+        "rosenbrock" => Box::new(Rosenbrock::new(dim)),
+        "sphere" => Box::new(Sphere::new(dim)),
+        "schaffer" => Box::new(SchafferF6::new()),
+        "schaffer-nd" => Box::new(SchafferF6Nd::new(dim.max(2))),
+        "griewank" => Box::new(Griewank::new(dim)),
+        "rastrigin" => Box::new(Rastrigin::new(dim)),
+        "ackley" => Box::new(Ackley::new(dim)),
+        "schwefel12" => Box::new(Schwefel12::new(dim)),
+        "step" => Box::new(Step::new(dim)),
+        "styblinski-tang" => Box::new(StyblinskiTang::new(dim)),
+        "levy" => Box::new(Levy::new(dim)),
+        "dixon-price" => Box::new(DixonPrice::new(dim)),
+        "sum-squares" => Box::new(SumSquares::new(dim)),
+        "bent-cigar" => Box::new(BentCigar::new(dim)),
+        "ellipsoid" => Box::new(Ellipsoid::new(dim)),
+        "alpine1" => Box::new(Alpine1::new(dim)),
+        "salomon" => Box::new(Salomon::new(dim)),
+        "schwefel226" => Box::new(Schwefel226::new(dim)),
+        "trid" => Box::new(Trid::new(dim.max(2))),
+        "booth" => Box::new(Booth::new()),
+        "beale" => Box::new(Beale::new()),
+        "himmelblau" => Box::new(Himmelblau::new()),
+        "easom" => Box::new(Easom::new()),
+        "drop-wave" => Box::new(DropWave::new()),
+        "branin" => Box::new(Branin::new()),
+        // Michalewicz only has published optima for d in {2, 5, 10}; snap
+        // the requested dimension to the nearest supported one.
+        "michalewicz" => {
+            let d = if dim >= 8 {
+                10
+            } else if dim >= 4 {
+                5
+            } else {
+                2
+            };
+            Box::new(Michalewicz::new(d))
+        }
+        _ => return None,
+    };
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for n in names() {
+            let f = by_name(n, 10).unwrap_or_else(|| panic!("{n} did not build"));
+            assert!(f.dim() >= 1);
+            let x: Vec<f64> = (0..f.dim()).map(|d| f.bounds(d).0).collect();
+            assert!(f.eval(&x).is_finite());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("not-a-function", 10).is_none());
+    }
+
+    #[test]
+    fn fixed_dim_functions_ignore_requested_dim() {
+        assert_eq!(by_name("f2", 10).unwrap().dim(), 2);
+        assert_eq!(by_name("schaffer", 10).unwrap().dim(), 2);
+        assert_eq!(by_name("sphere", 7).unwrap().dim(), 7);
+    }
+
+    #[test]
+    fn paper_suite_matches_paper_order_and_dims() {
+        let suite = paper_suite();
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"]
+        );
+        let dims: Vec<usize> = suite.iter().map(|s| s.build().unwrap().dim()).collect();
+        assert_eq!(dims, [2, 10, 10, 10, 2, 10]);
+    }
+
+    #[test]
+    fn spec_builds_named_function() {
+        let spec = FunctionSpec::paper_default("griewank");
+        assert_eq!(spec.dim, 10);
+        assert_eq!(spec.build().unwrap().name(), "griewank");
+        let bad = FunctionSpec {
+            name: "nope".into(),
+            dim: 3,
+        };
+        assert!(bad.build().is_none());
+    }
+}

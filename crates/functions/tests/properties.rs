@@ -1,0 +1,67 @@
+//! Property-based tests for the objective suite.
+
+use gossipopt_functions::{by_name, names, Objective, ShiftedObjective, Sphere};
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn random_point(f: &dyn Objective, rng: &mut Xoshiro256pp) -> Vec<f64> {
+    (0..f.dim())
+        .map(|d| {
+            let (lo, hi) = f.bounds(d);
+            rng.range_f64(lo, hi)
+        })
+        .collect()
+}
+
+proptest! {
+    /// All registered functions: finite, above the optimum, deterministic.
+    #[test]
+    fn suite_sanity(seed in any::<u64>(), name_idx in any::<usize>()) {
+        let name = names()[name_idx % names().len()];
+        let f = by_name(name, 10).expect("registered");
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let x = random_point(f.as_ref(), &mut rng);
+        let v1 = f.eval(&x);
+        let v2 = f.eval(&x);
+        prop_assert!(v1.is_finite(), "{name} not finite at {x:?}");
+        prop_assert_eq!(v1.to_bits(), v2.to_bits(), "{} must be pure", name);
+        prop_assert!(v1 >= f.optimum_value() - 1e-9, "{name} below optimum");
+    }
+
+    /// Sphere is permutation-invariant (fully separable and symmetric).
+    #[test]
+    fn sphere_permutation_invariant(
+        xs in prop::collection::vec(-100.0f64..100.0, 5),
+        rot in 0usize..5,
+    ) {
+        let f = Sphere::new(5);
+        let v = f.eval(&xs);
+        let mut rotated = xs.clone();
+        rotated.rotate_left(rot);
+        prop_assert!((f.eval(&rotated) - v).abs() < 1e-9);
+    }
+
+    /// Shifting moves the landscape exactly: `shifted(x + s) == f(x)`.
+    #[test]
+    fn shift_translates_landscape(
+        xs in prop::collection::vec(-50.0f64..50.0, 4),
+        shift in prop::collection::vec(-20.0f64..20.0, 4),
+    ) {
+        let base = Sphere::new(4);
+        let shifted = ShiftedObjective::new(Sphere::new(4), shift.clone());
+        let moved: Vec<f64> = xs.iter().zip(&shift).map(|(x, s)| x + s).collect();
+        let a = base.eval(&xs);
+        let b = shifted.eval(&moved);
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// Quality is translation-invariant under the shift wrapper: the
+    /// optimum value (and hence quality at the optimum) is preserved.
+    #[test]
+    fn shift_preserves_optimum(shift in prop::collection::vec(-20.0f64..20.0, 3)) {
+        let shifted = ShiftedObjective::new(Sphere::new(3), shift);
+        let opt = shifted.optimum_position().expect("known optimum");
+        prop_assert!(shifted.eval(&opt).abs() < 1e-18);
+        prop_assert_eq!(shifted.optimum_value(), 0.0);
+    }
+}

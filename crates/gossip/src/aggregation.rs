@@ -1,0 +1,150 @@
+//! Gossip-based averaging (Jelasity, Montresor & Babaoglu, TOCS 2005).
+//!
+//! Each node holds an estimate; a push-pull exchange replaces both nodes'
+//! estimates with their mean. The population mean is invariant and the
+//! empirical variance decays exponentially (by ~`1/(2√e)` per round), so
+//! after `O(log n + log 1/ε)` rounds every node knows the global average.
+//!
+//! Included because the paper's background presents aggregation as the
+//! canonical epidemic service on top of peer sampling; we also use it in
+//! integration tests as a well-understood convergence yardstick, and the
+//! extension experiments use it to estimate network size (pushing `1` at
+//! one node and `0` elsewhere estimates `1/n`).
+
+use serde::{Deserialize, Serialize};
+
+/// Wire messages of an averaging session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AvgMsg {
+    /// Initiator's current estimate.
+    Offer(f64),
+    /// Responder's pre-update estimate.
+    Counter(f64),
+}
+
+/// Per-node averaging state.
+///
+/// ```
+/// use gossipopt_gossip::aggregation::GossipAverage;
+/// let mut a = GossipAverage::new(10.0);
+/// let mut b = GossipAverage::new(4.0);
+/// let counter = b.handle(a.initiate()).unwrap();
+/// a.handle(counter);
+/// assert_eq!((a.estimate(), b.estimate()), (7.0, 7.0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GossipAverage {
+    estimate: f64,
+}
+
+impl GossipAverage {
+    /// Start with the node's local value.
+    pub fn new(initial: f64) -> Self {
+        GossipAverage { estimate: initial }
+    }
+
+    /// Current estimate of the global mean.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Begin an exchange: message for a random peer.
+    pub fn initiate(&self) -> AvgMsg {
+        AvgMsg::Offer(self.estimate)
+    }
+
+    /// Handle an incoming message, returning a reply when one is due.
+    pub fn handle(&mut self, msg: AvgMsg) -> Option<AvgMsg> {
+        match msg {
+            AvgMsg::Offer(theirs) => {
+                let mine = self.estimate;
+                self.estimate = 0.5 * (mine + theirs);
+                Some(AvgMsg::Counter(mine))
+            }
+            AvgMsg::Counter(theirs) => {
+                self.estimate = 0.5 * (self.estimate + theirs);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_util::{OnlineStats, Rng64, Xoshiro256pp};
+
+    #[test]
+    fn single_exchange_averages_pairwise() {
+        let mut a = GossipAverage::new(10.0);
+        let mut b = GossipAverage::new(2.0);
+        let offer = a.initiate();
+        let counter = b.handle(offer).unwrap();
+        assert!(a.handle(counter).is_none());
+        assert_eq!(a.estimate(), 6.0);
+        assert_eq!(b.estimate(), 6.0);
+    }
+
+    #[test]
+    fn exchange_preserves_sum() {
+        let mut a = GossipAverage::new(3.0);
+        let mut b = GossipAverage::new(8.5);
+        let before = a.estimate() + b.estimate();
+        let offer = a.initiate();
+        let counter = b.handle(offer).unwrap();
+        a.handle(counter);
+        let after = a.estimate() + b.estimate();
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_decays_to_global_mean() {
+        let n = 128;
+        let mut rng = Xoshiro256pp::seeded(7);
+        let mut nodes: Vec<GossipAverage> = (0..n)
+            .map(|_| GossipAverage::new(rng.range_f64(-100.0, 100.0)))
+            .collect();
+        let true_mean =
+            nodes.iter().map(|x| x.estimate()).sum::<f64>() / n as f64;
+        for _round in 0..40 {
+            for i in 0..n {
+                let mut j = rng.index(n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let offer = nodes[i].initiate();
+                let counter = nodes[j].handle(offer).unwrap();
+                nodes[i].handle(counter);
+            }
+        }
+        let stats: OnlineStats = nodes.iter().map(|x| x.estimate()).collect();
+        assert!((stats.mean() - true_mean).abs() < 1e-9, "mean invariant");
+        assert!(
+            stats.std_dev() < 1e-6,
+            "estimates should have converged, std={}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn size_estimation_trick() {
+        // One node starts at 1, the rest at 0; converged mean is 1/n.
+        let n = 64;
+        let mut nodes: Vec<GossipAverage> = (0..n).map(|_| GossipAverage::new(0.0)).collect();
+        nodes[0] = GossipAverage::new(1.0);
+        let mut rng = Xoshiro256pp::seeded(8);
+        for _ in 0..40 {
+            for i in 0..n {
+                let mut j = rng.index(n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let offer = nodes[i].initiate();
+                let counter = nodes[j].handle(offer).unwrap();
+                nodes[i].handle(counter);
+            }
+        }
+        let est_n = 1.0 / nodes[13].estimate();
+        assert!((est_n - n as f64).abs() < 1.0, "estimated n = {est_n}");
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # gossipopt-gossip
+//!
+//! The epidemic substrate of the decentralized optimization architecture:
+//!
+//! * [`view`] — bounded partial views of node descriptors with freshest-first
+//!   merge, the data structure underlying peer sampling;
+//! * [`newscast`] — the NEWSCAST peer-sampling protocol (Jelasity et al.)
+//!   used by the paper as its topology service;
+//! * [`antientropy`] — Demers-style anti-entropy exchanges (push, pull,
+//!   push-pull) over an application-defined [`antientropy::Rumor`]; the
+//!   paper's coordination service is the push-pull instance whose rumor is
+//!   the best-known optimum;
+//! * [`rumor`] — Demers rumor mongering ("Gossip" model: fan-out `k`, stop
+//!   probability `p`);
+//! * [`aggregation`] — push-pull gossip averaging (Jelasity, Montresor &
+//!   Babaoglu), included as the background's example epidemic service and
+//!   used in tests as a convergence yardstick;
+//! * [`sampler`] — static peer samplers and topology builders (full mesh,
+//!   ring, star, random k-out, torus grid, Watts–Strogatz small world,
+//!   Erdős–Rényi) for the baseline topologies the paper sketches and the
+//!   PSO-neighborhood graphs it cites;
+//! * [`tman`] — T-Man gossip-based topology *construction* (Jelasity &
+//!   Babaoglu, the paper's reference for overlay management): evolves the
+//!   overlay toward an arbitrary ranked target topology;
+//! * [`graph`] — overlay analysis: connectivity, degree statistics,
+//!   clustering, path lengths; used to validate that NEWSCAST maintains a
+//!   random-graph-like topology (`c = 20` "already sufficient").
+//!
+//! These are *components*, not applications: they expose pure state-machine
+//! methods (`on_tick`-style initiators, `handle`-style responders) that a
+//! host [`gossipopt_sim::Application`] wires to its message enum. This is
+//! exactly how the paper's architecture composes its three services inside
+//! one node.
+
+pub mod aggregation;
+pub mod antientropy;
+pub mod graph;
+pub mod newscast;
+pub mod rumor;
+pub mod sampler;
+pub mod tman;
+pub mod view;
+
+pub use antientropy::{AntiEntropy, AntiEntropyMsg, ExchangeMode, Rumor};
+pub use newscast::{Newscast, NewscastConfig, NewscastMsg};
+pub use rumor::{RumorAck, RumorConfig, RumorMonger};
+pub use sampler::{PeerSampler, StaticSampler};
+pub use tman::{Ranking, RingRanking, TMan, TManMsg};
+pub use view::{Descriptor, PartialView};

@@ -1,0 +1,416 @@
+//! Peer samplers: the topology-service abstraction and its static
+//! implementations.
+//!
+//! The paper's architecture treats the topology service as pluggable —
+//! "consider a random topology used by a gossip protocol…, a mesh topology
+//! connecting nodes responsible for different partitions…, but also a
+//! star-shaped topology used in a master-slave approach". [`PeerSampler`]
+//! is that interface; NEWSCAST implements it dynamically, and this module
+//! provides the static alternatives used by baselines and ablations.
+
+use gossipopt_sim::NodeId;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+
+/// The topology service interface: supply a communication partner.
+pub trait PeerSampler {
+    /// A peer to talk to, or `None` when isolated.
+    fn sample_peer(&self, rng: &mut Xoshiro256pp) -> Option<NodeId>;
+}
+
+/// Fixed neighbor list; sampling is uniform over it.
+///
+/// Degenerate cases model the paper's sketches: a single-entry list at
+/// every slave plus a full list at the master is a star; two entries are a
+/// ring; everybody-knows-everybody is the full mesh.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSampler {
+    neighbors: Vec<NodeId>,
+}
+
+impl StaticSampler {
+    /// Sampler over an explicit neighbor list.
+    pub fn new(neighbors: Vec<NodeId>) -> Self {
+        StaticSampler { neighbors }
+    }
+
+    /// The neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+}
+
+impl PeerSampler for StaticSampler {
+    fn sample_peer(&self, rng: &mut Xoshiro256pp) -> Option<NodeId> {
+        if self.neighbors.is_empty() {
+            None
+        } else {
+            Some(self.neighbors[rng.index(self.neighbors.len())])
+        }
+    }
+}
+
+/// Build per-node neighbor lists for the standard static topologies over
+/// nodes `ids[0..n]`. Returned `Vec` is indexed like `ids`.
+pub mod topologies {
+    use super::*;
+
+    /// Full mesh: everyone knows everyone else.
+    pub fn full_mesh(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
+        ids.iter()
+            .map(|&me| ids.iter().copied().filter(|&x| x != me).collect())
+            .collect()
+    }
+
+    /// Star: `ids[0]` is the hub; spokes only know the hub.
+    pub fn star(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if i == 0 {
+                    ids[1..].to_vec()
+                } else {
+                    vec![ids[0]]
+                }
+            })
+            .collect()
+    }
+
+    /// Bidirectional ring in `ids` order.
+    pub fn ring(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let n = ids.len();
+        ids.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if n <= 1 {
+                    Vec::new()
+                } else if n == 2 {
+                    vec![ids[1 - i]]
+                } else {
+                    vec![ids[(i + n - 1) % n], ids[(i + 1) % n]]
+                }
+            })
+            .collect()
+    }
+
+    /// Random `k`-out digraph: each node gets `k` distinct random
+    /// out-neighbors (excluding itself).
+    pub fn k_out_random(ids: &[NodeId], k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<NodeId>> {
+        let n = ids.len();
+        ids.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if n <= 1 {
+                    return Vec::new();
+                }
+                let k = k.min(n - 1);
+                let mut others: Vec<NodeId> =
+                    ids.iter().copied().enumerate().filter(|&(j, _)| j != i).map(|(_, x)| x).collect();
+                rng.shuffle(&mut others);
+                others.truncate(k);
+                others
+            })
+            .collect()
+    }
+
+    /// 2-D torus grid (4-neighborhood with wraparound) — the "mesh
+    /// topology connecting nodes responsible for different partitions"
+    /// sketched in the paper's architecture section.
+    ///
+    /// The grid is `rows × cols` with `rows` the largest divisor of
+    /// `ids.len()` not exceeding its square root; prime sizes therefore
+    /// degenerate to a `1 × n` ring, which is still a valid torus.
+    pub fn torus_grid(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let n = ids.len();
+        if n <= 1 {
+            return vec![Vec::new(); n];
+        }
+        let mut rows = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                rows = d;
+            }
+            d += 1;
+        }
+        let cols = n / rows;
+        ids.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (r, c) = (i / cols, i % cols);
+                let mut nbrs = vec![
+                    ids[r * cols + (c + 1) % cols],
+                    ids[r * cols + (c + cols - 1) % cols],
+                ];
+                if rows > 1 {
+                    nbrs.push(ids[((r + 1) % rows) * cols + c]);
+                    nbrs.push(ids[((r + rows - 1) % rows) * cols + c]);
+                }
+                nbrs.sort_unstable_by_key(|id| id.raw());
+                nbrs.dedup();
+                nbrs.retain(|&x| x != ids[i]);
+                nbrs
+            })
+            .collect()
+    }
+
+    /// Watts–Strogatz small world: a ring lattice where every node links to
+    /// its `k` nearest neighbors (`k/2` per side, `k` rounded up to even),
+    /// each lattice edge then rewired with probability `beta`. `beta = 0`
+    /// keeps the lattice (high clustering, long paths); `beta = 1`
+    /// approaches a random graph — the regime the PSO-neighborhood
+    /// literature the paper cites ([Kennedy 1999]) studies.
+    pub fn watts_strogatz(
+        ids: &[NodeId],
+        k: usize,
+        beta: f64,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Vec<NodeId>> {
+        let n = ids.len();
+        if n <= 1 {
+            return vec![Vec::new(); n];
+        }
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        let half = (k.max(2) / 2).min((n - 1) / 2).max(1);
+        // Undirected edge set as (min, max) index pairs.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in 1..=half {
+                let t = (i + j) % n;
+                edges.push((i.min(t), i.max(t)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let has_edge = |edges: &[(usize, usize)], a: usize, b: usize| {
+            let key = (a.min(b), a.max(b));
+            edges.binary_search(&key).is_ok()
+        };
+        // Rewire pass: detach the far end of each original lattice edge
+        // with probability beta, re-attaching it to a uniform non-neighbor.
+        let originals = edges.clone();
+        for &(a, b) in &originals {
+            if !rng.chance(beta) {
+                continue;
+            }
+            // Choose a new target for `a` distinct from both endpoints and
+            // not already a neighbor; give up after a few tries in tiny or
+            // near-complete graphs.
+            for _ in 0..16 {
+                let t = rng.index(n);
+                if t != a && t != b && !has_edge(&edges, a, t) {
+                    if let Ok(pos) = edges.binary_search(&(a.min(b), a.max(b))) {
+                        edges.remove(pos);
+                    }
+                    let key = (a.min(t), a.max(t));
+                    let pos = edges.binary_search(&key).unwrap_err();
+                    edges.insert(pos, key);
+                    break;
+                }
+            }
+        }
+        let mut lists = vec![Vec::new(); n];
+        for (a, b) in edges {
+            lists[a].push(ids[b]);
+            lists[b].push(ids[a]);
+        }
+        lists
+    }
+
+    /// Erdős–Rényi `G(n, p)`: every undirected pair independently linked
+    /// with probability `p`. Isolated nodes are possible at small `p`;
+    /// their sampler simply yields no peer.
+    pub fn erdos_renyi(ids: &[NodeId], p: f64, rng: &mut Xoshiro256pp) -> Vec<Vec<NodeId>> {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        let n = ids.len();
+        let mut lists = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.chance(p) {
+                    lists[i].push(ids[j]);
+                    lists[j].push(ids[i]);
+                }
+            }
+        }
+        lists
+    }
+
+    /// Neighbor lists converted to index-based adjacency (for the graph
+    /// metrics in [`crate::graph`]). `ids` must be the same slice the
+    /// builder was called with.
+    pub fn to_adjacency(ids: &[NodeId], lists: &[Vec<NodeId>]) -> Vec<Vec<usize>> {
+        let index: std::collections::HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        lists
+            .iter()
+            .map(|nbrs| nbrs.iter().map(|id| index[id]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::topologies::*;
+    use super::*;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn static_sampler_uniform_and_empty() {
+        let mut rng = Xoshiro256pp::seeded(1);
+        let s = StaticSampler::new(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample_peer(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty = StaticSampler::new(vec![]);
+        assert!(empty.sample_peer(&mut rng).is_none());
+    }
+
+    #[test]
+    fn full_mesh_degrees() {
+        let t = full_mesh(&ids(5));
+        for (i, nbrs) in t.iter().enumerate() {
+            assert_eq!(nbrs.len(), 4);
+            assert!(!nbrs.contains(&NodeId(i as u64)));
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(&ids(6));
+        assert_eq!(t[0].len(), 5, "hub sees all spokes");
+        for spoke in &t[1..] {
+            assert_eq!(spoke, &vec![NodeId(0)]);
+        }
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(&ids(5));
+        assert_eq!(t[0], vec![NodeId(4), NodeId(1)]);
+        assert_eq!(t[2], vec![NodeId(1), NodeId(3)]);
+        // tiny rings
+        assert_eq!(ring(&ids(1))[0].len(), 0);
+        assert_eq!(ring(&ids(2))[0], vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn torus_grid_four_neighbors_when_square() {
+        let t = torus_grid(&ids(16)); // 4x4
+        for (i, nbrs) in t.iter().enumerate() {
+            assert_eq!(nbrs.len(), 4, "node {i}: {nbrs:?}");
+            assert!(!nbrs.contains(&NodeId(i as u64)));
+        }
+        // Torus is connected and symmetric.
+        let adj = to_adjacency(&ids(16), &t);
+        assert!(crate::graph::is_strongly_connected(&adj));
+    }
+
+    #[test]
+    fn torus_grid_prime_size_degenerates_to_ring() {
+        let t = torus_grid(&ids(7)); // 1x7 ring
+        for nbrs in &t {
+            assert_eq!(nbrs.len(), 2);
+        }
+        let adj = to_adjacency(&ids(7), &t);
+        assert!(crate::graph::is_strongly_connected(&adj));
+    }
+
+    #[test]
+    fn torus_grid_tiny_cases() {
+        assert_eq!(torus_grid(&ids(1))[0].len(), 0);
+        let t2 = torus_grid(&ids(2));
+        assert_eq!(t2[0], vec![NodeId(1)]);
+        // 2x2 torus: wraparound duplicates collapse to the two distinct
+        // orthogonal neighbors.
+        let t4 = torus_grid(&ids(4));
+        for (i, nbrs) in t4.iter().enumerate() {
+            assert!(!nbrs.is_empty());
+            assert!(!nbrs.contains(&NodeId(i as u64)));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let mut rng = Xoshiro256pp::seeded(7);
+        let t = watts_strogatz(&ids(20), 4, 0.0, &mut rng);
+        for (i, nbrs) in t.iter().enumerate() {
+            assert_eq!(nbrs.len(), 4, "node {i}");
+            // Lattice neighbors are ring-adjacent within distance 2.
+            for nb in nbrs {
+                let d = (nb.raw() as i64 - i as i64).rem_euclid(20);
+                assert!(d <= 2 || d >= 18, "node {i} linked to distant {nb:?}");
+            }
+        }
+        let adj = to_adjacency(&ids(20), &t);
+        assert!((crate::graph::avg_clustering(&adj) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_shortens_paths() {
+        let mut rng = Xoshiro256pp::seeded(8);
+        let n = 100;
+        let lattice = watts_strogatz(&ids(n), 4, 0.0, &mut rng);
+        let small_world = watts_strogatz(&ids(n), 4, 0.3, &mut rng);
+        let al = to_adjacency(&ids(n), &lattice);
+        let asw = to_adjacency(&ids(n), &small_world);
+        let mut prng = Xoshiro256pp::seeded(9);
+        let pl = crate::graph::avg_path_length(&al, 200, &mut prng);
+        let psw = crate::graph::avg_path_length(&asw, 200, &mut prng);
+        assert!(
+            psw < pl,
+            "rewiring must shorten paths: lattice {pl}, small-world {psw}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_stays_symmetric_after_rewiring() {
+        let mut rng = Xoshiro256pp::seeded(10);
+        let t = watts_strogatz(&ids(30), 4, 0.5, &mut rng);
+        let adj = to_adjacency(&ids(30), &t);
+        for (i, nbrs) in adj.iter().enumerate() {
+            for &j in nbrs {
+                assert!(adj[j].contains(&i), "edge {i}->{j} missing reverse");
+                assert_ne!(i, j, "self loop at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_edge_density_tracks_p() {
+        let mut rng = Xoshiro256pp::seeded(11);
+        let n = 200;
+        let t = erdos_renyi(&ids(n), 0.1, &mut rng);
+        let edges: usize = t.iter().map(|l| l.len()).sum::<usize>() / 2;
+        let expect = 0.1 * (n * (n - 1) / 2) as f64;
+        assert!(
+            (edges as f64 - expect).abs() < 0.25 * expect,
+            "{edges} edges vs expected {expect}"
+        );
+        // p = 0 and p = 1 extremes.
+        let none = erdos_renyi(&ids(10), 0.0, &mut rng);
+        assert!(none.iter().all(|l| l.is_empty()));
+        let full = erdos_renyi(&ids(10), 1.0, &mut rng);
+        assert!(full.iter().all(|l| l.len() == 9));
+    }
+
+    #[test]
+    fn k_out_random_degrees_and_no_self() {
+        let mut rng = Xoshiro256pp::seeded(2);
+        let t = k_out_random(&ids(20), 4, &mut rng);
+        for (i, nbrs) in t.iter().enumerate() {
+            assert_eq!(nbrs.len(), 4);
+            assert!(!nbrs.contains(&NodeId(i as u64)));
+            let mut u = nbrs.clone();
+            u.sort();
+            u.dedup();
+            assert_eq!(u.len(), 4, "neighbors must be distinct");
+        }
+        // k larger than n-1 saturates
+        let t2 = k_out_random(&ids(3), 10, &mut rng);
+        assert!(t2.iter().all(|nbrs| nbrs.len() == 2));
+    }
+}

@@ -1,0 +1,325 @@
+//! T-Man — gossip-based overlay topology construction (Jelasity &
+//! Babaoglu, ESOA 2005), the paper's background reference for "topology
+//! management".
+//!
+//! Where NEWSCAST maintains a *random* overlay, T-Man evolves the views
+//! toward an arbitrary **target topology** defined by a ranking function:
+//! each node prefers the `c` candidates that rank best with respect to
+//! itself, gossips views with its current best-ranked neighbor, and after
+//! `O(log n)` rounds the union of views approximates the target (rings,
+//! grids, sorted lines…).
+//!
+//! In the optimization framework this is the natural substrate for the
+//! paper's sketched "mesh topology connecting nodes responsible for
+//! different partitions of the search space": rank = distance between
+//! zone indices.
+
+use crate::sampler::PeerSampler;
+use gossipopt_sim::{NodeId, Ticks};
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// A target topology, expressed as a node-relative preference: lower rank
+/// means "I want this node as a neighbor more".
+pub trait Ranking {
+    /// Rank `candidate` from `origin`'s point of view (lower = better).
+    fn rank(&self, origin: NodeId, candidate: NodeId) -> f64;
+}
+
+/// Ring target over the id space `0..n`: rank is the circular distance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RingRanking {
+    /// Number of ids on the ring.
+    pub n: u64,
+}
+
+impl Ranking for RingRanking {
+    fn rank(&self, origin: NodeId, candidate: NodeId) -> f64 {
+        let a = origin.raw() % self.n;
+        let b = candidate.raw() % self.n;
+        let d = a.abs_diff(b);
+        d.min(self.n - d) as f64
+    }
+}
+
+/// Sorted-line target: rank is the absolute id distance (no wraparound).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LineRanking;
+
+impl Ranking for LineRanking {
+    fn rank(&self, origin: NodeId, candidate: NodeId) -> f64 {
+        origin.raw().abs_diff(candidate.raw()) as f64
+    }
+}
+
+/// T-Man wire messages: a set of candidate node ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TManMsg {
+    /// Initiator's view (plus itself); expects a reply.
+    Request(Vec<NodeId>),
+    /// Responder's pre-merge view (plus itself).
+    Reply(Vec<NodeId>),
+}
+
+/// Per-node T-Man state over ranking `R`.
+#[derive(Debug, Clone)]
+pub struct TMan<R: Ranking> {
+    ranking: R,
+    capacity: usize,
+    /// Invariant: sorted by rank ascending (best first), unique, no self.
+    view: Vec<NodeId>,
+    /// Peer-selection bias: pick uniformly among the best `psi` entries.
+    psi: usize,
+}
+
+impl<R: Ranking> TMan<R> {
+    /// New instance with a view of `capacity` entries, selecting exchange
+    /// partners among the best `psi` (Jelasity's ψ parameter; `psi = 1`
+    /// always talks to the best-ranked neighbor).
+    pub fn new(ranking: R, capacity: usize, psi: usize) -> Self {
+        assert!(capacity >= 1 && psi >= 1);
+        TMan {
+            ranking,
+            capacity,
+            view: Vec::new(),
+            psi,
+        }
+    }
+
+    /// Current neighbors, best-ranked first.
+    pub fn view(&self) -> &[NodeId] {
+        &self.view
+    }
+
+    /// Bootstrap from the kernel's contact sample.
+    pub fn on_join(&mut self, self_id: NodeId, contacts: &[NodeId]) {
+        self.merge(self_id, contacts.iter().copied());
+    }
+
+    /// Periodic exchange initiation: returns `(peer, request)`.
+    pub fn on_tick(
+        &mut self,
+        self_id: NodeId,
+        _now: Ticks,
+        rng: &mut Xoshiro256pp,
+    ) -> Option<(NodeId, TManMsg)> {
+        if self.view.is_empty() {
+            return None;
+        }
+        let m = self.psi.min(self.view.len());
+        let peer = self.view[rng.index(m)];
+        Some((peer, TManMsg::Request(self.outgoing(self_id))))
+    }
+
+    /// Handle an incoming message; requests get a reply.
+    pub fn handle(&mut self, self_id: NodeId, msg: TManMsg) -> Option<TManMsg> {
+        match msg {
+            TManMsg::Request(candidates) => {
+                let reply = self.outgoing(self_id);
+                self.merge(self_id, candidates);
+                Some(TManMsg::Reply(reply))
+            }
+            TManMsg::Reply(candidates) => {
+                self.merge(self_id, candidates);
+                None
+            }
+        }
+    }
+
+    /// Feed externally discovered candidates (typically a random sample
+    /// from an underlying peer-sampling layer such as NEWSCAST). The
+    /// published protocol relies on this random inflow to escape the local
+    /// optima a purely greedy view exchange gets stuck in.
+    pub fn inject<I: IntoIterator<Item = NodeId>>(&mut self, self_id: NodeId, candidates: I) {
+        self.merge(self_id, candidates);
+    }
+
+    fn outgoing(&self, self_id: NodeId) -> Vec<NodeId> {
+        let mut buf = Vec::with_capacity(self.view.len() + 1);
+        buf.push(self_id);
+        buf.extend_from_slice(&self.view);
+        buf
+    }
+
+    /// Merge candidates, keep the best-`capacity` by rank.
+    fn merge<I: IntoIterator<Item = NodeId>>(&mut self, self_id: NodeId, candidates: I) {
+        for c in candidates {
+            if c != self_id && !self.view.contains(&c) {
+                self.view.push(c);
+            }
+        }
+        self.view.sort_by(|&a, &b| {
+            self.ranking
+                .rank(self_id, a)
+                .total_cmp(&self.ranking.rank(self_id, b))
+        });
+        self.view.truncate(self.capacity);
+    }
+}
+
+impl<R: Ranking> PeerSampler for TMan<R> {
+    fn sample_peer(&self, rng: &mut Xoshiro256pp) -> Option<NodeId> {
+        if self.view.is_empty() {
+            None
+        } else {
+            Some(self.view[rng.index(self.view.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_sim::{Application, Ctx, CycleConfig, CycleEngine};
+
+    #[test]
+    fn ring_ranking_is_circular() {
+        let r = RingRanking { n: 10 };
+        assert_eq!(r.rank(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(r.rank(NodeId(0), NodeId(9)), 1.0);
+        assert_eq!(r.rank(NodeId(2), NodeId(7)), 5.0);
+        assert_eq!(r.rank(NodeId(7), NodeId(2)), 5.0);
+    }
+
+    #[test]
+    fn merge_keeps_best_ranked_without_self_or_dups() {
+        let mut tm = TMan::new(LineRanking, 3, 1);
+        let me = NodeId(10);
+        tm.merge(me, [NodeId(1), NodeId(9), NodeId(10), NodeId(9), NodeId(50), NodeId(11)]);
+        assert_eq!(tm.view(), &[NodeId(9), NodeId(11), NodeId(1)]);
+    }
+
+    #[test]
+    fn exchange_converges_two_nodes() {
+        let mut a = TMan::new(LineRanking, 2, 1);
+        let mut b = TMan::new(LineRanking, 2, 1);
+        a.on_join(NodeId(0), &[NodeId(1)]);
+        b.on_join(NodeId(1), &[]);
+        let mut rng = Xoshiro256pp::seeded(1);
+        let (peer, req) = a.on_tick(NodeId(0), 0, &mut rng).unwrap();
+        assert_eq!(peer, NodeId(1));
+        let reply = b.handle(NodeId(1), req).unwrap();
+        assert!(a.handle(NodeId(0), reply).is_none());
+        assert!(b.view().contains(&NodeId(0)));
+        assert!(a.view().contains(&NodeId(1)));
+    }
+
+    /// Host app layering T-Man over NEWSCAST, as the T-Man paper deploys
+    /// it: the random overlay keeps feeding fresh candidates so the greedy
+    /// ranked exchange cannot freeze in a local optimum.
+    struct TmApp {
+        tm: TMan<RingRanking>,
+        nc: crate::newscast::Newscast,
+    }
+
+    #[derive(Debug, Clone)]
+    enum TmM {
+        T(TManMsg),
+        N(crate::newscast::NewscastMsg),
+    }
+
+    impl Application for TmApp {
+        type Message = TmM;
+
+        fn on_join(&mut self, contacts: &[NodeId], ctx: &mut Ctx<'_, TmM>) {
+            let (id, now) = (ctx.self_id, ctx.now);
+            self.tm.on_join(id, contacts);
+            self.nc.on_join(contacts, now, ctx.rng());
+        }
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, TmM>) {
+            let (id, now) = (ctx.self_id, ctx.now);
+            if let Some((peer, msg)) = self.nc.on_tick(id, now, ctx.rng()) {
+                ctx.send(peer, TmM::N(msg));
+            }
+            // Random inflow from the peer-sampling layer.
+            let sample: Vec<NodeId> = self.nc.view().ids().take(3).collect();
+            self.tm.inject(id, sample);
+            if let Some((peer, msg)) = self.tm.on_tick(id, now, ctx.rng()) {
+                ctx.send(peer, TmM::T(msg));
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: TmM, ctx: &mut Ctx<'_, TmM>) {
+            let (id, now) = (ctx.self_id, ctx.now);
+            match msg {
+                TmM::T(m) => {
+                    if let Some(reply) = self.tm.handle(id, m) {
+                        ctx.send(from, TmM::T(reply));
+                    }
+                }
+                TmM::N(m) => {
+                    if let Some(reply) = self.nc.handle(id, from, m, now, ctx.rng()) {
+                        ctx.send(from, TmM::N(reply));
+                    }
+                }
+            }
+        }
+    }
+
+    fn tm_app(n: u64) -> TmApp {
+        TmApp {
+            tm: TMan::new(RingRanking { n }, 4, 2),
+            nc: crate::newscast::Newscast::new(crate::newscast::NewscastConfig {
+                view_size: 10,
+                exchange_every: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn random_graph_self_organizes_into_a_ring() {
+        let n = 64u64;
+        let mut e: CycleEngine<TmApp> = CycleEngine::new(CycleConfig::seeded(7));
+        for _ in 0..n {
+            e.insert(tm_app(n));
+        }
+        e.run(60);
+        // Every node's two best-ranked entries must be its ring neighbors.
+        let mut perfect = 0;
+        for (id, app) in e.nodes() {
+            let left = NodeId((id.raw() + n - 1) % n);
+            let right = NodeId((id.raw() + 1) % n);
+            let top2 = &app.tm.view()[..2.min(app.tm.view().len())];
+            if top2.contains(&left) && top2.contains(&right) {
+                perfect += 1;
+            }
+        }
+        assert!(
+            perfect as u64 >= n - 2,
+            "only {perfect}/{n} nodes found both ring neighbors"
+        );
+    }
+
+    #[test]
+    fn line_target_sorts_neighborhoods() {
+        let n = 40u64;
+        let mut e: CycleEngine<TmApp> = CycleEngine::new(CycleConfig::seeded(8));
+        for _ in 0..n {
+            e.insert(tm_app(n));
+        }
+        e.run(30);
+        for (id, app) in e.nodes() {
+            let r = RingRanking { n };
+            for w in app.tm.view().windows(2) {
+                assert!(
+                    r.rank(id, w[0]) <= r.rank(id, w[1]),
+                    "view must stay rank-sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_interface_works() {
+        let mut tm = TMan::new(LineRanking, 4, 1);
+        let mut rng = Xoshiro256pp::seeded(9);
+        assert!(tm.sample_peer(&mut rng).is_none());
+        tm.on_join(NodeId(5), &[NodeId(1), NodeId(2)]);
+        assert!(tm.sample_peer(&mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        TMan::new(LineRanking, 0, 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bounded partial views of node descriptors.
+
+use gossipopt_sim::{NodeId, Ticks};
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// A node descriptor: remote identifier plus the logical timestamp at which
+/// the descriptor was created by its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// The described node.
+    pub id: NodeId,
+    /// Freshness: creation time at the described node.
+    pub stamp: Ticks,
+}
+
+/// A bounded set of descriptors, at most one per node, kept freshest-first.
+///
+/// This is NEWSCAST's core data structure: merging two views keeps, for each
+/// node, the freshest descriptor seen, then truncates to the `capacity`
+/// freshest overall. Crashed nodes stop producing fresh descriptors, so
+/// their entries age out — the self-repair property the paper relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialView {
+    capacity: usize,
+    // Invariant: sorted by stamp descending, ids unique, len <= capacity.
+    entries: Vec<Descriptor>,
+}
+
+impl PartialView {
+    /// Empty view with room for `capacity` descriptors.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "view capacity must be at least 1");
+        PartialView {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of descriptors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current descriptors, freshest first.
+    pub fn entries(&self) -> &[Descriptor] {
+        &self.entries
+    }
+
+    /// Number of descriptors held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no descriptors are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `id` appears in the view.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|d| d.id == id)
+    }
+
+    /// Insert or refresh one descriptor, preserving the invariants.
+    /// Freshness ties are broken in favor of existing entries.
+    pub fn insert(&mut self, d: Descriptor) {
+        self.merge_entries(std::iter::once(d), None);
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.stamp));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Merge descriptors from `incoming`, dropping any descriptor of
+    /// `exclude` (a node never stores itself), keeping per-node freshest,
+    /// then the `capacity` freshest overall. Freshness **ties are broken
+    /// uniformly at random** using `rng`: in a cycle-driven simulation most
+    /// stamps collide (one logical clock tick per cycle), and a
+    /// deterministic tie-break would systematically favor old entries,
+    /// freezing the overlay instead of shuffling it.
+    pub fn merge_from<I: IntoIterator<Item = Descriptor>>(
+        &mut self,
+        incoming: I,
+        exclude: Option<NodeId>,
+        rng: &mut Xoshiro256pp,
+    ) {
+        self.merge_entries(incoming, exclude);
+        rng.shuffle(&mut self.entries);
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.stamp)); // stable: ties stay shuffled
+        self.entries.truncate(self.capacity);
+    }
+
+    fn merge_entries<I: IntoIterator<Item = Descriptor>>(
+        &mut self,
+        incoming: I,
+        exclude: Option<NodeId>,
+    ) {
+        for d in incoming {
+            if Some(d.id) == exclude {
+                continue;
+            }
+            match self.entries.iter_mut().find(|e| e.id == d.id) {
+                Some(e) => {
+                    if d.stamp > e.stamp {
+                        e.stamp = d.stamp;
+                    }
+                }
+                None => self.entries.push(d),
+            }
+        }
+    }
+
+    /// Remove a descriptor (e.g. a peer that failed to answer).
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|d| d.id != id);
+        self.entries.len() != before
+    }
+
+    /// Uniform random descriptor, if any.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> Option<Descriptor> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[rng.index(self.entries.len())])
+        }
+    }
+
+    /// Ids currently in view, freshest first.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|d| d.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64, stamp: Ticks) -> Descriptor {
+        Descriptor {
+            id: NodeId(id),
+            stamp,
+        }
+    }
+
+    #[test]
+    fn insert_respects_capacity_and_order() {
+        let mut v = PartialView::new(3);
+        for i in 0..5 {
+            v.insert(d(i, i));
+        }
+        assert_eq!(v.len(), 3);
+        let stamps: Vec<Ticks> = v.entries().iter().map(|e| e.stamp).collect();
+        assert_eq!(stamps, vec![4, 3, 2], "freshest three kept, sorted");
+    }
+
+    #[test]
+    fn duplicate_ids_keep_freshest() {
+        let mut v = PartialView::new(4);
+        v.insert(d(1, 10));
+        v.insert(d(1, 5)); // staler duplicate must not regress
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.entries()[0].stamp, 10);
+        v.insert(d(1, 20));
+        assert_eq!(v.entries()[0].stamp, 20);
+    }
+
+    #[test]
+    fn merge_excludes_self() {
+        let mut v = PartialView::new(4);
+        let mut rng = Xoshiro256pp::seeded(9);
+        v.merge_from([d(1, 1), d(2, 2), d(3, 3)], Some(NodeId(2)), &mut rng);
+        assert!(!v.contains(NodeId(2)));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn merge_tie_break_is_fair() {
+        // With every stamp equal, repeated merges of fresh candidates into
+        // a full view must sometimes admit the newcomer.
+        let mut rng = Xoshiro256pp::seeded(10);
+        let mut admitted = 0;
+        for trial in 0..200 {
+            let mut v = PartialView::new(4);
+            for i in 0..4 {
+                v.insert(d(i, 7));
+            }
+            let newcomer = 100 + trial;
+            v.merge_from([d(newcomer, 7)], None, &mut rng);
+            if v.contains(NodeId(newcomer)) {
+                admitted += 1;
+            }
+        }
+        // Newcomer survival chance is 4/5; allow generous slack.
+        assert!(
+            (100..=195).contains(&admitted),
+            "admitted {admitted}/200 — tie-break looks biased"
+        );
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut v = PartialView::new(4);
+        v.insert(d(1, 1));
+        v.insert(d(2, 2));
+        assert!(v.remove(NodeId(1)));
+        assert!(!v.remove(NodeId(1)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn sample_uniform_over_entries() {
+        let mut v = PartialView::new(8);
+        for i in 0..8 {
+            v.insert(d(i, 100));
+        }
+        let mut rng = Xoshiro256pp::seeded(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            let s = v.sample(&mut rng).unwrap();
+            counts[s.id.raw() as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700 && c < 1300, "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn sample_empty_is_none() {
+        let v = PartialView::new(2);
+        let mut rng = Xoshiro256pp::seeded(1);
+        assert!(v.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        PartialView::new(0);
+    }
+}

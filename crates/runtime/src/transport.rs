@@ -1,0 +1,270 @@
+//! Message transports for the threaded deployment.
+//!
+//! A transport delivers opaque datagrams between named nodes. Two
+//! implementations:
+//!
+//! * [`ChannelTransport`] — in-process crossbeam channels behind a shared
+//!   directory; the fast path for laptop-scale clusters and tests.
+//! * [`crate::udp::UdpTransport`] — real UDP sockets on localhost, the
+//!   closest laptop equivalent of the paper's envisioned LAN/Internet
+//!   deployment.
+//!
+//! Both are unreliable by contract (sends to unknown or crashed nodes are
+//! silently dropped — exactly the failure model of the paper's §3.3.4),
+//! and [`LossyTransport`] adds Bernoulli message loss on top of any
+//! transport for fault-injection experiments.
+
+use bytes::Bytes;
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+use gossipopt_sim::NodeId;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use parking_lot::Mutex;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A datagram transport endpoint owned by one node thread.
+pub trait Transport: Send {
+    /// This endpoint's node id.
+    fn local_id(&self) -> NodeId;
+
+    /// Best-effort datagram send. Unknown or departed destinations are
+    /// dropped silently; `true` means the datagram was handed off.
+    fn send(&self, to: NodeId, payload: Bytes) -> bool;
+
+    /// Receive the next datagram, waiting at most `timeout`.
+    fn recv(&self, timeout: Duration) -> Option<(NodeId, Bytes)>;
+}
+
+/// Directory of per-node mailbox senders.
+type Mailboxes = HashMap<NodeId, Sender<(NodeId, Bytes)>>;
+
+/// Shared name → mailbox directory for in-process clusters.
+///
+/// Plays the role of the underlying routed network ("every node can
+/// potentially communicate with every other node" — §3.1): it provides
+/// reachability, not membership. Nodes still discover each other through
+/// NEWSCAST.
+#[derive(Clone, Default)]
+pub struct ChannelNet {
+    inner: Arc<RwLock<Mailboxes>>,
+}
+
+impl ChannelNet {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create and register an endpoint for `id`, with an unbounded mailbox.
+    pub fn endpoint(&self, id: NodeId) -> ChannelTransport {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.inner.write().insert(id, tx);
+        ChannelTransport {
+            id,
+            net: self.clone(),
+            rx,
+        }
+    }
+
+    /// Remove `id` from the directory: subsequent sends to it are dropped,
+    /// modeling a crash (its thread may still drain its mailbox).
+    pub fn disconnect(&self, id: NodeId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no endpoint is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+/// In-process channel endpoint (see [`ChannelNet`]).
+pub struct ChannelTransport {
+    id: NodeId,
+    net: ChannelNet,
+    rx: Receiver<(NodeId, Bytes)>,
+}
+
+impl Transport for ChannelTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&self, to: NodeId, payload: Bytes) -> bool {
+        let guard = self.net.inner.read();
+        match guard.get(&to) {
+            Some(tx) => match tx.try_send((self.id, payload)) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+            },
+            None => false,
+        }
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<(NodeId, Bytes)> {
+        if timeout.is_zero() {
+            self.rx.try_recv().ok()
+        } else {
+            self.rx.recv_timeout(timeout).ok()
+        }
+    }
+}
+
+/// Decorator injecting independent Bernoulli loss on sends.
+///
+/// Loss is applied at the sender so both transports share one fault model;
+/// the RNG sits behind a mutex because [`Transport::send`] takes `&self`.
+pub struct LossyTransport<T: Transport> {
+    inner: T,
+    loss_prob: f64,
+    rng: Mutex<Xoshiro256pp>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wrap `inner`, dropping each outgoing datagram with `loss_prob`.
+    pub fn new(inner: T, loss_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_prob), "loss_prob in [0,1]");
+        LossyTransport {
+            inner,
+            loss_prob,
+            rng: Mutex::new(Xoshiro256pp::seeded(seed)),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Datagrams dropped by the fault injector so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+
+    fn send(&self, to: NodeId, payload: Bytes) -> bool {
+        if self.loss_prob > 0.0 && self.rng.lock().chance(self.loss_prob) {
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return false;
+        }
+        self.inner.send(to, payload)
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<(NodeId, Bytes)> {
+        self.inner.recv(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip() {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        assert!(a.send(NodeId(1), Bytes::from_static(b"hello")));
+        let (from, payload) = b.recv(Duration::from_millis(100)).unwrap();
+        assert_eq!(from, NodeId(0));
+        assert_eq!(&payload[..], b"hello");
+    }
+
+    #[test]
+    fn send_to_unknown_is_dropped() {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        assert!(!a.send(NodeId(42), Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn disconnect_models_crash() {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        assert!(a.send(NodeId(1), Bytes::from_static(b"1")));
+        net.disconnect(NodeId(1));
+        assert!(!a.send(NodeId(1), Bytes::from_static(b"2")));
+        // The crashed node's already-delivered mail remains readable.
+        assert!(b.recv(Duration::ZERO).is_some());
+        assert!(b.recv(Duration::ZERO).is_none());
+        assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        let t0 = std::time::Instant::now();
+        assert!(a.recv(Duration::from_millis(20)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert!(a.recv(Duration::ZERO).is_none(), "zero timeout = try_recv");
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net = ChannelNet::new();
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let h = std::thread::spawn(move || {
+            let mut got = 0;
+            while got < 100 {
+                if b.recv(Duration::from_millis(200)).is_some() {
+                    got += 1;
+                } else {
+                    break;
+                }
+            }
+            got
+        });
+        for i in 0..100u32 {
+            assert!(a.send(NodeId(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        assert_eq!(h.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn lossy_transport_drops_about_p() {
+        let net = ChannelNet::new();
+        let a = LossyTransport::new(net.endpoint(NodeId(0)), 0.5, 9);
+        let _b = net.endpoint(NodeId(1));
+        let mut delivered = 0;
+        for _ in 0..1000 {
+            if a.send(NodeId(1), Bytes::from_static(b"x")) {
+                delivered += 1;
+            }
+        }
+        assert!(
+            (350..=650).contains(&delivered),
+            "delivered {delivered}/1000 at p=0.5"
+        );
+        assert_eq!(a.dropped() + delivered, 1000);
+    }
+
+    #[test]
+    fn lossless_wrapper_is_transparent() {
+        let net = ChannelNet::new();
+        let a = LossyTransport::new(net.endpoint(NodeId(0)), 0.0, 1);
+        let b = net.endpoint(NodeId(1));
+        for _ in 0..50 {
+            assert!(a.send(NodeId(1), Bytes::from_static(b"y")));
+        }
+        let mut got = 0;
+        while b.recv(Duration::ZERO).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 50);
+        assert_eq!(a.dropped(), 0);
+        assert_eq!(a.local_id(), NodeId(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! UDP transport on localhost — the real-network deployment path.
+//!
+//! Each node binds an ephemeral UDP socket on `127.0.0.1` and registers
+//! its address in a shared [`UdpDirectory`] (standing in for whatever
+//! discovery a production deployment would use — DNS, a bootstrap list, a
+//! tracker; the paper assumes "a node must know its identifier, e.g. a
+//! pair ⟨IP address, port⟩"). Datagrams are framed as
+//! `[sender id: u64 LE][wire payload…]` and inherit UDP's native loss,
+//! reordering and non-delivery semantics, which the protocol tolerates by
+//! design (§3.3.4).
+
+use crate::transport::Transport;
+use bytes::{Buf, Bytes};
+use gossipopt_sim::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest datagram this transport will send (IP fragmentation threshold
+/// is irrelevant on loopback; this caps decode allocations instead).
+pub const MAX_DATAGRAM: usize = 60 * 1024;
+
+/// Shared id → socket-address directory.
+#[derive(Clone, Default)]
+pub struct UdpDirectory {
+    inner: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+}
+
+impl UdpDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node's address.
+    pub fn register(&self, id: NodeId, addr: SocketAddr) {
+        self.inner.write().insert(id, addr);
+    }
+
+    /// Remove a node (subsequent sends to it are dropped at the sender).
+    pub fn deregister(&self, id: NodeId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Look up a node's address.
+    pub fn lookup(&self, id: NodeId) -> Option<SocketAddr> {
+        self.inner.read().get(&id).copied()
+    }
+
+    /// Registered node count.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+/// A UDP endpoint bound to an ephemeral localhost port.
+pub struct UdpTransport {
+    id: NodeId,
+    socket: UdpSocket,
+    directory: UdpDirectory,
+    /// Scratch buffer sized for the largest accepted datagram.
+    recv_buf: std::cell::RefCell<Vec<u8>>,
+}
+
+// SAFETY-free Send: RefCell is only touched from the owning thread; the
+// struct moves wholesale into its node thread. (UdpSocket itself is Send.)
+// RefCell<Vec<u8>> is Send when Vec<u8> is, so the derive suffices.
+impl UdpTransport {
+    /// Bind a fresh socket for `id` and register it in `directory`.
+    pub fn bind(id: NodeId, directory: UdpDirectory) -> io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        directory.register(id, socket.local_addr()?);
+        Ok(UdpTransport {
+            id,
+            socket,
+            directory,
+            recv_buf: std::cell::RefCell::new(vec![0u8; MAX_DATAGRAM + 8]),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&self, to: NodeId, payload: Bytes) -> bool {
+        if payload.len() > MAX_DATAGRAM {
+            return false;
+        }
+        let Some(addr) = self.directory.lookup(to) else {
+            return false;
+        };
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&self.id.raw().to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.socket.send_to(&frame, addr).is_ok()
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<(NodeId, Bytes)> {
+        // read_timeout(None) would block forever; clamp to 1ms minimum.
+        let t = timeout.max(Duration::from_millis(1));
+        if self.socket.set_read_timeout(Some(t)).is_err() {
+            return None;
+        }
+        let mut buf = self.recv_buf.borrow_mut();
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _addr)) if n >= 8 => {
+                let mut head = &buf[..8];
+                let from = NodeId(head.get_u64_le());
+                Some((from, Bytes::copy_from_slice(&buf[8..n])))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_roundtrip_between_two_sockets() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir.clone()).unwrap();
+        let b = UdpTransport::bind(NodeId(1), dir.clone()).unwrap();
+        assert_eq!(dir.len(), 2);
+        assert!(a.send(NodeId(1), Bytes::from_static(b"ping")));
+        let (from, payload) = b.recv(Duration::from_millis(500)).expect("delivery");
+        assert_eq!(from, NodeId(0));
+        assert_eq!(&payload[..], b"ping");
+    }
+
+    #[test]
+    fn unknown_destination_dropped_at_sender() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir).unwrap();
+        assert!(!a.send(NodeId(99), Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn deregistered_destination_dropped() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir.clone()).unwrap();
+        let _b = UdpTransport::bind(NodeId(1), dir.clone()).unwrap();
+        dir.deregister(NodeId(1));
+        assert!(!a.send(NodeId(1), Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn oversized_datagram_refused() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir.clone()).unwrap();
+        let _b = UdpTransport::bind(NodeId(1), dir).unwrap();
+        let huge = Bytes::from(vec![0u8; MAX_DATAGRAM + 1]);
+        assert!(!a.send(NodeId(1), huge));
+    }
+
+    #[test]
+    fn recv_times_out_cleanly() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir).unwrap();
+        assert!(a.recv(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn runt_frames_are_ignored() {
+        let dir = UdpDirectory::new();
+        let a = UdpTransport::bind(NodeId(0), dir.clone()).unwrap();
+        let b = UdpTransport::bind(NodeId(1), dir).unwrap();
+        // Send a 3-byte frame straight through the socket, bypassing the
+        // framing logic.
+        let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        raw.send_to(b"abc", b.local_addr().unwrap()).unwrap();
+        assert!(b.recv(Duration::from_millis(100)).is_none());
+        let _ = a;
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the binary wire protocol.
+
+use gossipopt_core::messages::Msg;
+use gossipopt_core::rumor::GlobalBest;
+use gossipopt_gossip::view::Descriptor;
+use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg, RumorAck};
+use gossipopt_runtime::{decode, encode};
+use gossipopt_sim::NodeId;
+use proptest::prelude::*;
+
+fn arb_best() -> impl Strategy<Value = GlobalBest> {
+    (
+        prop::collection::vec(prop::num::f64::ANY, 0..32),
+        prop::num::f64::ANY,
+    )
+        .prop_map(|(x, f)| GlobalBest { x, f })
+}
+
+fn arb_descriptors() -> impl Strategy<Value = Vec<Descriptor>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..64).prop_map(|ds| {
+        ds.into_iter()
+            .map(|(id, stamp)| Descriptor {
+                id: NodeId(id),
+                stamp,
+            })
+            .collect()
+    })
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        arb_descriptors().prop_map(|d| Msg::Newscast(NewscastMsg::Request(d))),
+        arb_descriptors().prop_map(|d| Msg::Newscast(NewscastMsg::Reply(d))),
+        arb_best().prop_map(|g| Msg::Coord(AntiEntropyMsg::Offer(g))),
+        Just(Msg::Coord(AntiEntropyMsg::Ask)),
+        arb_best().prop_map(|g| Msg::Coord(AntiEntropyMsg::Tell(g))),
+        arb_best().prop_map(Msg::RumorPush),
+        Just(Msg::RumorFeedback(RumorAck::New)),
+        Just(Msg::RumorFeedback(RumorAck::Duplicate)),
+        arb_best().prop_map(Msg::Migrant),
+        arb_best().prop_map(Msg::MasterReport),
+        arb_best().prop_map(Msg::MasterUpdate),
+    ]
+}
+
+/// Bit-exact structural equality (NaN == NaN) via the debug rendering of
+/// bit patterns.
+fn canonical(m: &Msg) -> String {
+    fn best(g: &GlobalBest) -> String {
+        let xs: Vec<u64> = g.x.iter().map(|v| v.to_bits()).collect();
+        format!("{xs:?}|{}", g.f.to_bits())
+    }
+    match m {
+        Msg::Newscast(NewscastMsg::Request(d)) => format!("req{d:?}"),
+        Msg::Newscast(NewscastMsg::Reply(d)) => format!("rep{d:?}"),
+        Msg::Coord(AntiEntropyMsg::Offer(g)) => format!("offer{}", best(g)),
+        Msg::Coord(AntiEntropyMsg::Ask) => "ask".into(),
+        Msg::Coord(AntiEntropyMsg::Tell(g)) => format!("tell{}", best(g)),
+        Msg::RumorPush(g) => format!("push{}", best(g)),
+        Msg::RumorFeedback(a) => format!("fb{a:?}"),
+        Msg::Migrant(g) => format!("mig{}", best(g)),
+        Msg::MasterReport(g) => format!("mrep{}", best(g)),
+        Msg::MasterUpdate(g) => format!("mupd{}", best(g)),
+    }
+}
+
+proptest! {
+    /// decode(encode(m)) is the identity, bit-exactly, for every message.
+    #[test]
+    fn roundtrip(m in arb_msg()) {
+        let bytes = encode(&m);
+        let back = decode(&bytes).expect("well-formed frames must decode");
+        prop_assert_eq!(canonical(&m), canonical(&back));
+    }
+
+    /// Every strict prefix of a frame fails to decode (no silent
+    /// truncation acceptance).
+    #[test]
+    fn prefixes_always_fail(m in arb_msg(), frac in 0.0f64..1.0) {
+        let bytes = encode(&m);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Appending garbage to a frame fails to decode.
+    #[test]
+    fn suffixes_always_fail(m in arb_msg(), extra in prop::collection::vec(any::<u8>(), 1..16)) {
+        let mut bytes = encode(&m).to_vec();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(decode(&bytes).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder (it may decode by
+    /// coincidence, but must not crash or over-allocate).
+    #[test]
+    fn fuzz_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+}

@@ -1,0 +1,95 @@
+//! The protocol interface shared by both engines.
+
+use crate::ids::{NodeId, Ticks};
+use gossipopt_util::Xoshiro256pp;
+
+/// A per-node protocol state machine.
+///
+/// Both engines drive implementations through the same three entry points:
+///
+/// * [`Application::on_join`] — once, when the node enters the network,
+///   with a bootstrap sample of live peers (how any real deployment seeds
+///   its first view);
+/// * [`Application::on_tick`] — the periodic active thread (PeerSim's
+///   `nextCycle`); in the gossipopt experiments one tick hosts one local
+///   function evaluation;
+/// * [`Application::on_message`] — the passive thread, invoked per
+///   delivered message.
+///
+/// Implementations communicate *only* through [`Ctx::send`]; the kernel
+/// owns loss, latency and liveness. Sending to a crashed node silently
+/// drops the message, as UDP would.
+pub trait Application: Sized {
+    /// Message type exchanged between nodes of this application.
+    type Message: Clone + std::fmt::Debug;
+
+    /// Called once when the node joins; `contacts` is a uniform sample of
+    /// currently live nodes (possibly empty for the very first node).
+    fn on_join(&mut self, contacts: &[NodeId], ctx: &mut Ctx<'_, Self::Message>);
+
+    /// Periodic action, once per tick while alive.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// A message from `from` has been delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<'_, Self::Message>);
+}
+
+/// Kernel services exposed to a protocol during a callback.
+pub struct Ctx<'a, M> {
+    /// This node's identifier.
+    pub self_id: NodeId,
+    /// Current simulated time.
+    pub now: Ticks,
+    pub(crate) rng: &'a mut Xoshiro256pp,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Construct a context (kernel-internal; public for engine reuse in
+    /// other crates' tests).
+    pub fn new(
+        self_id: NodeId,
+        now: Ticks,
+        rng: &'a mut Xoshiro256pp,
+        outbox: &'a mut Vec<(NodeId, M)>,
+    ) -> Self {
+        Ctx {
+            self_id,
+            now,
+            rng,
+            outbox,
+        }
+    }
+
+    /// Queue `msg` for delivery to `to`. Delivery is asynchronous and
+    /// unreliable; the kernel applies the configured loss and latency.
+    /// Self-sends are delivered like any other message.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// This node's deterministic private random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256pp {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_util::Rng64;
+
+    #[test]
+    fn ctx_queues_sends_in_order() {
+        let mut rng = Xoshiro256pp::seeded(1);
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), 5, &mut rng, &mut outbox);
+        ctx.send(NodeId(1), 10);
+        ctx.send(NodeId(2), 20);
+        assert_eq!(ctx.now, 5);
+        let _ = ctx.rng().next_u64();
+        assert_eq!(outbox, vec![(NodeId(1), 10), (NodeId(2), 20)]);
+    }
+}

@@ -1,0 +1,629 @@
+//! The discrete-event kernel (PeerSim's event-driven mode).
+//!
+//! Unlike the cycle engine's synchronous rounds, here every node runs its
+//! periodic [`Application::on_tick`] on its *own clock* — a timer with the
+//! shared period but an individually jittered phase — and messages take a
+//! sampled latency to arrive. This is the execution model a real deployment
+//! over the Internet would have, and it is used by the extension
+//! experiments to check that the paper's cycle-based results survive
+//! asynchrony.
+//!
+//! Events are totally ordered by `(time, sequence)`; equal-time events
+//! process in insertion order, which keeps runs deterministic.
+
+use crate::app::{Application, Ctx};
+use crate::churn::ChurnConfig;
+use crate::ids::{NodeId, Ticks};
+use crate::transport::Transport;
+use crate::Control;
+use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of an [`EventEngine`].
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    /// Root seed; all randomness in the run derives from it.
+    pub seed: u64,
+    /// Loss and latency models.
+    pub transport: Transport,
+    /// Period of each node's tick timer, in time units.
+    pub tick_period: u64,
+    /// Randomize each node's initial timer phase within one period
+    /// (`true` models unsynchronized clocks; `false` makes all nodes fire
+    /// together, approximating the cycle engine).
+    pub jitter_phase: bool,
+    /// Churn process; rates are interpreted per `tick_period` window.
+    pub churn: ChurnConfig,
+    /// How many live contacts a joining node is bootstrapped with.
+    pub bootstrap_sample: usize,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            seed: 0,
+            transport: Transport::reliable(),
+            tick_period: 10,
+            jitter_phase: true,
+            churn: ChurnConfig::none(),
+            bootstrap_sample: 8,
+        }
+    }
+}
+
+impl EventConfig {
+    /// Default configuration with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        EventConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Tick { node: NodeId },
+    Churn,
+}
+
+struct Event<M> {
+    time: Ticks,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// Ordering on (time, seq) only; the payload does not need Ord.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Slot<A: Application> {
+    id: NodeId,
+    app: A,
+    rng: Xoshiro256pp,
+    alive: bool,
+}
+
+/// Read-only view over live nodes, handed to observers.
+pub struct NodesView<'a, A: Application> {
+    slots: &'a [Slot<A>],
+    alive: usize,
+}
+
+impl<'a, A: Application> NodesView<'a, A> {
+    /// Iterate `(id, application)` over live nodes in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a A)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| (s.id, &s.app))
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True when the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+}
+
+type Spawner<A> = Box<dyn FnMut(NodeId, &mut Xoshiro256pp) -> A>;
+
+/// The discrete-event simulation kernel.
+pub struct EventEngine<A: Application> {
+    cfg: EventConfig,
+    slots: Vec<Slot<A>>,
+    index: HashMap<NodeId, usize>,
+    alive_count: usize,
+    next_id: u64,
+    next_seq: u64,
+    kernel_rng: Xoshiro256pp,
+    now: Ticks,
+    heap: BinaryHeap<Reverse<Event<A::Message>>>,
+    spawner: Option<Spawner<A>>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<A: Application> EventEngine<A> {
+    /// Create an empty network with the given configuration.
+    pub fn new(cfg: EventConfig) -> Self {
+        assert!(cfg.tick_period > 0, "tick_period must be positive");
+        let kernel_rng = Xoshiro256pp::derive(cfg.seed, StreamId(1, 0));
+        let mut engine = EventEngine {
+            cfg,
+            slots: Vec::new(),
+            index: HashMap::new(),
+            alive_count: 0,
+            next_id: 0,
+            next_seq: 0,
+            kernel_rng,
+            now: 0,
+            heap: BinaryHeap::new(),
+            spawner: None,
+            delivered: 0,
+            dropped: 0,
+        };
+        if !engine.cfg.churn.is_static() {
+            let period = engine.cfg.tick_period;
+            engine.schedule(period, EventKind::Churn);
+        }
+        engine
+    }
+
+    /// Install the factory used for churn joins and [`EventEngine::populate`].
+    pub fn set_spawner(&mut self, f: impl FnMut(NodeId, &mut Xoshiro256pp) -> A + 'static) {
+        self.spawner = Some(Box::new(f));
+    }
+
+    /// Add `n` nodes via the spawner.
+    pub fn populate(&mut self, n: usize) {
+        for _ in 0..n {
+            let id = NodeId(self.next_id);
+            let mut spawner = self.spawner.take().expect("populate requires a spawner");
+            let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(3, id.raw()));
+            let app = spawner(id, &mut node_rng);
+            self.spawner = Some(spawner);
+            self.insert(app);
+        }
+    }
+
+    /// Add one node; runs `on_join` now and schedules its tick timer.
+    pub fn insert(&mut self, app: A) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(2, id.raw()));
+        let contacts = self.sample_alive(self.cfg.bootstrap_sample, Some(id));
+        let slot_idx = self.slots.len();
+        self.slots.push(Slot {
+            id,
+            app,
+            rng,
+            alive: true,
+        });
+        self.index.insert(id, slot_idx);
+        self.alive_count += 1;
+
+        let mut outbox = Vec::new();
+        {
+            let slot = &mut self.slots[slot_idx];
+            let mut ctx = Ctx::new(id, self.now, &mut slot.rng, &mut outbox);
+            slot.app.on_join(&contacts, &mut ctx);
+        }
+        self.route(id, outbox);
+
+        let phase = if self.cfg.jitter_phase {
+            self.kernel_rng.below(self.cfg.tick_period)
+        } else {
+            0
+        };
+        self.schedule(phase + 1, EventKind::Tick { node: id });
+        id
+    }
+
+    /// Crash a node immediately. In-flight messages to it will be dropped
+    /// at delivery time.
+    pub fn crash(&mut self, id: NodeId) -> bool {
+        match self.index.get(&id) {
+            Some(&i) if self.slots[i].alive => {
+                self.slots[i].alive = false;
+                self.alive_count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped so far (loss or dead destination).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Read a live node's application state.
+    pub fn node(&self, id: NodeId) -> Option<&A> {
+        self.index
+            .get(&id)
+            .map(|&i| &self.slots[i])
+            .filter(|s| s.alive)
+            .map(|s| &s.app)
+    }
+
+    /// Iterate `(id, application)` over live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &A)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| (s.id, &s.app))
+    }
+
+    /// Run until `max_time`, invoking `observer` every `observe_every` time
+    /// units; stops early on [`Control::Stop`]. Returns the stop time.
+    pub fn run_until(
+        &mut self,
+        max_time: Ticks,
+        observe_every: Ticks,
+        mut observer: impl FnMut(Ticks, &NodesView<'_, A>) -> Control,
+    ) -> Ticks {
+        assert!(observe_every > 0);
+        let mut next_observe = self.now + observe_every;
+        while let Some(Reverse(head)) = self.heap.peek() {
+            let next_time = head.time;
+            if next_time > max_time {
+                break;
+            }
+            // Fire observation boundaries that strictly precede the next
+            // event; a boundary coinciding with events is observed after
+            // all of them have been processed.
+            while next_observe < next_time {
+                self.now = next_observe;
+                let view = NodesView {
+                    slots: &self.slots,
+                    alive: self.alive_count,
+                };
+                if observer(self.now, &view) == Control::Stop {
+                    return self.now;
+                }
+                next_observe += observe_every;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked event vanished");
+            self.now = ev.time;
+            self.process(ev.kind);
+        }
+        // Trailing observations up to max_time.
+        while next_observe <= max_time {
+            self.now = next_observe;
+            let view = NodesView {
+                slots: &self.slots,
+                alive: self.alive_count,
+            };
+            if observer(self.now, &view) == Control::Stop {
+                return self.now;
+            }
+            next_observe += observe_every;
+        }
+        self.now = max_time;
+        max_time
+    }
+
+    /// Run until `max_time` with no observation.
+    pub fn run(&mut self, max_time: Ticks) {
+        self.run_until(max_time, max_time.max(1), |_, _| Control::Continue);
+    }
+
+    fn schedule(&mut self, delay: Ticks, kind: EventKind<A::Message>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            time: self.now + delay,
+            seq,
+            kind,
+        }));
+    }
+
+    fn process(&mut self, kind: EventKind<A::Message>) {
+        match kind {
+            EventKind::Tick { node } => {
+                let Some(&i) = self.index.get(&node) else {
+                    return;
+                };
+                if !self.slots[i].alive {
+                    return; // timer of a crashed node: lapse silently
+                }
+                let mut outbox = Vec::new();
+                {
+                    let slot = &mut self.slots[i];
+                    let mut ctx = Ctx::new(node, self.now, &mut slot.rng, &mut outbox);
+                    slot.app.on_tick(&mut ctx);
+                }
+                self.route(node, outbox);
+                let period = self.cfg.tick_period;
+                self.schedule(period, EventKind::Tick { node });
+            }
+            EventKind::Deliver { from, to, msg } => {
+                let Some(&i) = self.index.get(&to) else {
+                    self.dropped += 1;
+                    return;
+                };
+                if !self.slots[i].alive {
+                    self.dropped += 1;
+                    return;
+                }
+                let mut outbox = Vec::new();
+                {
+                    let slot = &mut self.slots[i];
+                    let mut ctx = Ctx::new(to, self.now, &mut slot.rng, &mut outbox);
+                    slot.app.on_message(from, msg, &mut ctx);
+                }
+                self.delivered += 1;
+                self.route(to, outbox);
+            }
+            EventKind::Churn => {
+                self.churn_step();
+                let period = self.cfg.tick_period;
+                self.schedule(period, EventKind::Churn);
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, outbox: Vec<(NodeId, A::Message)>) {
+        for (to, msg) in outbox {
+            if self.cfg.transport.drops(&mut self.kernel_rng) {
+                self.dropped += 1;
+                continue;
+            }
+            let delay = self.cfg.transport.latency.sample(&mut self.kernel_rng).max(1);
+            self.schedule(delay, EventKind::Deliver { from, to, msg });
+        }
+    }
+
+    fn churn_step(&mut self) {
+        let churn = self.cfg.churn;
+        if churn.crash_prob_per_tick > 0.0 {
+            for i in 0..self.slots.len() {
+                if self.alive_count <= churn.min_nodes {
+                    break;
+                }
+                if self.slots[i].alive && self.kernel_rng.chance(churn.crash_prob_per_tick) {
+                    self.slots[i].alive = false;
+                    self.alive_count -= 1;
+                }
+            }
+        }
+        let joins = churn.sample_joins(&mut self.kernel_rng);
+        for _ in 0..joins {
+            if self.alive_count >= churn.max_nodes || self.spawner.is_none() {
+                break;
+            }
+            let mut spawner = self.spawner.take().expect("checked above");
+            let id = NodeId(self.next_id);
+            let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(3, id.raw()));
+            let app = spawner(id, &mut node_rng);
+            self.spawner = Some(spawner);
+            self.insert(app);
+        }
+    }
+
+    fn sample_alive(&mut self, m: usize, except: Option<NodeId>) -> Vec<NodeId> {
+        let alive: Vec<NodeId> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive && Some(s.id) != except)
+            .map(|s| s.id)
+            .collect();
+        if alive.is_empty() || m == 0 {
+            return Vec::new();
+        }
+        let m = m.min(alive.len());
+        self.kernel_rng
+            .sample_indices(alive.len(), m)
+            .into_iter()
+            .map(|i| alive[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Latency;
+
+    /// Echo protocol: tick sends a ping to a contact; receivers count.
+    #[derive(Debug)]
+    struct Echo {
+        contact: Option<NodeId>,
+        ticks: u64,
+        pings: u64,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                contact: None,
+                ticks: 0,
+                pings: 0,
+            }
+        }
+    }
+
+    impl Application for Echo {
+        type Message = ();
+
+        fn on_join(&mut self, contacts: &[NodeId], _ctx: &mut Ctx<'_, ()>) {
+            self.contact = contacts.first().copied();
+        }
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.ticks += 1;
+            if let Some(c) = self.contact {
+                ctx.send(c, ());
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Ctx<'_, ()>) {
+            self.pings += 1;
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_period() {
+        let mut cfg = EventConfig::seeded(1);
+        cfg.tick_period = 10;
+        cfg.jitter_phase = false;
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.insert(Echo::new());
+        e.run(100);
+        let (_, app) = e.nodes().next().unwrap();
+        // Ticks at t=1, 11, 21, ..., 91 -> 10 ticks by t=100.
+        assert_eq!(app.ticks, 10);
+    }
+
+    #[test]
+    fn jittered_phases_spread_ticks() {
+        let mut cfg = EventConfig::seeded(2);
+        cfg.tick_period = 100;
+        cfg.jitter_phase = true;
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        for _ in 0..50 {
+            e.insert(Echo::new());
+        }
+        e.run(99);
+        // With uniform phases over one period each node ticks at most once
+        // by t=99, and most have ticked.
+        let ticks: Vec<u64> = e.nodes().map(|(_, a)| a.ticks).collect();
+        assert!(ticks.iter().all(|&t| t <= 1));
+        assert!(ticks.iter().sum::<u64>() >= 40);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut cfg = EventConfig::seeded(3);
+        cfg.tick_period = 5;
+        cfg.jitter_phase = false;
+        cfg.transport = Transport {
+            loss_prob: 0.0,
+            latency: Latency::Constant(50),
+        };
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.insert(Echo::new());
+        e.insert(Echo::new()); // contacts node 0
+        e.run(40);
+        assert_eq!(e.delivered(), 0, "nothing can arrive before t=51");
+        e.run(100);
+        assert!(e.delivered() > 0);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut cfg = EventConfig::seeded(4);
+        cfg.transport = Transport::lossy(1.0);
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.insert(Echo::new());
+        e.insert(Echo::new());
+        e.run(200);
+        assert_eq!(e.delivered(), 0);
+        assert!(e.dropped() > 0);
+    }
+
+    #[test]
+    fn crashed_node_timer_lapses() {
+        let mut cfg = EventConfig::seeded(5);
+        cfg.tick_period = 10;
+        cfg.jitter_phase = false;
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        let a = e.insert(Echo::new());
+        e.run(25);
+        let ticks_before = e.node(a).unwrap().ticks;
+        assert_eq!(ticks_before, 3); // t = 1, 11, 21
+        e.crash(a);
+        e.run(100);
+        assert!(e.node(a).is_none());
+        assert_eq!(e.alive_count(), 0);
+    }
+
+    #[test]
+    fn observer_cadence_and_stop() {
+        let mut cfg = EventConfig::seeded(6);
+        cfg.tick_period = 7;
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.insert(Echo::new());
+        let mut seen = Vec::new();
+        let stop_at = e.run_until(1000, 50, |t, view| {
+            seen.push(t);
+            assert_eq!(view.len(), 1);
+            if t >= 200 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(stop_at, 200);
+        assert_eq!(seen, vec![50, 100, 150, 200]);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed| {
+            let mut cfg = EventConfig::seeded(seed);
+            cfg.transport = Transport {
+                loss_prob: 0.1,
+                latency: Latency::Uniform(1, 20),
+            };
+            let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+            for _ in 0..10 {
+                e.insert(Echo::new());
+            }
+            e.run(500);
+            (
+                e.delivered(),
+                e.dropped(),
+                e.nodes().map(|(_, a)| a.pings).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn churn_with_spawner_joins_and_crashes() {
+        let mut cfg = EventConfig::seeded(7);
+        cfg.tick_period = 10;
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.02,
+            joins_per_tick: 0.4,
+            min_nodes: 2,
+            max_nodes: 50,
+        };
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.set_spawner(|_, _| Echo::new());
+        e.populate(20);
+        e.run(2000);
+        assert!(e.alive_count() >= 2 && e.alive_count() <= 50);
+        assert!(e.slots.len() > 20, "some joins should have happened");
+    }
+
+    #[test]
+    fn equal_time_events_fifo() {
+        // With jitter off both nodes tick at t=1; node 0 was scheduled
+        // first so it fires first. b's ping to a (sent t=1) arrives t=2.
+        let mut cfg = EventConfig::seeded(8);
+        cfg.jitter_phase = false;
+        cfg.tick_period = 10;
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        let a = e.insert(Echo::new());
+        let b = e.insert(Echo::new()); // contacts a
+        e.run(3);
+        assert_eq!(e.node(a).unwrap().pings, 1);
+        assert_eq!(e.node(b).unwrap().pings, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Message transport models: loss and latency.
+
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Per-message latency model for the event-driven engine, in time units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniform in `[lo, hi]` (inclusive).
+    Uniform(u64, u64),
+    /// Exponential with the given mean, truncated to at least 1 unit —
+    /// a common long-tail WAN approximation.
+    Exponential(f64),
+}
+
+impl Latency {
+    /// Sample one delivery delay.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> u64 {
+        match *self {
+            Latency::Constant(c) => c,
+            Latency::Uniform(lo, hi) => {
+                assert!(lo <= hi, "uniform latency lo > hi");
+                lo + rng.below(hi - lo + 1)
+            }
+            Latency::Exponential(mean) => {
+                assert!(mean > 0.0, "exponential latency needs positive mean");
+                rng.exponential(1.0 / mean).round().max(1.0) as u64
+            }
+        }
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Constant(1)
+    }
+}
+
+/// Unreliable-channel model shared by both engines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transport {
+    /// Independent probability that any given message is dropped.
+    pub loss_prob: f64,
+    /// Latency model (event engine only; the cycle engine uses its own
+    /// intra/inter-cycle delivery discipline).
+    pub latency: Latency,
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Transport {
+            loss_prob: 0.0,
+            latency: Latency::default(),
+        }
+    }
+}
+
+impl Transport {
+    /// Perfect channel: no loss, unit latency.
+    pub fn reliable() -> Self {
+        Transport::default()
+    }
+
+    /// Lossy channel with the given drop probability.
+    pub fn lossy(loss_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_prob), "loss_prob out of [0,1]");
+        Transport {
+            loss_prob,
+            latency: Latency::default(),
+        }
+    }
+
+    /// Should this message be dropped?
+    #[inline]
+    pub fn drops(&self, rng: &mut Xoshiro256pp) -> bool {
+        self.loss_prob > 0.0 && rng.chance(self.loss_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency() {
+        let mut rng = Xoshiro256pp::seeded(1);
+        let l = Latency::Constant(7);
+        for _ in 0..10 {
+            assert_eq!(l.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_latency_covers_range() {
+        let mut rng = Xoshiro256pp::seeded(2);
+        let l = Latency::Uniform(3, 6);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let s = l.sample(&mut rng);
+            assert!((3..=6).contains(&s));
+            seen[s as usize] = true;
+        }
+        assert!(seen[3] && seen[4] && seen[5] && seen[6]);
+    }
+
+    #[test]
+    fn exponential_latency_positive_with_roughly_right_mean() {
+        let mut rng = Xoshiro256pp::seeded(3);
+        let l = Latency::Exponential(20.0);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let s = l.sample(&mut rng);
+            assert!(s >= 1);
+            sum += s;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 20.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn loss_rates() {
+        let mut rng = Xoshiro256pp::seeded(4);
+        let t = Transport::lossy(0.25);
+        let dropped = (0..100_000).filter(|_| t.drops(&mut rng)).count();
+        let rate = dropped as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+
+        let reliable = Transport::reliable();
+        assert!((0..1000).all(|_| !reliable.drops(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_prob")]
+    fn lossy_rejects_out_of_range() {
+        Transport::lossy(1.5);
+    }
+}

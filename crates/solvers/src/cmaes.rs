@@ -1,0 +1,460 @@
+//! Separable CMA-ES: `(μ/μ_w, λ)` evolution strategy with diagonal
+//! covariance adaptation (Ros & Hansen's sep-CMA-ES).
+//!
+//! The diagonal restriction keeps every update `O(dim)` — the right
+//! trade-off for a solver meant to run on thousands of simulated nodes —
+//! while retaining cumulative step-size adaptation (CSA) and per-axis
+//! variance learning. Stepped one evaluation at a time: each
+//! [`Solver::step`] samples and evaluates **one** offspring; after `λ`
+//! offspring the distribution parameters update from the `μ` best.
+//!
+//! Remote optima injected through [`Solver::tell_best`] warm-restart the
+//! distribution at the received point (paths reset, step size kept), the
+//! strategy a distributed deployment needs to profit from gossip.
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// sep-CMA-ES hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmaesParams {
+    /// Offspring per generation `λ` (`None` = `4 + ⌊3 ln dim⌋`).
+    pub lambda: Option<usize>,
+    /// Initial step size as a fraction of the domain width.
+    pub initial_sigma: f64,
+    /// Restart the distribution when `σ` collapses below this fraction of
+    /// the domain width.
+    pub restart_sigma: f64,
+}
+
+impl Default for CmaesParams {
+    fn default() -> Self {
+        CmaesParams {
+            lambda: None,
+            initial_sigma: 0.3,
+            restart_sigma: 1e-12,
+        }
+    }
+}
+
+/// Strategy constants derived from `dim` and `λ` once at initialization.
+#[derive(Debug, Clone)]
+struct Constants {
+    lambda: usize,
+    mu: usize,
+    /// Recombination weights for the `μ` best, summing to 1.
+    weights: Vec<f64>,
+    /// Variance-effective selection mass `μ_eff`.
+    mu_eff: f64,
+    /// Step-size path learning rate.
+    c_sigma: f64,
+    /// Step-size damping.
+    d_sigma: f64,
+    /// Covariance path learning rate.
+    c_c: f64,
+    /// Rank-one learning rate (scaled for the separable variant).
+    c_1: f64,
+    /// Rank-μ learning rate (scaled for the separable variant).
+    c_mu: f64,
+    /// E‖N(0, I)‖ for the CSA normalization.
+    chi_n: f64,
+}
+
+impl Constants {
+    fn new(dim: usize, lambda: usize) -> Self {
+        let n = dim as f64;
+        let mu = lambda / 2;
+        let raw: Vec<f64> = (0..mu)
+            .map(|i| ((lambda as f64 + 1.0) / 2.0).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / sum).collect();
+        let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        let c_sigma = (mu_eff + 2.0) / (n + mu_eff + 5.0);
+        let d_sigma = 1.0 + 2.0 * (0.0f64).max(((mu_eff - 1.0) / (n + 1.0)).sqrt() - 1.0) + c_sigma;
+        let c_c = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
+        // sep-CMA-ES scales the covariance learning rates by (n+2)/3.
+        let sep = (n + 2.0) / 3.0;
+        let c_1 = sep * 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
+        let c_mu = (1.0 - c_1).min(
+            sep * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff),
+        );
+        let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+        Constants {
+            lambda,
+            mu,
+            weights,
+            mu_eff,
+            c_sigma,
+            d_sigma,
+            c_c,
+            c_1,
+            c_mu,
+            chi_n,
+        }
+    }
+}
+
+/// One sampled offspring pending generation update.
+#[derive(Debug, Clone)]
+struct Offspring {
+    /// The standard-normal draw `z` (before scaling by `σ√C`).
+    z: Vec<f64>,
+    /// The evaluated point `m + σ·√C·z` (clamped to the domain).
+    x: Vec<f64>,
+    f: f64,
+}
+
+/// sep-CMA-ES implementing [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SepCmaes {
+    params: CmaesParams,
+    consts: Option<Constants>,
+    /// Distribution mean.
+    mean: Vec<f64>,
+    /// Global step size `σ`.
+    sigma: f64,
+    /// Diagonal covariance (per-axis variances).
+    diag_c: Vec<f64>,
+    /// Step-size evolution path `p_σ`.
+    p_sigma: Vec<f64>,
+    /// Covariance evolution path `p_c`.
+    p_c: Vec<f64>,
+    pending: Vec<Offspring>,
+    generation: u64,
+    restarts: u64,
+    best: Option<BestPoint>,
+    evals: u64,
+}
+
+impl SepCmaes {
+    /// Create a sep-CMA-ES solver.
+    pub fn new(params: CmaesParams) -> Self {
+        assert!(params.initial_sigma > 0.0, "initial_sigma must be positive");
+        SepCmaes {
+            params,
+            consts: None,
+            mean: Vec::new(),
+            sigma: 0.0,
+            diag_c: Vec::new(),
+            p_sigma: Vec::new(),
+            p_c: Vec::new(),
+            pending: Vec::new(),
+            generation: 0,
+            restarts: 0,
+            best: None,
+            evals: 0,
+        }
+    }
+
+    /// Create with an explicit population size `λ ≥ 2`.
+    pub fn with_lambda(lambda: usize, params: CmaesParams) -> Self {
+        assert!(lambda >= 2, "lambda must be at least 2");
+        SepCmaes::new(CmaesParams {
+            lambda: Some(lambda),
+            ..params
+        })
+    }
+
+    /// Generations completed so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Distribution restarts triggered by σ-collapse.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Current global step size σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn domain_width(f: &dyn Objective) -> f64 {
+        (0..f.dim())
+            .map(|d| {
+                let (lo, hi) = f.bounds(d);
+                hi - lo
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn initialize(&mut self, f: &dyn Objective, origin: Vec<f64>) {
+        let dim = f.dim();
+        let lambda = self
+            .params
+            .lambda
+            .unwrap_or_else(|| 4 + (3.0 * (dim as f64).ln()).floor() as usize)
+            .max(2);
+        self.consts = Some(Constants::new(dim, lambda));
+        self.mean = origin;
+        self.sigma = self.params.initial_sigma * Self::domain_width(f);
+        self.diag_c = vec![1.0; dim];
+        self.p_sigma = vec![0.0; dim];
+        self.p_c = vec![0.0; dim];
+        self.pending.clear();
+    }
+
+    fn note_best(&mut self, x: &[f64], f: f64) {
+        if self.best.as_ref().is_none_or(|b| f < b.f) {
+            self.best = Some(BestPoint { x: x.to_vec(), f });
+        }
+    }
+
+    /// Apply the generation update from the `λ` pending offspring.
+    fn update_generation(&mut self, f: &dyn Objective) {
+        let consts = self.consts.as_ref().expect("initialized").clone();
+        let dim = self.mean.len();
+        debug_assert_eq!(consts.weights.len(), consts.mu);
+        self.pending.sort_by(|a, b| a.f.total_cmp(&b.f));
+
+        // Weighted recombination in z-space and x-space.
+        let mut z_mean = vec![0.0; dim];
+        let mut new_mean = vec![0.0; dim];
+        for (w, off) in consts.weights.iter().zip(&self.pending) {
+            for d in 0..dim {
+                z_mean[d] += w * off.z[d];
+                new_mean[d] += w * off.x[d];
+            }
+        }
+        self.mean = new_mean;
+
+        // CSA path: p_σ ← (1−c_σ)p_σ + √(c_σ(2−c_σ)μ_eff) · z̄.
+        let cs = consts.c_sigma;
+        let norm_cs = (cs * (2.0 - cs) * consts.mu_eff).sqrt();
+        for (p, z) in self.p_sigma.iter_mut().zip(&z_mean) {
+            *p = (1.0 - cs) * *p + norm_cs * z;
+        }
+        let p_sigma_norm = self.p_sigma.iter().map(|v| v * v).sum::<f64>().sqrt();
+
+        // Step-size update.
+        self.sigma *= ((cs / consts.d_sigma) * (p_sigma_norm / consts.chi_n - 1.0)).exp();
+
+        // Heaviside stall detection for the covariance path.
+        let gen = (self.generation + 1) as f64;
+        let hsig = p_sigma_norm / (1.0 - (1.0 - cs).powf(2.0 * gen)).sqrt()
+            < (1.4 + 2.0 / (dim as f64 + 1.0)) * consts.chi_n;
+        let cc = consts.c_c;
+        let norm_cc = (cc * (2.0 - cc) * consts.mu_eff).sqrt();
+        for ((p, c), z) in self.p_c.iter_mut().zip(&self.diag_c).zip(&z_mean) {
+            // y̅ = √C · z̄ in the diagonal model.
+            let y = c.sqrt() * z;
+            *p = (1.0 - cc) * *p + if hsig { norm_cc * y } else { 0.0 };
+        }
+
+        // Diagonal covariance update (rank-one + rank-μ, per axis).
+        let delta_hsig = if hsig { 0.0 } else { cc * (2.0 - cc) };
+        for d in 0..dim {
+            let rank_mu: f64 = consts
+                .weights
+                .iter()
+                .zip(&self.pending)
+                .map(|(w, off)| {
+                    let y = self.diag_c[d].sqrt() * off.z[d];
+                    w * y * y
+                })
+                .sum();
+            self.diag_c[d] = (1.0 - consts.c_1 - consts.c_mu) * self.diag_c[d]
+                + consts.c_1 * (self.p_c[d] * self.p_c[d] + delta_hsig * self.diag_c[d])
+                + consts.c_mu * rank_mu;
+            // Numerical floor: variances must stay positive.
+            self.diag_c[d] = self.diag_c[d].max(1e-20);
+        }
+
+        self.pending.clear();
+        self.generation += 1;
+
+        // Restart on σ collapse (premature convergence in a local basin).
+        if self.sigma < self.params.restart_sigma * Self::domain_width(f) {
+            self.restarts += 1;
+            let origin = self
+                .best
+                .as_ref()
+                .map(|b| b.x.clone())
+                .unwrap_or_else(|| self.mean.clone());
+            let keep_params = self.params;
+            self.initialize(f, origin);
+            self.params = keep_params;
+        }
+    }
+}
+
+impl Solver for SepCmaes {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        if self.consts.is_none() {
+            let origin = random_position(f, rng);
+            self.initialize(f, origin);
+        }
+        let dim = self.mean.len();
+        let mut z = Vec::with_capacity(dim);
+        let mut x = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let zd = rng.normal();
+            let (lo, hi) = f.bounds(d);
+            let xd = (self.mean[d] + self.sigma * self.diag_c[d].sqrt() * zd).clamp(lo, hi);
+            z.push(zd);
+            x.push(xd);
+        }
+        let fx = f.eval(&x);
+        self.evals += 1;
+        self.note_best(&x, fx);
+        self.pending.push(Offspring { z, x, f: fx });
+        let lambda = self.consts.as_ref().expect("initialized").lambda;
+        if self.pending.len() == lambda {
+            self.update_generation(f);
+        }
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self.best.as_ref().is_none_or(|b| point.f < b.f) {
+            // Warm restart: recentre the distribution on the remote
+            // discovery so subsequent sampling exploits it. Paths reset;
+            // σ and C keep their adapted values.
+            if !self.mean.is_empty() && point.x.len() == self.mean.len() {
+                self.mean = point.x.clone();
+                self.p_sigma.iter_mut().for_each(|v| *v = 0.0);
+                self.p_c.iter_mut().for_each(|v| *v = 0.0);
+                self.pending.clear();
+            }
+            self.best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "cmaes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::{Ellipsoid, Rosenbrock, Sphere};
+
+    #[test]
+    fn default_lambda_follows_hansen_rule() {
+        let f = Sphere::new(10);
+        let mut s = SepCmaes::new(CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(1);
+        s.step(&f, &mut rng);
+        // 4 + floor(3 ln 10) = 4 + 6 = 10.
+        assert_eq!(s.consts.as_ref().unwrap().lambda, 10);
+    }
+
+    #[test]
+    fn generation_flips_every_lambda_evals() {
+        let f = Sphere::new(5);
+        let mut s = SepCmaes::with_lambda(6, CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(2);
+        for _ in 0..18 {
+            s.step(&f, &mut rng);
+        }
+        assert_eq!(s.generation(), 3);
+        assert!(s.pending.is_empty());
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let f = Sphere::new(10);
+        let mut s = SepCmaes::new(CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(3);
+        for _ in 0..20_000 {
+            s.step(&f, &mut rng);
+        }
+        let best = s.best().unwrap().f;
+        assert!(best < 1e-10, "sep-CMA-ES on sphere reached {best}");
+    }
+
+    #[test]
+    fn adapts_axis_scales_on_ellipsoid() {
+        // The whole point of covariance adaptation: the high-weight axis
+        // must end up with a much smaller sampling variance.
+        let f = Ellipsoid::new(6);
+        let mut s = SepCmaes::new(CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(4);
+        for _ in 0..12_000 {
+            s.step(&f, &mut rng);
+        }
+        let best = s.best().unwrap().f;
+        assert!(best < 1e-3, "ellipsoid reached {best}");
+        let c = &s.diag_c;
+        assert!(
+            c[0] > c[5],
+            "axis 0 (weight 1) variance {} should exceed axis 5 (weight 1e6) variance {}",
+            c[0],
+            c[5]
+        );
+    }
+
+    #[test]
+    fn improves_on_rosenbrock() {
+        let f = Rosenbrock::new(6);
+        let mut s = SepCmaes::new(CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(5);
+        for _ in 0..50 {
+            s.step(&f, &mut rng);
+        }
+        let early = s.best().unwrap().f;
+        for _ in 0..30_000 {
+            s.step(&f, &mut rng);
+        }
+        let late = s.best().unwrap().f;
+        assert!(late < early / 1e3, "{early} -> {late}");
+    }
+
+    #[test]
+    fn sigma_stays_positive_and_finite() {
+        let f = Sphere::new(4);
+        let mut s = SepCmaes::with_lambda(8, CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(6);
+        for _ in 0..5_000 {
+            s.step(&f, &mut rng);
+            assert!(s.sigma() > 0.0 && s.sigma().is_finite());
+            assert!(s.diag_c.iter().all(|&v| v > 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn tell_best_recentres_the_mean() {
+        let f = Sphere::new(3);
+        let mut s = SepCmaes::new(CmaesParams::default());
+        let mut rng = Xoshiro256pp::seeded(7);
+        for _ in 0..20 {
+            s.step(&f, &mut rng);
+        }
+        s.tell_best(BestPoint {
+            x: vec![0.0; 3],
+            f: 0.0,
+        });
+        assert_eq!(s.best().unwrap().f, 0.0);
+        assert_eq!(s.mean, vec![0.0; 3], "mean recentred at injection");
+        assert!(s.p_sigma.iter().all(|&v| v == 0.0), "paths reset");
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decrease() {
+        let c = Constants::new(10, 12);
+        let sum: f64 = c.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for w in c.weights.windows(2) {
+            assert!(w[0] > w[1], "weights must be strictly decreasing");
+        }
+        assert!(c.mu_eff > 1.0 && c.mu_eff <= c.mu as f64 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn tiny_lambda_rejected() {
+        SepCmaes::with_lambda(1, CmaesParams::default());
+    }
+}

@@ -1,0 +1,359 @@
+//! Real-coded genetic algorithm: tournament selection, simulated binary
+//! crossover (SBX) and polynomial mutation.
+//!
+//! One of the paper's future-work "different solvers". Generational with
+//! one-elite survival, stepped one evaluation at a time: the first `NP`
+//! steps evaluate the random initial population; afterwards each step
+//! breeds and evaluates **one** child, and once `NP` children have
+//! accumulated the generation flips (children replace parents, keeping the
+//! best parent if every child is worse than it).
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// SBX distribution index `η_c` (larger = children closer to parents).
+    pub eta_crossover: f64,
+    /// Polynomial-mutation distribution index `η_m`.
+    pub eta_mutation: f64,
+    /// Probability of applying crossover to a breeding pair.
+    pub crossover_prob: f64,
+    /// Per-gene mutation probability (`None` = the conventional `1/dim`).
+    pub mutation_prob: Option<f64>,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            eta_crossover: 15.0,
+            eta_mutation: 20.0,
+            crossover_prob: 0.9,
+            mutation_prob: None,
+            tournament: 2,
+        }
+    }
+}
+
+/// Real-coded GA population implementing [`Solver`].
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    params: GaParams,
+    np: usize,
+    population: Vec<Vec<f64>>,
+    fitness: Vec<f64>,
+    offspring: Vec<Vec<f64>>,
+    offspring_fitness: Vec<f64>,
+    best: Option<BestPoint>,
+    evals: u64,
+    initialized: usize,
+}
+
+impl GeneticAlgorithm {
+    /// Population of `np ≥ 2` individuals.
+    pub fn new(np: usize, params: GaParams) -> Self {
+        assert!(np >= 2, "GA needs a population of at least 2");
+        assert!(params.tournament >= 1, "tournament size must be positive");
+        GeneticAlgorithm {
+            params,
+            np,
+            population: Vec::new(),
+            fitness: Vec::new(),
+            offspring: Vec::new(),
+            offspring_fitness: Vec::new(),
+            best: None,
+            evals: 0,
+            initialized: 0,
+        }
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> usize {
+        self.np
+    }
+
+    fn note_best(&mut self, x: &[f64], f: f64) {
+        if self.best.as_ref().is_none_or(|b| f < b.f) {
+            self.best = Some(BestPoint { x: x.to_vec(), f });
+        }
+    }
+
+    /// Tournament winner index (lowest fitness among `t` uniform draws).
+    fn select(&self, rng: &mut Xoshiro256pp) -> usize {
+        let mut winner = rng.index(self.np);
+        for _ in 1..self.params.tournament {
+            let c = rng.index(self.np);
+            if self.fitness[c] < self.fitness[winner] {
+                winner = c;
+            }
+        }
+        winner
+    }
+
+    /// SBX on one gene pair; returns one of the two children at random
+    /// (single-child SBX keeps the one-evaluation-per-step contract).
+    fn sbx_gene(&self, p1: f64, p2: f64, lo: f64, hi: f64, rng: &mut Xoshiro256pp) -> f64 {
+        if (p1 - p2).abs() < 1e-14 {
+            return p1;
+        }
+        let u = rng.next_f64();
+        let eta = self.params.eta_crossover;
+        let beta = if u <= 0.5 {
+            (2.0 * u).powf(1.0 / (eta + 1.0))
+        } else {
+            (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta + 1.0))
+        };
+        let (a, b) = (
+            0.5 * ((1.0 + beta) * p1 + (1.0 - beta) * p2),
+            0.5 * ((1.0 - beta) * p1 + (1.0 + beta) * p2),
+        );
+        let child = if rng.chance(0.5) { a } else { b };
+        child.clamp(lo, hi)
+    }
+
+    /// Deb's polynomial mutation on one gene.
+    fn mutate_gene(&self, v: f64, lo: f64, hi: f64, rng: &mut Xoshiro256pp) -> f64 {
+        let span = hi - lo;
+        if span <= 0.0 {
+            return v;
+        }
+        let eta = self.params.eta_mutation;
+        let u = rng.next_f64();
+        let delta = if u < 0.5 {
+            (2.0 * u).powf(1.0 / (eta + 1.0)) - 1.0
+        } else {
+            1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta + 1.0))
+        };
+        (v + delta * span).clamp(lo, hi)
+    }
+
+    /// Breed one child from two tournament-selected parents.
+    fn breed(&self, f: &dyn Objective, rng: &mut Xoshiro256pp) -> Vec<f64> {
+        let (p1, p2) = (self.select(rng), self.select(rng));
+        let dim = f.dim();
+        let pm = self.params.mutation_prob.unwrap_or(1.0 / dim as f64);
+        let cross = rng.chance(self.params.crossover_prob);
+        let mut child = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let (lo, hi) = f.bounds(d);
+            let gene = if cross {
+                self.sbx_gene(self.population[p1][d], self.population[p2][d], lo, hi, rng)
+            } else {
+                self.population[p1][d]
+            };
+            let gene = if rng.chance(pm) {
+                self.mutate_gene(gene, lo, hi, rng)
+            } else {
+                gene
+            };
+            child.push(gene);
+        }
+        child
+    }
+
+    /// Children replace parents; the single best parent survives over the
+    /// worst child if it beats every child (one-elite).
+    fn flip_generation(&mut self) {
+        let best_parent = (0..self.np)
+            .min_by(|&a, &b| self.fitness[a].total_cmp(&self.fitness[b]))
+            .expect("non-empty population");
+        let best_child_fit = self
+            .offspring_fitness
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let elite = if self.fitness[best_parent] < best_child_fit {
+            Some((
+                self.population[best_parent].clone(),
+                self.fitness[best_parent],
+            ))
+        } else {
+            None
+        };
+        std::mem::swap(&mut self.population, &mut self.offspring);
+        std::mem::swap(&mut self.fitness, &mut self.offspring_fitness);
+        self.offspring.clear();
+        self.offspring_fitness.clear();
+        if let Some((x, fit)) = elite {
+            let worst = (0..self.np)
+                .max_by(|&a, &b| self.fitness[a].total_cmp(&self.fitness[b]))
+                .expect("non-empty population");
+            self.population[worst] = x;
+            self.fitness[worst] = fit;
+        }
+    }
+}
+
+impl Solver for GeneticAlgorithm {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        if self.population.is_empty() {
+            self.population = (0..self.np).map(|_| random_position(f, rng)).collect();
+            self.fitness = vec![f64::INFINITY; self.np];
+        }
+        if self.initialized < self.np {
+            let i = self.initialized;
+            let value = f.eval(&self.population[i]);
+            self.evals += 1;
+            self.fitness[i] = value;
+            let x = self.population[i].clone();
+            self.note_best(&x, value);
+            self.initialized += 1;
+            return;
+        }
+        let child = self.breed(f, rng);
+        let value = f.eval(&child);
+        self.evals += 1;
+        self.note_best(&child, value);
+        self.offspring.push(child);
+        self.offspring_fitness.push(value);
+        if self.offspring.len() == self.np {
+            self.flip_generation();
+        }
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self.best.as_ref().is_none_or(|b| point.f < b.f) {
+            // Plant over the current worst parent so selection can exploit
+            // the remote discovery immediately.
+            if self.initialized == self.np && !self.population.is_empty() {
+                let worst = (0..self.np)
+                    .max_by(|&a, &b| self.fitness[a].total_cmp(&self.fitness[b]))
+                    .expect("non-empty population");
+                if point.f < self.fitness[worst] && point.x.len() == self.population[worst].len() {
+                    self.population[worst] = point.x.clone();
+                    self.fitness[worst] = point.f;
+                }
+            }
+            self.best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "ga"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::{Rastrigin, Sphere};
+
+    #[test]
+    fn init_phase_counts_exactly_np_evals() {
+        let f = Sphere::new(4);
+        let mut ga = GeneticAlgorithm::new(10, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(1);
+        for _ in 0..10 {
+            ga.step(&f, &mut rng);
+        }
+        assert_eq!(ga.evals(), 10);
+        assert!(ga.fitness.iter().all(|&v| v.is_finite()));
+        assert!(ga.offspring.is_empty());
+    }
+
+    #[test]
+    fn generation_flip_preserves_population_size() {
+        let f = Sphere::new(3);
+        let mut ga = GeneticAlgorithm::new(6, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(2);
+        for _ in 0..6 + 6 * 3 {
+            ga.step(&f, &mut rng);
+        }
+        assert_eq!(ga.population.len(), 6);
+        assert_eq!(ga.fitness.len(), 6);
+        assert!(ga.offspring.len() < 6, "buffer drains every generation");
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let f = Sphere::new(10);
+        let mut ga = GeneticAlgorithm::new(30, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(3);
+        for _ in 0..30_000 {
+            ga.step(&f, &mut rng);
+        }
+        // A random point on sphere-10 over [-100,100]^10 scores ~3e4 in
+        // expectation; the GA endgame is slow, so require "solved to unit
+        // scale" rather than high precision.
+        let best = ga.best().unwrap().f;
+        assert!(best < 1.0, "GA on sphere reached {best}");
+    }
+
+    #[test]
+    fn elitism_never_loses_the_best() {
+        let f = Rastrigin::new(5);
+        let mut ga = GeneticAlgorithm::new(8, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(4);
+        let mut last = f64::INFINITY;
+        for _ in 0..2_000 {
+            ga.step(&f, &mut rng);
+            // Elitism: the best fitness present in the parent population
+            // never regresses across generation flips (checked via best()).
+            let b = ga.best().unwrap().f;
+            assert!(b <= last);
+            last = b;
+        }
+        // After enough generations the elite is present in the population.
+        let pop_best = ga.fitness.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(pop_best.is_finite());
+    }
+
+    #[test]
+    fn genes_respect_bounds() {
+        let f = Sphere::new(6);
+        let mut ga = GeneticAlgorithm::new(8, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(5);
+        for _ in 0..1_000 {
+            ga.step(&f, &mut rng);
+            for ind in ga.population.iter().chain(ga.offspring.iter()) {
+                for (d, v) in ind.iter().enumerate() {
+                    let (lo, hi) = f.bounds(d);
+                    assert!((lo..=hi).contains(v), "gene {v} outside [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tell_best_plants_into_population() {
+        let f = Sphere::new(3);
+        let mut ga = GeneticAlgorithm::new(5, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(6);
+        for _ in 0..5 {
+            ga.step(&f, &mut rng);
+        }
+        ga.tell_best(BestPoint {
+            x: vec![0.0; 3],
+            f: 0.0,
+        });
+        assert!(ga.fitness.contains(&0.0), "optimum planted");
+        assert_eq!(ga.best().unwrap().f, 0.0);
+    }
+
+    #[test]
+    fn sbx_identical_parents_pass_through() {
+        let ga = GeneticAlgorithm::new(4, GaParams::default());
+        let mut rng = Xoshiro256pp::seeded(7);
+        let v = ga.sbx_gene(1.5, 1.5, -10.0, 10.0, &mut rng);
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        GeneticAlgorithm::new(1, GaParams::default());
+    }
+}

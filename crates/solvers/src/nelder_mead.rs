@@ -1,0 +1,464 @@
+//! Nelder–Mead downhill simplex, stepped one evaluation at a time.
+//!
+//! A deterministic local searcher for the paper's future-work solver
+//! diversification: mixing simplex nodes with swarm nodes gives the
+//! network both global exploration and fast local refinement.
+//!
+//! The classic algorithm evaluates one to `dim` points per iteration
+//! depending on the branch taken; here it is flattened into an explicit
+//! state machine so every [`Solver::step`] performs **exactly one**
+//! evaluation (the framework's coordination cadence depends on that).
+//! When the simplex collapses below a diameter threshold the solver
+//! restarts it around the best-known point with a halved scale — turning
+//! the local method into a budget-friendly global one.
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Nelder–Mead coefficients and restart policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NelderMeadParams {
+    /// Reflection coefficient `α > 0`.
+    pub alpha: f64,
+    /// Expansion coefficient `γ > 1`.
+    pub gamma: f64,
+    /// Contraction coefficient `0 < ρ ≤ 0.5`.
+    pub rho: f64,
+    /// Shrink coefficient `0 < σ < 1`.
+    pub sigma: f64,
+    /// Restart when the simplex diameter falls below this fraction of the
+    /// domain width.
+    pub restart_diameter: f64,
+    /// Initial simplex edge length as a fraction of the domain width.
+    pub initial_scale: f64,
+}
+
+impl Default for NelderMeadParams {
+    fn default() -> Self {
+        NelderMeadParams {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            restart_diameter: 1e-9,
+            initial_scale: 0.1,
+        }
+    }
+}
+
+/// What the next evaluation is for.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Evaluating initial simplex vertex `i`.
+    Init(usize),
+    /// Evaluating the reflected point.
+    Reflect,
+    /// Evaluating the expanded point (reflection was the new best).
+    Expand { reflected: Vec<f64>, fr: f64 },
+    /// Evaluating the contracted point.
+    Contract {
+        /// True when contracting outside (toward the reflected point).
+        outside: bool,
+        reflected: Vec<f64>,
+        fr: f64,
+    },
+    /// Re-evaluating shrunk vertex `i` (vertex 0 is the best, untouched).
+    Shrink(usize),
+}
+
+/// Nelder–Mead simplex implementing [`Solver`].
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    params: NelderMeadParams,
+    /// Simplex vertices, kept sorted by fitness after each full iteration.
+    simplex: Vec<Vec<f64>>,
+    fitness: Vec<f64>,
+    phase: Phase,
+    best: Option<BestPoint>,
+    evals: u64,
+    restarts: u64,
+    scale: f64,
+}
+
+impl NelderMead {
+    /// Create a simplex solver.
+    pub fn new(params: NelderMeadParams) -> Self {
+        assert!(params.alpha > 0.0, "alpha must be positive");
+        assert!(params.gamma > 1.0, "gamma must exceed 1");
+        assert!(params.rho > 0.0 && params.rho <= 0.5, "rho in (0, 0.5]");
+        assert!(params.sigma > 0.0 && params.sigma < 1.0, "sigma in (0, 1)");
+        NelderMead {
+            params,
+            simplex: Vec::new(),
+            fitness: Vec::new(),
+            phase: Phase::Init(0),
+            best: None,
+            evals: 0,
+            restarts: 0,
+            scale: params.initial_scale,
+        }
+    }
+
+    /// Number of simplex restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    fn note_best(&mut self, x: &[f64], f: f64) {
+        if self.best.as_ref().is_none_or(|b| f < b.f) {
+            self.best = Some(BestPoint { x: x.to_vec(), f });
+        }
+    }
+
+    /// Build a fresh simplex around `origin` with the current scale.
+    fn spawn_simplex(&mut self, f: &dyn Objective, origin: &[f64]) {
+        let dim = f.dim();
+        let mut vertices = Vec::with_capacity(dim + 1);
+        vertices.push(origin.to_vec());
+        for d in 0..dim {
+            let (lo, hi) = f.bounds(d);
+            let edge = self.scale * (hi - lo);
+            let mut v = origin.to_vec();
+            // Step toward whichever side has room.
+            v[d] = if v[d] + edge <= hi {
+                v[d] + edge
+            } else {
+                (v[d] - edge).max(lo)
+            };
+            vertices.push(v);
+        }
+        self.simplex = vertices;
+        self.fitness = vec![f64::INFINITY; dim + 1];
+        self.phase = Phase::Init(0);
+    }
+
+    fn clamp(f: &dyn Objective, x: &mut [f64]) {
+        for (d, v) in x.iter_mut().enumerate() {
+            let (lo, hi) = f.bounds(d);
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// Centroid of all vertices except the worst (the last after sorting).
+    fn centroid(&self) -> Vec<f64> {
+        let n = self.simplex.len() - 1;
+        let dim = self.simplex[0].len();
+        let mut c = vec![0.0; dim];
+        for v in &self.simplex[..n] {
+            for (cd, vd) in c.iter_mut().zip(v) {
+                *cd += vd;
+            }
+        }
+        for cd in &mut c {
+            *cd /= n as f64;
+        }
+        c
+    }
+
+    /// `centroid + t · (centroid − worst)`, clamped to the domain.
+    fn point_along(&self, f: &dyn Objective, t: f64) -> Vec<f64> {
+        let c = self.centroid();
+        let worst = &self.simplex[self.simplex.len() - 1];
+        let mut x: Vec<f64> = c
+            .iter()
+            .zip(worst)
+            .map(|(cd, wd)| cd + t * (cd - wd))
+            .collect();
+        Self::clamp(f, &mut x);
+        x
+    }
+
+    /// Sort vertices by fitness (best first).
+    fn sort_simplex(&mut self) {
+        let mut order: Vec<usize> = (0..self.simplex.len()).collect();
+        order.sort_by(|&a, &b| self.fitness[a].total_cmp(&self.fitness[b]));
+        self.simplex = order.iter().map(|&i| self.simplex[i].clone()).collect();
+        self.fitness = order.iter().map(|&i| self.fitness[i]).collect();
+    }
+
+    /// Maximum vertex distance from the best vertex (infinity norm).
+    fn diameter(&self) -> f64 {
+        let best = &self.simplex[0];
+        self.simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(best)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Replace the worst vertex and start the next iteration (or restart
+    /// when the simplex has collapsed).
+    fn accept(&mut self, f: &dyn Objective, x: Vec<f64>, fx: f64, rng: &mut Xoshiro256pp) {
+        let last = self.simplex.len() - 1;
+        self.simplex[last] = x;
+        self.fitness[last] = fx;
+        self.sort_simplex();
+        self.begin_iteration(f, rng);
+    }
+
+    fn begin_iteration(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        let dim_width: f64 = (0..f.dim())
+            .map(|d| {
+                let (lo, hi) = f.bounds(d);
+                hi - lo
+            })
+            .fold(0.0, f64::max);
+        if self.diameter() < self.params.restart_diameter * dim_width {
+            // Collapsed: restart around the best-known point, half scale,
+            // jittered so repeated restarts explore different directions.
+            self.restarts += 1;
+            self.scale = (self.scale * 0.5).max(1e-6);
+            let origin = match &self.best {
+                Some(b) => {
+                    let mut o = b.x.clone();
+                    for (d, v) in o.iter_mut().enumerate() {
+                        let (lo, hi) = f.bounds(d);
+                        *v = (*v + 0.01 * (hi - lo) * rng.normal()).clamp(lo, hi);
+                    }
+                    o
+                }
+                None => random_position(f, rng),
+            };
+            self.spawn_simplex(f, &origin);
+        } else {
+            self.phase = Phase::Reflect;
+        }
+    }
+}
+
+impl Solver for NelderMead {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        if self.simplex.is_empty() {
+            let origin = random_position(f, rng);
+            self.spawn_simplex(f, &origin);
+        }
+        match self.phase.clone() {
+            Phase::Init(i) => {
+                let fx = f.eval(&self.simplex[i]);
+                self.evals += 1;
+                self.fitness[i] = fx;
+                let x = self.simplex[i].clone();
+                self.note_best(&x, fx);
+                if i + 1 < self.simplex.len() {
+                    self.phase = Phase::Init(i + 1);
+                } else {
+                    self.sort_simplex();
+                    self.begin_iteration(f, rng);
+                }
+            }
+            Phase::Reflect => {
+                let x = self.point_along(f, self.params.alpha);
+                let fx = f.eval(&x);
+                self.evals += 1;
+                self.note_best(&x, fx);
+                let n = self.simplex.len();
+                let (f_best, f_second_worst, f_worst) =
+                    (self.fitness[0], self.fitness[n - 2], self.fitness[n - 1]);
+                if fx < f_best {
+                    self.phase = Phase::Expand { reflected: x, fr: fx };
+                } else if fx < f_second_worst {
+                    self.accept(f, x, fx, rng);
+                } else {
+                    let outside = fx < f_worst;
+                    self.phase = Phase::Contract {
+                        outside,
+                        reflected: x,
+                        fr: fx,
+                    };
+                }
+            }
+            Phase::Expand { reflected, fr } => {
+                let x = self.point_along(f, self.params.alpha * self.params.gamma);
+                let fx = f.eval(&x);
+                self.evals += 1;
+                self.note_best(&x, fx);
+                if fx < fr {
+                    self.accept(f, x, fx, rng);
+                } else {
+                    self.accept(f, reflected, fr, rng);
+                }
+            }
+            Phase::Contract {
+                outside,
+                reflected,
+                fr,
+            } => {
+                let t = if outside {
+                    self.params.alpha * self.params.rho
+                } else {
+                    -self.params.rho
+                };
+                let x = self.point_along(f, t);
+                let fx = f.eval(&x);
+                self.evals += 1;
+                self.note_best(&x, fx);
+                let target = if outside { fr } else { *self.fitness.last().expect("vertices") };
+                if fx <= target {
+                    self.accept(f, x, fx, rng);
+                } else {
+                    // Contraction failed: shrink everything toward the best.
+                    let _ = reflected;
+                    let best = self.simplex[0].clone();
+                    for v in &mut self.simplex[1..] {
+                        for (vd, bd) in v.iter_mut().zip(&best) {
+                            *vd = bd + self.params.sigma * (*vd - bd);
+                        }
+                    }
+                    self.phase = Phase::Shrink(1);
+                }
+            }
+            Phase::Shrink(i) => {
+                let fx = f.eval(&self.simplex[i]);
+                self.evals += 1;
+                self.fitness[i] = fx;
+                let x = self.simplex[i].clone();
+                self.note_best(&x, fx);
+                if i + 1 < self.simplex.len() {
+                    self.phase = Phase::Shrink(i + 1);
+                } else {
+                    self.sort_simplex();
+                    self.begin_iteration(f, rng);
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self.best.as_ref().is_none_or(|b| point.f < b.f) {
+            // Replace the worst vertex so the simplex pivots toward the
+            // remote discovery (only once the simplex exists and matches).
+            if !self.simplex.is_empty()
+                && !matches!(self.phase, Phase::Init(_))
+                && point.x.len() == self.simplex[0].len()
+            {
+                let last = self.simplex.len() - 1;
+                if point.f < self.fitness[last] {
+                    self.simplex[last] = point.x.clone();
+                    self.fitness[last] = point.f;
+                    self.sort_simplex();
+                }
+            }
+            self.best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "nelder-mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::{Rosenbrock, Sphere};
+
+    #[test]
+    fn init_evaluates_dim_plus_one_vertices() {
+        let f = Sphere::new(5);
+        let mut nm = NelderMead::new(NelderMeadParams::default());
+        let mut rng = Xoshiro256pp::seeded(1);
+        for _ in 0..6 {
+            nm.step(&f, &mut rng);
+        }
+        assert_eq!(nm.evals(), 6);
+        assert!(nm.fitness.iter().all(|&v| v.is_finite()));
+        assert_eq!(nm.phase, Phase::Reflect);
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let f = Sphere::new(8);
+        let mut nm = NelderMead::new(NelderMeadParams::default());
+        let mut rng = Xoshiro256pp::seeded(2);
+        for _ in 0..8_000 {
+            nm.step(&f, &mut rng);
+        }
+        let best = nm.best().unwrap().f;
+        assert!(best < 1e-8, "Nelder–Mead on sphere reached {best}");
+    }
+
+    #[test]
+    fn handles_rosenbrock_valley() {
+        let f = Rosenbrock::new(4);
+        let mut nm = NelderMead::new(NelderMeadParams::default());
+        let mut rng = Xoshiro256pp::seeded(3);
+        for _ in 0..30 {
+            nm.step(&f, &mut rng);
+        }
+        let early = nm.best().unwrap().f;
+        for _ in 0..20_000 {
+            nm.step(&f, &mut rng);
+        }
+        let late = nm.best().unwrap().f;
+        assert!(late < early / 1e3, "{early} -> {late}");
+    }
+
+    #[test]
+    fn restarts_after_collapse() {
+        let f = Sphere::new(2);
+        let mut nm = NelderMead::new(NelderMeadParams {
+            restart_diameter: 1e-3, // restart early
+            ..NelderMeadParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(4);
+        for _ in 0..5_000 {
+            nm.step(&f, &mut rng);
+        }
+        assert!(nm.restarts() > 0, "collapse must trigger restarts");
+    }
+
+    #[test]
+    fn vertices_stay_in_bounds() {
+        let f = Sphere::new(4);
+        let mut nm = NelderMead::new(NelderMeadParams::default());
+        let mut rng = Xoshiro256pp::seeded(5);
+        for _ in 0..2_000 {
+            nm.step(&f, &mut rng);
+            for v in &nm.simplex {
+                for (d, x) in v.iter().enumerate() {
+                    let (lo, hi) = f.bounds(d);
+                    assert!((lo..=hi).contains(x), "vertex coord {x} out of bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tell_best_pivots_the_simplex() {
+        let f = Sphere::new(3);
+        let mut nm = NelderMead::new(NelderMeadParams::default());
+        let mut rng = Xoshiro256pp::seeded(6);
+        for _ in 0..10 {
+            nm.step(&f, &mut rng);
+        }
+        nm.tell_best(BestPoint {
+            x: vec![0.0; 3],
+            f: 0.0,
+        });
+        assert_eq!(nm.best().unwrap().f, 0.0);
+        assert_eq!(nm.fitness[0], 0.0, "injected point becomes best vertex");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_params_rejected() {
+        NelderMead::new(NelderMeadParams {
+            gamma: 0.5,
+            ..NelderMeadParams::default()
+        });
+    }
+}

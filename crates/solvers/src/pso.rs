@@ -1,0 +1,860 @@
+//! Particle swarm optimization.
+//!
+//! The default configuration is the paper's: the original 1995 update rule
+//!
+//! ```text
+//! vᵢ ← vᵢ + c₁·rand()·(pᵢ − xᵢ) + c₂·rand()·(g − xᵢ)
+//! xᵢ ← xᵢ + vᵢ
+//! ```
+//!
+//! with `c₁ = c₂ = 2`, per-dimension velocity clamped to `vmax`, and the
+//! *swarm optimum* `g` re-selected **after every evaluation** (the paper's
+//! §3.3.2 wording — an asynchronous-update PSO, which is also what makes
+//! evaluation-granular stepping well-defined). `g` may additionally be
+//! **injected** from outside via `tell_best`, which is precisely how the
+//! epidemic coordination service couples remote swarms.
+//!
+//! Beyond the paper, the module implements the standard refinements used by
+//! its background references: inertia weight and constriction-factor
+//! updates, bound policies, and lbest neighborhood topologies (ring, von
+//! Neumann, random) from Kennedy's population-structure studies
+//! [CEC'99/'02, Mendes et al. 2004].
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Velocity-update discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inertia {
+    /// The original 1995 rule (no inertia term) — the paper's choice.
+    Vanilla,
+    /// Constant inertia weight `w` multiplying the previous velocity.
+    Constant(f64),
+    /// Clerc–Kennedy constriction: `χ·(v + c₁r(p−x) + c₂r(g−x))` with
+    /// `χ = 2/|2−φ−√(φ²−4φ)|`, `φ = c₁+c₂` (requires `φ > 4`).
+    Constriction,
+}
+
+/// What to do with particles that leave the box domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundPolicy {
+    /// Let them fly (classic behaviour; the paper takes no provision).
+    None,
+    /// Clamp position to the boundary and zero the offending velocity
+    /// component.
+    Clamp,
+    /// Reflect position off the boundary and negate the velocity component.
+    Reflect,
+}
+
+/// How neighborhood information enters the velocity update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Influence {
+    /// Classic PSO: one social attractor — the best point in the
+    /// neighborhood (the swarm optimum under [`Topology::Gbest`]).
+    BestOfNeighborhood,
+    /// Mendes, Kennedy & Neves' *fully informed* particle swarm (FIPS):
+    /// every neighbor's pbest contributes `φ·r·(p_k − x)/|N|`; requires
+    /// constriction (`φ = c₁+c₂ > 4`). Cited by the paper's background as
+    /// "simpler, maybe better".
+    FullyInformed,
+}
+
+/// Swarm neighborhood structure for the *social* term `g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Fully-informed swarm: one global best (the paper's per-node swarms).
+    Gbest,
+    /// Ring lattice: each particle sees `k` neighbors on each side.
+    Ring(usize),
+    /// Von Neumann lattice: particles arranged on a near-square 2-D torus,
+    /// each seeing its 4 lattice neighbors (Kennedy & Mendes' strongest
+    /// classic structure).
+    VonNeumann,
+    /// Random fixed digraph with out-degree `k` (re-drawn at construction).
+    Random(usize),
+}
+
+/// PSO hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsoParams {
+    /// Cognitive learning factor `c₁`.
+    pub c1: f64,
+    /// Social learning factor `c₂`.
+    pub c2: f64,
+    /// Velocity-update discipline.
+    pub inertia: Inertia,
+    /// `vmax` as a fraction of each dimension's domain width.
+    pub vmax_frac: f64,
+    /// Domain-boundary policy.
+    pub bounds: BoundPolicy,
+    /// Neighborhood structure.
+    pub topology: Topology,
+    /// How neighbors influence the velocity update.
+    pub influence: Influence,
+}
+
+impl Default for PsoParams {
+    /// Clerc–Kennedy constriction with `c₁ = c₂ = 2.05` — the de-facto
+    /// standard by 2008 and the only classic configuration consistent with
+    /// the solution qualities the paper reports (its text states the 1995
+    /// rule with `c₁ = c₂ = 2`, but that rule oscillates without converging
+    /// to the `1e-51`-grade qualities of its Tables 1–2; see DESIGN.md).
+    fn default() -> Self {
+        PsoParams {
+            c1: 2.05,
+            c2: 2.05,
+            inertia: Inertia::Constriction,
+            vmax_frac: 0.5,
+            bounds: BoundPolicy::None,
+            topology: Topology::Gbest,
+            influence: Influence::BestOfNeighborhood,
+        }
+    }
+}
+
+impl PsoParams {
+    /// The configuration exactly as printed in the paper (Kennedy &
+    /// Eberhart 1995): no inertia, `c₁ = c₂ = 2`, velocity clamping only.
+    /// Kept for the ablation experiment comparing it against
+    /// [`PsoParams::default`].
+    pub fn paper_1995() -> Self {
+        PsoParams {
+            c1: 2.0,
+            c2: 2.0,
+            inertia: Inertia::Vanilla,
+            vmax_frac: 0.5,
+            bounds: BoundPolicy::None,
+            topology: Topology::Gbest,
+            influence: Influence::BestOfNeighborhood,
+        }
+    }
+
+    /// Mendes et al.'s FIPS on a ring lattice (their strongest published
+    /// configuration): constriction with `φ = 4.1` split over the full
+    /// neighborhood.
+    pub fn fips_ring() -> Self {
+        PsoParams {
+            c1: 2.05,
+            c2: 2.05,
+            inertia: Inertia::Constriction,
+            vmax_frac: 0.5,
+            bounds: BoundPolicy::None,
+            topology: Topology::Ring(1),
+            influence: Influence::FullyInformed,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Particle {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    pbest_x: Vec<f64>,
+    pbest_f: f64,
+    evaluated: bool,
+}
+
+/// A particle swarm implementing [`Solver`] (one evaluation per step).
+#[derive(Debug, Clone)]
+pub struct Swarm {
+    params: PsoParams,
+    size: usize,
+    particles: Vec<Particle>,
+    /// The swarm optimum `g` (possibly injected from remote swarms).
+    swarm_best: Option<BestPoint>,
+    /// Adjacency for lbest topologies (empty for gbest).
+    neighbors: Vec<Vec<usize>>,
+    cursor: usize,
+    evals: u64,
+    initialized: bool,
+}
+
+impl Swarm {
+    /// A swarm of `size` particles. Particles are lazily initialized on the
+    /// first [`Solver::step`] so that construction needs no RNG/objective.
+    pub fn new(size: usize, params: PsoParams) -> Self {
+        assert!(size >= 1, "swarm needs at least one particle");
+        if let Inertia::Constriction = params.inertia {
+            assert!(
+                params.c1 + params.c2 > 4.0,
+                "constriction requires c1 + c2 > 4"
+            );
+        }
+        Swarm {
+            params,
+            size,
+            particles: Vec::new(),
+            swarm_best: None,
+            neighbors: Vec::new(),
+            cursor: 0,
+            evals: 0,
+            initialized: false,
+        }
+    }
+
+    /// Number of particles.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &PsoParams {
+        &self.params
+    }
+
+    fn initialize(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        self.particles = (0..self.size)
+            .map(|_| {
+                let x = random_position(f, rng);
+                let v: Vec<f64> = (0..f.dim())
+                    .map(|d| {
+                        let (lo, hi) = f.bounds(d);
+                        let vmax = self.params.vmax_frac * (hi - lo);
+                        rng.range_f64(-vmax, vmax)
+                    })
+                    .collect();
+                Particle {
+                    pbest_x: x.clone(),
+                    pbest_f: f64::INFINITY,
+                    x,
+                    v,
+                    evaluated: false,
+                }
+            })
+            .collect();
+        self.neighbors = match self.params.topology {
+            Topology::Gbest => Vec::new(),
+            Topology::VonNeumann => {
+                // Near-square torus: cols = ceil(sqrt(n)), rows to cover.
+                let n = self.size;
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let rows = n.div_ceil(cols);
+                (0..n)
+                    .map(|i| {
+                        let (r, c) = (i / cols, i % cols);
+                        let mut nbrs: Vec<usize> = [
+                            ((r + rows - 1) % rows, c),
+                            ((r + 1) % rows, c),
+                            (r, (c + cols - 1) % cols),
+                            (r, (c + 1) % cols),
+                        ]
+                        .into_iter()
+                        .map(|(rr, cc)| rr * cols + cc)
+                        .filter(|&j| j < n && j != i) // ragged last row
+                        .collect();
+                        nbrs.sort_unstable();
+                        nbrs.dedup();
+                        nbrs
+                    })
+                    .collect()
+            }
+            Topology::Ring(k) => (0..self.size)
+                .map(|i| {
+                    let mut nbrs = Vec::with_capacity(2 * k);
+                    for off in 1..=k {
+                        nbrs.push((i + off) % self.size);
+                        nbrs.push((i + self.size - off % self.size) % self.size);
+                    }
+                    nbrs.sort_unstable();
+                    nbrs.dedup();
+                    nbrs.retain(|&j| j != i);
+                    nbrs
+                })
+                .collect(),
+            Topology::Random(k) => (0..self.size)
+                .map(|i| {
+                    let others: Vec<usize> = (0..self.size).filter(|&j| j != i).collect();
+                    let mut o = others;
+                    rng.shuffle(&mut o);
+                    o.truncate(k.min(self.size.saturating_sub(1)));
+                    o
+                })
+                .collect(),
+        };
+        self.initialized = true;
+    }
+
+    /// Social attractor for particle `i`: the swarm optimum under gbest,
+    /// the best neighbor pbest under lbest topologies (falling back to the
+    /// particle's own pbest when neighbors are unevaluated).
+    fn social_best(&self, i: usize) -> Option<(&[f64], f64)> {
+        match self.params.topology {
+            Topology::Gbest => self.swarm_best.as_ref().map(|b| (b.x.as_slice(), b.f)),
+            Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
+                let mut best: Option<(&[f64], f64)> = None;
+                let own = &self.particles[i];
+                if own.evaluated {
+                    best = Some((own.pbest_x.as_slice(), own.pbest_f));
+                }
+                for &j in &self.neighbors[i] {
+                    let p = &self.particles[j];
+                    if p.evaluated && best.is_none_or(|(_, bf)| p.pbest_f < bf) {
+                        best = Some((p.pbest_x.as_slice(), p.pbest_f));
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Indices of the informants of particle `i` under FIPS (neighborhood
+    /// plus self; gbest means the whole swarm).
+    fn informants(&self, i: usize) -> Vec<usize> {
+        match self.params.topology {
+            Topology::Gbest => (0..self.size).collect(),
+            Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
+                let mut v = self.neighbors[i].clone();
+                v.push(i);
+                v
+            }
+        }
+    }
+
+    fn move_particle(&mut self, i: usize, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        let (c1, c2) = (self.params.c1, self.params.c2);
+        let social: Option<(Vec<f64>, f64)> =
+            self.social_best(i).map(|(x, v)| (x.to_vec(), v));
+        let informants: Vec<usize> = match self.params.influence {
+            Influence::BestOfNeighborhood => Vec::new(),
+            Influence::FullyInformed => self
+                .informants(i)
+                .into_iter()
+                .filter(|&j| self.particles[j].evaluated)
+                .collect(),
+        };
+        // FIPS: snapshot informant pbests to sidestep the borrow of self.
+        let informant_pbests: Vec<Vec<f64>> = informants
+            .iter()
+            .map(|&j| self.particles[j].pbest_x.clone())
+            .collect();
+        let p = &mut self.particles[i];
+        let chi = match self.params.inertia {
+            Inertia::Vanilla | Inertia::Constant(_) => 1.0,
+            Inertia::Constriction => {
+                let phi = c1 + c2;
+                2.0 / (2.0 - phi - (phi * phi - 4.0 * phi).sqrt()).abs()
+            }
+        };
+        let w = match self.params.inertia {
+            Inertia::Constant(w) => w,
+            _ => 1.0,
+        };
+        let phi_total = c1 + c2;
+        for d in 0..f.dim() {
+            let (lo, hi) = f.bounds(d);
+            let vmax = self.params.vmax_frac * (hi - lo);
+            let attraction = match self.params.influence {
+                Influence::BestOfNeighborhood => {
+                    let cognitive = c1 * rng.next_f64() * (p.pbest_x[d] - p.x[d]);
+                    let social_term = match &social {
+                        Some((g, _)) => c2 * rng.next_f64() * (g[d] - p.x[d]),
+                        None => 0.0,
+                    };
+                    cognitive + social_term
+                }
+                Influence::FullyInformed => {
+                    if informant_pbests.is_empty() {
+                        0.0
+                    } else {
+                        let share = phi_total / informant_pbests.len() as f64;
+                        informant_pbests
+                            .iter()
+                            .map(|pb| share * rng.next_f64() * (pb[d] - p.x[d]))
+                            .sum()
+                    }
+                }
+            };
+            let mut v = chi * (w * p.v[d] + attraction);
+            v = v.clamp(-vmax, vmax);
+            p.v[d] = v;
+            p.x[d] += v;
+            match self.params.bounds {
+                BoundPolicy::None => {}
+                BoundPolicy::Clamp => {
+                    if p.x[d] < lo {
+                        p.x[d] = lo;
+                        p.v[d] = 0.0;
+                    } else if p.x[d] > hi {
+                        p.x[d] = hi;
+                        p.v[d] = 0.0;
+                    }
+                }
+                BoundPolicy::Reflect => {
+                    if p.x[d] < lo {
+                        p.x[d] = lo + (lo - p.x[d]);
+                        p.v[d] = -p.v[d];
+                    } else if p.x[d] > hi {
+                        p.x[d] = hi - (p.x[d] - hi);
+                        p.v[d] = -p.v[d];
+                    }
+                    // A huge overshoot can still escape after one fold;
+                    // clamp as a backstop.
+                    p.x[d] = p.x[d].clamp(lo, hi);
+                }
+            }
+        }
+    }
+
+    fn evaluate(&mut self, i: usize, f: &dyn Objective) {
+        let value = f.eval(&self.particles[i].x);
+        self.evals += 1;
+        let p = &mut self.particles[i];
+        p.evaluated = true;
+        if value < p.pbest_f {
+            p.pbest_f = value;
+            p.pbest_x.copy_from_slice(&p.x);
+        }
+        // Paper §3.3.2: select the best local optimum as the swarm optimum
+        // after each evaluation.
+        let candidate = BestPoint {
+            x: p.pbest_x.clone(),
+            f: p.pbest_f,
+        };
+        if self
+            .swarm_best
+            .as_ref()
+            .is_none_or(|b| candidate.f < b.f)
+        {
+            self.swarm_best = Some(candidate);
+        }
+    }
+}
+
+impl Solver for Swarm {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        if !self.initialized {
+            self.initialize(f, rng);
+        }
+        let i = self.cursor;
+        self.cursor = (self.cursor + 1) % self.size;
+        if self.particles[i].evaluated {
+            self.move_particle(i, f, rng);
+        }
+        // First visit evaluates the random initial position as-is.
+        self.evaluate(i, f);
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.swarm_best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self
+            .swarm_best
+            .as_ref()
+            .is_none_or(|b| point.f < b.f)
+        {
+            self.swarm_best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "pso"
+    }
+
+    /// Emigrate a uniformly random particle's personal best, preserving
+    /// swarm diversity (the swarm optimum would make every island
+    /// identical).
+    fn emigrate(&mut self, rng: &mut Xoshiro256pp) -> Option<BestPoint> {
+        let evaluated: Vec<usize> = (0..self.particles.len())
+            .filter(|&i| self.particles[i].evaluated)
+            .collect();
+        if evaluated.is_empty() {
+            return self.swarm_best.clone();
+        }
+        let p = &self.particles[evaluated[rng.index(evaluated.len())]];
+        Some(BestPoint {
+            x: p.pbest_x.clone(),
+            f: p.pbest_f,
+        })
+    }
+
+    /// The immigrant replaces the worst particle: it restarts there with
+    /// zero velocity and the received personal best, actively joining the
+    /// swarm rather than only moving the shared optimum `g`.
+    fn immigrate(&mut self, point: BestPoint, _rng: &mut Xoshiro256pp) {
+        if self.initialized
+            && !self.particles.is_empty()
+            && point.x.len() == self.particles[0].x.len()
+        {
+            let worst = (0..self.particles.len())
+                .max_by(|&a, &b| {
+                    self.particles[a]
+                        .pbest_f
+                        .total_cmp(&self.particles[b].pbest_f)
+                })
+                .expect("non-empty swarm");
+            let w = &mut self.particles[worst];
+            if point.f < w.pbest_f {
+                w.x.copy_from_slice(&point.x);
+                w.v.iter_mut().for_each(|v| *v = 0.0);
+                w.pbest_x.copy_from_slice(&point.x);
+                w.pbest_f = point.f;
+                w.evaluated = true;
+            }
+        }
+        self.tell_best(point);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::{Rastrigin, Sphere};
+
+    fn run(mut swarm: Swarm, f: &dyn Objective, evals: u64, seed: u64) -> f64 {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..evals {
+            swarm.step(f, &mut rng);
+        }
+        swarm.best().unwrap().f
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let f = Sphere::new(10);
+        let best = run(Swarm::new(20, PsoParams::default()), &f, 20_000, 1);
+        assert!(best < 1e-6, "default (constricted) PSO on sphere reached {best}");
+    }
+
+    #[test]
+    fn constriction_converges_deeper_than_vanilla_on_sphere() {
+        // The discrepancy documented in DESIGN.md: the paper's literal 1995
+        // parameters stall orders of magnitude above the constricted
+        // configuration at equal budget.
+        let f = Sphere::new(10);
+        let vanilla = run(Swarm::new(20, PsoParams::paper_1995()), &f, 10_000, 2);
+        let constricted = run(Swarm::new(20, PsoParams::default()), &f, 10_000, 2);
+        assert!(
+            constricted < vanilla / 1e3,
+            "constriction {constricted} vs vanilla {vanilla}"
+        );
+    }
+
+    #[test]
+    fn vanilla_1995_still_improves_over_random_init() {
+        let f = Sphere::new(10);
+        let best = run(Swarm::new(20, PsoParams::paper_1995()), &f, 10_000, 14);
+        // Random 10-D points in [-100,100] average f = 10 * E[x^2] ~ 33,000.
+        assert!(best < 5_000.0, "vanilla PSO reached {best}");
+    }
+
+    #[test]
+    fn first_steps_evaluate_initial_positions() {
+        let f = Sphere::new(3);
+        let mut swarm = Swarm::new(5, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(3);
+        for step in 1..=5 {
+            swarm.step(&f, &mut rng);
+            assert_eq!(swarm.evals(), step as u64);
+        }
+        // All five particles evaluated exactly once.
+        assert!(swarm.particles.iter().all(|p| p.evaluated));
+    }
+
+    #[test]
+    fn velocity_respects_vmax() {
+        let f = Sphere::new(4);
+        let mut swarm = Swarm::new(6, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(4);
+        for _ in 0..600 {
+            swarm.step(&f, &mut rng);
+        }
+        let (lo, hi) = f.bounds(0);
+        let vmax = swarm.params().vmax_frac * (hi - lo);
+        for p in &swarm.particles {
+            for &v in &p.v {
+                assert!(v.abs() <= vmax + 1e-12, "|{v}| > vmax {vmax}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_policy_keeps_positions_inside() {
+        let f = Sphere::new(4);
+        let mut swarm = Swarm::new(6, PsoParams {
+            bounds: BoundPolicy::Clamp,
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(5);
+        for _ in 0..600 {
+            swarm.step(&f, &mut rng);
+            for p in &swarm.particles {
+                for (d, &x) in p.x.iter().enumerate() {
+                    let (lo, hi) = f.bounds(d);
+                    assert!((lo..=hi).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reflect_policy_keeps_positions_inside() {
+        let f = Sphere::new(4);
+        let mut swarm = Swarm::new(6, PsoParams {
+            bounds: BoundPolicy::Reflect,
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(6);
+        for _ in 0..600 {
+            swarm.step(&f, &mut rng);
+            for p in &swarm.particles {
+                for (d, &x) in p.x.iter().enumerate() {
+                    let (lo, hi) = f.bounds(d);
+                    assert!((lo..=hi).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pbest_never_worse_than_current_eval() {
+        let f = Rastrigin::new(5);
+        let mut swarm = Swarm::new(8, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(7);
+        for _ in 0..400 {
+            swarm.step(&f, &mut rng);
+        }
+        for p in &swarm.particles {
+            assert!(p.pbest_f <= f.eval(&p.pbest_x) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn injected_best_steers_swarm() {
+        // Inject the exact optimum into a swarm far from it: the swarm
+        // best must become 0 and stay there.
+        let f = Sphere::new(6);
+        let mut swarm = Swarm::new(10, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(8);
+        for _ in 0..50 {
+            swarm.step(&f, &mut rng);
+        }
+        swarm.tell_best(BestPoint {
+            x: vec![0.0; 6],
+            f: 0.0,
+        });
+        assert_eq!(swarm.best().unwrap().f, 0.0);
+        for _ in 0..100 {
+            swarm.step(&f, &mut rng);
+        }
+        assert_eq!(swarm.best().unwrap().f, 0.0);
+    }
+
+    #[test]
+    fn ring_topology_neighbors_are_symmetric_lattice() {
+        let f = Sphere::new(2);
+        let mut swarm = Swarm::new(6, PsoParams {
+            topology: Topology::Ring(1),
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(9);
+        swarm.step(&f, &mut rng); // triggers initialization
+        assert_eq!(swarm.neighbors[0], vec![1, 5]);
+        assert_eq!(swarm.neighbors[3], vec![2, 4]);
+    }
+
+    #[test]
+    fn von_neumann_lattice_neighbors() {
+        let f = Sphere::new(2);
+        // 9 particles -> 3x3 torus.
+        let mut swarm = Swarm::new(9, PsoParams {
+            topology: Topology::VonNeumann,
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(30);
+        swarm.step(&f, &mut rng);
+        // Particle 4 (centre of 3x3): neighbors 1, 3, 5, 7.
+        assert_eq!(swarm.neighbors[4], vec![1, 3, 5, 7]);
+        // Corner particle 0 wraps: up -> 6, down -> 3, left -> 2, right -> 1.
+        assert_eq!(swarm.neighbors[0], vec![1, 2, 3, 6]);
+        // Every particle has degree <= 4 and no self-loop.
+        for (i, nbrs) in swarm.neighbors.iter().enumerate() {
+            assert!(nbrs.len() <= 4 && !nbrs.is_empty());
+            assert!(!nbrs.contains(&i));
+        }
+    }
+
+    #[test]
+    fn von_neumann_ragged_grid_is_valid() {
+        let f = Sphere::new(2);
+        // 7 particles -> 3 cols x 3 rows with a ragged last row.
+        let mut swarm = Swarm::new(7, PsoParams {
+            topology: Topology::VonNeumann,
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(31);
+        swarm.step(&f, &mut rng);
+        for (i, nbrs) in swarm.neighbors.iter().enumerate() {
+            assert!(!nbrs.is_empty(), "particle {i} isolated");
+            assert!(nbrs.iter().all(|&j| j < 7 && j != i));
+        }
+    }
+
+    #[test]
+    fn von_neumann_converges_on_sphere() {
+        let f = Sphere::new(6);
+        let best = run(
+            Swarm::new(16, PsoParams {
+                topology: Topology::VonNeumann,
+                ..PsoParams::default()
+            }),
+            &f,
+            16_000,
+            32,
+        );
+        assert!(best < 1e-3, "von Neumann PSO reached {best}");
+    }
+
+    #[test]
+    fn random_topology_has_requested_degree() {
+        let f = Sphere::new(2);
+        let mut swarm = Swarm::new(10, PsoParams {
+            topology: Topology::Random(3),
+            ..PsoParams::default()
+        });
+        let mut rng = Xoshiro256pp::seeded(10);
+        swarm.step(&f, &mut rng);
+        for (i, nbrs) in swarm.neighbors.iter().enumerate() {
+            assert_eq!(nbrs.len(), 3);
+            assert!(!nbrs.contains(&i));
+        }
+    }
+
+    #[test]
+    fn lbest_still_converges_on_sphere() {
+        let f = Sphere::new(6);
+        let best = run(
+            Swarm::new(16, PsoParams {
+                topology: Topology::Ring(1),
+                ..PsoParams::default()
+            }),
+            &f,
+            16_000,
+            11,
+        );
+        assert!(best < 1e-3, "lbest PSO reached {best}");
+    }
+
+    #[test]
+    fn fips_ring_converges_on_sphere() {
+        let f = Sphere::new(10);
+        let best = run(Swarm::new(20, PsoParams::fips_ring()), &f, 20_000, 21);
+        assert!(best < 1e-4, "FIPS-ring on sphere reached {best}");
+    }
+
+    #[test]
+    fn fips_gbest_uses_all_informants() {
+        // FIPS over gbest: informants = whole swarm; must still converge.
+        let f = Sphere::new(6);
+        let params = PsoParams {
+            influence: Influence::FullyInformed,
+            ..PsoParams::default()
+        };
+        let best = run(Swarm::new(12, params), &f, 12_000, 22);
+        assert!(best < 1.0, "FIPS-gbest reached {best}");
+    }
+
+    #[test]
+    fn fips_on_multimodal_beats_or_matches_gbest_sometimes() {
+        // Mendes et al.'s headline: FIPS-ring is markedly better on
+        // multimodal functions. We assert the weaker, stable property that
+        // it is competitive (within two orders of magnitude) on Rastrigin.
+        let f = Rastrigin::new(10);
+        let gbest = run(Swarm::new(20, PsoParams::default()), &f, 20_000, 23);
+        let fips = run(Swarm::new(20, PsoParams::fips_ring()), &f, 20_000, 23);
+        assert!(
+            fips.log10() <= gbest.log10() + 2.0,
+            "fips {fips} vs gbest {gbest}"
+        );
+    }
+
+    #[test]
+    fn single_particle_swarm_works() {
+        let f = Sphere::new(3);
+        let best = run(Swarm::new(1, PsoParams::default()), &f, 1000, 12);
+        assert!(best.is_finite());
+    }
+
+    #[test]
+    fn immigrant_replaces_worst_particle() {
+        let f = Sphere::new(3);
+        let mut swarm = Swarm::new(5, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(77);
+        for _ in 0..25 {
+            swarm.step(&f, &mut rng);
+        }
+        let worst_before = swarm
+            .particles
+            .iter()
+            .map(|p| p.pbest_f)
+            .fold(f64::NEG_INFINITY, f64::max);
+        swarm.immigrate(
+            BestPoint {
+                x: vec![0.0; 3],
+                f: 0.0,
+            },
+            &mut rng,
+        );
+        let worst_after = swarm
+            .particles
+            .iter()
+            .map(|p| p.pbest_f)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst_after < worst_before, "worst particle replaced");
+        assert!(swarm.particles.iter().any(|p| p.pbest_f == 0.0));
+        assert_eq!(swarm.best().unwrap().f, 0.0);
+    }
+
+    #[test]
+    fn emigrant_is_a_particle_pbest() {
+        let f = Sphere::new(3);
+        let mut swarm = Swarm::new(5, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(78);
+        for _ in 0..25 {
+            swarm.step(&f, &mut rng);
+        }
+        for _ in 0..20 {
+            let e = swarm.emigrate(&mut rng).unwrap();
+            assert!(
+                swarm
+                    .particles
+                    .iter()
+                    .any(|p| p.pbest_f == e.f && p.pbest_x == e.x),
+                "emigrant must be some particle's pbest"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn zero_particles_rejected() {
+        Swarm::new(0, PsoParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "constriction requires")]
+    fn bad_constriction_rejected() {
+        Swarm::new(5, PsoParams {
+            c1: 1.0,
+            c2: 1.0,
+            inertia: Inertia::Constriction,
+            ..PsoParams::default()
+        });
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = Sphere::new(5);
+        let a = run(Swarm::new(12, PsoParams::default()), &f, 3000, 13);
+        let b = run(Swarm::new(12, PsoParams::default()), &f, 3000, 13);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniform random search — the coordination-free floor any distributed
+//! metaheuristic must beat.
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::Xoshiro256pp;
+
+/// Pure random sampling over the box domain, keeping the best point seen.
+#[derive(Debug, Clone, Default)]
+pub struct RandomSearch {
+    best: Option<BestPoint>,
+    evals: u64,
+}
+
+impl RandomSearch {
+    /// Fresh searcher.
+    pub fn new() -> Self {
+        RandomSearch::default()
+    }
+}
+
+impl Solver for RandomSearch {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        let x = random_position(f, rng);
+        let value = f.eval(&x);
+        self.evals += 1;
+        if self.best.as_ref().is_none_or(|b| value < b.f) {
+            self.best = Some(BestPoint { x, f: value });
+        }
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self.best.as_ref().is_none_or(|b| point.f < b.f) {
+            self.best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::Sphere;
+
+    #[test]
+    fn keeps_the_minimum_seen() {
+        let f = Sphere::new(3);
+        let mut rs = RandomSearch::new();
+        let mut rng = Xoshiro256pp::seeded(1);
+        let mut manual_best = f64::INFINITY;
+        for _ in 0..500 {
+            rs.step(&f, &mut rng);
+            manual_best = manual_best.min(rs.best().unwrap().f);
+            assert_eq!(rs.best().unwrap().f, manual_best);
+        }
+        assert_eq!(rs.evals(), 500);
+    }
+
+    #[test]
+    fn more_evals_do_not_hurt() {
+        let f = Sphere::new(5);
+        let mut rng = Xoshiro256pp::seeded(2);
+        let mut rs = RandomSearch::new();
+        for _ in 0..10 {
+            rs.step(&f, &mut rng);
+        }
+        let early = rs.best().unwrap().f;
+        for _ in 0..10_000 {
+            rs.step(&f, &mut rng);
+        }
+        assert!(rs.best().unwrap().f <= early);
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated annealing with Gaussian proposals and geometric cooling.
+//!
+//! A deliberately simple, classic configuration: proposal `x' = x + σ·N(0,I)`
+//! with `σ` proportional to temperature and the domain width; Metropolis
+//! acceptance; `T ← α·T` per evaluation.
+
+use crate::{random_position, BestPoint, Solver};
+use gossipopt_functions::Objective;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaParams {
+    /// Initial temperature (relative to typical objective scale 1).
+    pub t0: f64,
+    /// Geometric cooling factor per evaluation (`T ← alpha·T`).
+    pub alpha: f64,
+    /// Proposal standard deviation as a fraction of domain width at `T=t0`,
+    /// shrinking proportionally with temperature.
+    pub step_frac: f64,
+    /// Floor temperature (keeps late-stage proposals alive).
+    pub t_min: f64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            t0: 1.0,
+            alpha: 0.999,
+            step_frac: 0.1,
+            t_min: 1e-12,
+        }
+    }
+}
+
+/// Simulated-annealing state implementing [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    params: SaParams,
+    current: Option<(Vec<f64>, f64)>,
+    best: Option<BestPoint>,
+    temperature: f64,
+    evals: u64,
+    accepted_worse: u64,
+}
+
+impl SimulatedAnnealing {
+    /// Fresh annealer at `t0`.
+    pub fn new(params: SaParams) -> Self {
+        assert!(params.t0 > 0.0 && (0.0..1.0).contains(&params.alpha.min(0.999_999)));
+        SimulatedAnnealing {
+            params,
+            current: None,
+            best: None,
+            temperature: params.t0,
+            evals: 0,
+            accepted_worse: 0,
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Number of accepted uphill moves (diagnostics).
+    pub fn accepted_worse(&self) -> u64 {
+        self.accepted_worse
+    }
+
+    fn note_best(&mut self, x: &[f64], f: f64) {
+        if self.best.as_ref().is_none_or(|b| f < b.f) {
+            self.best = Some(BestPoint { x: x.to_vec(), f });
+        }
+    }
+}
+
+impl Solver for SimulatedAnnealing {
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        match self.current.take() {
+            None => {
+                let x = random_position(f, rng);
+                let value = f.eval(&x);
+                self.evals += 1;
+                self.note_best(&x, value);
+                self.current = Some((x, value));
+            }
+            Some((x, fx)) => {
+                let scale = self.temperature / self.params.t0;
+                let mut proposal = x.clone();
+                for (d, coord) in proposal.iter_mut().enumerate() {
+                    let (lo, hi) = f.bounds(d);
+                    let sigma = self.params.step_frac * (hi - lo) * scale.max(1e-3);
+                    *coord += sigma * rng.normal();
+                }
+                let value = f.eval(&proposal);
+                self.evals += 1;
+                self.note_best(&proposal, value);
+                let accept = if value <= fx {
+                    true
+                } else {
+                    let p = (-(value - fx) / self.temperature.max(self.params.t_min)).exp();
+                    let ok = rng.chance(p);
+                    if ok {
+                        self.accepted_worse += 1;
+                    }
+                    ok
+                };
+                self.current = if accept {
+                    Some((proposal, value))
+                } else {
+                    Some((x, fx))
+                };
+            }
+        }
+        self.temperature = (self.temperature * self.params.alpha).max(self.params.t_min);
+    }
+
+    fn best(&self) -> Option<&BestPoint> {
+        self.best.as_ref()
+    }
+
+    fn tell_best(&mut self, point: BestPoint) {
+        if self.best.as_ref().is_none_or(|b| point.f < b.f) {
+            // Jump the walker to the better basin as well.
+            self.current = Some((point.x.clone(), point.f));
+            self.best = Some(point);
+        }
+    }
+
+    fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn name(&self) -> &str {
+        "sa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_functions::{Rastrigin, Sphere};
+
+    #[test]
+    fn cools_geometrically_with_floor() {
+        let f = Sphere::new(2);
+        let mut sa = SimulatedAnnealing::new(SaParams {
+            t0: 1.0,
+            alpha: 0.5,
+            step_frac: 0.1,
+            t_min: 0.01,
+        });
+        let mut rng = Xoshiro256pp::seeded(1);
+        sa.step(&f, &mut rng);
+        assert!((sa.temperature() - 0.5).abs() < 1e-12);
+        for _ in 0..100 {
+            sa.step(&f, &mut rng);
+        }
+        assert_eq!(sa.temperature(), 0.01);
+    }
+
+    #[test]
+    fn improves_on_sphere() {
+        let f = Sphere::new(5);
+        let mut sa = SimulatedAnnealing::new(SaParams::default());
+        let mut rng = Xoshiro256pp::seeded(2);
+        sa.step(&f, &mut rng);
+        let initial = sa.best().unwrap().f;
+        for _ in 0..20_000 {
+            sa.step(&f, &mut rng);
+        }
+        let fin = sa.best().unwrap().f;
+        assert!(fin < initial / 1000.0, "{initial} -> {fin}");
+    }
+
+    #[test]
+    fn accepts_some_uphill_moves_when_hot() {
+        let f = Rastrigin::new(4);
+        let mut sa = SimulatedAnnealing::new(SaParams {
+            t0: 50.0,
+            alpha: 0.9999,
+            step_frac: 0.05,
+            t_min: 1e-12,
+        });
+        let mut rng = Xoshiro256pp::seeded(3);
+        for _ in 0..5000 {
+            sa.step(&f, &mut rng);
+        }
+        assert!(sa.accepted_worse() > 0, "hot SA must explore uphill");
+    }
+
+    #[test]
+    fn tell_best_moves_walker() {
+        let f = Sphere::new(3);
+        let mut sa = SimulatedAnnealing::new(SaParams::default());
+        let mut rng = Xoshiro256pp::seeded(4);
+        sa.step(&f, &mut rng);
+        sa.tell_best(BestPoint {
+            x: vec![0.0; 3],
+            f: 0.0,
+        });
+        assert_eq!(sa.current.as_ref().unwrap().1, 0.0);
+        assert_eq!(sa.best().unwrap().f, 0.0);
+    }
+}

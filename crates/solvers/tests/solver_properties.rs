@@ -1,0 +1,195 @@
+//! Property-based tests over the whole solver family.
+
+use gossipopt_functions::{Objective, Sphere};
+use gossipopt_solvers::{solver_by_name, solver_names, BestPoint, PsoParams, Solver, Swarm};
+use gossipopt_util::Xoshiro256pp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every solver: evals counts exactly, best is finite and
+    /// reachable, and runs are deterministic per seed.
+    #[test]
+    fn solver_contract(
+        seed in any::<u64>(),
+        which in 0usize..8,
+        k in 4usize..12,
+        steps in 1u64..120,
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let f = Sphere::new(4);
+        let run = || {
+            let mut s = solver_by_name(name, k).expect("registered");
+            let mut rng = Xoshiro256pp::seeded(seed);
+            for _ in 0..steps {
+                s.step(&f, &mut rng);
+            }
+            (s.evals(), s.best().map(|b| b.f.to_bits()))
+        };
+        let (e1, b1) = run();
+        let (e2, b2) = run();
+        prop_assert_eq!(e1, steps, "{} eval miscount", name);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(b1, b2, "{} nondeterministic", name);
+        prop_assert!(b1.is_some());
+    }
+
+    /// tell_best is exactly a monotone min over injected and found values.
+    #[test]
+    fn injection_is_min_semilattice(
+        seed in any::<u64>(),
+        injections in prop::collection::vec(0.0f64..1e6, 1..15),
+    ) {
+        let f = Sphere::new(3);
+        let mut s = Swarm::new(4, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let mut external_min = f64::INFINITY;
+        for inj in &injections {
+            s.step(&f, &mut rng);
+            s.tell_best(BestPoint {
+                x: vec![inj.sqrt(); 3],
+                f: *inj,
+            });
+            external_min = external_min.min(*inj);
+            let b = s.best().expect("has best").f;
+            prop_assert!(b <= external_min + 1e-12, "best {b} above injected min {external_min}");
+        }
+    }
+
+    /// PSO stays within the velocity clamp for arbitrary vmax fractions.
+    #[test]
+    fn velocity_clamp_holds(seed in any::<u64>(), vmax_frac in 0.01f64..1.0) {
+        let f = Sphere::new(3);
+        let params = PsoParams {
+            vmax_frac,
+            ..PsoParams::default()
+        };
+        let mut s = Swarm::new(5, params);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..100 {
+            s.step(&f, &mut rng);
+        }
+        // Re-evaluate best to confirm stored value matches the function.
+        let b = s.best().expect("has best");
+        prop_assert!((f.eval(&b.x) - b.f).abs() < 1e-9, "stored best is stale");
+    }
+
+    /// The best-so-far value never increases across steps, for any solver
+    /// and any dimensionality.
+    #[test]
+    fn best_is_monotone_nonincreasing(
+        which in 0usize..8,
+        seed in any::<u64>(),
+        dim in 1usize..8,
+        steps in 2u64..150,
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let mut s = solver_by_name(name, 5).unwrap();
+        let f = Sphere::new(dim);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let mut last = f64::INFINITY;
+        for _ in 0..steps {
+            s.step(&f, &mut rng);
+            let b = s.best().expect("best after a step").f;
+            prop_assert!(b <= last, "{}: best rose {} -> {}", name, last, b);
+            last = b;
+        }
+    }
+
+    /// The reported best value is consistent with re-evaluating its
+    /// position — solvers must never fabricate fitness values.
+    #[test]
+    fn best_value_matches_reeval(
+        which in 0usize..8,
+        seed in any::<u64>(),
+        steps in 5u64..100,
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let mut s = solver_by_name(name, 5).unwrap();
+        let f = Sphere::new(4);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..steps {
+            s.step(&f, &mut rng);
+        }
+        let b = s.best().expect("has best");
+        let reeval = f.eval(&b.x);
+        prop_assert!(
+            (b.f - reeval).abs() <= 1e-12 * reeval.abs().max(1.0),
+            "{}: reported {} but f(x) = {}", name, b.f, reeval
+        );
+    }
+
+    /// tell_best contract survives arbitrary injection timing: improving
+    /// injections land, worsening ones are ignored, and the solver keeps
+    /// functioning afterwards.
+    #[test]
+    fn injection_contract_holds_mid_run(
+        which in 0usize..8,
+        seed in any::<u64>(),
+        inject_at in 1u64..80,
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let mut s = solver_by_name(name, 5).unwrap();
+        let f = Sphere::new(3);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..inject_at {
+            s.step(&f, &mut rng);
+        }
+        s.tell_best(BestPoint { x: vec![0.0; 3], f: 0.0 });
+        prop_assert_eq!(s.best().unwrap().f, 0.0, "{}", name);
+        s.tell_best(BestPoint { x: vec![50.0; 3], f: 7500.0 });
+        prop_assert_eq!(s.best().unwrap().f, 0.0, "{}: regressed", name);
+        for _ in 0..20 {
+            s.step(&f, &mut rng);
+        }
+        prop_assert!(s.best().unwrap().f <= 1e-15, "{}: broke after injection", name);
+    }
+
+    /// Emigrants are faithful: re-evaluating an emigrant's position must
+    /// reproduce its claimed fitness (island migration would otherwise
+    /// spread lies through the network).
+    #[test]
+    fn emigrants_are_faithful(
+        which in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let mut s = solver_by_name(name, 6).unwrap();
+        let f = Sphere::new(3);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..60 {
+            s.step(&f, &mut rng);
+        }
+        let e = s.emigrate(&mut rng).expect("emigrant after 60 evals");
+        let reeval = f.eval(&e.x);
+        prop_assert!(
+            (e.f - reeval).abs() <= 1e-12 * reeval.abs().max(1.0),
+            "{}: emigrant claims {} but f(x) = {}", name, e.f, reeval
+        );
+    }
+
+    /// Immigration never regresses the best, wherever it lands in the run.
+    #[test]
+    fn immigration_never_regresses(
+        which in 0usize..8,
+        seed in any::<u64>(),
+        at in 1u64..60,
+        incoming_f in 0.0f64..1e5,
+    ) {
+        let name = solver_names()[which % solver_names().len()];
+        let mut s = solver_by_name(name, 5).unwrap();
+        let f = Sphere::new(2);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..at {
+            s.step(&f, &mut rng);
+        }
+        let before = s.best().unwrap().f;
+        s.immigrate(
+            BestPoint { x: vec![incoming_f.sqrt(), 0.0], f: incoming_f },
+            &mut rng,
+        );
+        let after = s.best().unwrap().f;
+        prop_assert!(after <= before.min(incoming_f) + 1e-12, "{}", name);
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal CSV emission for experiment artifacts.
+//!
+//! The reproduction harness writes one CSV per paper figure (series per
+//! line style) and one per table. Only writing is needed, and only numeric /
+//! simple-string cells, so a dependency-free writer with RFC-4180 quoting is
+//! sufficient.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// In-memory CSV table accumulated row by row, flushed with [`CsvTable::save`].
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// New table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row; panics if the width disagrees with the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render to a CSV string with RFC-4180 quoting.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_record(&mut out, &self.header);
+        for row in &self.rows {
+            write_record(&mut out, row);
+        }
+        out
+    }
+
+    /// Write to `path`, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+fn write_record(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n']) {
+            let escaped = cell.replace('"', "\"\"");
+            let _ = write!(out, "\"{escaped}\"");
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Format an `f64` compactly for CSV cells (scientific notation outside
+/// `[1e-4, 1e15)`, since `Display` for `f64` never switches to it).
+pub fn fmt_f64(x: f64) -> String {
+    let a = x.abs();
+    if x != 0.0 && !(1e-4..1e15).contains(&a) {
+        format!("{x:e}")
+    } else if x == x.trunc() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x", "y"]);
+        assert_eq!(t.render(), "a,b\n1,2\nx,y\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut t = CsvTable::new(["v"]);
+        t.push_row(["has,comma"]);
+        t.push_row(["has\"quote"]);
+        t.push_row(["has\nnewline"]);
+        let r = t.render();
+        assert!(r.contains("\"has,comma\""));
+        assert!(r.contains("\"has\"\"quote\""));
+        assert!(r.contains("\"has\nnewline\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("gossipopt-csv-test");
+        let path = dir.join("sub/out.csv");
+        let mut t = CsvTable::new(["n", "q"]);
+        t.push_row(["10", "0.5"]);
+        t.save(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, t.render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_f64_compact() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert!(fmt_f64(1.0e-51).contains("e-51"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Nonparametric hypothesis testing for experiment comparisons.
+//!
+//! Solution qualities from stochastic optimizers are heavy-tailed and
+//! far from normal, so comparisons between configurations (gossip vs
+//! isolated, topology A vs B, …) use the **Mann–Whitney U** rank-sum test
+//! with a normal approximation (adequate for the ≥8-repetition samples the
+//! harness produces) plus the **A₁₂ effect size** (Vargha–Delaney), the
+//! standard pairing in metaheuristics papers.
+
+/// Outcome of a two-sample Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Two-sided p-value (normal approximation with tie correction).
+    pub p_value: f64,
+    /// Vargha–Delaney A₁₂: probability that a random draw from the first
+    /// sample is **smaller** than one from the second (ties count half).
+    /// For minimization, `a12 > 0.5` means the first configuration wins.
+    pub a12: f64,
+}
+
+/// Two-sided Mann–Whitney U test of `xs` vs `ys`.
+///
+/// Returns `None` when either sample is empty or when every value is
+/// identical (no ranking information).
+pub fn mann_whitney(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
+    let (n1, n2) = (xs.len(), ys.len());
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    // Pool, rank with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = xs
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(ys.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    if tie_correction == (n as f64).powi(3) - n as f64 {
+        return None; // all values identical
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - (n1 * (n1 + 1)) as f64 / 2.0;
+    let (n1f, n2f, nf) = (n1 as f64, n2 as f64, n as f64);
+    let mean_u = n1f * n2f / 2.0;
+    let var_u =
+        n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return None;
+    }
+    // Continuity-corrected z.
+    let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
+    let p_value = 2.0 * (1.0 - std_normal_cdf(z.abs()));
+    // A12 = P(X < Y) + 0.5 P(X = Y); U1 counts pairs where X beats Y in
+    // rank (larger), so invert for the "smaller wins" orientation.
+    let a12 = 1.0 - u1 / (n1f * n2f);
+    Some(MannWhitney {
+        u: u1,
+        p_value: p_value.clamp(0.0, 1.0),
+        a12,
+    })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf polynomial
+/// (|error| < 1.5e-7 — ample for reporting p-values).
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        let z = 1.337;
+        assert!((std_normal_cdf(z) + std_normal_cdf(-z) - 1.0).abs() < 1e-6);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clearly_separated_samples_are_significant() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| 100.0 + i as f64).collect();
+        let mw = mann_whitney(&a, &b).unwrap();
+        assert!(mw.p_value < 1e-6, "p={}", mw.p_value);
+        assert!(mw.a12 > 0.99, "a12={}", mw.a12);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        // Interleaved same-distribution samples.
+        let a: Vec<f64> = (0..30).map(|i| (i * 7 % 30) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i * 11 % 30) as f64 + 0.5).collect();
+        let mw = mann_whitney(&a, &b).unwrap();
+        assert!(mw.p_value > 0.05, "p={}", mw.p_value);
+        assert!((mw.a12 - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn direction_of_a12() {
+        let small = [1.0, 2.0, 3.0];
+        let large = [10.0, 20.0, 30.0];
+        let mw = mann_whitney(&small, &large).unwrap();
+        assert_eq!(mw.a12, 1.0, "first sample always smaller");
+        let mw2 = mann_whitney(&large, &small).unwrap();
+        assert_eq!(mw2.a12, 0.0);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 1.0, 2.0];
+        let mw = mann_whitney(&a, &b).unwrap();
+        assert!(mw.p_value > 0.1);
+        assert!(mw.a12 > 0.5, "a12={} (b has the larger value)", mw.a12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(mann_whitney(&[], &[1.0]).is_none());
+        assert!(mann_whitney(&[1.0], &[]).is_none());
+        assert!(mann_whitney(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+    }
+}

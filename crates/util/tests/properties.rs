@@ -1,0 +1,105 @@
+//! Property-based tests for the PRNG and statistics substrate.
+
+use gossipopt_util::{mann_whitney, OnlineStats, Rng64, SplitMix64, StreamId, Xoshiro256pp};
+use proptest::prelude::*;
+
+proptest! {
+    /// `below(n)` is always in range, for arbitrary seeds and moduli.
+    #[test]
+    fn below_always_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// `range_f64` respects its bounds for arbitrary finite intervals.
+    #[test]
+    fn range_f64_in_bounds(seed in any::<u64>(), lo in -1e12f64..1e12, width in 1e-6f64..1e12) {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let hi = lo + width;
+        for _ in 0..20 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!(x >= lo && x < hi, "{x} outside [{lo}, {hi})");
+        }
+    }
+
+    /// Shuffle always yields a permutation.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Distinct sampling yields distinct in-range indices.
+    #[test]
+    fn sample_indices_invariants(seed in any::<u64>(), n in 1usize..100, frac in 0.0f64..1.0) {
+        let m = ((n as f64) * frac) as usize;
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let s = rng.sample_indices(n, m);
+        prop_assert_eq!(s.len(), m);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        prop_assert_eq!(t.len(), m);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// Derived streams are reproducible and order-independent.
+    #[test]
+    fn derive_reproducible(root in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let x = Xoshiro256pp::derive(root, StreamId(a, b));
+        let y = Xoshiro256pp::derive(root, StreamId(a, b));
+        prop_assert_eq!(x.state(), y.state());
+    }
+
+    /// SplitMix64 streams from different seeds diverge immediately
+    /// (no collisions expected over arbitrary pairs).
+    #[test]
+    fn splitmix_seed_separation(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut x = SplitMix64::new(a);
+        let mut y = SplitMix64::new(b);
+        prop_assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    /// Merging stats in arbitrary split points equals sequential pushes.
+    #[test]
+    fn stats_merge_associative(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let left: OnlineStats = xs[..split].iter().copied().collect();
+        let right: OnlineStats = xs[split..].iter().copied().collect();
+        let mut merged = left;
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!(
+            (merged.variance() - whole.variance()).abs()
+                < 1e-5 * whole.variance().abs().max(1.0)
+        );
+    }
+
+    /// Mann–Whitney p-values stay in [0, 1] and A12 in [0, 1] for
+    /// arbitrary samples.
+    #[test]
+    fn mann_whitney_ranges(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..40),
+        ys in prop::collection::vec(-1e6f64..1e6, 1..40),
+    ) {
+        if let Some(mw) = mann_whitney(&xs, &ys) {
+            prop_assert!((0.0..=1.0).contains(&mw.p_value));
+            prop_assert!((0.0..=1.0).contains(&mw.a12));
+            // Antisymmetry of the effect size.
+            let rev = mann_whitney(&ys, &xs).expect("same degeneracy class");
+            prop_assert!((mw.a12 + rev.a12 - 1.0).abs() < 1e-9);
+        }
+    }
+}

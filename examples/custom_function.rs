@@ -1,0 +1,81 @@
+//! Bring your own objective: plug a custom function into the framework.
+//!
+//! The paper's architecture is generic in its *function optimization
+//! service*; this example defines a new objective (a noisy sensor-placement
+//! surrogate: maximize coverage = minimize negative coverage) and runs the
+//! full decentralized stack on it.
+//!
+//! ```text
+//! cargo run --release --example custom_function
+//! ```
+
+use gossipopt::core::prelude::*;
+use gossipopt::core::experiment::run_distributed;
+use std::sync::Arc;
+
+/// Place 4 sensors on a 2-D field (8 coordinates) to cover 3 hot spots.
+///
+/// Coverage of a hot spot decays with the squared distance to the nearest
+/// sensor; the objective is the (negated, shifted) total coverage, so 0 is
+/// a perfect placement with every hot spot hit exactly.
+#[derive(Debug)]
+struct SensorPlacement {
+    hotspots: Vec<[f64; 2]>,
+}
+
+impl SensorPlacement {
+    fn new() -> Self {
+        SensorPlacement {
+            hotspots: vec![[2.0, 3.0], [-4.0, 1.0], [0.0, -5.0]],
+        }
+    }
+}
+
+impl Objective for SensorPlacement {
+    fn name(&self) -> &str {
+        "sensor-placement"
+    }
+    fn dim(&self) -> usize {
+        8 // 4 sensors x (x, y)
+    }
+    fn bounds(&self, _dim: usize) -> (f64, f64) {
+        (-10.0, 10.0)
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        // For each hot spot, coverage in (0, 1] from the nearest sensor.
+        let mut lack = 0.0;
+        for h in &self.hotspots {
+            let mut best = f64::INFINITY;
+            for s in x.chunks_exact(2) {
+                let d2 = (s[0] - h[0]).powi(2) + (s[1] - h[1]).powi(2);
+                best = best.min(d2);
+            }
+            lack += 1.0 - 1.0 / (1.0 + best); // 0 when a sensor sits on it
+        }
+        lack
+    }
+}
+
+fn main() {
+    let objective: Arc<dyn Objective> = Arc::new(SensorPlacement::new());
+
+    let spec = DistributedPsoSpec {
+        nodes: 32,
+        particles_per_node: 12,
+        gossip_every: 12,
+        function_dim: 8, // informational; the Arc objective fixes the dim
+        ..Default::default()
+    };
+
+    let report = run_distributed(&spec, Arc::clone(&objective), Budget::PerNode(2000), 21)
+        .expect("valid spec");
+
+    println!("objective        : {}", objective.name());
+    println!("total evals      : {}", report.total_evals);
+    println!("coverage deficit : {:.6}", report.best_quality);
+    assert!(
+        report.best_quality < 0.05,
+        "three hot spots, four sensors: near-perfect coverage is reachable"
+    );
+    println!("\nok: decentralized swarm placed the sensors (deficit < 0.05)");
+}

@@ -1,0 +1,51 @@
+//! Search-space partitioning: the paper's "diverse domain space
+//! allocation" future-work direction.
+//!
+//! ```text
+//! cargo run --release --example domain_partitioning
+//! ```
+//!
+//! The coordination section of the paper (§3.2) sketches "partitioning of
+//! the search space in non-overlapping zones under the responsibility of
+//! each node". Here each node's swarm is confined to one zone of a grid
+//! decomposition while the epidemic service still diffuses the global
+//! best — so the network searches everywhere at once yet every node knows
+//! the best anyone found. We compare whole-domain search against 8- and
+//! 64-zone decompositions on a deceptive landscape where coverage
+//! matters: Schwefel 2.26 hides its optimum near a domain corner, far
+//! from the second-best basin.
+
+use gossipopt::core::prelude::*;
+
+fn run(zones: usize, seed: u64) -> (f64, f64) {
+    let spec = DistributedPsoSpec {
+        nodes: 64,
+        particles_per_node: 8,
+        gossip_every: 8,
+        partition_zones: zones,
+        ..Default::default()
+    };
+    let rep = run_repeated(&spec, "schwefel226", Budget::PerNode(1000), 8, seed)
+        .expect("valid spec");
+    (rep.quality.avg, rep.quality.min)
+}
+
+fn main() {
+    println!("Schwefel 2.26 (10-D, optimum hidden near the domain corner)");
+    println!("64 nodes x 8 particles x 1000 evals, 8 repetitions\n");
+    println!("{:<22} {:>14} {:>14}", "configuration", "avg quality", "best");
+    for zones in [0usize, 8, 64] {
+        let (avg, min) = run(zones, 4242);
+        let label = if zones == 0 {
+            "whole domain".to_string()
+        } else {
+            format!("{zones} zones")
+        };
+        println!("{label:<22} {avg:>14.4e} {min:>14.4e}");
+    }
+    println!(
+        "\nZone-confined swarms guarantee coverage of the deceptive corners;\n\
+         the epidemic global best keeps every node informed of the winner.\n\
+         ok: partitioned search ran end-to-end"
+    );
+}

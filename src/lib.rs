@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # gossipopt
+//!
+//! A decentralized, gossip-based architecture for distributed function
+//! optimization — a full Rust reproduction of Biazzini, Brunato & Montresor,
+//! *“Towards a Decentralized Architecture for Optimization”* (2008).
+//!
+//! This facade crate re-exports the workspace crates under one namespace:
+//!
+//! * [`util`] — deterministic PRNG streams and online statistics;
+//! * [`functions`] — the benchmark objective suite (Sphere, Rosenbrock, …);
+//! * [`sim`] — a PeerSim-equivalent cycle- and event-driven P2P simulator;
+//! * [`gossip`] — Newscast peer sampling, anti-entropy, rumor mongering,
+//!   aggregation and overlay analysis;
+//! * [`solvers`] — PSO (classic/inertia/constriction, gbest/lbest), DE, GA,
+//!   sep-CMA-ES, Nelder–Mead, SA, (1+1)-ES and random search;
+//! * [`core`] — the three-service framework (topology / optimization /
+//!   coordination), the distributed PSO instantiation, baselines, and the
+//!   experiment runner reproducing every table and figure of the paper;
+//! * [`runtime`] — a real threaded deployment of the same protocol (one OS
+//!   thread per node, channel or UDP transport, binary wire format).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gossipopt::core::prelude::*;
+//!
+//! // 32 nodes, each with a swarm of 8 particles, gossiping every 8
+//! // evaluations, optimizing 10-D Sphere for 200 evaluations per node.
+//! let spec = DistributedPsoSpec {
+//!     nodes: 32,
+//!     particles_per_node: 8,
+//!     gossip_every: 8,
+//!     ..Default::default()
+//! };
+//! let report = run_distributed_pso(&spec, "sphere", Budget::PerNode(200), 42).unwrap();
+//! assert!(report.best_quality < 1e3); // made progress from random init
+//! ```
+
+pub use gossipopt_core as core;
+pub use gossipopt_functions as functions;
+pub use gossipopt_gossip as gossip;
+pub use gossipopt_runtime as runtime;
+pub use gossipopt_sim as sim;
+pub use gossipopt_solvers as solvers;
+pub use gossipopt_util as util;

@@ -1,0 +1,187 @@
+//! End-to-end integration tests: the paper's qualitative claims, verified
+//! on reduced-size configurations with fixed seeds.
+
+use gossipopt::core::prelude::*;
+
+fn spec(nodes: usize, k: usize) -> DistributedPsoSpec {
+    DistributedPsoSpec {
+        nodes,
+        particles_per_node: k,
+        gossip_every: k as u64,
+        ..Default::default()
+    }
+}
+
+/// Set-1 shape: with a fixed per-node budget, more nodes give better (or
+/// equal) global quality — "a profitable relation between the number of
+/// nodes and the solution quality".
+#[test]
+fn quality_improves_with_network_size_at_fixed_per_node_budget() {
+    let reps = 4;
+    let small = run_repeated(&spec(2, 16), "griewank", Budget::PerNode(500), reps, 71).unwrap();
+    let large = run_repeated(&spec(64, 16), "griewank", Budget::PerNode(500), reps, 71).unwrap();
+    assert!(
+        large.quality.avg < small.quality.avg,
+        "64 nodes {:.3e} should beat 2 nodes {:.3e}",
+        large.quality.avg,
+        small.quality.avg
+    );
+}
+
+/// Set-2 shape: at a fixed *total* budget, performance depends on the
+/// number of active particles, not on how they are partitioned among
+/// nodes — "differently sized networks reach the same performance as soon
+/// as their number of active particles becomes the same".
+#[test]
+fn partitioning_is_roughly_neutral_at_fixed_total_budget() {
+    let reps = 6;
+    let total = 1 << 15;
+    // 128 particles as 8 nodes x 16 vs 32 nodes x 4.
+    let a = run_repeated(&spec(8, 16), "zakharov", Budget::Total(total), reps, 72).unwrap();
+    let b = run_repeated(&spec(32, 4), "zakharov", Budget::Total(total), reps, 72).unwrap();
+    let la = a.quality.avg.max(f64::MIN_POSITIVE).log10();
+    let lb = b.quality.avg.max(f64::MIN_POSITIVE).log10();
+    assert!(
+        (la - lb).abs() < 3.0,
+        "same particle count should land within ~3 orders: {la:.2} vs {lb:.2}"
+    );
+}
+
+/// Set-3 shape: faster gossip (smaller r) does not hurt, and on sharable
+/// landscapes it helps — "the more the swarms are exchanging information,
+/// the better the solution quality".
+#[test]
+fn tighter_coordination_helps_or_ties() {
+    let reps = 6;
+    let mut fast = spec(32, 16);
+    fast.gossip_every = 4;
+    let mut slow = spec(32, 16);
+    slow.gossip_every = 64;
+    let f = run_repeated(&fast, "sphere", Budget::PerNode(800), reps, 73).unwrap();
+    let s = run_repeated(&slow, "sphere", Budget::PerNode(800), reps, 73).unwrap();
+    let lf = f.quality.avg.max(f64::MIN_POSITIVE).log10();
+    let ls = s.quality.avg.max(f64::MIN_POSITIVE).log10();
+    assert!(
+        lf <= ls + 0.5,
+        "r=4 ({lf:.2}) should not be clearly worse than r=64 ({ls:.2})"
+    );
+}
+
+/// Set-4 shape: time (local evals per node) to a fixed quality threshold
+/// shrinks as nodes are added.
+#[test]
+fn time_to_threshold_decreases_with_network_size() {
+    let threshold = 1e-6;
+    let mut one = spec(1, 16);
+    one.stop_at_quality = Some(threshold);
+    let mut many = spec(32, 16);
+    many.stop_at_quality = Some(threshold);
+    let reps = 4;
+    let t1 = run_repeated(&one, "sphere", Budget::Total(1 << 20), reps, 74).unwrap();
+    let t32 = run_repeated(&many, "sphere", Budget::Total(1 << 20), reps, 74).unwrap();
+    assert_eq!(t1.threshold_hits, reps, "single node should converge");
+    assert_eq!(t32.threshold_hits, reps, "network should converge");
+    assert!(
+        t32.time.avg < t1.time.avg,
+        "32 nodes ({}) must be faster than 1 node ({}) in per-node time",
+        t32.time.avg,
+        t1.time.avg
+    );
+}
+
+/// The distributed architecture "causes no detriment": gossiped networks
+/// land within a reasonable factor of a centralized swarm of equal total
+/// size and budget.
+#[test]
+fn no_detriment_vs_centralized() {
+    let reps = 4;
+    let nodes = 32;
+    let k = 8;
+    let per_node = 1000;
+    let dist = run_repeated(&spec(nodes, k), "zakharov", Budget::PerNode(per_node), reps, 75)
+        .unwrap();
+    let mut central_best = f64::INFINITY;
+    for r in 0..reps {
+        let c = run_centralized_pso(
+            "zakharov",
+            10,
+            nodes * k,
+            PsoParams::default(),
+            per_node * nodes as u64,
+            None,
+            75 + r,
+        )
+        .unwrap();
+        central_best = central_best.min(c.best_quality);
+    }
+    let ld = dist.quality.min.max(f64::MIN_POSITIVE).log10();
+    let lc = central_best.max(f64::MIN_POSITIVE).log10();
+    // Not a statistical claim — just "same ballpark, not catastrophically
+    // worse" (the paper's qualitative statement).
+    assert!(
+        ld <= lc.max(0.0) + 6.0,
+        "distributed best 1e{ld:.1} vs centralized 1e{lc:.1}"
+    );
+}
+
+/// Churn leaves the computation consistent (population stays in bounds,
+/// quality finite and improving).
+#[test]
+fn computation_survives_sustained_churn() {
+    let mut s = spec(64, 8);
+    s.churn = ChurnConfig::balanced(0.002, 64);
+    let r = run_distributed_pso(&s, "rastrigin", Budget::PerNode(600), 76).unwrap();
+    assert!(r.best_quality.is_finite());
+    assert!(r.final_population >= 1);
+    // A random 10-D rastrigin point is ~175 on average; the network must
+    // have made clear progress despite the churn.
+    assert!(r.best_quality < 60.0, "quality {}", r.best_quality);
+}
+
+/// Full determinism across the entire stack.
+#[test]
+fn whole_stack_is_deterministic() {
+    let s = spec(24, 8);
+    let a = run_distributed_pso(&s, "griewank", Budget::PerNode(300), 77).unwrap();
+    let b = run_distributed_pso(&s, "griewank", Budget::PerNode(300), 77).unwrap();
+    assert_eq!(a.best_quality.to_bits(), b.best_quality.to_bits());
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.coordination_exchanges, b.coordination_exchanges);
+}
+
+/// Every paper function runs end-to-end through the full stack.
+#[test]
+fn all_paper_functions_run() {
+    for f in ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"] {
+        let r = run_distributed_pso(&spec(8, 8), f, Budget::PerNode(200), 78).unwrap();
+        assert!(r.best_quality.is_finite(), "{f}");
+        assert!(r.best_quality >= -1e-9, "{f} below optimum?");
+    }
+}
+
+/// Every *registered* function — extensions included — runs end-to-end,
+/// and the network improves on its own initial sample (sanity that none
+/// of the objectives misreports its optimum or domain).
+#[test]
+fn entire_function_registry_runs_and_improves() {
+    for f in gossipopt::functions::names() {
+        let r = run_distributed_pso(&spec(8, 8), f, Budget::PerNode(300), 79).unwrap();
+        assert!(r.best_quality.is_finite(), "{f}");
+        assert!(
+            r.best_quality >= -1e-6,
+            "{f}: quality {} below the declared optimum",
+            r.best_quality
+        );
+        // Compare against a pure random-search network on the same budget:
+        // the coordinated swarms must not be (much) worse anywhere.
+        let mut rs = spec(8, 8);
+        rs.solver = gossipopt::core::experiment::SolverSpec::Named("random".into());
+        let base = run_distributed_pso(&rs, f, Budget::PerNode(300), 79).unwrap();
+        assert!(
+            r.best_quality <= base.best_quality * 1.5 + 1e-9,
+            "{f}: PSO {} worse than random search {}",
+            r.best_quality,
+            base.best_quality
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Failure-injection integration tests: scripted catastrophes against the
+//! full framework stack, checking the paper's robustness story — and its
+//! limits (the master–slave baseline *does* have a single point of
+//! failure).
+
+use gossipopt::core::node::{paper_coordination, CoordComp, OptNode, Role, TopologyComp};
+use gossipopt::functions::{Objective, Sphere};
+use gossipopt::gossip::{NewscastConfig, StaticSampler};
+use gossipopt::sim::{CycleConfig, CycleEngine, NodeId};
+use gossipopt::solvers::{PsoParams, Swarm};
+use std::sync::Arc;
+
+fn gossip_node(objective: &Arc<dyn Objective>) -> OptNode {
+    OptNode::new(
+        Arc::clone(objective),
+        Box::new(Swarm::new(8, PsoParams::default())),
+        OptNode::newscast_topology(NewscastConfig {
+            view_size: 12,
+            exchange_every: 2,
+        }),
+        paper_coordination(),
+        Role::Peer,
+        8,
+        None,
+    )
+}
+
+fn global_quality(engine: &CycleEngine<OptNode>) -> f64 {
+    engine
+        .nodes()
+        .map(|(_, n)| n.quality())
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn gossip_network_survives_losing_half_its_nodes() {
+    let objective: Arc<dyn Objective> = Arc::new(Sphere::new(10));
+    let mut engine: CycleEngine<OptNode> = CycleEngine::new(CycleConfig::seeded(1));
+    for _ in 0..64 {
+        engine.insert(gossip_node(&objective));
+    }
+    engine.run(100);
+    let before = global_quality(&engine);
+    let killed = engine.crash_fraction(0.5);
+    assert_eq!(killed, 32);
+    engine.run(400);
+    let after = global_quality(&engine);
+    assert!(after.is_finite());
+    assert!(
+        after <= before,
+        "computation must keep improving: {before} -> {after}"
+    );
+    assert_eq!(engine.alive_count(), 32);
+}
+
+#[test]
+fn survivors_keep_diffusing_after_catastrophe() {
+    let objective: Arc<dyn Objective> = Arc::new(Sphere::new(10));
+    let mut engine: CycleEngine<OptNode> = CycleEngine::new(CycleConfig::seeded(2));
+    for _ in 0..48 {
+        engine.insert(gossip_node(&objective));
+    }
+    engine.run(50);
+    engine.crash_fraction(0.5);
+    engine.run(300);
+    // Diffusion still works among survivors: most nodes near global best.
+    let global = global_quality(&engine);
+    let near = engine
+        .nodes()
+        .filter(|(_, n)| {
+            n.quality().max(f64::MIN_POSITIVE).log10()
+                < global.max(f64::MIN_POSITIVE).log10() + 6.0
+        })
+        .count();
+    assert!(
+        near * 3 >= engine.alive_count() * 2,
+        "only {near}/{} survivors near global best",
+        engine.alive_count()
+    );
+}
+
+#[test]
+fn master_slave_has_a_single_point_of_failure() {
+    let objective: Arc<dyn Objective> = Arc::new(Sphere::new(10));
+    let mut engine: CycleEngine<OptNode> = CycleEngine::new(CycleConfig::seeded(3));
+    let master_id = NodeId(0);
+    // Build a star: node 0 is master.
+    for i in 0..24u64 {
+        let (topology, coord, role) = if i == 0 {
+            (
+                TopologyComp::Static(StaticSampler::new(
+                    (1..24).map(NodeId).collect::<Vec<_>>(),
+                )),
+                CoordComp::MasterSlave,
+                Role::Master,
+            )
+        } else {
+            (
+                TopologyComp::Static(StaticSampler::new(vec![master_id])),
+                CoordComp::MasterSlave,
+                Role::Slave(master_id),
+            )
+        };
+        engine.insert(OptNode::new(
+            Arc::clone(&objective),
+            Box::new(Swarm::new(8, PsoParams::default())),
+            topology,
+            coord,
+            role,
+            8,
+            None,
+        ));
+    }
+    engine.run(50);
+    let delivered_before = engine.stats().delivered;
+    engine.crash(master_id);
+    engine.run(100);
+    let stats = engine.stats();
+    // Slaves keep reporting into the void: dead letters pile up and no
+    // MasterUpdate ever comes back.
+    assert!(
+        stats.dead_letter > 0,
+        "reports to the dead master must dead-letter"
+    );
+    // Coordination throughput collapses (only dead-lettered reports remain,
+    // no replies): delivered messages grow much slower than before.
+    let delivered_after = stats.delivered - delivered_before;
+    assert!(
+        delivered_after < delivered_before,
+        "hub death should throttle delivered coordination traffic \
+         ({delivered_before} in first 50 ticks vs {delivered_after} in next 100)"
+    );
+    // The computation itself still proceeds locally.
+    assert!(global_quality(&engine).is_finite());
+}
+
+#[test]
+fn joiners_catch_up_via_first_epidemic_message() {
+    let objective: Arc<dyn Objective> = Arc::new(Sphere::new(10));
+    let mut engine: CycleEngine<OptNode> = CycleEngine::new(CycleConfig::seeded(4));
+    for _ in 0..16 {
+        engine.insert(gossip_node(&objective));
+    }
+    engine.run(400); // veterans converge somewhere good
+    let veteran_quality = global_quality(&engine);
+    let rookie = engine.insert(gossip_node(&objective));
+    engine.run(100);
+    let rookie_quality = engine.node(rookie).expect("alive").quality();
+    // §3.3.4: "as soon as they receive an epidemic message containing the
+    // swarm optimum, their swarm optimum is updated".
+    assert!(
+        rookie_quality.max(f64::MIN_POSITIVE).log10()
+            <= veteran_quality.max(f64::MIN_POSITIVE).log10() + 6.0,
+        "rookie {rookie_quality:e} should catch up toward {veteran_quality:e}"
+    );
+}

@@ -1,0 +1,162 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary seeds, values and view contents.
+
+use gossipopt::core::prelude::*;
+use gossipopt::gossip::{AntiEntropy, Descriptor, ExchangeMode, PartialView, Rumor};
+use gossipopt::sim::NodeId;
+use gossipopt::util::{OnlineStats, Rng64, Xoshiro256pp};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct MinRumor(f64);
+impl Rumor for MinRumor {
+    fn better_than(&self, other: &Self) -> bool {
+        self.0 < other.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full stack never reports a quality below the optimum and is
+    /// bit-deterministic per seed, for arbitrary seeds and small shapes.
+    #[test]
+    fn run_quality_nonnegative_and_deterministic(
+        seed in 0u64..10_000,
+        nodes in 1usize..12,
+        k in 1usize..6,
+    ) {
+        let spec = DistributedPsoSpec {
+            nodes,
+            particles_per_node: k,
+            gossip_every: k as u64,
+            ..Default::default()
+        };
+        let a = run_distributed_pso(&spec, "sphere", Budget::PerNode(40), seed).unwrap();
+        prop_assert!(a.best_quality >= -1e-12);
+        prop_assert!(a.best_quality.is_finite());
+        let b = run_distributed_pso(&spec, "sphere", Budget::PerNode(40), seed).unwrap();
+        prop_assert_eq!(a.best_quality.to_bits(), b.best_quality.to_bits());
+    }
+
+    /// Budget arithmetic: per-node derives exactly and never returns 0.
+    #[test]
+    fn budget_per_node_bounds(total in 1u64..1_000_000, n in 1usize..5000) {
+        let b = Budget::Total(total).per_node(n);
+        prop_assert!(b >= 1);
+        prop_assert!(b <= total.max(1));
+        // Within one of the exact ratio.
+        let exact = total / n as u64;
+        prop_assert!(b == exact.max(1));
+    }
+
+    /// View merge invariants: bounded size, no self, no duplicate ids, and
+    /// the freshest stamp per id wins.
+    #[test]
+    fn partial_view_merge_invariants(
+        cap in 1usize..12,
+        entries in prop::collection::vec((0u64..20, 0u64..50), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let mut view = PartialView::new(cap);
+        let me = NodeId(7);
+        let descriptors: Vec<Descriptor> = entries
+            .iter()
+            .map(|&(id, stamp)| Descriptor { id: NodeId(id), stamp })
+            .collect();
+        view.merge_from(descriptors.iter().copied(), Some(me), &mut rng);
+
+        prop_assert!(view.len() <= cap);
+        prop_assert!(!view.contains(me));
+        let mut ids: Vec<_> = view.ids().collect();
+        ids.sort();
+        let n_ids = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n_ids, "duplicate ids in view");
+        // Every kept entry carries the max stamp seen for its id.
+        for d in view.entries() {
+            let max_stamp = descriptors
+                .iter()
+                .filter(|x| x.id == d.id)
+                .map(|x| x.stamp)
+                .max()
+                .unwrap();
+            prop_assert_eq!(d.stamp, max_stamp);
+        }
+    }
+
+    /// Anti-entropy extrema propagation: for any initial values, enough
+    /// synchronous push-pull rounds drive every node to the global min.
+    #[test]
+    fn min_diffusion_converges(
+        values in prop::collection::vec(-1e6f64..1e6, 2..40),
+        seed in 0u64..1000,
+    ) {
+        let n = values.len();
+        let mut nodes: Vec<AntiEntropy<MinRumor>> = values
+            .iter()
+            .map(|&v| {
+                let mut ae = AntiEntropy::new(ExchangeMode::PushPull);
+                ae.absorb(MinRumor(v));
+                ae
+            })
+            .collect();
+        let true_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut rng = Xoshiro256pp::seeded(seed);
+        for _round in 0..64 {
+            for i in 0..n {
+                let mut j = rng.index(n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                if let Some(offer) = nodes[i].initiate() {
+                    if let Some(reply) = nodes[j].handle(offer) {
+                        nodes[i].handle(reply);
+                    }
+                }
+            }
+        }
+        for node in &nodes {
+            prop_assert_eq!(node.value().unwrap().0, true_min);
+        }
+    }
+
+    /// Monotonicity of best-so-far under arbitrary interleavings of local
+    /// steps and injections.
+    #[test]
+    fn solver_best_monotone_under_injections(
+        seed in 0u64..1000,
+        injections in prop::collection::vec(0.0f64..1e5, 0..20),
+    ) {
+        use gossipopt::functions::Sphere;
+        use gossipopt::solvers::{BestPoint, Solver, Swarm};
+        let f = Sphere::new(4);
+        let mut swarm = Swarm::new(5, PsoParams::default());
+        let mut rng = Xoshiro256pp::seeded(seed);
+        let mut last = f64::INFINITY;
+        for (i, inj) in injections.iter().enumerate() {
+            for _ in 0..3 {
+                swarm.step(&f, &mut rng);
+            }
+            if i % 2 == 0 {
+                swarm.tell_best(BestPoint { x: vec![inj.sqrt(); 4], f: *inj });
+            }
+            let b = swarm.best().unwrap().f;
+            prop_assert!(b <= last + 1e-15, "best rose {last} -> {b}");
+            last = b;
+        }
+    }
+
+    /// Statistics engine agrees with a naive reference on arbitrary data.
+    #[test]
+    fn online_stats_matches_reference(xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+}
