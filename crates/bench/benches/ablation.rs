@@ -34,9 +34,7 @@ fn bench_exchange_modes(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(
-                    run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
-                )
+                black_box(run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap())
             })
         });
     }
@@ -58,9 +56,7 @@ fn bench_update_rule(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(
-                    run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
-                )
+                black_box(run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap())
             })
         });
     }
@@ -88,8 +84,7 @@ fn bench_topologies(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(
-                        run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed)
-                            .unwrap(),
+                        run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
                     )
                 })
             },

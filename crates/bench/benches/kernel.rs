@@ -39,7 +39,7 @@ impl Application for Chatty {
 
 fn bench_quiet_ticks(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/tick-quiet");
-    for &n in &[64usize, 512, 4096] {
+    for &n in &[64usize, 512, 4096, 10_000] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut e: CycleEngine<Quiet> = CycleEngine::new(CycleConfig::seeded(1));
@@ -54,7 +54,7 @@ fn bench_quiet_ticks(c: &mut Criterion) {
 
 fn bench_chatty_ticks(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/tick-chatty");
-    for &n in &[64usize, 512, 4096] {
+    for &n in &[64usize, 512, 4096, 10_000] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut e: CycleEngine<Chatty> = CycleEngine::new(CycleConfig::seeded(2));

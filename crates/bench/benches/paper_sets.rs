@@ -25,9 +25,7 @@ fn bench_set1_cell(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(
-                run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap(),
-            )
+            black_box(run_distributed_pso(&spec, "sphere", Budget::PerNode(256), seed).unwrap())
         })
     });
     group.finish();
@@ -47,9 +45,7 @@ fn bench_set2_cell(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(
-                run_distributed_pso(&spec, "griewank", Budget::Total(1 << 14), seed).unwrap(),
-            )
+            black_box(run_distributed_pso(&spec, "griewank", Budget::Total(1 << 14), seed).unwrap())
         })
     });
     group.finish();
@@ -69,9 +65,7 @@ fn bench_set3_cell(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(
-                run_distributed_pso(&spec, "zakharov", Budget::PerNode(256), seed).unwrap(),
-            )
+            black_box(run_distributed_pso(&spec, "zakharov", Budget::PerNode(256), seed).unwrap())
         })
     });
     group.finish();
@@ -92,9 +86,7 @@ fn bench_set4_cell(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(
-                run_distributed_pso(&spec, "sphere", Budget::Total(1 << 16), seed).unwrap(),
-            )
+            black_box(run_distributed_pso(&spec, "sphere", Budget::Total(1 << 16), seed).unwrap())
         })
     });
     group.finish();

@@ -39,10 +39,7 @@ fn parse() -> Result<Args, String> {
     let mut deploy = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut next = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut next = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--spec" => spec_path = Some(next("--spec")?),
             "--function" => function = next("--function")?,
@@ -60,8 +57,16 @@ fn parse() -> Result<Args, String> {
                         .map_err(|e| format!("bad budget: {e}"))?,
                 )
             }
-            "--reps" => reps = next("--reps")?.parse().map_err(|e| format!("bad reps: {e}"))?,
-            "--seed" => seed = next("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--reps" => {
+                reps = next("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad reps: {e}"))?
+            }
+            "--seed" => {
+                seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
             "--emit-spec" => emit_spec = true,
             "--deploy" => {
                 deploy = Some(match next("--deploy")?.as_str() {
@@ -71,12 +76,10 @@ fn parse() -> Result<Args, String> {
                 })
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: gossipopt-cli [--spec FILE|-] [--function NAME] \
+                return Err("usage: gossipopt-cli [--spec FILE|-] [--function NAME] \
                      [--budget-per-node N | --budget-total N] [--reps R] [--seed S] \
                      [--emit-spec] [--deploy channel|udp]"
-                        .into(),
-                )
+                    .into())
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -154,7 +157,10 @@ fn main() -> ExitCode {
                     "decode_errors": report.decode_errors,
                     "survivors": report.survivors,
                 });
-                println!("{}", serde_json::to_string_pretty(&out).expect("serializes"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&out).expect("serializes")
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -183,7 +189,10 @@ fn main() -> ExitCode {
                     "coordination_exchanges": r.coordination_exchanges,
                 })).collect::<Vec<_>>(),
             });
-            println!("{}", serde_json::to_string_pretty(&out).expect("serializes"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&out).expect("serializes")
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -56,10 +56,12 @@ fn parse_args() -> Result<Options, String> {
                 out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--help" | "-h" => {
-                return Err("usage: repro [set1|set2|set3|set4|tables|figures|churn|loss|overlay\
+                return Err(
+                    "usage: repro [set1|set2|set3|set4|tables|figures|churn|loss|overlay\
                             |solvers|baselines|ablation|async|trace|deploy|all]...\
                             [--scale smoke|reduced|paper] [--reps N] [--seed S] [--out DIR]"
-                    .into());
+                        .into(),
+                );
             }
             cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -131,7 +133,10 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
             );
             println!(
                 "{}",
-                report::quality_table("Table 1: best configuration per function", &best_rows(&cells))
+                report::quality_table(
+                    "Table 1: best configuration per function",
+                    &best_rows(&cells)
+                )
             );
             report::quality_csv(&cells)
                 .save(&out.join("set1_quality_vs_swarm.csv"))
@@ -149,7 +154,10 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
             );
             println!(
                 "{}",
-                report::quality_table("Table 2: best configuration per function", &best_rows(&cells))
+                report::quality_table(
+                    "Table 2: best configuration per function",
+                    &best_rows(&cells)
+                )
             );
             report::quality_csv(&cells)
                 .save(&out.join("set2_quality_vs_netsize.csv"))
@@ -167,7 +175,10 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
             );
             println!(
                 "{}",
-                report::quality_table("Table 3: best configuration per function", &best_rows(&cells))
+                report::quality_table(
+                    "Table 3: best configuration per function",
+                    &best_rows(&cells)
+                )
             );
             report::quality_csv(&cells)
                 .save(&out.join("set3_quality_vs_cycle_length.csv"))
@@ -189,14 +200,16 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
             report::save_json(&out.join("set4.json"), &cells).map_err(|e| e.to_string())?;
         }
         "churn" => {
-            let rows = extensions::churn_sweep(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
+            let rows =
+                extensions::churn_sweep(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
             print_labeled("EXT-churn: quality under balanced churn", &rows);
             labeled_csv(&rows)
                 .save(&out.join("ext_churn.csv"))
                 .map_err(|e| e.to_string())?;
         }
         "loss" => {
-            let rows = extensions::loss_sweep(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
+            let rows =
+                extensions::loss_sweep(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
             print_labeled("EXT-loss: quality under message loss", &rows);
             labeled_csv(&rows)
                 .save(&out.join("ext_loss.csv"))
@@ -227,7 +240,8 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
             report::save_json(&out.join("ext_overlay.json"), &rows).map_err(|e| e.to_string())?;
         }
         "trace" => {
-            let rows = extensions::convergence_traces(scale.base_seed).map_err(|e| e.to_string())?;
+            let rows =
+                extensions::convergence_traces(scale.base_seed).map_err(|e| e.to_string())?;
             let mut t = CsvTable::new(["label", "function", "tick", "quality"]);
             for r in &rows {
                 for (tick, q) in &r.series {
@@ -239,25 +253,29 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
                     ]);
                 }
             }
-            t.save(&out.join("ext_trace.csv")).map_err(|e| e.to_string())?;
+            t.save(&out.join("ext_trace.csv"))
+                .map_err(|e| e.to_string())?;
             println!("== EXT-trace: convergence curves written to ext_trace.csv ==");
             for r in &rows {
                 let last = r.series.last().map(|&(_, q)| q).unwrap_or(f64::NAN);
-                println!("{:<10} {:<10} final quality {last:.5e}", r.label, r.function);
+                println!(
+                    "{:<10} {:<10} final quality {last:.5e}",
+                    r.label, r.function
+                );
             }
             println!();
         }
         "async" => {
-            let rows =
-                extensions::async_comparison(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
+            let rows = extensions::async_comparison(ext_reps, scale.base_seed)
+                .map_err(|e| e.to_string())?;
             print_labeled("EXT-async: cycle vs event-driven kernel", &rows);
             labeled_csv(&rows)
                 .save(&out.join("ext_async.csv"))
                 .map_err(|e| e.to_string())?;
         }
         "solvers" => {
-            let rows =
-                extensions::solver_comparison(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
+            let rows = extensions::solver_comparison(ext_reps, scale.base_seed)
+                .map_err(|e| e.to_string())?;
             print_labeled("EXT-solvers: solver diversification (future work)", &rows);
             labeled_csv(&rows)
                 .save(&out.join("ext_solvers.csv"))
@@ -266,13 +284,17 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
         "baselines" => {
             let rows = extensions::baselines_comparison(ext_reps, scale.base_seed)
                 .map_err(|e| e.to_string())?;
-            print_labeled("EXT-baselines: gossip vs extremes (equal total budget)", &rows);
+            print_labeled(
+                "EXT-baselines: gossip vs extremes (equal total budget)",
+                &rows,
+            );
             labeled_csv(&rows)
                 .save(&out.join("ext_baselines.csv"))
                 .map_err(|e| e.to_string())?;
         }
         "ablation" => {
-            let rows = extensions::ablation(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
+            let rows =
+                extensions::ablation(ext_reps, scale.base_seed).map_err(|e| e.to_string())?;
             print_labeled("EXT-ablation: design-choice sweeps", &rows);
             labeled_csv(&rows)
                 .save(&out.join("ext_ablation.csv"))
@@ -296,8 +318,11 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
                 let text = std::fs::read_to_string(path).ok()?;
                 serde_json::from_str(&text).ok()
             }
-            for (set, file) in [("set1", "set1.json"), ("set2", "set2.json"), ("set3", "set3.json")]
-            {
+            for (set, file) in [
+                ("set1", "set1.json"),
+                ("set2", "set2.json"),
+                ("set3", "set3.json"),
+            ] {
                 let path = out.join(file);
                 if !path.exists() {
                     run_command(set, scale, out)?;
@@ -326,8 +351,20 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
         }
         "all" => {
             for c in [
-                "set1", "set2", "set3", "set4", "figures", "churn", "loss", "overlay",
-                "solvers", "baselines", "ablation", "async", "trace", "deploy",
+                "set1",
+                "set2",
+                "set3",
+                "set4",
+                "figures",
+                "churn",
+                "loss",
+                "overlay",
+                "solvers",
+                "baselines",
+                "ablation",
+                "async",
+                "trace",
+                "deploy",
             ] {
                 run_command(c, scale, out)?;
             }

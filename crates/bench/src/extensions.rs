@@ -91,10 +91,7 @@ pub fn async_comparison(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, Cor
             quality: sync.quality,
         });
         for (label, opts) in [
-            (
-                "kernel=event lat=U(1,20)",
-                AsyncOpts::default(),
-            ),
+            ("kernel=event lat=U(1,20)", AsyncOpts::default()),
             (
                 "kernel=event lat=Exp(30)",
                 AsyncOpts {
@@ -351,8 +348,14 @@ pub fn ablation(reps: u64, seed: u64) -> Result<Vec<LabeledQuality>, CoreError> 
                 stop_prob: 0.2,
             }),
         ),
-        ("coord=migrate(1)", CoordinationKind::Migrate { migrants: 1 }),
-        ("coord=migrate(4)", CoordinationKind::Migrate { migrants: 4 }),
+        (
+            "coord=migrate(1)",
+            CoordinationKind::Migrate { migrants: 1 },
+        ),
+        (
+            "coord=migrate(4)",
+            CoordinationKind::Migrate { migrants: 4 },
+        ),
         ("coord=none", CoordinationKind::None),
     ] {
         let spec = DistributedPsoSpec {

@@ -93,8 +93,7 @@ impl Plot {
         for &(si, x, y) in &finite {
             let cx = ((x - xmin) / (xmax - xmin) * (w - 1) as f64).round() as usize;
             // Row 0 is the top: invert y.
-            let cy = (h - 1)
-                - ((y - ymin) / (ymax - ymin) * (h - 1) as f64).round() as usize;
+            let cy = (h - 1) - ((y - ymin) / (ymax - ymin) * (h - 1) as f64).round() as usize;
             grid[cy.min(h - 1)][cx.min(w - 1)] = MARKERS[si % MARKERS.len()];
         }
 
@@ -262,11 +261,7 @@ fn quality_figure(
                 }),
             }
         }
-        let plot = Plot::new(
-            &format!("{title} [{function}]"),
-            x_label,
-            "log10(quality)",
-        );
+        let plot = Plot::new(&format!("{title} [{function}]"), x_label, "log10(quality)");
         let _ = writeln!(out, "{}", plot.render(&series));
     }
     out

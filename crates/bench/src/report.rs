@@ -17,8 +17,14 @@ pub fn quality_table(title: &str, cells: &[QualityCell]) -> String {
     for c in cells {
         out.push_str(&format!(
             "{:<12} {:>7} {:>4} {:>4} | {:>13.5e} {:>13.5e} {:>13.5e} {:>13.5e}\n",
-            c.key.function, c.key.n, c.key.k, c.key.r, c.quality.avg, c.quality.min,
-            c.quality.max, c.quality.var
+            c.key.function,
+            c.key.n,
+            c.key.k,
+            c.key.r,
+            c.quality.avg,
+            c.quality.min,
+            c.quality.max,
+            c.quality.var
         ));
     }
     out
@@ -41,7 +47,13 @@ pub fn time_table(title: &str, cells: &[TimeCell]) -> String {
         } else {
             out.push_str(&format!(
                 "{:<12} {:>7} {:>4} | {:>2}/{:<2} | {:>13.1} {:>13.1} {:>13.1}\n",
-                c.key.function, c.key.n, c.key.k, c.hits, c.reps, c.time.avg, c.time.min,
+                c.key.function,
+                c.key.n,
+                c.key.k,
+                c.hits,
+                c.reps,
+                c.time.avg,
+                c.time.min,
                 c.time.max
             ));
         }
@@ -53,7 +65,15 @@ pub fn time_table(title: &str, cells: &[TimeCell]) -> String {
 /// "Solution quality (log)" axes.
 pub fn quality_csv(cells: &[QualityCell]) -> CsvTable {
     let mut t = CsvTable::new([
-        "function", "n", "k", "r", "avg", "min", "max", "var", "log10_avg",
+        "function",
+        "n",
+        "k",
+        "r",
+        "avg",
+        "min",
+        "max",
+        "var",
+        "log10_avg",
     ]);
     for c in cells {
         t.push_row([

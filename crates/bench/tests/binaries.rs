@@ -20,7 +20,11 @@ fn repro_smoke_set1_writes_artifacts() {
         .arg(&dir)
         .output()
         .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Table 1"), "missing table header");
     assert!(stdout.contains("griewank"));
@@ -49,8 +53,16 @@ fn cli_emit_spec_roundtrips_through_run() {
     // Feed the emitted spec back through stdin and run a tiny experiment.
     let mut child = cli()
         .args([
-            "--spec", "-", "--function", "sphere", "--budget-per-node", "20", "--reps", "2",
-            "--seed", "3",
+            "--spec",
+            "-",
+            "--function",
+            "sphere",
+            "--budget-per-node",
+            "20",
+            "--reps",
+            "2",
+            "--seed",
+            "3",
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -64,7 +76,11 @@ fn cli_emit_spec_roundtrips_through_run() {
         .write_all(template.as_bytes())
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("JSON report");
     assert_eq!(report["reps"], 2);
     assert_eq!(report["runs"].as_array().unwrap().len(), 2);
@@ -101,12 +117,22 @@ fn cli_rejects_bad_spec_and_function() {
 fn cli_deploys_on_real_threads() {
     let out = cli()
         .args([
-            "--function", "sphere", "--budget-per-node", "50", "--deploy", "channel", "--seed",
+            "--function",
+            "sphere",
+            "--budget-per-node",
+            "50",
+            "--deploy",
+            "channel",
+            "--seed",
             "5",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("JSON report");
     assert_eq!(v["deployment"], "Channel");
     assert_eq!(v["total_evals"], 16 * 50); // default spec: 16 nodes
@@ -127,7 +153,13 @@ fn cli_is_deterministic_per_seed() {
     let run = || {
         let out = cli()
             .args([
-                "--function", "griewank", "--budget-per-node", "30", "--reps", "1", "--seed",
+                "--function",
+                "griewank",
+                "--budget-per-node",
+                "30",
+                "--reps",
+                "1",
+                "--seed",
                 "99",
             ])
             .output()

@@ -113,8 +113,8 @@ mod tests {
 
     #[test]
     fn centralized_converges_on_sphere() {
-        let r = run_centralized_pso("sphere", 10, 20, PsoParams::default(), 20_000, None, 1)
-            .unwrap();
+        let r =
+            run_centralized_pso("sphere", 10, 20, PsoParams::default(), 20_000, None, 1).unwrap();
         assert!(r.best_quality < 1e-6, "reached {}", r.best_quality);
         assert_eq!(r.total_evals, 20_000);
     }
@@ -162,10 +162,10 @@ mod tests {
 
     #[test]
     fn baselines_are_deterministic() {
-        let a = run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7)
-            .unwrap();
-        let b = run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7)
-            .unwrap();
+        let a =
+            run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7).unwrap();
+        let b =
+            run_centralized_pso("griewank", 10, 10, PsoParams::default(), 2000, None, 7).unwrap();
         assert_eq!(a.best_quality, b.best_quality);
     }
 }

@@ -322,12 +322,11 @@ impl NodeRecipe {
             CoordinationKind::GossipBest(mode) => {
                 (CoordComp::Gossip(AntiEntropy::new(mode)), Role::Peer)
             }
-            CoordinationKind::RumorBest(cfg) => {
-                (CoordComp::Rumor(crate::rumor::BestRumor::new(cfg)), Role::Peer)
-            }
-            CoordinationKind::Migrate { migrants } => {
-                (CoordComp::Migrate { migrants }, Role::Peer)
-            }
+            CoordinationKind::RumorBest(cfg) => (
+                CoordComp::Rumor(crate::rumor::BestRumor::new(cfg)),
+                Role::Peer,
+            ),
+            CoordinationKind::Migrate { migrants } => (CoordComp::Migrate { migrants }, Role::Peer),
             CoordinationKind::MasterSlave => {
                 if index == 0 {
                     (CoordComp::MasterSlave, Role::Master)
@@ -724,8 +723,7 @@ mod tests {
             coordination: CoordinationKind::None,
             ..coord_spec.clone()
         };
-        let coord =
-            run_repeated(&coord_spec, "rastrigin", Budget::PerNode(300), 6, 100).unwrap();
+        let coord = run_repeated(&coord_spec, "rastrigin", Budget::PerNode(300), 6, 100).unwrap();
         let iso = run_repeated(&iso_spec, "rastrigin", Budget::PerNode(300), 6, 100).unwrap();
         assert!(
             coord.quality.avg <= iso.quality.avg,
@@ -957,14 +955,9 @@ mod tests {
         let obj: Arc<dyn Objective> =
             Arc::from(gossipopt_functions::by_name("sphere", 10).unwrap());
         let sync = run_distributed(&spec, Arc::clone(&obj), Budget::PerNode(500), 32).unwrap();
-        let asyn = run_distributed_async(
-            &spec,
-            obj,
-            Budget::PerNode(500),
-            AsyncOpts::default(),
-            32,
-        )
-        .unwrap();
+        let asyn =
+            run_distributed_async(&spec, obj, Budget::PerNode(500), AsyncOpts::default(), 32)
+                .unwrap();
         let ls = sync.best_quality.max(f64::MIN_POSITIVE).log10();
         let la = asyn.best_quality.max(f64::MIN_POSITIVE).log10();
         assert!(

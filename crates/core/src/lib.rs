@@ -69,11 +69,11 @@ impl std::error::Error for CoreError {}
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use crate::baselines::{run_centralized_pso, run_independent, BaselineReport};
     pub use crate::experiment::{
         run_distributed, run_distributed_async, run_distributed_pso, run_repeated, AsyncOpts,
         Budget, CoordinationKind, DistributedPsoSpec, RunReport, SolverSpec, TopologyKind,
     };
-    pub use crate::baselines::{run_centralized_pso, run_independent, BaselineReport};
     pub use crate::node::OptNode;
     pub use crate::CoreError;
     pub use gossipopt_functions::{by_name as function_by_name, Objective};

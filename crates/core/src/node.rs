@@ -246,9 +246,7 @@ impl Application for OptNode {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // 1. Function optimization service: one evaluation per tick.
-        let may_evaluate = self
-            .eval_budget
-            .is_none_or(|b| self.solver.evals() < b);
+        let may_evaluate = self.eval_budget.is_none_or(|b| self.solver.evals() < b);
         if may_evaluate {
             self.solver.step(self.objective.as_ref(), ctx.rng());
         }
@@ -497,7 +495,10 @@ mod tests {
             &mut ctx,
         );
         assert_eq!(master.quality(), 0.0);
-        assert!(matches!(outbox.as_slice(), [(NodeId(1), Msg::MasterUpdate(_))]));
+        assert!(matches!(
+            outbox.as_slice(),
+            [(NodeId(1), Msg::MasterUpdate(_))]
+        ));
 
         // Slaves ignore MasterReport but adopt MasterUpdate.
         let mut slave = OptNode::new(
@@ -610,20 +611,29 @@ mod tests {
         let mut ctx = Ctx::new(NodeId(0), 5, &mut rng, &mut outbox);
         n.on_message(
             NodeId(7),
-            Msg::RumorPush(GlobalBest { x: vec![0.0; 5], f: 0.0 }),
+            Msg::RumorPush(GlobalBest {
+                x: vec![0.0; 5],
+                f: 0.0,
+            }),
             &mut ctx,
         );
         assert_eq!(n.quality(), 0.0, "new rumor adopted into the solver");
         assert!(matches!(
             outbox.as_slice(),
-            [(NodeId(7), Msg::RumorFeedback(gossipopt_gossip::RumorAck::New))]
+            [(
+                NodeId(7),
+                Msg::RumorFeedback(gossipopt_gossip::RumorAck::New)
+            )]
         ));
         // A worse one: no adoption, Duplicate ack.
         let mut outbox2: Vec<(NodeId, Msg)> = Vec::new();
         let mut ctx2 = Ctx::new(NodeId(0), 6, &mut rng, &mut outbox2);
         n.on_message(
             NodeId(8),
-            Msg::RumorPush(GlobalBest { x: vec![9.0; 5], f: 405.0 }),
+            Msg::RumorPush(GlobalBest {
+                x: vec![9.0; 5],
+                f: 405.0,
+            }),
             &mut ctx2,
         );
         assert!(matches!(
@@ -704,7 +714,10 @@ mod tests {
         let mut ctx = Ctx::new(NodeId(1), 1, &mut rng, &mut outbox);
         receiver.on_message(
             NodeId(0),
-            Msg::Migrant(GlobalBest { x: vec![0.0; 4], f: 0.0 }),
+            Msg::Migrant(GlobalBest {
+                x: vec![0.0; 4],
+                f: 0.0,
+            }),
             &mut ctx,
         );
         assert_eq!(receiver.quality(), 0.0);

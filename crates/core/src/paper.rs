@@ -131,7 +131,8 @@ fn spec_for(n: usize, k: usize, r: u64) -> DistributedPsoSpec {
 
 fn cell_seed(scale: &Scale, set: u64, index: u64) -> u64 {
     // Disjoint, deterministic seed blocks per cell.
-    scale.base_seed
+    scale
+        .base_seed
         .wrapping_add(set.wrapping_mul(0x9E37_79B9))
         .wrapping_add(index.wrapping_mul(104_729))
 }

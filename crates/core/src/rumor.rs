@@ -133,7 +133,10 @@ mod tests {
     fn best_rumor_heats_on_improvement_only() {
         let mut r = BestRumor::new(RumorConfig::default());
         assert!(!r.is_hot());
-        r.offer_local(GlobalBest { x: vec![1.0], f: 5.0 });
+        r.offer_local(GlobalBest {
+            x: vec![1.0],
+            f: 5.0,
+        });
         assert!(r.is_hot());
         let mut rng = Xoshiro256pp::seeded(1);
         // Cool it down with duplicate feedback.
@@ -141,10 +144,16 @@ mod tests {
             r.feedback(RumorAck::Duplicate, &mut rng);
         }
         // A non-improving offer stays cold; an improving one re-heats.
-        r.offer_local(GlobalBest { x: vec![1.0], f: 9.0 });
+        r.offer_local(GlobalBest {
+            x: vec![1.0],
+            f: 9.0,
+        });
         assert!(!r.is_hot(), "worse offer must not re-heat");
         assert_eq!(r.value().unwrap().f, 5.0);
-        r.offer_local(GlobalBest { x: vec![0.5], f: 1.0 });
+        r.offer_local(GlobalBest {
+            x: vec![0.5],
+            f: 1.0,
+        });
         assert!(r.is_hot());
     }
 

@@ -46,6 +46,24 @@ pub trait Objective: Send + Sync {
     /// Evaluate at `x`; `x.len()` must equal [`Objective::dim`].
     fn eval(&self, x: &[f64]) -> f64;
 
+    /// Evaluate `out.len()` points stored contiguously in `xs` with stride
+    /// `k` (point `i` is `xs[i*k..(i+1)*k]`), writing values into `out`.
+    ///
+    /// This is the batch entry of the evaluation hot path: solvers that
+    /// keep positions in flat structure-of-arrays buffers evaluate through
+    /// it, paying one virtual dispatch per *batch* instead of per point.
+    /// The suite functions override it with tight loops sharing the exact
+    /// per-point arithmetic of [`Objective::eval`], so values are
+    /// bit-identical to point-wise evaluation. The default falls back to
+    /// calling `eval` per chunk.
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, self.dim(), "stride must equal the dimensionality");
+        assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
+        for (chunk, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
+            *slot = self.eval(chunk);
+        }
+    }
+
     /// The known global minimum value, used to compute solution quality
     /// `f(x) − f*` (all suite functions have `f* = 0`).
     fn optimum_value(&self) -> f64 {
@@ -78,6 +96,9 @@ impl<T: Objective + ?Sized> Objective for &T {
     fn eval(&self, x: &[f64]) -> f64 {
         (**self).eval(x)
     }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        (**self).eval_batch(xs, k, out)
+    }
     fn optimum_value(&self) -> f64 {
         (**self).optimum_value()
     }
@@ -99,6 +120,9 @@ impl<T: Objective + ?Sized> Objective for std::sync::Arc<T> {
     }
     fn eval(&self, x: &[f64]) -> f64 {
         (**self).eval(x)
+    }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        (**self).eval_batch(xs, k, out)
     }
     fn optimum_value(&self) -> f64 {
         (**self).optimum_value()

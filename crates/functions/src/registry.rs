@@ -72,10 +72,17 @@ pub fn names() -> &'static [&'static str] {
 
 /// The six functions of the paper's evaluation, in its presentation order.
 pub fn paper_suite() -> Vec<FunctionSpec> {
-    ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"]
-        .iter()
-        .map(|n| FunctionSpec::paper_default(n))
-        .collect()
+    [
+        "f2",
+        "zakharov",
+        "rosenbrock",
+        "sphere",
+        "schaffer",
+        "griewank",
+    ]
+    .iter()
+    .map(|n| FunctionSpec::paper_default(n))
+    .collect()
 }
 
 /// Construct a registered objective by name.
@@ -160,7 +167,14 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"]
+            [
+                "f2",
+                "zakharov",
+                "rosenbrock",
+                "sphere",
+                "schaffer",
+                "griewank"
+            ]
         );
         let dims: Vec<usize> = suite.iter().map(|s| s.build().unwrap().dim()).collect();
         assert_eq!(dims, [2, 10, 10, 10, 2, 10]);

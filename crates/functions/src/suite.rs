@@ -42,6 +42,11 @@ macro_rules! simple_objective {
                 assert!(dim >= 1, concat!($str_name, " needs dim >= 1"));
                 Self { dim }
             }
+
+            /// Per-point kernel shared by `eval` and `eval_batch`, so the
+            /// batch path is bit-identical to point-wise evaluation.
+            #[inline(always)]
+            fn eval_point($x: &[f64]) -> f64 $body
         }
 
         impl Objective for $name {
@@ -54,9 +59,18 @@ macro_rules! simple_objective {
             fn bounds(&self, _dim: usize) -> (f64, f64) {
                 ($lo, $hi)
             }
-            fn eval(&self, $x: &[f64]) -> f64 {
-                debug_assert_eq!($x.len(), self.dim);
-                $body
+            fn eval(&self, x: &[f64]) -> f64 {
+                debug_assert_eq!(x.len(), self.dim);
+                Self::eval_point(x)
+            }
+            fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+                assert_eq!(k, self.dim, "stride must equal the dimensionality");
+                assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
+                // Specialized tight loop: one virtual dispatch for the whole
+                // batch, monomorphized per-point kernel inside.
+                for (chunk, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
+                    *slot = Self::eval_point(chunk);
+                }
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 ($opt)(self.dim)
@@ -202,6 +216,14 @@ impl Objective for DeJongF2 {
         let t = x[0] * x[0] - x[1];
         100.0 * t * t + (1.0 - x[0]) * (1.0 - x[0])
     }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, 2);
+        assert_eq!(xs.len(), k * out.len());
+        for (p, slot) in xs.chunks_exact(2).zip(out.iter_mut()) {
+            let t = p[0] * p[0] - p[1];
+            *slot = 100.0 * t * t + (1.0 - p[0]) * (1.0 - p[0]);
+        }
+    }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![1.0, 1.0])
     }
@@ -245,6 +267,13 @@ impl Objective for SchafferF6 {
         debug_assert_eq!(x.len(), 2);
         Self::ripple(x[0] * x[0] + x[1] * x[1])
     }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, 2);
+        assert_eq!(xs.len(), k * out.len());
+        for (p, slot) in xs.chunks_exact(2).zip(out.iter_mut()) {
+            *slot = Self::ripple(p[0] * p[0] + p[1] * p[1]);
+        }
+    }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0, 0.0])
     }
@@ -280,6 +309,16 @@ impl Objective for SchafferF6Nd {
         x.windows(2)
             .map(|w| SchafferF6::ripple(w[0] * w[0] + w[1] * w[1]))
             .sum()
+    }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, self.dim);
+        assert_eq!(xs.len(), k * out.len());
+        for (p, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
+            *slot = p
+                .windows(2)
+                .map(|w| SchafferF6::ripple(w[0] * w[0] + w[1] * w[1]))
+                .sum();
+        }
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0; self.dim])
@@ -324,6 +363,18 @@ impl Objective for StyblinskiTang {
             .map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v))
             .sum();
         raw - STYBLINSKI_MIN_PER_DIM * self.dim as f64
+    }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, self.dim);
+        assert_eq!(xs.len(), k * out.len());
+        let offset = STYBLINSKI_MIN_PER_DIM * self.dim as f64;
+        for (p, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
+            let raw: f64 = p
+                .iter()
+                .map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v))
+                .sum();
+            *slot = raw - offset;
+        }
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![STYBLINSKI_ARGMIN; self.dim])

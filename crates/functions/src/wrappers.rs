@@ -69,6 +69,10 @@ impl<F: Objective> Objective for CountingObjective<F> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.eval(x)
     }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        self.count.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.inner.eval_batch(xs, k, out);
+    }
     fn optimum_value(&self) -> f64 {
         self.inner.optimum_value()
     }
@@ -110,16 +114,24 @@ impl<F: Objective> Objective for ShiftedObjective<F> {
         let moved: Vec<f64> = x.iter().zip(&self.shift).map(|(a, s)| a - s).collect();
         self.inner.eval(&moved)
     }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert_eq!(k, self.shift.len());
+        // Translate the whole batch once, then hand it to the inner batch
+        // path in a single call.
+        let moved: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a - self.shift[i % k])
+            .collect();
+        self.inner.eval_batch(&moved, k, out);
+    }
     fn optimum_value(&self) -> f64 {
         self.inner.optimum_value()
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
-        self.inner.optimum_position().map(|p| {
-            p.iter()
-                .zip(&self.shift)
-                .map(|(a, s)| a + s)
-                .collect()
-        })
+        self.inner
+            .optimum_position()
+            .map(|p| p.iter().zip(&self.shift).map(|(a, s)| a + s).collect())
     }
 }
 
@@ -171,6 +183,9 @@ impl<F: Objective> Objective for RestrictedObjective<F> {
     }
     fn eval(&self, x: &[f64]) -> f64 {
         self.inner.eval(x)
+    }
+    fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        self.inner.eval_batch(xs, k, out);
     }
     fn optimum_value(&self) -> f64 {
         self.inner.optimum_value()

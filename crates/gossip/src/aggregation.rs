@@ -104,8 +104,7 @@ mod tests {
         let mut nodes: Vec<GossipAverage> = (0..n)
             .map(|_| GossipAverage::new(rng.range_f64(-100.0, 100.0)))
             .collect();
-        let true_mean =
-            nodes.iter().map(|x| x.estimate()).sum::<f64>() / n as f64;
+        let true_mean = nodes.iter().map(|x| x.estimate()).sum::<f64>() / n as f64;
         for _round in 0..40 {
             for i in 0..n {
                 let mut j = rng.index(n - 1);

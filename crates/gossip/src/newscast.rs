@@ -288,10 +288,9 @@ mod tests {
         e.run(20);
         e.crash_fraction(0.5);
         e.run(40); // let views repair
-        // No live node's view should still reference dead nodes
-        // (descriptors from crashed nodes age out).
-        let live: std::collections::HashSet<NodeId> =
-            e.nodes().map(|(id, _)| id).collect();
+                   // No live node's view should still reference dead nodes
+                   // (descriptors from crashed nodes age out).
+        let live: std::collections::HashSet<NodeId> = e.nodes().map(|(id, _)| id).collect();
         let mut stale_total = 0usize;
         let mut entries_total = 0usize;
         for (_, app) in e.nodes() {

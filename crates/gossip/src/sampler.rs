@@ -103,8 +103,13 @@ pub mod topologies {
                     return Vec::new();
                 }
                 let k = k.min(n - 1);
-                let mut others: Vec<NodeId> =
-                    ids.iter().copied().enumerate().filter(|&(j, _)| j != i).map(|(_, x)| x).collect();
+                let mut others: Vec<NodeId> = ids
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, x)| x)
+                    .collect();
                 rng.shuffle(&mut others);
                 others.truncate(k);
                 others

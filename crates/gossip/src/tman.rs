@@ -185,7 +185,17 @@ mod tests {
     fn merge_keeps_best_ranked_without_self_or_dups() {
         let mut tm = TMan::new(LineRanking, 3, 1);
         let me = NodeId(10);
-        tm.merge(me, [NodeId(1), NodeId(9), NodeId(10), NodeId(9), NodeId(50), NodeId(11)]);
+        tm.merge(
+            me,
+            [
+                NodeId(1),
+                NodeId(9),
+                NodeId(10),
+                NodeId(9),
+                NodeId(50),
+                NodeId(11),
+            ],
+        );
         assert_eq!(tm.view(), &[NodeId(9), NodeId(11), NodeId(1)]);
     }
 

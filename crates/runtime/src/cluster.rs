@@ -176,12 +176,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport, CoreError> {
         cfg.seed,
     )?;
     let n = cfg.spec.nodes;
-    let sample = cfg
-        .spec
-        .newscast
-        .view_size
-        .min(n.saturating_sub(1))
-        .max(1);
+    let sample = cfg.spec.newscast.view_size.min(n.saturating_sub(1)).max(1);
     let contacts = bootstrap_contacts(n, sample, cfg.seed);
     let node_cfg = NodeConfig {
         eval_budget: cfg.budget_per_node,

@@ -384,7 +384,12 @@ impl<A: Application> EventEngine<A> {
                 self.dropped += 1;
                 continue;
             }
-            let delay = self.cfg.transport.latency.sample(&mut self.kernel_rng).max(1);
+            let delay = self
+                .cfg
+                .transport
+                .latency
+                .sample(&mut self.kernel_rng)
+                .max(1);
             self.schedule(delay, EventKind::Deliver { from, to, msg });
         }
     }

@@ -78,9 +78,8 @@ impl Constants {
         // sep-CMA-ES scales the covariance learning rates by (n+2)/3.
         let sep = (n + 2.0) / 3.0;
         let c_1 = sep * 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
-        let c_mu = (1.0 - c_1).min(
-            sep * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff),
-        );
+        let c_mu = (1.0 - c_1)
+            .min(sep * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff));
         let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
         Constants {
             lambda,
@@ -298,7 +297,7 @@ impl Solver for SepCmaes {
             z.push(zd);
             x.push(xd);
         }
-        let fx = f.eval(&x);
+        let fx = crate::eval_point(f, &x);
         self.evals += 1;
         self.note_best(&x, fx);
         self.pending.push(Offspring { z, x, f: fx });

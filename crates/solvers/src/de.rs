@@ -91,7 +91,7 @@ impl Solver for DifferentialEvolution {
         }
         if self.initialized < self.np {
             let i = self.initialized;
-            let value = f.eval(&self.population[i]);
+            let value = crate::eval_point(f, &self.population[i]);
             self.evals += 1;
             self.fitness[i] = value;
             let x = self.population[i].clone();
@@ -111,7 +111,7 @@ impl Solver for DifferentialEvolution {
                     + self.params.f_weight * (self.population[b][d] - self.population[c][d]);
             }
         }
-        let value = f.eval(&trial);
+        let value = crate::eval_point(f, &trial);
         self.evals += 1;
         if value <= self.fitness[i] {
             self.population[i] = trial.clone();

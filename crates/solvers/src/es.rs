@@ -79,7 +79,7 @@ impl Solver for EvolutionStrategy {
         match self.parent.take() {
             None => {
                 let x = random_position(f, rng);
-                let value = f.eval(&x);
+                let value = crate::eval_point(f, &x);
                 self.evals += 1;
                 self.note_best(&x, value);
                 self.parent = Some((x, value));
@@ -90,7 +90,7 @@ impl Solver for EvolutionStrategy {
                     let (lo, hi) = f.bounds(d);
                     *coord += self.sigma_frac * (hi - lo) * rng.normal();
                 }
-                let value = f.eval(&child);
+                let value = crate::eval_point(f, &child);
                 self.evals += 1;
                 self.note_best(&child, value);
                 self.window += 1;

@@ -197,7 +197,7 @@ impl Solver for GeneticAlgorithm {
         }
         if self.initialized < self.np {
             let i = self.initialized;
-            let value = f.eval(&self.population[i]);
+            let value = crate::eval_point(f, &self.population[i]);
             self.evals += 1;
             self.fitness[i] = value;
             let x = self.population[i].clone();
@@ -206,7 +206,7 @@ impl Solver for GeneticAlgorithm {
             return;
         }
         let child = self.breed(f, rng);
-        let value = f.eval(&child);
+        let value = crate::eval_point(f, &child);
         self.evals += 1;
         self.note_best(&child, value);
         self.offspring.push(child);

@@ -38,8 +38,8 @@ use gossipopt_functions::Objective;
 use gossipopt_util::{Rng64, Xoshiro256pp};
 
 pub use cmaes::{CmaesParams, SepCmaes};
-pub use de::{DifferentialEvolution, DeParams};
-pub use es::{EvolutionStrategy, EsParams};
+pub use de::{DeParams, DifferentialEvolution};
+pub use es::{EsParams, EvolutionStrategy};
 pub use ga::{GaParams, GeneticAlgorithm};
 pub use nelder_mead::{NelderMead, NelderMeadParams};
 pub use pso::{BoundPolicy, Inertia, PsoParams, Swarm, Topology};
@@ -119,6 +119,20 @@ pub trait Solver: Send {
     }
 }
 
+/// Evaluate a single point through [`Objective::eval_batch`].
+///
+/// All solver evaluation sites route through this helper so every
+/// evaluation — single or batched — flows through the same batch entry
+/// point of the objective. The suite functions implement `eval_batch`
+/// with the exact per-point arithmetic of `eval`, so values are
+/// bit-identical to calling `eval` directly.
+#[inline]
+pub fn eval_point(f: &dyn Objective, x: &[f64]) -> f64 {
+    let mut out = [0.0f64];
+    f.eval_batch(x, x.len(), &mut out);
+    out[0]
+}
+
 /// Uniform random position inside `f`'s box domain.
 pub fn random_position(f: &dyn Objective, rng: &mut Xoshiro256pp) -> Vec<f64> {
     (0..f.dim())
@@ -153,7 +167,16 @@ pub fn solver_by_name(name: &str, k: usize) -> Option<Box<dyn Solver>> {
 /// Every registered solver name (used by heterogeneous-mix experiments
 /// and exhaustive contract tests).
 pub fn solver_names() -> &'static [&'static str] {
-    &["pso", "de", "ga", "cmaes", "nelder-mead", "sa", "es", "random"]
+    &[
+        "pso",
+        "de",
+        "ga",
+        "cmaes",
+        "nelder-mead",
+        "sa",
+        "es",
+        "random",
+    ]
 }
 
 #[cfg(test)]

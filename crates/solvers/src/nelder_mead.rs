@@ -240,7 +240,7 @@ impl Solver for NelderMead {
         }
         match self.phase.clone() {
             Phase::Init(i) => {
-                let fx = f.eval(&self.simplex[i]);
+                let fx = crate::eval_point(f, &self.simplex[i]);
                 self.evals += 1;
                 self.fitness[i] = fx;
                 let x = self.simplex[i].clone();
@@ -254,14 +254,17 @@ impl Solver for NelderMead {
             }
             Phase::Reflect => {
                 let x = self.point_along(f, self.params.alpha);
-                let fx = f.eval(&x);
+                let fx = crate::eval_point(f, &x);
                 self.evals += 1;
                 self.note_best(&x, fx);
                 let n = self.simplex.len();
                 let (f_best, f_second_worst, f_worst) =
                     (self.fitness[0], self.fitness[n - 2], self.fitness[n - 1]);
                 if fx < f_best {
-                    self.phase = Phase::Expand { reflected: x, fr: fx };
+                    self.phase = Phase::Expand {
+                        reflected: x,
+                        fr: fx,
+                    };
                 } else if fx < f_second_worst {
                     self.accept(f, x, fx, rng);
                 } else {
@@ -275,7 +278,7 @@ impl Solver for NelderMead {
             }
             Phase::Expand { reflected, fr } => {
                 let x = self.point_along(f, self.params.alpha * self.params.gamma);
-                let fx = f.eval(&x);
+                let fx = crate::eval_point(f, &x);
                 self.evals += 1;
                 self.note_best(&x, fx);
                 if fx < fr {
@@ -295,10 +298,14 @@ impl Solver for NelderMead {
                     -self.params.rho
                 };
                 let x = self.point_along(f, t);
-                let fx = f.eval(&x);
+                let fx = crate::eval_point(f, &x);
                 self.evals += 1;
                 self.note_best(&x, fx);
-                let target = if outside { fr } else { *self.fitness.last().expect("vertices") };
+                let target = if outside {
+                    fr
+                } else {
+                    *self.fitness.last().expect("vertices")
+                };
                 if fx <= target {
                     self.accept(f, x, fx, rng);
                 } else {
@@ -314,7 +321,7 @@ impl Solver for NelderMead {
                 }
             }
             Phase::Shrink(i) => {
-                let fx = f.eval(&self.simplex[i]);
+                let fx = crate::eval_point(f, &self.simplex[i]);
                 self.evals += 1;
                 self.fitness[i] = fx;
                 let x = self.simplex[i].clone();

@@ -20,7 +20,7 @@
 //! Neumann, random) from Kennedy's population-structure studies
 //! [CEC'99/'02, Mendes et al. 2004].
 
-use crate::{random_position, BestPoint, Solver};
+use crate::{BestPoint, Solver};
 use gossipopt_functions::Objective;
 use gossipopt_util::{Rng64, Xoshiro256pp};
 use serde::{Deserialize, Serialize};
@@ -148,25 +148,50 @@ impl PsoParams {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Particle {
-    x: Vec<f64>,
-    v: Vec<f64>,
-    pbest_x: Vec<f64>,
-    pbest_f: f64,
-    evaluated: bool,
-}
-
 /// A particle swarm implementing [`Solver`] (one evaluation per step).
+///
+/// ## Hot-path layout
+///
+/// Particle state is stored **structure-of-arrays**: positions,
+/// velocities and personal bests live in flat `Vec<f64>` buffers with
+/// stride `dim`, so the velocity/position update is one tight loop over
+/// contiguous memory and a step performs no heap allocation (the former
+/// per-particle `Vec<f64>` layout allocated a social-best snapshot and a
+/// `BestPoint` candidate on every single evaluation). The update rule,
+/// iteration order and RNG draws are unchanged, so trajectories are
+/// bit-identical to the per-particle implementation.
 #[derive(Debug, Clone)]
 pub struct Swarm {
     params: PsoParams,
     size: usize,
-    particles: Vec<Particle>,
+    /// Problem dimensionality (the SoA stride); fixed at initialization.
+    dim: usize,
+    /// Positions, `size × dim`, particle-major.
+    x: Vec<f64>,
+    /// Velocities, `size × dim`, particle-major.
+    v: Vec<f64>,
+    /// Personal-best positions, `size × dim`, particle-major.
+    pbest_x: Vec<f64>,
+    /// Personal-best values.
+    pbest_f: Vec<f64>,
+    /// Whether the particle has been evaluated at least once.
+    evaluated: Vec<bool>,
     /// The swarm optimum `g` (possibly injected from remote swarms).
     swarm_best: Option<BestPoint>,
     /// Adjacency for lbest topologies (empty for gbest).
     neighbors: Vec<Vec<usize>>,
+    /// FIPS informant scratch, reused across steps.
+    informant_buf: Vec<usize>,
+    /// Cached per-dimension domain bounds (from the objective at init).
+    bounds_lo: Vec<f64>,
+    bounds_hi: Vec<f64>,
+    /// Cached per-dimension velocity clamp `vmax_frac · (hi − lo)`.
+    vmax: Vec<f64>,
+    /// Cached constriction factor χ (params are immutable after
+    /// construction, so the per-move `sqrt` is hoisted here).
+    chi: f64,
+    /// Cached inertia weight `w`.
+    w: f64,
     cursor: usize,
     evals: u64,
     initialized: bool,
@@ -183,12 +208,34 @@ impl Swarm {
                 "constriction requires c1 + c2 > 4"
             );
         }
+        let chi = match params.inertia {
+            Inertia::Vanilla | Inertia::Constant(_) => 1.0,
+            Inertia::Constriction => {
+                let phi = params.c1 + params.c2;
+                2.0 / (2.0 - phi - (phi * phi - 4.0 * phi).sqrt()).abs()
+            }
+        };
+        let w = match params.inertia {
+            Inertia::Constant(w) => w,
+            _ => 1.0,
+        };
         Swarm {
             params,
             size,
-            particles: Vec::new(),
+            dim: 0,
+            x: Vec::new(),
+            v: Vec::new(),
+            pbest_x: Vec::new(),
+            pbest_f: Vec::new(),
+            evaluated: Vec::new(),
             swarm_best: None,
             neighbors: Vec::new(),
+            informant_buf: Vec::new(),
+            bounds_lo: Vec::new(),
+            bounds_hi: Vec::new(),
+            vmax: Vec::new(),
+            chi,
+            w,
             cursor: 0,
             evals: 0,
             initialized: false,
@@ -205,26 +252,68 @@ impl Swarm {
         &self.params
     }
 
+    /// Problem dimensionality the swarm was initialized with (0 before the
+    /// first step).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Particle `i`'s current position (panics before initialization).
+    pub fn position(&self, i: usize) -> &[f64] {
+        &self.x[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Particle `i`'s current velocity (panics before initialization).
+    pub fn velocity(&self, i: usize) -> &[f64] {
+        &self.v[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Particle `i`'s personal best `(position, value)`; the value is
+    /// `+inf` until the particle's first evaluation.
+    pub fn pbest(&self, i: usize) -> (&[f64], f64) {
+        (
+            &self.pbest_x[i * self.dim..(i + 1) * self.dim],
+            self.pbest_f[i],
+        )
+    }
+
+    /// Whether particle `i` has been evaluated at least once.
+    pub fn is_evaluated(&self, i: usize) -> bool {
+        self.evaluated[i]
+    }
+
     fn initialize(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
-        self.particles = (0..self.size)
-            .map(|_| {
-                let x = random_position(f, rng);
-                let v: Vec<f64> = (0..f.dim())
-                    .map(|d| {
-                        let (lo, hi) = f.bounds(d);
-                        let vmax = self.params.vmax_frac * (hi - lo);
-                        rng.range_f64(-vmax, vmax)
-                    })
-                    .collect();
-                Particle {
-                    pbest_x: x.clone(),
-                    pbest_f: f64::INFINITY,
-                    x,
-                    v,
-                    evaluated: false,
-                }
-            })
-            .collect();
+        let k = f.dim();
+        self.dim = k;
+        self.bounds_lo.clear();
+        self.bounds_hi.clear();
+        self.vmax.clear();
+        for d in 0..k {
+            let (lo, hi) = f.bounds(d);
+            self.bounds_lo.push(lo);
+            self.bounds_hi.push(hi);
+            self.vmax.push(self.params.vmax_frac * (hi - lo));
+        }
+        self.x.clear();
+        self.v.clear();
+        // Draw order matches the per-particle layout this replaces: for
+        // each particle, all position coordinates, then all velocities.
+        for _ in 0..self.size {
+            for d in 0..k {
+                self.x
+                    .push(rng.range_f64(self.bounds_lo[d], self.bounds_hi[d]));
+            }
+            for d in 0..k {
+                let vmax = self.vmax[d];
+                self.v.push(rng.range_f64(-vmax, vmax));
+            }
+        }
+        self.pbest_x.clear();
+        self.pbest_x.extend_from_slice(&self.x);
+        self.pbest_f.clear();
+        self.pbest_f.resize(self.size, f64::INFINITY);
+        self.evaluated.clear();
+        self.evaluated.resize(self.size, false);
         self.neighbors = match self.params.topology {
             Topology::Gbest => Vec::new(),
             Topology::VonNeumann => {
@@ -277,148 +366,158 @@ impl Swarm {
         self.initialized = true;
     }
 
-    /// Social attractor for particle `i`: the swarm optimum under gbest,
-    /// the best neighbor pbest under lbest topologies (falling back to the
-    /// particle's own pbest when neighbors are unevaluated).
-    fn social_best(&self, i: usize) -> Option<(&[f64], f64)> {
-        match self.params.topology {
-            Topology::Gbest => self.swarm_best.as_ref().map(|b| (b.x.as_slice(), b.f)),
+    fn move_particle(&mut self, i: usize, rng: &mut Xoshiro256pp) {
+        let (c1, c2) = (self.params.c1, self.params.c2);
+        let k = self.dim;
+        let (chi, w) = (self.chi, self.w);
+        let phi_total = c1 + c2;
+
+        // FIPS informants (neighborhood plus self under lbest, the whole
+        // swarm under gbest), filtered to evaluated particles — collected
+        // into a reusable scratch buffer (untouched on the classic path).
+        let fips = self.params.influence == Influence::FullyInformed;
+        let mut informants = if fips {
+            std::mem::take(&mut self.informant_buf)
+        } else {
+            Vec::new()
+        };
+        if fips {
+            informants.clear();
+            match self.params.topology {
+                Topology::Gbest => {
+                    informants.extend((0..self.size).filter(|&j| self.evaluated[j]));
+                }
+                Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
+                    informants.extend(
+                        self.neighbors[i]
+                            .iter()
+                            .copied()
+                            .chain(std::iter::once(i))
+                            .filter(|&j| self.evaluated[j]),
+                    );
+                }
+            }
+        }
+
+        // Split borrows: the social attractor and informant pbests borrow
+        // `pbest_x`/`swarm_best` immutably while `x`/`v` are mutated —
+        // disjoint SoA buffers, so no snapshot clones are needed.
+        let x = &mut self.x;
+        let v = &mut self.v;
+        let pbest_x = &self.pbest_x;
+        let pbest_f = &self.pbest_f;
+        let evaluated = &self.evaluated;
+
+        // Social attractor for the classic update: the swarm optimum under
+        // gbest, the best evaluated pbest in the neighborhood (own pbest
+        // included) under lbest topologies.
+        let social: Option<&[f64]> = match self.params.topology {
+            Topology::Gbest => self.swarm_best.as_ref().map(|b| b.x.as_slice()),
             Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
-                let mut best: Option<(&[f64], f64)> = None;
-                let own = &self.particles[i];
-                if own.evaluated {
-                    best = Some((own.pbest_x.as_slice(), own.pbest_f));
+                let mut best: Option<(usize, f64)> = None;
+                if evaluated[i] {
+                    best = Some((i, pbest_f[i]));
                 }
                 for &j in &self.neighbors[i] {
-                    let p = &self.particles[j];
-                    if p.evaluated && best.is_none_or(|(_, bf)| p.pbest_f < bf) {
-                        best = Some((p.pbest_x.as_slice(), p.pbest_f));
+                    if evaluated[j] && best.is_none_or(|(_, bf)| pbest_f[j] < bf) {
+                        best = Some((j, pbest_f[j]));
                     }
                 }
-                best
+                best.map(|(j, _)| &pbest_x[j * k..(j + 1) * k])
             }
-        }
-    }
+        };
 
-    /// Indices of the informants of particle `i` under FIPS (neighborhood
-    /// plus self; gbest means the whole swarm).
-    fn informants(&self, i: usize) -> Vec<usize> {
-        match self.params.topology {
-            Topology::Gbest => (0..self.size).collect(),
-            Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
-                let mut v = self.neighbors[i].clone();
-                v.push(i);
-                v
-            }
-        }
-    }
-
-    fn move_particle(&mut self, i: usize, f: &dyn Objective, rng: &mut Xoshiro256pp) {
-        let (c1, c2) = (self.params.c1, self.params.c2);
-        let social: Option<(Vec<f64>, f64)> =
-            self.social_best(i).map(|(x, v)| (x.to_vec(), v));
-        let informants: Vec<usize> = match self.params.influence {
-            Influence::BestOfNeighborhood => Vec::new(),
-            Influence::FullyInformed => self
-                .informants(i)
-                .into_iter()
-                .filter(|&j| self.particles[j].evaluated)
-                .collect(),
-        };
-        // FIPS: snapshot informant pbests to sidestep the borrow of self.
-        let informant_pbests: Vec<Vec<f64>> = informants
-            .iter()
-            .map(|&j| self.particles[j].pbest_x.clone())
-            .collect();
-        let p = &mut self.particles[i];
-        let chi = match self.params.inertia {
-            Inertia::Vanilla | Inertia::Constant(_) => 1.0,
-            Inertia::Constriction => {
-                let phi = c1 + c2;
-                2.0 / (2.0 - phi - (phi * phi - 4.0 * phi).sqrt()).abs()
-            }
-        };
-        let w = match self.params.inertia {
-            Inertia::Constant(w) => w,
-            _ => 1.0,
-        };
-        let phi_total = c1 + c2;
-        for d in 0..f.dim() {
-            let (lo, hi) = f.bounds(d);
-            let vmax = self.params.vmax_frac * (hi - lo);
+        let row = i * k;
+        for d in 0..k {
+            let (lo, hi) = (self.bounds_lo[d], self.bounds_hi[d]);
+            let vmax = self.vmax[d];
+            let xd = x[row + d];
             let attraction = match self.params.influence {
                 Influence::BestOfNeighborhood => {
-                    let cognitive = c1 * rng.next_f64() * (p.pbest_x[d] - p.x[d]);
-                    let social_term = match &social {
-                        Some((g, _)) => c2 * rng.next_f64() * (g[d] - p.x[d]),
+                    let cognitive = c1 * rng.next_f64() * (pbest_x[row + d] - xd);
+                    let social_term = match social {
+                        Some(g) => c2 * rng.next_f64() * (g[d] - xd),
                         None => 0.0,
                     };
                     cognitive + social_term
                 }
                 Influence::FullyInformed => {
-                    if informant_pbests.is_empty() {
+                    if informants.is_empty() {
                         0.0
                     } else {
-                        let share = phi_total / informant_pbests.len() as f64;
-                        informant_pbests
+                        let share = phi_total / informants.len() as f64;
+                        informants
                             .iter()
-                            .map(|pb| share * rng.next_f64() * (pb[d] - p.x[d]))
+                            .map(|&j| share * rng.next_f64() * (pbest_x[j * k + d] - xd))
                             .sum()
                     }
                 }
             };
-            let mut v = chi * (w * p.v[d] + attraction);
-            v = v.clamp(-vmax, vmax);
-            p.v[d] = v;
-            p.x[d] += v;
+            let mut vel = chi * (w * v[row + d] + attraction);
+            vel = vel.clamp(-vmax, vmax);
+            v[row + d] = vel;
+            x[row + d] += vel;
             match self.params.bounds {
                 BoundPolicy::None => {}
                 BoundPolicy::Clamp => {
-                    if p.x[d] < lo {
-                        p.x[d] = lo;
-                        p.v[d] = 0.0;
-                    } else if p.x[d] > hi {
-                        p.x[d] = hi;
-                        p.v[d] = 0.0;
+                    if x[row + d] < lo {
+                        x[row + d] = lo;
+                        v[row + d] = 0.0;
+                    } else if x[row + d] > hi {
+                        x[row + d] = hi;
+                        v[row + d] = 0.0;
                     }
                 }
                 BoundPolicy::Reflect => {
-                    if p.x[d] < lo {
-                        p.x[d] = lo + (lo - p.x[d]);
-                        p.v[d] = -p.v[d];
-                    } else if p.x[d] > hi {
-                        p.x[d] = hi - (p.x[d] - hi);
-                        p.v[d] = -p.v[d];
+                    if x[row + d] < lo {
+                        x[row + d] = lo + (lo - x[row + d]);
+                        v[row + d] = -v[row + d];
+                    } else if x[row + d] > hi {
+                        x[row + d] = hi - (x[row + d] - hi);
+                        v[row + d] = -v[row + d];
                     }
                     // A huge overshoot can still escape after one fold;
                     // clamp as a backstop.
-                    p.x[d] = p.x[d].clamp(lo, hi);
+                    x[row + d] = x[row + d].clamp(lo, hi);
                 }
             }
+        }
+        if fips {
+            informants.clear();
+            self.informant_buf = informants;
         }
     }
 
     fn evaluate(&mut self, i: usize, f: &dyn Objective) {
-        let value = f.eval(&self.particles[i].x);
+        let k = self.dim;
+        let row = i * k;
+        let value = crate::eval_point(f, &self.x[row..row + k]);
         self.evals += 1;
-        let p = &mut self.particles[i];
-        p.evaluated = true;
-        if value < p.pbest_f {
-            p.pbest_f = value;
-            p.pbest_x.copy_from_slice(&p.x);
+        self.evaluated[i] = true;
+        if value < self.pbest_f[i] {
+            self.pbest_f[i] = value;
+            self.pbest_x[row..row + k].copy_from_slice(&self.x[row..row + k]);
         }
         // Paper §3.3.2: select the best local optimum as the swarm optimum
-        // after each evaluation.
-        let candidate = BestPoint {
-            x: p.pbest_x.clone(),
-            f: p.pbest_f,
-        };
-        if self
-            .swarm_best
-            .as_ref()
-            .is_none_or(|b| candidate.f < b.f)
-        {
-            self.swarm_best = Some(candidate);
+        // after each evaluation. The update reuses the existing allocation
+        // instead of building a candidate `BestPoint` per evaluation.
+        let pf = self.pbest_f[i];
+        match &mut self.swarm_best {
+            Some(b) if pf < b.f => {
+                if b.x.len() == k {
+                    b.x.copy_from_slice(&self.pbest_x[row..row + k]);
+                } else {
+                    b.x = self.pbest_x[row..row + k].to_vec();
+                }
+                b.f = pf;
+            }
+            Some(_) => {}
+            none => {
+                *none = Some(BestPoint {
+                    x: self.pbest_x[row..row + k].to_vec(),
+                    f: pf,
+                });
+            }
         }
     }
 }
@@ -429,9 +528,14 @@ impl Solver for Swarm {
             self.initialize(f, rng);
         }
         let i = self.cursor;
-        self.cursor = (self.cursor + 1) % self.size;
-        if self.particles[i].evaluated {
-            self.move_particle(i, f, rng);
+        // Equivalent to `(cursor + 1) % size` (cursor < size always) minus
+        // the hardware divide in every step.
+        self.cursor += 1;
+        if self.cursor == self.size {
+            self.cursor = 0;
+        }
+        if self.evaluated[i] {
+            self.move_particle(i, rng);
         }
         // First visit evaluates the random initial position as-is.
         self.evaluate(i, f);
@@ -442,11 +546,7 @@ impl Solver for Swarm {
     }
 
     fn tell_best(&mut self, point: BestPoint) {
-        if self
-            .swarm_best
-            .as_ref()
-            .is_none_or(|b| point.f < b.f)
-        {
+        if self.swarm_best.as_ref().is_none_or(|b| point.f < b.f) {
             self.swarm_best = Some(point);
         }
     }
@@ -463,16 +563,17 @@ impl Solver for Swarm {
     /// swarm diversity (the swarm optimum would make every island
     /// identical).
     fn emigrate(&mut self, rng: &mut Xoshiro256pp) -> Option<BestPoint> {
-        let evaluated: Vec<usize> = (0..self.particles.len())
-            .filter(|&i| self.particles[i].evaluated)
+        let evaluated: Vec<usize> = (0..self.size)
+            .filter(|&i| self.initialized && self.evaluated[i])
             .collect();
         if evaluated.is_empty() {
             return self.swarm_best.clone();
         }
-        let p = &self.particles[evaluated[rng.index(evaluated.len())]];
+        let i = evaluated[rng.index(evaluated.len())];
+        let (px, pf) = self.pbest(i);
         Some(BestPoint {
-            x: p.pbest_x.clone(),
-            f: p.pbest_f,
+            x: px.to_vec(),
+            f: pf,
         })
     }
 
@@ -480,24 +581,18 @@ impl Solver for Swarm {
     /// zero velocity and the received personal best, actively joining the
     /// swarm rather than only moving the shared optimum `g`.
     fn immigrate(&mut self, point: BestPoint, _rng: &mut Xoshiro256pp) {
-        if self.initialized
-            && !self.particles.is_empty()
-            && point.x.len() == self.particles[0].x.len()
-        {
-            let worst = (0..self.particles.len())
-                .max_by(|&a, &b| {
-                    self.particles[a]
-                        .pbest_f
-                        .total_cmp(&self.particles[b].pbest_f)
-                })
+        if self.initialized && point.x.len() == self.dim {
+            let worst = (0..self.size)
+                .max_by(|&a, &b| self.pbest_f[a].total_cmp(&self.pbest_f[b]))
                 .expect("non-empty swarm");
-            let w = &mut self.particles[worst];
-            if point.f < w.pbest_f {
-                w.x.copy_from_slice(&point.x);
-                w.v.iter_mut().for_each(|v| *v = 0.0);
-                w.pbest_x.copy_from_slice(&point.x);
-                w.pbest_f = point.f;
-                w.evaluated = true;
+            if point.f < self.pbest_f[worst] {
+                let k = self.dim;
+                let row = worst * k;
+                self.x[row..row + k].copy_from_slice(&point.x);
+                self.v[row..row + k].fill(0.0);
+                self.pbest_x[row..row + k].copy_from_slice(&point.x);
+                self.pbest_f[worst] = point.f;
+                self.evaluated[worst] = true;
             }
         }
         self.tell_best(point);
@@ -521,7 +616,10 @@ mod tests {
     fn converges_on_sphere() {
         let f = Sphere::new(10);
         let best = run(Swarm::new(20, PsoParams::default()), &f, 20_000, 1);
-        assert!(best < 1e-6, "default (constricted) PSO on sphere reached {best}");
+        assert!(
+            best < 1e-6,
+            "default (constricted) PSO on sphere reached {best}"
+        );
     }
 
     #[test]
@@ -556,7 +654,7 @@ mod tests {
             assert_eq!(swarm.evals(), step as u64);
         }
         // All five particles evaluated exactly once.
-        assert!(swarm.particles.iter().all(|p| p.evaluated));
+        assert!((0..swarm.size()).all(|i| swarm.is_evaluated(i)));
     }
 
     #[test]
@@ -569,8 +667,8 @@ mod tests {
         }
         let (lo, hi) = f.bounds(0);
         let vmax = swarm.params().vmax_frac * (hi - lo);
-        for p in &swarm.particles {
-            for &v in &p.v {
+        for i in 0..swarm.size() {
+            for &v in swarm.velocity(i) {
                 assert!(v.abs() <= vmax + 1e-12, "|{v}| > vmax {vmax}");
             }
         }
@@ -579,15 +677,18 @@ mod tests {
     #[test]
     fn clamp_policy_keeps_positions_inside() {
         let f = Sphere::new(4);
-        let mut swarm = Swarm::new(6, PsoParams {
-            bounds: BoundPolicy::Clamp,
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            6,
+            PsoParams {
+                bounds: BoundPolicy::Clamp,
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(5);
         for _ in 0..600 {
             swarm.step(&f, &mut rng);
-            for p in &swarm.particles {
-                for (d, &x) in p.x.iter().enumerate() {
+            for i in 0..swarm.size() {
+                for (d, &x) in swarm.position(i).iter().enumerate() {
                     let (lo, hi) = f.bounds(d);
                     assert!((lo..=hi).contains(&x));
                 }
@@ -598,15 +699,18 @@ mod tests {
     #[test]
     fn reflect_policy_keeps_positions_inside() {
         let f = Sphere::new(4);
-        let mut swarm = Swarm::new(6, PsoParams {
-            bounds: BoundPolicy::Reflect,
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            6,
+            PsoParams {
+                bounds: BoundPolicy::Reflect,
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(6);
         for _ in 0..600 {
             swarm.step(&f, &mut rng);
-            for p in &swarm.particles {
-                for (d, &x) in p.x.iter().enumerate() {
+            for i in 0..swarm.size() {
+                for (d, &x) in swarm.position(i).iter().enumerate() {
                     let (lo, hi) = f.bounds(d);
                     assert!((lo..=hi).contains(&x));
                 }
@@ -622,8 +726,9 @@ mod tests {
         for _ in 0..400 {
             swarm.step(&f, &mut rng);
         }
-        for p in &swarm.particles {
-            assert!(p.pbest_f <= f.eval(&p.pbest_x) + 1e-12);
+        for i in 0..swarm.size() {
+            let (px, pf) = swarm.pbest(i);
+            assert!(pf <= f.eval(px) + 1e-12);
         }
     }
 
@@ -651,10 +756,13 @@ mod tests {
     #[test]
     fn ring_topology_neighbors_are_symmetric_lattice() {
         let f = Sphere::new(2);
-        let mut swarm = Swarm::new(6, PsoParams {
-            topology: Topology::Ring(1),
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            6,
+            PsoParams {
+                topology: Topology::Ring(1),
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(9);
         swarm.step(&f, &mut rng); // triggers initialization
         assert_eq!(swarm.neighbors[0], vec![1, 5]);
@@ -665,10 +773,13 @@ mod tests {
     fn von_neumann_lattice_neighbors() {
         let f = Sphere::new(2);
         // 9 particles -> 3x3 torus.
-        let mut swarm = Swarm::new(9, PsoParams {
-            topology: Topology::VonNeumann,
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            9,
+            PsoParams {
+                topology: Topology::VonNeumann,
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(30);
         swarm.step(&f, &mut rng);
         // Particle 4 (centre of 3x3): neighbors 1, 3, 5, 7.
@@ -686,10 +797,13 @@ mod tests {
     fn von_neumann_ragged_grid_is_valid() {
         let f = Sphere::new(2);
         // 7 particles -> 3 cols x 3 rows with a ragged last row.
-        let mut swarm = Swarm::new(7, PsoParams {
-            topology: Topology::VonNeumann,
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            7,
+            PsoParams {
+                topology: Topology::VonNeumann,
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(31);
         swarm.step(&f, &mut rng);
         for (i, nbrs) in swarm.neighbors.iter().enumerate() {
@@ -702,10 +816,13 @@ mod tests {
     fn von_neumann_converges_on_sphere() {
         let f = Sphere::new(6);
         let best = run(
-            Swarm::new(16, PsoParams {
-                topology: Topology::VonNeumann,
-                ..PsoParams::default()
-            }),
+            Swarm::new(
+                16,
+                PsoParams {
+                    topology: Topology::VonNeumann,
+                    ..PsoParams::default()
+                },
+            ),
             &f,
             16_000,
             32,
@@ -716,10 +833,13 @@ mod tests {
     #[test]
     fn random_topology_has_requested_degree() {
         let f = Sphere::new(2);
-        let mut swarm = Swarm::new(10, PsoParams {
-            topology: Topology::Random(3),
-            ..PsoParams::default()
-        });
+        let mut swarm = Swarm::new(
+            10,
+            PsoParams {
+                topology: Topology::Random(3),
+                ..PsoParams::default()
+            },
+        );
         let mut rng = Xoshiro256pp::seeded(10);
         swarm.step(&f, &mut rng);
         for (i, nbrs) in swarm.neighbors.iter().enumerate() {
@@ -732,10 +852,13 @@ mod tests {
     fn lbest_still_converges_on_sphere() {
         let f = Sphere::new(6);
         let best = run(
-            Swarm::new(16, PsoParams {
-                topology: Topology::Ring(1),
-                ..PsoParams::default()
-            }),
+            Swarm::new(
+                16,
+                PsoParams {
+                    topology: Topology::Ring(1),
+                    ..PsoParams::default()
+                },
+            ),
             &f,
             16_000,
             11,
@@ -791,11 +914,12 @@ mod tests {
         for _ in 0..25 {
             swarm.step(&f, &mut rng);
         }
-        let worst_before = swarm
-            .particles
-            .iter()
-            .map(|p| p.pbest_f)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let worst_pbest = |s: &Swarm| {
+            (0..s.size())
+                .map(|i| s.pbest(i).1)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let worst_before = worst_pbest(&swarm);
         swarm.immigrate(
             BestPoint {
                 x: vec![0.0; 3],
@@ -803,13 +927,9 @@ mod tests {
             },
             &mut rng,
         );
-        let worst_after = swarm
-            .particles
-            .iter()
-            .map(|p| p.pbest_f)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let worst_after = worst_pbest(&swarm);
         assert!(worst_after < worst_before, "worst particle replaced");
-        assert!(swarm.particles.iter().any(|p| p.pbest_f == 0.0));
+        assert!((0..swarm.size()).any(|i| swarm.pbest(i).1 == 0.0));
         assert_eq!(swarm.best().unwrap().f, 0.0);
     }
 
@@ -824,10 +944,10 @@ mod tests {
         for _ in 0..20 {
             let e = swarm.emigrate(&mut rng).unwrap();
             assert!(
-                swarm
-                    .particles
-                    .iter()
-                    .any(|p| p.pbest_f == e.f && p.pbest_x == e.x),
+                (0..swarm.size()).any(|i| {
+                    let (px, pf) = swarm.pbest(i);
+                    pf == e.f && px == e.x.as_slice()
+                }),
                 "emigrant must be some particle's pbest"
             );
         }
@@ -842,12 +962,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "constriction requires")]
     fn bad_constriction_rejected() {
-        Swarm::new(5, PsoParams {
-            c1: 1.0,
-            c2: 1.0,
-            inertia: Inertia::Constriction,
-            ..PsoParams::default()
-        });
+        Swarm::new(
+            5,
+            PsoParams {
+                c1: 1.0,
+                c2: 1.0,
+                inertia: Inertia::Constriction,
+                ..PsoParams::default()
+            },
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ impl RandomSearch {
 impl Solver for RandomSearch {
     fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
         let x = random_position(f, rng);
-        let value = f.eval(&x);
+        let value = crate::eval_point(f, &x);
         self.evals += 1;
         if self.best.as_ref().is_none_or(|b| value < b.f) {
             self.best = Some(BestPoint { x, f: value });

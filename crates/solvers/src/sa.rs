@@ -81,7 +81,7 @@ impl Solver for SimulatedAnnealing {
         match self.current.take() {
             None => {
                 let x = random_position(f, rng);
-                let value = f.eval(&x);
+                let value = crate::eval_point(f, &x);
                 self.evals += 1;
                 self.note_best(&x, value);
                 self.current = Some((x, value));
@@ -94,7 +94,7 @@ impl Solver for SimulatedAnnealing {
                     let sigma = self.params.step_frac * (hi - lo) * scale.max(1e-3);
                     *coord += sigma * rng.normal();
                 }
-                let value = f.eval(&proposal);
+                let value = crate::eval_point(f, &proposal);
                 self.evals += 1;
                 self.note_best(&proposal, value);
                 let accept = if value <= fx {

@@ -1,0 +1,404 @@
+//! The SoA swarm must reproduce the seed's per-particle (AoS) layout
+//! **byte for byte**: same RNG draw order, same float operation order,
+//! same trajectories. This file carries a faithful port of the seed's
+//! `Vec<Particle>` implementation as the reference and compares every
+//! particle's position, velocity and personal best after interleaved
+//! stepping, across topologies, influences and bound policies.
+
+use gossipopt_functions::{Objective, Rastrigin, Sphere};
+use gossipopt_solvers::pso::Influence;
+use gossipopt_solvers::{BestPoint, BoundPolicy, PsoParams, Solver, Swarm, Topology};
+use gossipopt_util::{Rng64, Xoshiro256pp};
+
+/// The seed's particle layout, ported verbatim (allocations and all).
+#[derive(Debug, Clone)]
+struct Particle {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    pbest_x: Vec<f64>,
+    pbest_f: f64,
+    evaluated: bool,
+}
+
+struct ReferenceSwarm {
+    params: PsoParams,
+    size: usize,
+    particles: Vec<Particle>,
+    swarm_best: Option<BestPoint>,
+    neighbors: Vec<Vec<usize>>,
+    cursor: usize,
+    initialized: bool,
+}
+
+impl ReferenceSwarm {
+    fn new(size: usize, params: PsoParams) -> Self {
+        ReferenceSwarm {
+            params,
+            size,
+            particles: Vec::new(),
+            swarm_best: None,
+            neighbors: Vec::new(),
+            cursor: 0,
+            initialized: false,
+        }
+    }
+
+    fn initialize(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        self.particles = (0..self.size)
+            .map(|_| {
+                let x: Vec<f64> = (0..f.dim())
+                    .map(|d| {
+                        let (lo, hi) = f.bounds(d);
+                        rng.range_f64(lo, hi)
+                    })
+                    .collect();
+                let v: Vec<f64> = (0..f.dim())
+                    .map(|d| {
+                        let (lo, hi) = f.bounds(d);
+                        let vmax = self.params.vmax_frac * (hi - lo);
+                        rng.range_f64(-vmax, vmax)
+                    })
+                    .collect();
+                Particle {
+                    pbest_x: x.clone(),
+                    pbest_f: f64::INFINITY,
+                    x,
+                    v,
+                    evaluated: false,
+                }
+            })
+            .collect();
+        self.neighbors = match self.params.topology {
+            Topology::Gbest => Vec::new(),
+            Topology::VonNeumann => {
+                let n = self.size;
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let rows = n.div_ceil(cols);
+                (0..n)
+                    .map(|i| {
+                        let (r, c) = (i / cols, i % cols);
+                        let mut nbrs: Vec<usize> = [
+                            ((r + rows - 1) % rows, c),
+                            ((r + 1) % rows, c),
+                            (r, (c + cols - 1) % cols),
+                            (r, (c + 1) % cols),
+                        ]
+                        .into_iter()
+                        .map(|(rr, cc)| rr * cols + cc)
+                        .filter(|&j| j < n && j != i)
+                        .collect();
+                        nbrs.sort_unstable();
+                        nbrs.dedup();
+                        nbrs
+                    })
+                    .collect()
+            }
+            Topology::Ring(k) => (0..self.size)
+                .map(|i| {
+                    let mut nbrs = Vec::with_capacity(2 * k);
+                    for off in 1..=k {
+                        nbrs.push((i + off) % self.size);
+                        nbrs.push((i + self.size - off % self.size) % self.size);
+                    }
+                    nbrs.sort_unstable();
+                    nbrs.dedup();
+                    nbrs.retain(|&j| j != i);
+                    nbrs
+                })
+                .collect(),
+            Topology::Random(k) => (0..self.size)
+                .map(|i| {
+                    let others: Vec<usize> = (0..self.size).filter(|&j| j != i).collect();
+                    let mut o = others;
+                    rng.shuffle(&mut o);
+                    o.truncate(k.min(self.size.saturating_sub(1)));
+                    o
+                })
+                .collect(),
+        };
+        self.initialized = true;
+    }
+
+    fn social_best(&self, i: usize) -> Option<(&[f64], f64)> {
+        match self.params.topology {
+            Topology::Gbest => self.swarm_best.as_ref().map(|b| (b.x.as_slice(), b.f)),
+            Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
+                let mut best: Option<(&[f64], f64)> = None;
+                let own = &self.particles[i];
+                if own.evaluated {
+                    best = Some((own.pbest_x.as_slice(), own.pbest_f));
+                }
+                for &j in &self.neighbors[i] {
+                    let p = &self.particles[j];
+                    if p.evaluated && best.is_none_or(|(_, bf)| p.pbest_f < bf) {
+                        best = Some((p.pbest_x.as_slice(), p.pbest_f));
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn informants(&self, i: usize) -> Vec<usize> {
+        match self.params.topology {
+            Topology::Gbest => (0..self.size).collect(),
+            Topology::Ring(_) | Topology::VonNeumann | Topology::Random(_) => {
+                let mut v = self.neighbors[i].clone();
+                v.push(i);
+                v
+            }
+        }
+    }
+
+    fn move_particle(&mut self, i: usize, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        let (c1, c2) = (self.params.c1, self.params.c2);
+        let social: Option<(Vec<f64>, f64)> = self.social_best(i).map(|(x, v)| (x.to_vec(), v));
+        let informants: Vec<usize> = match self.params.influence {
+            Influence::BestOfNeighborhood => Vec::new(),
+            Influence::FullyInformed => self
+                .informants(i)
+                .into_iter()
+                .filter(|&j| self.particles[j].evaluated)
+                .collect(),
+        };
+        let informant_pbests: Vec<Vec<f64>> = informants
+            .iter()
+            .map(|&j| self.particles[j].pbest_x.clone())
+            .collect();
+        let p = &mut self.particles[i];
+        let chi = match self.params.inertia {
+            gossipopt_solvers::Inertia::Vanilla | gossipopt_solvers::Inertia::Constant(_) => 1.0,
+            gossipopt_solvers::Inertia::Constriction => {
+                let phi = c1 + c2;
+                2.0 / (2.0 - phi - (phi * phi - 4.0 * phi).sqrt()).abs()
+            }
+        };
+        let w = match self.params.inertia {
+            gossipopt_solvers::Inertia::Constant(w) => w,
+            _ => 1.0,
+        };
+        let phi_total = c1 + c2;
+        for d in 0..f.dim() {
+            let (lo, hi) = f.bounds(d);
+            let vmax = self.params.vmax_frac * (hi - lo);
+            let attraction = match self.params.influence {
+                Influence::BestOfNeighborhood => {
+                    let cognitive = c1 * rng.next_f64() * (p.pbest_x[d] - p.x[d]);
+                    let social_term = match &social {
+                        Some((g, _)) => c2 * rng.next_f64() * (g[d] - p.x[d]),
+                        None => 0.0,
+                    };
+                    cognitive + social_term
+                }
+                Influence::FullyInformed => {
+                    if informant_pbests.is_empty() {
+                        0.0
+                    } else {
+                        let share = phi_total / informant_pbests.len() as f64;
+                        informant_pbests
+                            .iter()
+                            .map(|pb| share * rng.next_f64() * (pb[d] - p.x[d]))
+                            .sum()
+                    }
+                }
+            };
+            let mut v = chi * (w * p.v[d] + attraction);
+            v = v.clamp(-vmax, vmax);
+            p.v[d] = v;
+            p.x[d] += v;
+            match self.params.bounds {
+                BoundPolicy::None => {}
+                BoundPolicy::Clamp => {
+                    if p.x[d] < lo {
+                        p.x[d] = lo;
+                        p.v[d] = 0.0;
+                    } else if p.x[d] > hi {
+                        p.x[d] = hi;
+                        p.v[d] = 0.0;
+                    }
+                }
+                BoundPolicy::Reflect => {
+                    if p.x[d] < lo {
+                        p.x[d] = lo + (lo - p.x[d]);
+                        p.v[d] = -p.v[d];
+                    } else if p.x[d] > hi {
+                        p.x[d] = hi - (p.x[d] - hi);
+                        p.v[d] = -p.v[d];
+                    }
+                    p.x[d] = p.x[d].clamp(lo, hi);
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, f: &dyn Objective, rng: &mut Xoshiro256pp) {
+        if !self.initialized {
+            self.initialize(f, rng);
+        }
+        let i = self.cursor;
+        self.cursor = (self.cursor + 1) % self.size;
+        if self.particles[i].evaluated {
+            self.move_particle(i, f, rng);
+        }
+        let value = f.eval(&self.particles[i].x);
+        let p = &mut self.particles[i];
+        p.evaluated = true;
+        if value < p.pbest_f {
+            p.pbest_f = value;
+            p.pbest_x.copy_from_slice(&p.x);
+        }
+        let candidate = BestPoint {
+            x: p.pbest_x.clone(),
+            f: p.pbest_f,
+        };
+        if self.swarm_best.as_ref().is_none_or(|b| candidate.f < b.f) {
+            self.swarm_best = Some(candidate);
+        }
+    }
+}
+
+fn assert_swarms_identical(reference: &ReferenceSwarm, soa: &Swarm, label: &str) {
+    for i in 0..reference.size {
+        let p = &reference.particles[i];
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&p.x),
+            bits(soa.position(i)),
+            "{label}: particle {i} position"
+        );
+        assert_eq!(
+            bits(&p.v),
+            bits(soa.velocity(i)),
+            "{label}: particle {i} velocity"
+        );
+        let (px, pf) = soa.pbest(i);
+        assert_eq!(bits(&p.pbest_x), bits(px), "{label}: particle {i} pbest_x");
+        assert_eq!(
+            p.pbest_f.to_bits(),
+            pf.to_bits(),
+            "{label}: particle {i} pbest_f"
+        );
+        assert_eq!(
+            p.evaluated,
+            soa.is_evaluated(i),
+            "{label}: particle {i} flag"
+        );
+    }
+    match (&reference.swarm_best, soa.best()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.f.to_bits(), b.f.to_bits(), "{label}: swarm best f");
+            assert_eq!(
+                a.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{label}: swarm best x"
+            );
+        }
+        (a, b) => panic!("{label}: best mismatch {a:?} vs {:?}", b),
+    }
+}
+
+fn check_config(label: &str, params: PsoParams, f: &dyn Objective, steps: u64, seed: u64) {
+    let mut reference = ReferenceSwarm::new(14, params);
+    let mut soa = Swarm::new(14, params);
+    let mut rng_a = Xoshiro256pp::seeded(seed);
+    let mut rng_b = Xoshiro256pp::seeded(seed);
+    for s in 0..steps {
+        reference.step(f, &mut rng_a);
+        soa.step(f, &mut rng_b);
+        assert_eq!(
+            rng_a.state(),
+            rng_b.state(),
+            "{label}: RNG stream diverged at step {s}"
+        );
+        // Spot-check the full state periodically (every step would be
+        // O(steps × particles × dim) comparisons).
+        if s % 97 == 0 || s + 1 == steps {
+            assert_swarms_identical(&reference, &soa, label);
+        }
+    }
+    // Injected bests must flow through identically as well.
+    let inject = BestPoint {
+        x: (0..f.dim()).map(|d| d as f64 * 0.25).collect(),
+        f: 0.5,
+    };
+    reference.swarm_best = match reference.swarm_best.take() {
+        Some(b) if b.f <= inject.f => Some(b),
+        _ => Some(inject.clone()),
+    };
+    soa.tell_best(inject);
+    for _ in 0..200 {
+        reference.step(f, &mut rng_a);
+        soa.step(f, &mut rng_b);
+    }
+    assert_swarms_identical(&reference, &soa, label);
+}
+
+#[test]
+fn soa_matches_reference_gbest_constriction() {
+    let f = Sphere::new(10);
+    check_config("gbest", PsoParams::default(), &f, 2000, 101);
+}
+
+#[test]
+fn soa_matches_reference_vanilla_1995() {
+    let f = Sphere::new(7);
+    check_config("vanilla", PsoParams::paper_1995(), &f, 2000, 102);
+}
+
+#[test]
+fn soa_matches_reference_fips_ring() {
+    let f = Rastrigin::new(6);
+    check_config("fips-ring", PsoParams::fips_ring(), &f, 1500, 103);
+}
+
+#[test]
+fn soa_matches_reference_lbest_von_neumann_clamp() {
+    let f = Rastrigin::new(5);
+    check_config(
+        "von-neumann-clamp",
+        PsoParams {
+            topology: Topology::VonNeumann,
+            bounds: BoundPolicy::Clamp,
+            ..PsoParams::default()
+        },
+        &f,
+        1500,
+        104,
+    );
+}
+
+#[test]
+fn soa_matches_reference_random_topology_reflect_fips() {
+    let f = Sphere::new(4);
+    check_config(
+        "random-reflect-fips",
+        PsoParams {
+            topology: Topology::Random(3),
+            bounds: BoundPolicy::Reflect,
+            influence: Influence::FullyInformed,
+            ..PsoParams::default()
+        },
+        &f,
+        1500,
+        105,
+    );
+}
+
+#[test]
+fn soa_matches_reference_ring_inertia() {
+    let f = Sphere::new(8);
+    check_config(
+        "ring-inertia",
+        PsoParams {
+            c1: 1.49618,
+            c2: 1.49618,
+            inertia: gossipopt_solvers::Inertia::Constant(0.7298),
+            topology: Topology::Ring(2),
+            ..PsoParams::paper_1995()
+        },
+        &f,
+        1500,
+        106,
+    );
+}

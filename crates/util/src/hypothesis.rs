@@ -65,8 +65,7 @@ pub fn mann_whitney(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
     let u1 = r1 - (n1 * (n1 + 1)) as f64 / 2.0;
     let (n1f, n2f, nf) = (n1 as f64, n2 as f64, n as f64);
     let mean_u = n1f * n2f / 2.0;
-    let var_u =
-        n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    let var_u = n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
     if var_u <= 0.0 {
         return None;
     }

@@ -122,18 +122,27 @@ pub trait Rng64 {
     /// Sample `m` distinct indices from `[0, n)` (Floyd's algorithm for
     /// small `m`, order randomized). Panics if `m > n`.
     fn sample_indices(&mut self, n: usize, m: usize) -> Vec<usize> {
-        assert!(m <= n, "cannot sample {m} distinct from {n}");
         let mut picked: Vec<usize> = Vec::with_capacity(m);
+        self.sample_indices_into(n, m, &mut picked);
+        picked
+    }
+
+    /// Allocation-free variant of [`Rng64::sample_indices`]: clears `out`
+    /// and fills it with the sample. Draws the random stream in exactly
+    /// the same order, so the two variants are interchangeable without
+    /// perturbing downstream determinism.
+    fn sample_indices_into(&mut self, n: usize, m: usize, out: &mut Vec<usize>) {
+        assert!(m <= n, "cannot sample {m} distinct from {n}");
+        out.clear();
         for j in (n - m)..n {
             let t = self.index(j + 1);
-            if picked.contains(&t) {
-                picked.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                picked.push(t);
+                out.push(t);
             }
         }
-        self.shuffle(&mut picked);
-        picked
+        self.shuffle(out);
     }
 }
 
@@ -270,10 +279,7 @@ impl Rng64 for Xoshiro256pp {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -416,7 +422,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]
@@ -439,6 +449,19 @@ mod tests {
         let mut s = rng.sample_indices(8, 8);
         s.sort_unstable();
         assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_into_matches_allocating_variant() {
+        let mut a = Xoshiro256pp::seeded(14);
+        let mut b = Xoshiro256pp::seeded(14);
+        let mut buf = Vec::new();
+        for (n, m) in [(10, 3), (50, 50), (7, 0), (100, 12)] {
+            let v = a.sample_indices(n, m);
+            b.sample_indices_into(n, m, &mut buf);
+            assert_eq!(v, buf);
+            assert_eq!(a.state(), b.state(), "identical RNG stream consumption");
+        }
     }
 
     #[test]

@@ -261,7 +261,12 @@ mod tests {
         let xs: Vec<f64> = (0..1000).map(|i| base + (i % 7) as f64).collect();
         let s: OnlineStats = xs.iter().copied().collect();
         let (_, var, _, _) = naive(&xs);
-        assert!((s.variance() - var).abs() / var < 1e-6, "{} vs {}", s.variance(), var);
+        assert!(
+            (s.variance() - var).abs() / var < 1e-6,
+            "{} vs {}",
+            s.variance(),
+            var
+        );
     }
 
     #[test]
@@ -290,6 +295,9 @@ mod tests {
     fn summary_row_formats() {
         let s: OnlineStats = [0.5, 1.5].iter().copied().collect();
         let row = s.summary().paper_row();
-        assert!(row.contains("e0") || row.contains("e-") || row.contains('e'), "{row}");
+        assert!(
+            row.contains("e0") || row.contains("e-") || row.contains('e'),
+            "{row}"
+        );
     }
 }

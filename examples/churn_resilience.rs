@@ -13,7 +13,10 @@ fn main() {
     let nodes = 128;
     let reps = 3;
     println!("== quality vs churn rate (n = {nodes}, sphere, 1000 evals/node) ==");
-    println!("{:<24} {:>13} {:>13}", "churn / tick", "avg quality", "worst");
+    println!(
+        "{:<24} {:>13} {:>13}",
+        "churn / tick", "avg quality", "worst"
+    );
     for rate in [0.0, 1e-4, 1e-3, 1e-2] {
         let spec = DistributedPsoSpec {
             nodes,
@@ -26,8 +29,8 @@ fn main() {
             },
             ..Default::default()
         };
-        let rep = run_repeated(&spec, "sphere", Budget::PerNode(1000), reps, 11)
-            .expect("valid spec");
+        let rep =
+            run_repeated(&spec, "sphere", Budget::PerNode(1000), reps, 11).expect("valid spec");
         println!(
             "{:<24} {:>13.5e} {:>13.5e}",
             format!("{rate} crash+join"),
@@ -53,8 +56,8 @@ fn main() {
         },
         ..Default::default()
     };
-    let report = run_distributed_pso(&spec, "griewank", Budget::PerNode(1000), 13)
-        .expect("valid spec");
+    let report =
+        run_distributed_pso(&spec, "griewank", Budget::PerNode(1000), 13).expect("valid spec");
     println!("final population  : {}", report.final_population);
     println!("global quality    : {:.5e}", report.best_quality);
     println!("messages dropped  : {}", report.messages_dropped);

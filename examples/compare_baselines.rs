@@ -11,16 +11,16 @@ use gossipopt::util::OnlineStats;
 fn main() {
     let mut args = std::env::args().skip(1);
     let function = args.next().unwrap_or_else(|| "rastrigin".into());
-    let nodes: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
     let per_node = 1000u64;
     let reps = 5u64;
     let seed = 7;
 
     println!("function={function} nodes={nodes} evals/node={per_node} reps={reps}\n");
-    println!("{:<22} {:>13} {:>13} {:>13}", "configuration", "avg", "min", "max");
+    println!(
+        "{:<22} {:>13} {:>13} {:>13}",
+        "configuration", "avg", "min", "max"
+    );
 
     let spec = DistributedPsoSpec {
         nodes,
@@ -30,9 +30,14 @@ fn main() {
     };
 
     // 1. The paper's design: NEWSCAST + epidemic optimum diffusion.
-    let gossip = run_repeated(&spec, &function, Budget::PerNode(per_node), reps, seed)
-        .expect("valid spec");
-    print_row("gossip (paper)", gossip.quality.avg, gossip.quality.min, gossip.quality.max);
+    let gossip =
+        run_repeated(&spec, &function, Budget::PerNode(per_node), reps, seed).expect("valid spec");
+    print_row(
+        "gossip (paper)",
+        gossip.quality.avg,
+        gossip.quality.min,
+        gossip.quality.max,
+    );
 
     // 2. No coordination: pure parallel restarts.
     let iso = run_repeated(
@@ -46,7 +51,12 @@ fn main() {
         seed,
     )
     .expect("valid spec");
-    print_row("isolated restarts", iso.quality.avg, iso.quality.min, iso.quality.max);
+    print_row(
+        "isolated restarts",
+        iso.quality.avg,
+        iso.quality.min,
+        iso.quality.max,
+    );
 
     // 3. Master–slave star (centralized coordinator, the approach the
     //    paper argues against for robustness reasons).
@@ -62,7 +72,12 @@ fn main() {
         seed,
     )
     .expect("valid spec");
-    print_row("master-slave star", ms.quality.avg, ms.quality.min, ms.quality.max);
+    print_row(
+        "master-slave star",
+        ms.quality.avg,
+        ms.quality.min,
+        ms.quality.max,
+    );
 
     // 4. One giant centralized swarm with the same total particle count
     //    and budget ("a single, but much more powerful, machine").
@@ -80,7 +95,12 @@ fn main() {
         .expect("valid function");
         central.push(b.best_quality);
     }
-    print_row("centralized swarm", central.mean(), central.min(), central.max());
+    print_row(
+        "centralized swarm",
+        central.mean(),
+        central.min(),
+        central.max(),
+    );
 
     println!(
         "\nThe paper's claim: the gossip column should be competitive with the\n\

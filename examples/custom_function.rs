@@ -9,8 +9,8 @@
 //! cargo run --release --example custom_function
 //! ```
 
-use gossipopt::core::prelude::*;
 use gossipopt::core::experiment::run_distributed;
+use gossipopt::core::prelude::*;
 use std::sync::Arc;
 
 /// Place 4 sensors on a 2-D field (8 coordinates) to cover 3 hot spots.

@@ -25,15 +25,18 @@ fn run(zones: usize, seed: u64) -> (f64, f64) {
         partition_zones: zones,
         ..Default::default()
     };
-    let rep = run_repeated(&spec, "schwefel226", Budget::PerNode(1000), 8, seed)
-        .expect("valid spec");
+    let rep =
+        run_repeated(&spec, "schwefel226", Budget::PerNode(1000), 8, seed).expect("valid spec");
     (rep.quality.avg, rep.quality.min)
 }
 
 fn main() {
     println!("Schwefel 2.26 (10-D, optimum hidden near the domain corner)");
     println!("64 nodes x 8 particles x 1000 evals, 8 repetitions\n");
-    println!("{:<22} {:>14} {:>14}", "configuration", "avg quality", "best");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "configuration", "avg quality", "best"
+    );
     for zones in [0usize, 8, 64] {
         let (avg, min) = run(zones, 4242);
         let label = if zones == 0 {

@@ -6,8 +6,8 @@
 //! cargo run --release --example heterogeneous_swarms
 //! ```
 
-use gossipopt::core::prelude::*;
 use gossipopt::core::experiment::SolverSpec;
+use gossipopt::core::prelude::*;
 
 fn main() {
     let reps = 3;
@@ -62,8 +62,8 @@ fn main() {
             solver,
             ..Default::default()
         };
-        let rep = run_repeated(&spec, function, Budget::PerNode(1000), reps, 31)
-            .expect("valid spec");
+        let rep =
+            run_repeated(&spec, function, Budget::PerNode(1000), reps, 31).expect("valid spec");
         println!(
             "{label:<28} {:>13.5e} {:>13.5e}",
             rep.quality.avg, rep.quality.min

@@ -25,8 +25,8 @@ fn main() {
     let budget = 1000u64;
 
     // 1. The simulator's prediction for this configuration.
-    let sim = run_distributed_pso(&spec, "griewank", Budget::PerNode(budget), 7)
-        .expect("valid spec");
+    let sim =
+        run_distributed_pso(&spec, "griewank", Budget::PerNode(budget), 7).expect("valid spec");
 
     // 2. The same configuration deployed on threads + UDP datagrams.
     let mut cfg = ClusterConfig::new(spec.clone(), "griewank");

@@ -18,8 +18,8 @@ fn main() {
     };
 
     // 1000 evaluations per node — the paper's first experiment budget.
-    let report = run_distributed_pso(&spec, "sphere", Budget::PerNode(1000), 42)
-        .expect("spec is valid");
+    let report =
+        run_distributed_pso(&spec, "sphere", Budget::PerNode(1000), 42).expect("spec is valid");
 
     println!("nodes                : {}", spec.nodes);
     println!("total evaluations    : {}", report.total_evals);
@@ -32,5 +32,8 @@ fn main() {
     );
 
     assert!(report.best_quality < 1.0, "gossiped PSO should get close");
-    println!("\nok: the network found a solution of quality {:.3e}", report.best_quality);
+    println!(
+        "\nok: the network found a solution of quality {:.3e}",
+        report.best_quality
+    );
 }

@@ -14,8 +14,8 @@
 //! Vargha–Delaney A₁₂ effect size (the standard pairing in the
 //! metaheuristics literature).
 
-use gossipopt::core::prelude::*;
 use gossipopt::core::experiment::SolverSpec;
+use gossipopt::core::prelude::*;
 use gossipopt::solvers::solver_names;
 use gossipopt::util::mann_whitney;
 
@@ -31,22 +31,17 @@ fn qualities(solver: SolverSpec, function: &str, seed: u64) -> Vec<f64> {
         solver,
         ..Default::default()
     };
-    let rep = run_repeated(&spec, function, Budget::PerNode(BUDGET), REPS, seed)
-        .expect("valid spec");
+    let rep =
+        run_repeated(&spec, function, Budget::PerNode(BUDGET), REPS, seed).expect("valid spec");
     rep.runs.iter().map(|r| r.best_quality).collect()
 }
 
 fn main() {
     for function in ["sphere", "rastrigin"] {
-        println!(
-            "== {function} (10-D), {NODES} nodes x {BUDGET} evals, {REPS} repetitions =="
-        );
+        println!("== {function} (10-D), {NODES} nodes x {BUDGET} evals, {REPS} repetitions ==");
         let pso = qualities(SolverSpec::Named("pso".into()), function, 9000);
         let pso_avg = pso.iter().sum::<f64>() / pso.len() as f64;
-        println!(
-            "{:<14} avg quality {:>12.4e}   (reference)",
-            "pso", pso_avg
-        );
+        println!("{:<14} avg quality {:>12.4e}   (reference)", "pso", pso_avg);
         for name in solver_names().iter().filter(|n| **n != "pso") {
             let qs = qualities(SolverSpec::Named(name.to_string()), function, 9000);
             let avg = qs.iter().sum::<f64>() / qs.len() as f64;
@@ -71,7 +66,10 @@ fn main() {
         ]);
         let qs = qualities(mix, function, 9000);
         let avg = qs.iter().sum::<f64>() / qs.len() as f64;
-        println!("{:<14} avg quality {avg:>12.4e}   (4 solver kinds sharing one epidemic)", "mix");
+        println!(
+            "{:<14} avg quality {avg:>12.4e}   (4 solver kinds sharing one epidemic)",
+            "mix"
+        );
         println!();
     }
     println!("ok: every solver ran through the identical coordination service");

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run the kernel + solvers criterion benches and refresh the
+# BENCH_kernel.json baseline.
+#
+# Usage: scripts/bench.sh [rounds]
+#
+# Each round runs both bench binaries once with JSON capture; the baseline
+# records, per benchmark, the best (min) and median ns/iter across rounds —
+# min is the robust estimator on noisy shared machines. If BENCH_kernel.json
+# already exists, its "after" numbers are carried over as the new "before"
+# so successive runs track regressions; otherwise only current numbers are
+# written.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-5}"
+RAW="$(mktemp /tmp/gossipopt-bench.XXXXXX.jsonl)"
+trap 'rm -f "$RAW"' EXIT
+
+export CRITERION_SAMPLES="${CRITERION_SAMPLES:-20}"
+export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-200}"
+
+echo "== building benches (release)"
+cargo bench -p gossipopt_bench --bench kernel --no-run
+cargo bench -p gossipopt_bench --bench solvers --no-run
+
+for round in $(seq 1 "$ROUNDS"); do
+    echo "== round $round/$ROUNDS"
+    CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench kernel
+    CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench solvers
+done
+
+python3 - "$RAW" <<'EOF'
+import json, sys, collections, statistics, os, datetime
+
+raw = collections.defaultdict(list)
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    raw[r["id"]].append(r["ns_per_iter"])
+
+previous = {}
+if os.path.exists("BENCH_kernel.json"):
+    try:
+        old = json.load(open("BENCH_kernel.json"))
+        for row in old.get("results", []):
+            previous[row["benchmark"]] = row.get("after_ns_per_iter")
+    except (json.JSONDecodeError, KeyError):
+        pass
+
+rows = []
+for key in sorted(raw):
+    cur = round(min(raw[key]), 1)
+    row = {
+        "benchmark": key,
+        "after_ns_per_iter": cur,
+        "after_median_ns": round(statistics.median(raw[key]), 1),
+        "rounds": len(raw[key]),
+    }
+    if previous.get(key):
+        row["before_ns_per_iter"] = previous[key]
+        row["speedup"] = round(previous[key] / cur, 2)
+    rows.append(row)
+
+doc = {
+    "description": "Criterion (in-repo shim) baseline for the kernel + solvers "
+    "hot paths; regenerate with scripts/bench.sh. 'before' carries the previous "
+    "baseline's numbers so successive runs track regressions.",
+    "generated_by": "scripts/bench.sh",
+    "results": rows,
+}
+json.dump(doc, open("BENCH_kernel.json", "w"), indent=2)
+open("BENCH_kernel.json", "a").write("\n")
+print(f"wrote BENCH_kernel.json ({len(rows)} benchmarks)")
+EOF

@@ -21,6 +21,39 @@
 //! * [`runtime`] — a real threaded deployment of the same protocol (one OS
 //!   thread per node, channel or UDP transport, binary wire format).
 //!
+//! ## Hot-path architecture
+//!
+//! The simulation/solver hot path is allocation-free and cache-friendly
+//! (see `BENCH_kernel.json` for measured before/after evidence):
+//!
+//! * **Dense slot map** — `NodeId`s are allocated sequentially and kernel
+//!   slots are never removed, so the id → slot lookup on the message
+//!   routing path is a bounds compare plus arithmetic (no hash map, no
+//!   dependent table load); a sorted live-slot list is maintained
+//!   incrementally on insert/crash so per-tick scheduling is O(alive).
+//! * **Scratch buffers** — every per-tick and per-message buffer
+//!   (scheduling order, outboxes, delivery queue, bootstrap samples) is
+//!   reused across calls; steady-state ticks perform no heap allocation.
+//!   Intra-tick messages are delivered straight from the sender's outbox;
+//!   only chained replies ever touch the queue.
+//! * **SoA swarm** — PSO particle state lives in flat
+//!   positions/velocities/pbests buffers with stride `dim`, so the
+//!   velocity/position update is a tight loop over contiguous memory and
+//!   one `Solver::step` performs no allocation.
+//! * **Batch evaluation** — `functions::Objective::eval_batch` evaluates
+//!   contiguous batches of points with one virtual dispatch per batch;
+//!   the suite functions specialize it with the exact per-point
+//!   arithmetic of `eval`, and all solver evaluation sites route through
+//!   it.
+//!
+//! All of this preserves determinism bit for bit: RNG draw order, float
+//! operation order and delivery order are unchanged, verified against the
+//! pre-refactor implementation by `examples/fingerprint.rs` and the
+//! `soa_equivalence` test suite.
+//!
+//! Run the benches with `scripts/bench.sh` (refreshes `BENCH_kernel.json`)
+//! or directly: `cargo bench -p gossipopt_bench --bench kernel`.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -27,10 +27,10 @@ fn every_coordination_mode_is_deterministic_per_seed() {
         }),
         CoordinationKind::Migrate { migrants: 2 },
     ] {
-        let a = run_distributed_pso(&spec(coordination), "griewank", Budget::PerNode(120), 7)
-            .unwrap();
-        let b = run_distributed_pso(&spec(coordination), "griewank", Budget::PerNode(120), 7)
-            .unwrap();
+        let a =
+            run_distributed_pso(&spec(coordination), "griewank", Budget::PerNode(120), 7).unwrap();
+        let b =
+            run_distributed_pso(&spec(coordination), "griewank", Budget::PerNode(120), 7).unwrap();
         assert_eq!(
             a.best_quality.to_bits(),
             b.best_quality.to_bits(),
@@ -135,7 +135,10 @@ fn rumor_mongering_is_quieter_than_anti_entropy() {
     // And still end with a competitive global quality (same order).
     let la = ae.best_quality.max(1e-300).log10();
     let lr = rumor.best_quality.max(1e-300).log10();
-    assert!((la - lr).abs() < 3.0, "anti-entropy 1e{la:.1} vs rumor 1e{lr:.1}");
+    assert!(
+        (la - lr).abs() < 3.0,
+        "anti-entropy 1e{la:.1} vs rumor 1e{lr:.1}"
+    );
 }
 
 #[test]

@@ -55,7 +55,10 @@ fn distributed_pso_works_on_event_engine() {
     assert_eq!(qualities.len(), 16);
     let global = qualities.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(global.is_finite());
-    assert!(global < 100.0, "async network should converge, got {global}");
+    assert!(
+        global < 100.0,
+        "async network should converge, got {global}"
+    );
     // Everyone finished their budget despite jittered clocks.
     for (_, node) in engine.nodes() {
         assert_eq!(node.evals(), 300);
@@ -74,8 +77,7 @@ fn diffusion_spreads_under_latency() {
     let near = engine
         .nodes()
         .filter(|(_, n)| {
-            n.quality().max(f64::MIN_POSITIVE).log10()
-                < global.max(f64::MIN_POSITIVE).log10() + 6.0
+            n.quality().max(f64::MIN_POSITIVE).log10() < global.max(f64::MIN_POSITIVE).log10() + 6.0
         })
         .count();
     assert!(

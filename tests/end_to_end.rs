@@ -98,8 +98,14 @@ fn no_detriment_vs_centralized() {
     let nodes = 32;
     let k = 8;
     let per_node = 1000;
-    let dist = run_repeated(&spec(nodes, k), "zakharov", Budget::PerNode(per_node), reps, 75)
-        .unwrap();
+    let dist = run_repeated(
+        &spec(nodes, k),
+        "zakharov",
+        Budget::PerNode(per_node),
+        reps,
+        75,
+    )
+    .unwrap();
     let mut central_best = f64::INFINITY;
     for r in 0..reps {
         let c = run_centralized_pso(
@@ -152,7 +158,14 @@ fn whole_stack_is_deterministic() {
 /// Every paper function runs end-to-end through the full stack.
 #[test]
 fn all_paper_functions_run() {
-    for f in ["f2", "zakharov", "rosenbrock", "sphere", "schaffer", "griewank"] {
+    for f in [
+        "f2",
+        "zakharov",
+        "rosenbrock",
+        "sphere",
+        "schaffer",
+        "griewank",
+    ] {
         let r = run_distributed_pso(&spec(8, 8), f, Budget::PerNode(200), 78).unwrap();
         assert!(r.best_quality.is_finite(), "{f}");
         assert!(r.best_quality >= -1e-9, "{f} below optimum?");

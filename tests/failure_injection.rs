@@ -68,8 +68,7 @@ fn survivors_keep_diffusing_after_catastrophe() {
     let near = engine
         .nodes()
         .filter(|(_, n)| {
-            n.quality().max(f64::MIN_POSITIVE).log10()
-                < global.max(f64::MIN_POSITIVE).log10() + 6.0
+            n.quality().max(f64::MIN_POSITIVE).log10() < global.max(f64::MIN_POSITIVE).log10() + 6.0
         })
         .count();
     assert!(
@@ -88,9 +87,7 @@ fn master_slave_has_a_single_point_of_failure() {
     for i in 0..24u64 {
         let (topology, coord, role) = if i == 0 {
             (
-                TopologyComp::Static(StaticSampler::new(
-                    (1..24).map(NodeId).collect::<Vec<_>>(),
-                )),
+                TopologyComp::Static(StaticSampler::new((1..24).map(NodeId).collect::<Vec<_>>())),
                 CoordComp::MasterSlave,
                 Role::Master,
             )

@@ -116,10 +116,10 @@ fn network(n: usize, seed: u64) -> CycleEngine<P2pApp> {
 fn rumor_broadcast_reaches_nearly_everyone_over_newscast() {
     let mut e = network(150, 1);
     e.run(10); // warm the overlay
-    // Originate at an arbitrary node by mutating through a fresh insert:
-    // instead, pick the node with the smallest id via a scripted message.
-    // Simplest: originate inside one app before further ticks.
-    // (Direct state access is fine in tests.)
+               // Originate at an arbitrary node by mutating through a fresh insert:
+               // instead, pick the node with the smallest id via a scripted message.
+               // Simplest: originate inside one app before further ticks.
+               // (Direct state access is fine in tests.)
     let origin = e.nodes().next().map(|(id, _)| id).unwrap();
     // No direct &mut access API — drive origination through a dedicated
     // engine: rebuild with the rumor pre-planted at node 0.
@@ -197,10 +197,7 @@ fn composite_protocol_is_deterministic() {
     let run = |seed| {
         let mut e = network(40, seed);
         e.run(60);
-        let ests: Vec<u64> = e
-            .nodes()
-            .map(|(_, a)| a.avg.estimate().to_bits())
-            .collect();
+        let ests: Vec<u64> = e.nodes().map(|(_, a)| a.avg.estimate().to_bits()).collect();
         (e.stats().delivered, ests)
     };
     assert_eq!(run(9), run(9));

@@ -1,0 +1,328 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Drop-in for the subset of the criterion API the bench suite uses
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput,
+//! `bench_with_input`, `Bencher::iter`). Measurement is deliberately
+//! simple but honest:
+//!
+//! 1. warm up for `CRITERION_WARMUP_MS` (default 150 ms);
+//! 2. calibrate the per-sample iteration count so one sample runs ≈10 ms;
+//! 3. collect `CRITERION_SAMPLES` samples (default 15) and report the
+//!    median ns/iter (median damps scheduler noise).
+//!
+//! Results print to stdout; when `CRITERION_JSON` names a file, one JSON
+//! line per benchmark is appended (used by `scripts/bench.sh` to build the
+//! `BENCH_kernel.json` baseline). A substring filter may be passed on the
+//! command line, as with real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Measurement settings and the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    samples: usize,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // cargo passes harness flags like `--bench`; the first non-flag
+        // argument is a substring filter.
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            filter,
+            warmup: Duration::from_millis(env_u64("CRITERION_WARMUP_MS", 150)),
+            samples: env_u64("CRITERION_SAMPLES", 15) as usize,
+            json_path: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, None, None, &mut f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+        f: &mut F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run with growing iteration counts until the budget is
+        // spent; reuse the final rate for calibration.
+        let warmup_start = Instant::now();
+        let mut per_iter = Duration::from_micros(1);
+        while warmup_start.elapsed() < self.warmup {
+            f(&mut bencher);
+            if bencher.iters > 0 && !bencher.elapsed.is_zero() {
+                per_iter = bencher.elapsed / bencher.iters as u32;
+            }
+            let target = Duration::from_millis(2);
+            let next = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24);
+            bencher.iters = next as u64;
+        }
+
+        // Sized so one sample costs ≈10 ms.
+        let sample_iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 28) as u64;
+        let samples = sample_size.unwrap_or(self.samples).max(5);
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+        bencher.mode = Mode::Measure;
+        for _ in 0..samples {
+            bencher.iters = sample_iters;
+            f(&mut bencher);
+            ns_per_iter.push(bencher.elapsed.as_nanos() as f64 / sample_iters as f64);
+        }
+        ns_per_iter.sort_by(f64::total_cmp);
+        let median = ns_per_iter[ns_per_iter.len() / 2];
+        let best = ns_per_iter[0];
+        let worst = ns_per_iter[ns_per_iter.len() - 1];
+
+        let throughput_str = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 * 1e9 / median;
+                format!("  thrpt: {} elem/s", format_si(eps))
+            }
+            Some(Throughput::Bytes(n)) => {
+                let bps = n as f64 * 1e9 / median;
+                format!("  thrpt: {}B/s", format_si(bps))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<50} time: [{} {} {}]{throughput_str}",
+            format_ns(best),
+            format_ns(median),
+            format_ns(worst)
+        );
+        if let Some(path) = &self.json_path {
+            let elems = match throughput {
+                Some(Throughput::Elements(n)) => n,
+                _ => 0,
+            };
+            let line = format!(
+                "{{\"id\":\"{}\",\"ns_per_iter\":{},\"elements\":{},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                id.replace('"', "'"),
+                median,
+                elems,
+                samples,
+                sample_iters
+            );
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+
+    /// criterion-API compatibility: final summary hook (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` identifier.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier rendering just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        let sample_size = self.sample_size;
+        self.parent
+            .run_one(&full, throughput, sample_size, &mut |b: &mut Bencher| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Benchmark a routine, labeled by `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        let sample_size = self.sample_size;
+        self.parent.run_one(&full, throughput, sample_size, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` in a timed loop; the return value is black-boxed.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let _ = &self.mode;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

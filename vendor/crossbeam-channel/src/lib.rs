@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam-channel`, bridging to `std::sync::mpsc`.
+//!
+//! Only the unbounded MPSC surface the runtime transport uses; an
+//! unbounded channel never reports [`TrySendError::Full`].
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// Why a `try_send` failed.
+#[derive(Debug)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity (never produced by unbounded channels).
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Why a receive failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing to receive.
+    Timeout,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+/// Sending half (cloneable).
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+    }
+
+    /// Blocking send (never blocks on an unbounded channel).
+    pub fn send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.try_send(value)
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+            mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Receive, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+        self.inner
+            .recv()
+            .map_err(|_| RecvTimeoutError::Disconnected)
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `rayon`'s `par_iter` surface.
+//!
+//! `into_par_iter().map(f).collect()` materializes the input, splits it
+//! into one contiguous chunk per available core, runs the chunks on scoped
+//! `std::thread`s and reassembles results in order — real parallelism for
+//! the embarrassingly parallel repetition loops this workspace runs, minus
+//! rayon's work stealing (irrelevant for near-uniform experiment
+//! repetitions).
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Begin a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A materialized parallel pipeline stage.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Consume into the item vector (runs the pipeline).
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> MapIter<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        MapIter { inner: self, f }
+    }
+
+    /// Collect results, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_results(self.run())
+    }
+}
+
+/// Root stage: items already materialized, executed sequentially (the
+/// parallelism lives in [`MapIter`], which is where the work is).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel map stage.
+pub struct MapIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for MapIter<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.run();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return items.into_iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+/// Order-preserving result assembly.
+pub trait FromParallelIterator<T>: Sized {
+    /// Build from the in-order results.
+    fn from_par_results(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_results(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_results(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+macro_rules! into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecIter<$t>;
+            fn into_par_iter(self) -> VecIter<$t> {
+                VecIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+into_par_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// The common imports (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let out: Result<Vec<u64>, String> = (0u64..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out.unwrap_err(), "seven");
+    }
+}

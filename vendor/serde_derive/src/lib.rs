@@ -1,0 +1,417 @@
+//! Derive macros for the in-repo serde stand-in.
+//!
+//! Parses the deriving item with a hand-rolled scanner over
+//! [`proc_macro::TokenTree`]s (the sandbox has no `syn`/`quote`) and emits
+//! `impl Serialize`/`impl Deserialize` blocks as source text. Supported
+//! shapes — which cover every derive in this workspace — are:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums whose variants are unit, tuple or struct-like (externally
+//!   tagged, like serde's default representation);
+//! * simple type parameters (`enum Msg<R> { … }`), which receive
+//!   `Serialize`/`Deserialize` bounds.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility qualifiers.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // Optional `<...>` generics: collect the parameter idents, skipping any
+    // bounds (`T: Foo`) until the matching `>`.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                    expect_param = false;
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => panic!("serde derive: unterminated generics on `{name}`"),
+            }
+            i += 1;
+        }
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Named fields: `vis? ident : Type , ...` — field names are the idents
+/// immediately followed by `:` at angle-bracket depth 0.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut in_type = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_type = false,
+            TokenTree::Ident(id) if depth == 0 && !in_type => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // skip optional pub(...)
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                } else if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                {
+                    fields.push(word);
+                    in_type = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Tuple fields: count comma-separated segments at angle-bracket depth 0.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match tokens.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip discriminants (`= expr`) until the next comma.
+                while matches!(tokens.get(i + 1), Some(t) if !matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                {
+                    i += 1;
+                }
+                variants.push(Variant { name, fields });
+                i += 1;
+            }
+            other => panic!("serde derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{trait_name} for {} ", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{bounds}> serde::{trait_name} for {}<{params}> ",
+            item.name
+        )
+    }
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+/// Derive `serde::Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::__private::Value::Object(vec![{pairs}])")
+        }
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::__private::Value::Array(vec![{elems}])")
+        }
+        Kind::Struct(Fields::Unit) => "serde::__private::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ty = &item.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{ty}::{vn} => serde::__private::Value::String({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{ty}::{vn}(__f0) => serde::__private::Value::Object(vec![({vn:?}.to_string(), serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders = tuple_binders(*n);
+                            let elems = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{ty}::{vn}({}) => serde::__private::Value::Object(vec![({vn:?}.to_string(), serde::__private::Value::Array(vec![{elems}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let pairs = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{ty}::{vn} {{ {} }} => serde::__private::Value::Object(vec![({vn:?}.to_string(), serde::__private::Value::Object(vec![{pairs}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "{}{{ fn to_value(&self) -> serde::__private::Value {{ {body} }} }}",
+        impl_header("Serialize", &item)
+    );
+    out.parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let ty = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__private::field(__v, {f:?})?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "if __v.as_object().is_none() {{ return Err(serde::__private::Error(format!(\"{ty}: expected object\"))); }} Ok({ty} {{ {inits} }})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({ty}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems = (0..*n)
+                .map(|k| format!("serde::__private::element(__arr, {k})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| serde::__private::Error(format!(\"{ty}: expected array\")))?; Ok({ty}({elems}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("Ok({ty})"),
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok({ty}::{}),", v.name, v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => Ok({ty}::{vn}(serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems = (0..*n)
+                                .map(|k| format!("serde::__private::element(__arr, {k})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{vn:?} => {{ let __arr = __inner.as_array().ok_or_else(|| serde::__private::Error(format!(\"{ty}::{vn}: expected array\")))?; Ok({ty}::{vn}({elems})) }}"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::__private::field(__inner, {f:?})?,"))
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            format!("{vn:?} => Ok({ty}::{vn} {{ {inits} }}),")
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n\
+                 serde::__private::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(serde::__private::Error(format!(\"{ty}: unknown variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 serde::__private::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\n\
+                 __other => Err(serde::__private::Error(format!(\"{ty}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(serde::__private::Error(format!(\"{ty}: expected variant tag\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "{}{{ fn from_value(__v: &serde::__private::Value) -> Result<Self, serde::__private::Error> {{ {body} }} }}",
+        impl_header("Deserialize", &item)
+    );
+    out.parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
