@@ -1,11 +1,14 @@
-//! Microbenchmarks: cycle-kernel tick throughput.
+//! Microbenchmarks: cycle- and event-kernel tick throughput.
 //!
-//! Measures the simulator's overhead per tick at several network sizes for
+//! Measures each simulator's overhead per tick at several network sizes for
 //! a no-op protocol and a chatty protocol (one message per node per tick),
-//! separating kernel cost from protocol cost in the paper-scale runs.
+//! separating kernel cost from protocol cost in the paper-scale runs. The
+//! event-kernel families advance the engine one tick-period per iteration,
+//! so one iteration dispatches ~n timer events (+ ~n deliveries when
+//! chatty) — directly comparable to one cycle-kernel tick.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gossipopt_sim::{Application, Ctx, CycleConfig, CycleEngine, NodeId};
+use gossipopt_sim::{Application, Ctx, CycleConfig, CycleEngine, EventConfig, EventEngine, NodeId};
 use std::hint::black_box;
 
 #[derive(Debug, Clone)]
@@ -70,5 +73,58 @@ fn bench_chatty_ticks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_quiet_ticks, bench_chatty_ticks);
+fn bench_event_quiet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event-quiet");
+    for &n in &[64usize, 512, 4096, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut cfg = EventConfig::seeded(3);
+            cfg.tick_period = 10;
+            let mut e: EventEngine<Quiet> = EventEngine::new(cfg);
+            for _ in 0..n {
+                e.insert(Quiet);
+            }
+            let mut t = e.now();
+            b.iter(|| {
+                t += 10;
+                e.run(t);
+                black_box(e.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_chatty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event-chatty");
+    for &n in &[64usize, 512, 4096, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut cfg = EventConfig::seeded(4);
+            cfg.tick_period = 10;
+            let mut e: EventEngine<Chatty> = EventEngine::new(cfg);
+            for _ in 0..n {
+                e.insert(Chatty {
+                    peer: None,
+                    seen: 0,
+                });
+            }
+            let mut t = e.now();
+            b.iter(|| {
+                t += 10;
+                e.run(t);
+                black_box(e.delivered())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quiet_ticks,
+    bench_chatty_ticks,
+    bench_event_quiet,
+    bench_event_chatty
+);
 criterion_main!(benches);

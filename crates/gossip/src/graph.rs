@@ -10,6 +10,79 @@
 use gossipopt_util::{OnlineStats, Rng64, Xoshiro256pp};
 use std::collections::VecDeque;
 
+/// Directed ring lattice: node `i` points at its `k` successors
+/// `i+1 .. i+k` (mod `n`). `k = 1` is the plain ring. The canonical
+/// low-degree, high-diameter baseline for the scale scenarios.
+pub fn ring_lattice(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k < n.max(1), "ring lattice needs k < n");
+    (0..n)
+        .map(|i| (1..=k).map(|d| (i + d) % n).collect())
+        .collect()
+}
+
+/// Random `k`-out-regular digraph: every node picks `k` distinct
+/// out-neighbors uniformly (never itself). Expander-like: low diameter at
+/// constant degree, the random-graph reference point for the scale runs.
+pub fn k_out_regular(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
+    assert!(k < n.max(1), "k-out-regular needs k < n");
+    let mut adj = Vec::with_capacity(n);
+    let mut picked = Vec::with_capacity(k);
+    for i in 0..n {
+        picked.clear();
+        while picked.len() < k {
+            let c = rng.index(n);
+            if c != i && !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        adj.push(picked.clone());
+    }
+    adj
+}
+
+/// Two-level hierarchy (Shin et al. 2020-style power-network scaling):
+/// nodes are grouped into `clusters` clusters of `cluster_size`; members
+/// of a cluster form a degree-`intra_k` ring lattice and additionally
+/// point at their cluster head (the cluster's first node) unless their
+/// ring window already reaches it, while the heads form a degree-`hub_k`
+/// ring lattice among themselves. Node ids are
+/// `cluster * cluster_size + member`; adjacency lists are duplicate-free.
+pub fn two_level_hierarchy(
+    clusters: usize,
+    cluster_size: usize,
+    intra_k: usize,
+    hub_k: usize,
+) -> Vec<Vec<usize>> {
+    assert!(cluster_size >= 1, "clusters cannot be empty");
+    assert!(
+        intra_k < cluster_size.max(1),
+        "intra_k must fit the cluster"
+    );
+    assert!(hub_k < clusters.max(1), "hub_k must fit the head ring");
+    let n = clusters * cluster_size;
+    let mut adj = vec![Vec::new(); n];
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for m in 0..cluster_size {
+            let i = base + m;
+            for d in 1..=intra_k {
+                adj[i].push(base + (m + d) % cluster_size);
+            }
+            // Member -> cluster head uplink, unless the ring window above
+            // already wrapped onto the head (m >= cluster_size - intra_k),
+            // which would duplicate the edge and double the head's pick
+            // probability under uniform neighbor selection.
+            if m != 0 && m < cluster_size - intra_k {
+                adj[i].push(base);
+            }
+        }
+        for d in 1..=hub_k {
+            adj[base].push(((c + d) % clusters) * cluster_size);
+        }
+    }
+    adj
+}
+
 /// Breadth-first distances from `src` along directed edges; `usize::MAX`
 /// marks unreachable nodes.
 pub fn bfs_distances(adj: &[Vec<usize>], src: usize) -> Vec<usize> {
@@ -146,6 +219,58 @@ mod tests {
         (0..n)
             .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
             .collect()
+    }
+
+    #[test]
+    fn ring_lattice_degree_and_connectivity() {
+        let g = ring_lattice(10, 3);
+        assert!(g.iter().all(|nbrs| nbrs.len() == 3));
+        assert_eq!(g[9], vec![0, 1, 2], "wraps around");
+        assert!(is_strongly_connected(&g));
+        assert_eq!(ring_lattice(5, 1), ring_graph(5));
+    }
+
+    #[test]
+    fn k_out_regular_degree_distinct_no_self() {
+        let mut rng = Xoshiro256pp::seeded(9);
+        let g = k_out_regular(200, 4, &mut rng);
+        for (i, nbrs) in g.iter().enumerate() {
+            assert_eq!(nbrs.len(), 4);
+            assert!(!nbrs.contains(&i), "no self-loop at {i}");
+            let mut s = nbrs.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4, "distinct picks at {i}");
+        }
+        // Random 4-out digraphs of this size are connected w.h.p.; with a
+        // fixed seed this is deterministic.
+        assert!(is_weakly_connected(&g));
+        let mut rng2 = Xoshiro256pp::seeded(9);
+        assert_eq!(g, k_out_regular(200, 4, &mut rng2), "seeded determinism");
+    }
+
+    #[test]
+    fn hierarchy_is_connected_and_shaped() {
+        let g = two_level_hierarchy(6, 10, 2, 2);
+        assert_eq!(g.len(), 60);
+        assert!(is_strongly_connected(&g));
+        // A non-head member: intra ring (2) + uplink (1).
+        assert_eq!(g[1].len(), 3);
+        assert!(g[1].contains(&0), "member points at its head");
+        // A head: intra ring (2) + hub ring (2).
+        assert_eq!(g[0].len(), 4);
+        assert!(g[0].contains(&10) && g[0].contains(&20), "head hub links");
+        // Heads only link to other heads in the hub ring.
+        assert!(g[10].iter().filter(|&&v| v % 10 == 0).count() >= 2);
+        // Members whose ring window wraps onto the head get no duplicate
+        // uplink; every adjacency list is duplicate-free.
+        assert_eq!(g[9].iter().filter(|&&v| v == 0).count(), 1);
+        for (i, nbrs) in g.iter().enumerate() {
+            let mut s = nbrs.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), nbrs.len(), "duplicate edge at node {i}");
+        }
     }
 
     #[test]

@@ -18,10 +18,13 @@
 use crate::app::{Application, Ctx};
 use crate::churn::ChurnConfig;
 use crate::ids::{NodeId, Ticks};
+use crate::slots::SlotArena;
 use crate::transport::Transport;
 use crate::Control;
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
 use std::collections::VecDeque;
+
+pub use crate::slots::NodesView;
 
 /// Configuration of a [`CycleEngine`].
 #[derive(Debug, Clone)]
@@ -100,66 +103,21 @@ pub struct KernelStats {
     pub joins: u64,
 }
 
-struct Slot<A: Application> {
-    id: NodeId,
-    app: A,
-    rng: Xoshiro256pp,
-    alive: bool,
-}
-
-/// Read-only view over live nodes, handed to observers.
-pub struct NodesView<'a, A: Application> {
-    slots: &'a [Slot<A>],
-    live: &'a [u32],
-}
-
-impl<'a, A: Application> NodesView<'a, A> {
-    /// Iterate `(id, application)` over live nodes in slot order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a A)> + '_ {
-        let slots = self.slots;
-        self.live.iter().map(move |&i| {
-            let s = &slots[i as usize];
-            (s.id, &s.app)
-        })
-    }
-
-    /// Number of live nodes.
-    pub fn len(&self) -> usize {
-        self.live.len()
-    }
-
-    /// True when the network is empty.
-    pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
-    }
-}
-
 type Spawner<A> = Box<dyn FnMut(NodeId, &mut Xoshiro256pp) -> A>;
 
 /// The cycle-driven simulation kernel.
 ///
 /// ## Hot-path layout
 ///
-/// `NodeId`s are allocated sequentially and slots are never removed, so the
-/// id → slot lookup is a dense `Vec<u32>` (`slot_of`) instead of a hash
-/// map — one bounds-checked array read per message on the routing path.
-/// A sorted `live` list of slot indices is maintained incrementally on
-/// insert/crash, so per-tick scheduling is O(alive) rather than a re-filter
-/// of every slot ever allocated, and every per-tick/per-message allocation
-/// is hoisted into a reusable scratch buffer on the engine.
+/// Node storage is a `SlotArena` (shared with the event kernel): a dense
+/// slot map resolved by arithmetic instead of a hash probe, plus a sorted
+/// `live` list maintained incrementally on insert/crash so per-tick
+/// scheduling is O(alive) rather than a re-filter of every slot ever
+/// allocated. Every per-tick/per-message allocation is hoisted into a
+/// reusable scratch buffer on the engine (or the arena, for sampling).
 pub struct CycleEngine<A: Application> {
     cfg: CycleConfig,
-    slots: Vec<Slot<A>>,
-    /// Dense slot map: `slot_of[id.raw()]` is the slot index for `id`.
-    slot_of: Vec<u32>,
-    /// Slot indices of live nodes, kept sorted ascending (insertions only
-    /// ever append because new ids take the highest slot index; crashes
-    /// remove in place). Iterating this equals filtering `slots` by
-    /// liveness, so scheduling order — and therefore the RNG stream — is
-    /// identical to the re-filtering implementation it replaces.
-    live: Vec<u32>,
-    alive_count: usize,
-    next_id: u64,
+    arena: SlotArena<A>,
     kernel_rng: Xoshiro256pp,
     now: Ticks,
     /// Messages deferred to the next tick (`intra_tick_delivery = false`).
@@ -174,10 +132,6 @@ pub struct CycleEngine<A: Application> {
     drain_outbox_buf: Vec<(NodeId, A::Message)>,
     /// Bootstrap-contact scratch reused across `insert` calls.
     contacts_buf: Vec<NodeId>,
-    /// Live-id scratch for `sample_alive` / `crash_fraction`.
-    alive_ids_buf: Vec<NodeId>,
-    /// Index scratch for `Rng64::sample_indices_into`.
-    sample_buf: Vec<usize>,
 }
 
 impl<A: Application> CycleEngine<A> {
@@ -186,11 +140,7 @@ impl<A: Application> CycleEngine<A> {
         let kernel_rng = Xoshiro256pp::derive(cfg.seed, StreamId::KERNEL);
         CycleEngine {
             cfg,
-            slots: Vec::new(),
-            slot_of: Vec::new(),
-            live: Vec::new(),
-            alive_count: 0,
-            next_id: 0,
+            arena: SlotArena::new(),
             kernel_rng,
             now: 0,
             deferred: VecDeque::new(),
@@ -201,26 +151,6 @@ impl<A: Application> CycleEngine<A> {
             queue_buf: VecDeque::new(),
             drain_outbox_buf: Vec::new(),
             contacts_buf: Vec::new(),
-            alive_ids_buf: Vec::new(),
-            sample_buf: Vec::new(),
-        }
-    }
-
-    /// Slot index for `id`, if the id was ever allocated.
-    ///
-    /// Ids are handed out sequentially and slots are never removed, so the
-    /// dense map is the identity — resolved with a bounds compare instead
-    /// of a table read on the per-message hot path. `slot_of` records the
-    /// same mapping explicitly (checked in debug builds) so a future slot
-    /// compaction only has to swap this accessor.
-    #[inline]
-    fn slot_index(&self, id: NodeId) -> Option<usize> {
-        let i = id.raw() as usize;
-        if i < self.slots.len() {
-            debug_assert_eq!(self.slot_of[i] as usize, i);
-            Some(i)
-        } else {
-            None
         }
     }
 
@@ -233,7 +163,7 @@ impl<A: Application> CycleEngine<A> {
     /// Add `n` nodes via the spawner. Panics if no spawner is installed.
     pub fn populate(&mut self, n: usize) {
         for _ in 0..n {
-            let id = NodeId(self.next_id);
+            let id = self.arena.peek_next_id();
             let mut spawner = self.spawner.take().expect("populate requires a spawner");
             let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(1, id.raw()));
             let app = spawner(id, &mut node_rng);
@@ -252,27 +182,20 @@ impl<A: Application> CycleEngine<A> {
     }
 
     fn insert_with_report(&mut self, app: A, report: &mut StepReport) -> NodeId {
-        let id = NodeId(self.next_id);
-        self.next_id += 1;
+        let id = self.arena.peek_next_id();
         let rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(0, id.raw()));
         let mut contacts = std::mem::take(&mut self.contacts_buf);
-        self.sample_alive_into(self.cfg.bootstrap_sample, Some(id), &mut contacts);
-        let slot_idx = self.slots.len();
-        debug_assert_eq!(slot_idx as u64, id.raw(), "ids are slot-sequential");
-        self.slots.push(Slot {
-            id,
-            app,
-            rng,
-            alive: true,
-        });
-        self.slot_of.push(slot_idx as u32);
-        // New slots take the largest index, so appending keeps `live` sorted.
-        self.live.push(slot_idx as u32);
-        self.alive_count += 1;
+        self.arena.sample_alive_into(
+            &mut self.kernel_rng,
+            self.cfg.bootstrap_sample,
+            Some(id),
+            &mut contacts,
+        );
+        let (id, slot_idx) = self.arena.insert(app, rng);
 
         let mut outbox = std::mem::take(&mut self.outbox_buf);
         {
-            let slot = &mut self.slots[slot_idx];
+            let slot = &mut self.arena.slots[slot_idx];
             let mut ctx = Ctx::new(id, self.now, &mut slot.rng, &mut outbox);
             slot.app.on_join(&contacts, &mut ctx);
         }
@@ -285,17 +208,11 @@ impl<A: Application> CycleEngine<A> {
     /// Crash a node (scripted failure). Returns `false` if it was already
     /// dead or unknown. Crashed nodes never come back; a rejoin is a new id.
     pub fn crash(&mut self, id: NodeId) -> bool {
-        match self.slot_index(id) {
-            Some(i) if self.slots[i].alive => {
-                self.slots[i].alive = false;
-                self.alive_count -= 1;
-                self.stats.crashes += 1;
-                if let Ok(pos) = self.live.binary_search(&(i as u32)) {
-                    self.live.remove(pos);
-                }
-                true
-            }
-            _ => false,
+        if self.arena.kill(id) {
+            self.stats.crashes += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -303,33 +220,31 @@ impl<A: Application> CycleEngine<A> {
     /// portion of the network fails" scenario of the paper's §4).
     pub fn crash_fraction(&mut self, fraction: f64) -> usize {
         assert!((0.0..=1.0).contains(&fraction));
-        let alive = std::mem::take(&mut self.alive_ids_buf);
-        let mut alive = {
-            let mut a = alive;
-            a.clear();
-            a.extend(self.live.iter().map(|&i| self.slots[i as usize].id));
-            a
-        };
+        let mut alive = self.arena.take_id_scratch();
+        alive.extend(
+            self.arena
+                .live
+                .iter()
+                .map(|&i| self.arena.slots[i as usize].id),
+        );
         let m = ((alive.len() as f64 * fraction).round() as usize).min(alive.len());
-        let mut idx = std::mem::take(&mut self.sample_buf);
+        let mut idx = self.arena.take_index_scratch();
         self.kernel_rng
             .sample_indices_into(alive.len(), m, &mut idx);
         for &pick in &idx {
             let victim = alive[pick];
-            let slot = self.slot_of[victim.raw() as usize] as usize;
-            debug_assert!(self.slots[slot].alive, "sampled without replacement");
-            self.slots[slot].alive = false;
-            self.alive_count -= 1;
+            let slot = self.arena.slot_of[victim.raw() as usize] as usize;
+            debug_assert!(self.arena.slots[slot].alive, "sampled without replacement");
+            self.arena.kill_slot_deferred(slot);
             self.stats.crashes += 1;
         }
         let n = idx.len();
         if n > 0 {
-            let slots = &self.slots;
-            self.live.retain(|&i| slots[i as usize].alive);
+            self.arena.retain_live();
         }
         alive.clear();
-        self.alive_ids_buf = alive;
-        self.sample_buf = idx;
+        self.arena.return_id_scratch(alive);
+        self.arena.return_index_scratch(idx);
         n
     }
 
@@ -340,7 +255,7 @@ impl<A: Application> CycleEngine<A> {
 
     /// Number of live nodes.
     pub fn alive_count(&self) -> usize {
-        self.alive_count
+        self.arena.alive_count
     }
 
     /// Cumulative kernel statistics.
@@ -350,26 +265,17 @@ impl<A: Application> CycleEngine<A> {
 
     /// Read a live node's application state.
     pub fn node(&self, id: NodeId) -> Option<&A> {
-        self.slot_index(id)
-            .map(|i| &self.slots[i])
-            .filter(|s| s.alive)
-            .map(|s| &s.app)
+        self.arena.get(id)
     }
 
     /// Iterate `(id, application)` over live nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &A)> + '_ {
-        self.live.iter().map(|&i| {
-            let s = &self.slots[i as usize];
-            (s.id, &s.app)
-        })
+        self.arena.nodes()
     }
 
     /// Observer view of the live network.
     pub fn view(&self) -> NodesView<'_, A> {
-        NodesView {
-            slots: &self.slots,
-            live: &self.live,
-        }
+        self.arena.view()
     }
 
     /// Run exactly one tick.
@@ -393,7 +299,7 @@ impl<A: Application> CycleEngine<A> {
         // replaces) — the shuffle therefore consumes the RNG identically.
         let mut order = std::mem::take(&mut self.order_buf);
         order.clear();
-        order.extend_from_slice(&self.live);
+        order.extend_from_slice(&self.arena.live);
         self.kernel_rng.shuffle(&mut order);
 
         let mut outbox = std::mem::take(&mut self.outbox_buf);
@@ -401,11 +307,11 @@ impl<A: Application> CycleEngine<A> {
             let i = i as usize;
             // Nodes crash only in the churn phase before this loop, but a
             // stale order entry would be a logic error — guard in debug.
-            debug_assert!(self.slots[i].alive);
-            let id = self.slots[i].id;
+            debug_assert!(self.arena.slots[i].alive);
+            let id = self.arena.slots[i].id;
             outbox.clear();
             {
-                let slot = &mut self.slots[i];
+                let slot = &mut self.arena.slots[i];
                 let mut ctx = Ctx::new(id, self.now, &mut slot.rng, &mut outbox);
                 slot.app.on_tick(&mut ctx);
             }
@@ -433,11 +339,7 @@ impl<A: Application> CycleEngine<A> {
     ) -> Ticks {
         for t in 0..max_ticks {
             self.tick();
-            let view = NodesView {
-                slots: &self.slots,
-                live: &self.live,
-            };
-            if observer(self.now, &view) == Control::Stop {
+            if observer(self.now, &self.arena.view()) == Control::Stop {
                 return t + 1;
             }
         }
@@ -455,15 +357,14 @@ impl<A: Application> CycleEngine<A> {
         if churn.crash_prob_per_tick > 0.0 {
             let mut snapshot = std::mem::take(&mut self.order_buf);
             snapshot.clear();
-            snapshot.extend_from_slice(&self.live);
+            snapshot.extend_from_slice(&self.arena.live);
             let mut crashed_any = false;
             for &i in &snapshot {
-                if self.alive_count <= churn.min_nodes {
+                if self.arena.alive_count <= churn.min_nodes {
                     break;
                 }
                 if self.kernel_rng.chance(churn.crash_prob_per_tick) {
-                    self.slots[i as usize].alive = false;
-                    self.alive_count -= 1;
+                    self.arena.kill_slot_deferred(i as usize);
                     self.stats.crashes += 1;
                     report.crashes += 1;
                     crashed_any = true;
@@ -471,20 +372,19 @@ impl<A: Application> CycleEngine<A> {
             }
             self.order_buf = snapshot;
             if crashed_any {
-                let slots = &self.slots;
-                self.live.retain(|&i| slots[i as usize].alive);
+                self.arena.retain_live();
             }
         }
         // Joins.
         let joins = churn.sample_joins(&mut self.kernel_rng);
         for _ in 0..joins {
-            if self.alive_count >= churn.max_nodes {
+            if self.arena.alive_count >= churn.max_nodes {
                 break;
             }
             let Some(mut spawner) = self.spawner.take() else {
                 break; // no spawner: churn joins disabled
             };
-            let id = NodeId(self.next_id);
+            let id = self.arena.peek_next_id();
             let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(1, id.raw()));
             let app = spawner(id, &mut node_rng);
             self.spawner = Some(spawner);
@@ -569,12 +469,12 @@ impl<A: Application> CycleEngine<A> {
             report.dropped += 1;
             return;
         }
-        let Some(i) = self.slot_index(to) else {
+        let Some(i) = self.arena.slot_index(to) else {
             self.stats.dead_letter += 1;
             report.dropped += 1;
             return;
         };
-        if !self.slots[i].alive {
+        if !self.arena.slots[i].alive {
             self.stats.dead_letter += 1;
             report.dropped += 1;
             return;
@@ -582,7 +482,7 @@ impl<A: Application> CycleEngine<A> {
         let mut outbox = std::mem::take(&mut self.drain_outbox_buf);
         outbox.clear();
         {
-            let slot = &mut self.slots[i];
+            let slot = &mut self.arena.slots[i];
             let mut ctx = Ctx::new(to, self.now, &mut slot.rng, &mut outbox);
             slot.app.on_message(from, msg, &mut ctx);
         }
@@ -620,30 +520,6 @@ impl<A: Application> CycleEngine<A> {
             *hops += 1;
             self.deliver_one(from, to, msg, queue, report);
         }
-    }
-
-    /// Uniform sample (without replacement) of up to `m` live node ids,
-    /// excluding `except`, into `out` (cleared first).
-    fn sample_alive_into(&mut self, m: usize, except: Option<NodeId>, out: &mut Vec<NodeId>) {
-        out.clear();
-        let mut alive = std::mem::take(&mut self.alive_ids_buf);
-        alive.clear();
-        alive.extend(
-            self.live
-                .iter()
-                .map(|&i| self.slots[i as usize].id)
-                .filter(|&id| Some(id) != except),
-        );
-        if !alive.is_empty() && m > 0 {
-            let m = m.min(alive.len());
-            let mut idx = std::mem::take(&mut self.sample_buf);
-            self.kernel_rng
-                .sample_indices_into(alive.len(), m, &mut idx);
-            out.extend(idx.iter().map(|&i| alive[i]));
-            self.sample_buf = idx;
-        }
-        alive.clear();
-        self.alive_ids_buf = alive;
     }
 }
 

@@ -10,15 +10,39 @@
 //!
 //! Events are totally ordered by `(time, sequence)`; equal-time events
 //! process in insertion order, which keeps runs deterministic.
+//!
+//! ## Hot-path layout
+//!
+//! Node storage is the same dense `SlotArena` the cycle kernel uses: the
+//! id → slot lookup is arithmetic (a bounds compare) instead of the hash
+//! map the first implementation paid on every delivery, and the live list
+//! makes observer iteration and bootstrap sampling O(alive). The event
+//! queue is an indexed timer wheel: a ring of `WHEEL_SLOTS` buckets where
+//! an event `delay < WHEEL_SLOTS` lands in bucket `time % WHEEL_SLOTS` (one
+//! `Vec` push, O(1), allocation-free once bucket capacities have grown),
+//! with a `BinaryHeap` overflow for the rare longer delay — replacing the
+//! per-event O(log n) sift of the original heap-only queue. Ordering is
+//! still exactly `(time, seq)`: buckets hold a single timestamp's events in
+//! insertion (= seq) order, and every overflow event for a timestamp was
+//! necessarily scheduled before — so sequences below — any bucketed event
+//! for it. The per-event outbox is an engine-owned scratch buffer rather
+//! than a fresh `Vec` per callback, and equal-timestamp events dispatch
+//! back-to-back in one batch (the analogue of the cycle kernel's intra-tick
+//! drain): observation boundaries are checked once per distinct timestamp,
+//! which cannot change the trace because new events are always scheduled at
+//! least one time unit in the future.
 
 use crate::app::{Application, Ctx};
 use crate::churn::ChurnConfig;
 use crate::ids::{NodeId, Ticks};
+use crate::slots::SlotArena;
 use crate::transport::Transport;
 use crate::Control;
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+pub use crate::slots::NodesView;
 
 /// Configuration of an [`EventEngine`].
 #[derive(Debug, Clone)]
@@ -92,55 +116,43 @@ impl<M> Ord for Event<M> {
     }
 }
 
-struct Slot<A: Application> {
-    id: NodeId,
-    app: A,
-    rng: Xoshiro256pp,
-    alive: bool,
-}
-
-/// Read-only view over live nodes, handed to observers.
-pub struct NodesView<'a, A: Application> {
-    slots: &'a [Slot<A>],
-    alive: usize,
-}
-
-impl<'a, A: Application> NodesView<'a, A> {
-    /// Iterate `(id, application)` over live nodes in slot order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a A)> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.alive)
-            .map(|s| (s.id, &s.app))
-    }
-
-    /// Number of live nodes.
-    pub fn len(&self) -> usize {
-        self.alive
-    }
-
-    /// True when the network is empty.
-    pub fn is_empty(&self) -> bool {
-        self.alive == 0
-    }
-}
-
 type Spawner<A> = Box<dyn FnMut(NodeId, &mut Xoshiro256pp) -> A>;
+
+/// Number of buckets in the timer wheel (power of two). Delays shorter than
+/// this — every tick timer and all but pathological latency samples — take
+/// the O(1) bucket path; longer delays fall back to the overflow heap.
+const WHEEL_SLOTS: u64 = 512;
+const WHEEL_MASK: u64 = WHEEL_SLOTS - 1;
 
 /// The discrete-event simulation kernel.
 pub struct EventEngine<A: Application> {
     cfg: EventConfig,
-    slots: Vec<Slot<A>>,
-    index: HashMap<NodeId, usize>,
-    alive_count: usize,
-    next_id: u64,
+    arena: SlotArena<A>,
     next_seq: u64,
     kernel_rng: Xoshiro256pp,
     now: Ticks,
-    heap: BinaryHeap<Reverse<Event<A::Message>>>,
+    /// Timer wheel: bucket `t & WHEEL_MASK` holds the pending events for
+    /// time `t` (a bucket can only ever hold one timestamp's events at a
+    /// time, because events for `t + WHEEL_SLOTS` cannot be scheduled until
+    /// after bucket `t` has been drained).
+    wheel: Vec<Vec<Event<A::Message>>>,
+    /// Events scheduled `>= WHEEL_SLOTS` ahead, ordered on `(time, seq)`.
+    overflow: BinaryHeap<Reverse<Event<A::Message>>>,
+    /// Total events in wheel + overflow.
+    pending: usize,
     spawner: Option<Spawner<A>>,
     delivered: u64,
     dropped: u64,
+    // Scratch buffers reused across events to keep dispatch allocation-free.
+    /// Callback outbox reused by `process` (was a fresh `Vec` per event).
+    outbox_buf: Vec<(NodeId, A::Message)>,
+    /// Join-time outbox; separate from `outbox_buf` because churn joins run
+    /// while a churn event is being processed.
+    join_outbox_buf: Vec<(NodeId, A::Message)>,
+    /// Bootstrap-contact scratch reused across `insert` calls.
+    contacts_buf: Vec<NodeId>,
+    /// Live-slot snapshot for the churn crash sweep.
+    churn_buf: Vec<u32>,
 }
 
 impl<A: Application> EventEngine<A> {
@@ -150,17 +162,20 @@ impl<A: Application> EventEngine<A> {
         let kernel_rng = Xoshiro256pp::derive(cfg.seed, StreamId(1, 0));
         let mut engine = EventEngine {
             cfg,
-            slots: Vec::new(),
-            index: HashMap::new(),
-            alive_count: 0,
-            next_id: 0,
+            arena: SlotArena::new(),
             next_seq: 0,
             kernel_rng,
             now: 0,
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            pending: 0,
             spawner: None,
             delivered: 0,
             dropped: 0,
+            outbox_buf: Vec::new(),
+            join_outbox_buf: Vec::new(),
+            contacts_buf: Vec::new(),
+            churn_buf: Vec::new(),
         };
         if !engine.cfg.churn.is_static() {
             let period = engine.cfg.tick_period;
@@ -177,7 +192,7 @@ impl<A: Application> EventEngine<A> {
     /// Add `n` nodes via the spawner.
     pub fn populate(&mut self, n: usize) {
         for _ in 0..n {
-            let id = NodeId(self.next_id);
+            let id = self.arena.peek_next_id();
             let mut spawner = self.spawner.take().expect("populate requires a spawner");
             let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(3, id.raw()));
             let app = spawner(id, &mut node_rng);
@@ -188,27 +203,27 @@ impl<A: Application> EventEngine<A> {
 
     /// Add one node; runs `on_join` now and schedules its tick timer.
     pub fn insert(&mut self, app: A) -> NodeId {
-        let id = NodeId(self.next_id);
-        self.next_id += 1;
+        let id = self.arena.peek_next_id();
         let rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(2, id.raw()));
-        let contacts = self.sample_alive(self.cfg.bootstrap_sample, Some(id));
-        let slot_idx = self.slots.len();
-        self.slots.push(Slot {
-            id,
-            app,
-            rng,
-            alive: true,
-        });
-        self.index.insert(id, slot_idx);
-        self.alive_count += 1;
+        let mut contacts = std::mem::take(&mut self.contacts_buf);
+        self.arena.sample_alive_into(
+            &mut self.kernel_rng,
+            self.cfg.bootstrap_sample,
+            Some(id),
+            &mut contacts,
+        );
+        let (id, slot_idx) = self.arena.insert(app, rng);
 
-        let mut outbox = Vec::new();
+        let mut outbox = std::mem::take(&mut self.join_outbox_buf);
+        outbox.clear();
         {
-            let slot = &mut self.slots[slot_idx];
+            let slot = &mut self.arena.slots[slot_idx];
             let mut ctx = Ctx::new(id, self.now, &mut slot.rng, &mut outbox);
             slot.app.on_join(&contacts, &mut ctx);
         }
-        self.route(id, outbox);
+        self.route(id, &mut outbox);
+        self.join_outbox_buf = outbox;
+        self.contacts_buf = contacts;
 
         let phase = if self.cfg.jitter_phase {
             self.kernel_rng.below(self.cfg.tick_period)
@@ -222,14 +237,7 @@ impl<A: Application> EventEngine<A> {
     /// Crash a node immediately. In-flight messages to it will be dropped
     /// at delivery time.
     pub fn crash(&mut self, id: NodeId) -> bool {
-        match self.index.get(&id) {
-            Some(&i) if self.slots[i].alive => {
-                self.slots[i].alive = false;
-                self.alive_count -= 1;
-                true
-            }
-            _ => false,
-        }
+        self.arena.kill(id)
     }
 
     /// Current simulated time.
@@ -239,7 +247,7 @@ impl<A: Application> EventEngine<A> {
 
     /// Number of live nodes.
     pub fn alive_count(&self) -> usize {
-        self.alive_count
+        self.arena.alive_count
     }
 
     /// Messages delivered so far.
@@ -254,19 +262,17 @@ impl<A: Application> EventEngine<A> {
 
     /// Read a live node's application state.
     pub fn node(&self, id: NodeId) -> Option<&A> {
-        self.index
-            .get(&id)
-            .map(|&i| &self.slots[i])
-            .filter(|s| s.alive)
-            .map(|s| &s.app)
+        self.arena.get(id)
     }
 
     /// Iterate `(id, application)` over live nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &A)> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.alive)
-            .map(|s| (s.id, &s.app))
+        self.arena.nodes()
+    }
+
+    /// Observer view of the live network.
+    pub fn view(&self) -> NodesView<'_, A> {
+        self.arena.view()
     }
 
     /// Run until `max_time`, invoking `observer` every `observe_every` time
@@ -279,37 +285,55 @@ impl<A: Application> EventEngine<A> {
     ) -> Ticks {
         assert!(observe_every > 0);
         let mut next_observe = self.now + observe_every;
-        while let Some(Reverse(head)) = self.heap.peek() {
-            let next_time = head.time;
-            if next_time > max_time {
+        while let Some(batch_time) = self.next_event_time() {
+            if batch_time > max_time {
                 break;
             }
             // Fire observation boundaries that strictly precede the next
             // event; a boundary coinciding with events is observed after
             // all of them have been processed.
-            while next_observe < next_time {
+            while next_observe < batch_time {
                 self.now = next_observe;
-                let view = NodesView {
-                    slots: &self.slots,
-                    alive: self.alive_count,
-                };
-                if observer(self.now, &view) == Control::Stop {
+                if observer(self.now, &self.arena.view()) == Control::Stop {
                     return self.now;
                 }
                 next_observe += observe_every;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked event vanished");
-            self.now = ev.time;
-            self.process(ev.kind);
+            // Direct same-timestamp dispatch: drain every event scheduled
+            // for `batch_time` back-to-back in seq (FIFO) order — the
+            // event-kernel analogue of the cycle kernel's intra-tick drain.
+            // New events land at least one unit later, so the batch cannot
+            // grow under us and no boundary can fall inside it. Overflow
+            // events first: they were scheduled >= WHEEL_SLOTS before this
+            // timestamp, so their sequence numbers all precede any bucketed
+            // event's.
+            self.now = batch_time;
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if head.time != batch_time {
+                    break;
+                }
+                let Reverse(ev) = self.overflow.pop().expect("peeked event vanished");
+                self.pending -= 1;
+                self.process(ev.kind);
+            }
+            let bucket = (batch_time & WHEEL_MASK) as usize;
+            let mut batch = std::mem::take(&mut self.wheel[bucket]);
+            for ev in batch.drain(..) {
+                debug_assert_eq!(ev.time, batch_time);
+                self.pending -= 1;
+                self.process(ev.kind);
+            }
+            // Nothing can have landed in this bucket meanwhile (that would
+            // need a delay that is a positive multiple of WHEEL_SLOTS,
+            // which goes to the overflow heap) — swap the grown buffer
+            // back so its capacity is reused.
+            debug_assert!(self.wheel[bucket].is_empty());
+            std::mem::swap(&mut self.wheel[bucket], &mut batch);
         }
         // Trailing observations up to max_time.
         while next_observe <= max_time {
             self.now = next_observe;
-            let view = NodesView {
-                slots: &self.slots,
-                alive: self.alive_count,
-            };
-            if observer(self.now, &view) == Control::Stop {
+            if observer(self.now, &self.arena.view()) == Control::Stop {
                 return self.now;
             }
             next_observe += observe_every;
@@ -323,52 +347,88 @@ impl<A: Application> EventEngine<A> {
         self.run_until(max_time, max_time.max(1), |_, _| Control::Continue);
     }
 
+    /// Earliest pending event time, if any: the first non-empty wheel
+    /// bucket within the horizon, min'd with the overflow head.
+    fn next_event_time(&self) -> Option<Ticks> {
+        if self.pending == 0 {
+            return None;
+        }
+        let overflow_head = self.overflow.peek().map(|Reverse(e)| e.time);
+        let scan_to = overflow_head
+            .map(|t| (t - self.now).min(WHEEL_SLOTS))
+            .unwrap_or(WHEEL_SLOTS);
+        for d in 1..scan_to {
+            let t = self.now + d;
+            if !self.wheel[(t & WHEEL_MASK) as usize].is_empty() {
+                return Some(t);
+            }
+        }
+        debug_assert!(
+            overflow_head.is_some(),
+            "pending events must be within the wheel horizon or in overflow"
+        );
+        overflow_head
+    }
+
     fn schedule(&mut self, delay: Ticks, kind: EventKind<A::Message>) {
+        // Every internal caller already guarantees delay >= 1 (timer phases
+        // are `phase + 1`, transport latencies are `.max(1)`, churn uses
+        // the positive tick period), and the wheel's single-timestamp-per-
+        // bucket invariant depends on it — clamp so a future delay-0
+        // caller cannot silently corrupt the queue.
+        let delay = delay.max(1);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Event {
-            time: self.now + delay,
-            seq,
-            kind,
-        }));
+        let time = self.now + delay;
+        let ev = Event { time, seq, kind };
+        if delay < WHEEL_SLOTS {
+            self.wheel[(time & WHEEL_MASK) as usize].push(ev);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+        self.pending += 1;
     }
 
     fn process(&mut self, kind: EventKind<A::Message>) {
         match kind {
             EventKind::Tick { node } => {
-                let Some(&i) = self.index.get(&node) else {
+                let Some(i) = self.arena.slot_index(node) else {
                     return;
                 };
-                if !self.slots[i].alive {
+                if !self.arena.slots[i].alive {
                     return; // timer of a crashed node: lapse silently
                 }
-                let mut outbox = Vec::new();
+                let mut outbox = std::mem::take(&mut self.outbox_buf);
+                outbox.clear();
                 {
-                    let slot = &mut self.slots[i];
+                    let slot = &mut self.arena.slots[i];
                     let mut ctx = Ctx::new(node, self.now, &mut slot.rng, &mut outbox);
                     slot.app.on_tick(&mut ctx);
                 }
-                self.route(node, outbox);
+                self.route(node, &mut outbox);
+                self.outbox_buf = outbox;
                 let period = self.cfg.tick_period;
                 self.schedule(period, EventKind::Tick { node });
             }
             EventKind::Deliver { from, to, msg } => {
-                let Some(&i) = self.index.get(&to) else {
+                let Some(i) = self.arena.slot_index(to) else {
                     self.dropped += 1;
                     return;
                 };
-                if !self.slots[i].alive {
+                if !self.arena.slots[i].alive {
                     self.dropped += 1;
                     return;
                 }
-                let mut outbox = Vec::new();
+                let mut outbox = std::mem::take(&mut self.outbox_buf);
+                outbox.clear();
                 {
-                    let slot = &mut self.slots[i];
+                    let slot = &mut self.arena.slots[i];
                     let mut ctx = Ctx::new(to, self.now, &mut slot.rng, &mut outbox);
                     slot.app.on_message(from, msg, &mut ctx);
                 }
                 self.delivered += 1;
-                self.route(to, outbox);
+                self.route(to, &mut outbox);
+                self.outbox_buf = outbox;
             }
             EventKind::Churn => {
                 self.churn_step();
@@ -378,8 +438,8 @@ impl<A: Application> EventEngine<A> {
         }
     }
 
-    fn route(&mut self, from: NodeId, outbox: Vec<(NodeId, A::Message)>) {
-        for (to, msg) in outbox {
+    fn route(&mut self, from: NodeId, outbox: &mut Vec<(NodeId, A::Message)>) {
+        for (to, msg) in outbox.drain(..) {
             if self.cfg.transport.drops(&mut self.kernel_rng) {
                 self.dropped += 1;
                 continue;
@@ -396,47 +456,40 @@ impl<A: Application> EventEngine<A> {
 
     fn churn_step(&mut self) {
         let churn = self.cfg.churn;
+        // Crashes: walk a snapshot of the live list (ascending slot index —
+        // the same visit order, hence the same RNG draws, as scanning every
+        // slot and skipping dead ones).
         if churn.crash_prob_per_tick > 0.0 {
-            for i in 0..self.slots.len() {
-                if self.alive_count <= churn.min_nodes {
+            let mut snapshot = std::mem::take(&mut self.churn_buf);
+            snapshot.clear();
+            snapshot.extend_from_slice(&self.arena.live);
+            let mut crashed_any = false;
+            for &i in &snapshot {
+                if self.arena.alive_count <= churn.min_nodes {
                     break;
                 }
-                if self.slots[i].alive && self.kernel_rng.chance(churn.crash_prob_per_tick) {
-                    self.slots[i].alive = false;
-                    self.alive_count -= 1;
+                if self.kernel_rng.chance(churn.crash_prob_per_tick) {
+                    self.arena.kill_slot_deferred(i as usize);
+                    crashed_any = true;
                 }
+            }
+            self.churn_buf = snapshot;
+            if crashed_any {
+                self.arena.retain_live();
             }
         }
         let joins = churn.sample_joins(&mut self.kernel_rng);
         for _ in 0..joins {
-            if self.alive_count >= churn.max_nodes || self.spawner.is_none() {
+            if self.arena.alive_count >= churn.max_nodes || self.spawner.is_none() {
                 break;
             }
             let mut spawner = self.spawner.take().expect("checked above");
-            let id = NodeId(self.next_id);
+            let id = self.arena.peek_next_id();
             let mut node_rng = Xoshiro256pp::derive(self.cfg.seed, StreamId::node(3, id.raw()));
             let app = spawner(id, &mut node_rng);
             self.spawner = Some(spawner);
             self.insert(app);
         }
-    }
-
-    fn sample_alive(&mut self, m: usize, except: Option<NodeId>) -> Vec<NodeId> {
-        let alive: Vec<NodeId> = self
-            .slots
-            .iter()
-            .filter(|s| s.alive && Some(s.id) != except)
-            .map(|s| s.id)
-            .collect();
-        if alive.is_empty() || m == 0 {
-            return Vec::new();
-        }
-        let m = m.min(alive.len());
-        self.kernel_rng
-            .sample_indices(alive.len(), m)
-            .into_iter()
-            .map(|i| alive[i])
-            .collect()
     }
 }
 
@@ -614,7 +667,7 @@ mod tests {
         e.populate(20);
         e.run(2000);
         assert!(e.alive_count() >= 2 && e.alive_count() <= 50);
-        assert!(e.slots.len() > 20, "some joins should have happened");
+        assert!(e.arena.slots.len() > 20, "some joins should have happened");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod churn;
 pub mod cycle;
 pub mod event;
 pub mod ids;
+mod slots;
 pub mod transport;
 
 pub use app::{Application, Ctx};
@@ -39,6 +40,7 @@ pub use churn::ChurnConfig;
 pub use cycle::{CycleConfig, CycleEngine, StepReport};
 pub use event::{EventConfig, EventEngine};
 pub use ids::{NodeId, Ticks};
+pub use slots::NodesView;
 pub use transport::{Latency, Transport};
 
 /// Observer verdict: keep simulating or stop at this observation point.

@@ -1,0 +1,312 @@
+//! Dense slot storage shared by both kernels.
+//!
+//! Both engines allocate `NodeId`s sequentially and never remove a slot, so
+//! the id → slot lookup is pure arithmetic (a bounds compare) instead of a
+//! hash-map probe, and the set of live nodes is an incrementally maintained
+//! sorted list of slot indices — iterating it is O(alive) and equals
+//! filtering every slot ever allocated by liveness, so visit order (and
+//! therefore RNG draw order) is identical to the re-filtering
+//! implementations it replaced. The arena also owns the scratch buffers for
+//! live-id sampling, keeping `sample_alive_into` allocation-free in steady
+//! state.
+
+use crate::ids::NodeId;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+
+/// One node's kernel-side record: identity, protocol state, private RNG
+/// stream and liveness flag. Slots are append-only; crashes only clear
+/// `alive`.
+pub(crate) struct Slot<A> {
+    pub(crate) id: NodeId,
+    pub(crate) app: A,
+    pub(crate) rng: Xoshiro256pp,
+    pub(crate) alive: bool,
+}
+
+/// Read-only view over live nodes, handed to observers by both kernels.
+pub struct NodesView<'a, A> {
+    pub(crate) slots: &'a [Slot<A>],
+    pub(crate) live: &'a [u32],
+}
+
+impl<'a, A> NodesView<'a, A> {
+    /// Iterate `(id, application)` over live nodes in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a A)> + '_ {
+        let slots = self.slots;
+        self.live.iter().map(move |&i| {
+            let s = &slots[i as usize];
+            (s.id, &s.app)
+        })
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+/// Append-only slot arena with a dense id map and sorted live list.
+pub(crate) struct SlotArena<A> {
+    pub(crate) slots: Vec<Slot<A>>,
+    /// Dense slot map: `slot_of[id.raw()]` is the slot index for `id`.
+    /// Redundant with the identity mapping today (checked in debug builds);
+    /// kept so a future slot compaction only has to swap `slot_index`.
+    pub(crate) slot_of: Vec<u32>,
+    /// Slot indices of live nodes, kept sorted ascending (insertions only
+    /// ever append because new ids take the highest slot index; crashes
+    /// remove in place).
+    pub(crate) live: Vec<u32>,
+    pub(crate) alive_count: usize,
+    pub(crate) next_id: u64,
+    /// Live-id scratch for `sample_alive_into` / bulk-crash helpers.
+    alive_ids_buf: Vec<NodeId>,
+    /// Index scratch for `Rng64::sample_indices_into`.
+    sample_buf: Vec<usize>,
+}
+
+impl<A> SlotArena<A> {
+    pub(crate) fn new() -> Self {
+        SlotArena {
+            slots: Vec::new(),
+            slot_of: Vec::new(),
+            live: Vec::new(),
+            alive_count: 0,
+            next_id: 0,
+            alive_ids_buf: Vec::new(),
+            sample_buf: Vec::new(),
+        }
+    }
+
+    /// Slot index for `id`, if the id was ever allocated.
+    #[inline]
+    pub(crate) fn slot_index(&self, id: NodeId) -> Option<usize> {
+        let i = id.raw() as usize;
+        if i < self.slots.len() {
+            debug_assert_eq!(self.slot_of[i] as usize, i);
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Reserve the next sequential id without inserting (callers derive the
+    /// node's RNG streams from the id before constructing the app).
+    #[inline]
+    pub(crate) fn peek_next_id(&self) -> NodeId {
+        NodeId(self.next_id)
+    }
+
+    /// Append a live slot for `app`; returns `(id, slot index)`.
+    pub(crate) fn insert(&mut self, app: A, rng: Xoshiro256pp) -> (NodeId, usize) {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let slot_idx = self.slots.len();
+        debug_assert_eq!(slot_idx as u64, id.raw(), "ids are slot-sequential");
+        self.slots.push(Slot {
+            id,
+            app,
+            rng,
+            alive: true,
+        });
+        self.slot_of.push(slot_idx as u32);
+        // New slots take the largest index, so appending keeps `live` sorted.
+        self.live.push(slot_idx as u32);
+        self.alive_count += 1;
+        (id, slot_idx)
+    }
+
+    /// Crash `id`. Returns `false` if it was already dead or unknown.
+    pub(crate) fn kill(&mut self, id: NodeId) -> bool {
+        match self.slot_index(id) {
+            Some(i) if self.slots[i].alive => {
+                self.slots[i].alive = false;
+                self.alive_count -= 1;
+                if let Ok(pos) = self.live.binary_search(&(i as u32)) {
+                    self.live.remove(pos);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Mark slot `i` dead without touching the live list (bulk-crash path;
+    /// follow with [`SlotArena::retain_live`]).
+    #[inline]
+    pub(crate) fn kill_slot_deferred(&mut self, i: usize) {
+        debug_assert!(self.slots[i].alive);
+        self.slots[i].alive = false;
+        self.alive_count -= 1;
+    }
+
+    /// Re-filter the live list after deferred kills.
+    pub(crate) fn retain_live(&mut self) {
+        let slots = &self.slots;
+        self.live.retain(|&i| slots[i as usize].alive);
+    }
+
+    /// Read a live node's application state.
+    pub(crate) fn get(&self, id: NodeId) -> Option<&A> {
+        self.slot_index(id)
+            .map(|i| &self.slots[i])
+            .filter(|s| s.alive)
+            .map(|s| &s.app)
+    }
+
+    /// Iterate `(id, application)` over live nodes in slot order.
+    pub(crate) fn nodes(&self) -> impl Iterator<Item = (NodeId, &A)> + '_ {
+        self.live.iter().map(|&i| {
+            let s = &self.slots[i as usize];
+            (s.id, &s.app)
+        })
+    }
+
+    /// Observer view of the live network.
+    pub(crate) fn view(&self) -> NodesView<'_, A> {
+        NodesView {
+            slots: &self.slots,
+            live: &self.live,
+        }
+    }
+
+    /// Uniform sample (without replacement) of up to `m` live node ids,
+    /// excluding `except`, into `out` (cleared first). Draws from `rng`
+    /// exactly as the allocating implementation did: no draws when the
+    /// candidate set is empty or `m == 0`.
+    pub(crate) fn sample_alive_into(
+        &mut self,
+        rng: &mut Xoshiro256pp,
+        m: usize,
+        except: Option<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        if m == 0 {
+            // No draws and no output either way; skip the O(alive)
+            // candidate build so `bootstrap_sample = 0` runs (100k-node
+            // scale scenarios with explicit topologies) insert in O(1).
+            return;
+        }
+        let mut alive = std::mem::take(&mut self.alive_ids_buf);
+        alive.clear();
+        alive.extend(
+            self.live
+                .iter()
+                .map(|&i| self.slots[i as usize].id)
+                .filter(|&id| Some(id) != except),
+        );
+        if !alive.is_empty() && m > 0 {
+            let m = m.min(alive.len());
+            let mut idx = std::mem::take(&mut self.sample_buf);
+            rng.sample_indices_into(alive.len(), m, &mut idx);
+            out.extend(idx.iter().map(|&i| alive[i]));
+            self.sample_buf = idx;
+        }
+        alive.clear();
+        self.alive_ids_buf = alive;
+    }
+
+    /// Borrow the live-id scratch (cleared) for callers that need a
+    /// temporary id list; return it with [`SlotArena::return_id_scratch`].
+    pub(crate) fn take_id_scratch(&mut self) -> Vec<NodeId> {
+        let mut buf = std::mem::take(&mut self.alive_ids_buf);
+        buf.clear();
+        buf
+    }
+
+    /// Give back the scratch taken with [`SlotArena::take_id_scratch`].
+    pub(crate) fn return_id_scratch(&mut self, buf: Vec<NodeId>) {
+        self.alive_ids_buf = buf;
+    }
+
+    /// Borrow the index scratch for `sample_indices_into`; return it with
+    /// [`SlotArena::return_index_scratch`].
+    pub(crate) fn take_index_scratch(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.sample_buf)
+    }
+
+    /// Give back the scratch taken with [`SlotArena::take_index_scratch`].
+    pub(crate) fn return_index_scratch(&mut self, buf: Vec<usize>) {
+        self.sample_buf = buf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossipopt_util::Xoshiro256pp;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seeded(7)
+    }
+
+    #[test]
+    fn sequential_ids_and_arithmetic_lookup() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        for v in 0..5u32 {
+            let (id, slot) = a.insert(v, rng());
+            assert_eq!(id.raw() as usize, slot);
+        }
+        assert_eq!(a.slot_index(NodeId(3)), Some(3));
+        assert_eq!(a.slot_index(NodeId(5)), None);
+        assert_eq!(a.get(NodeId(4)), Some(&4));
+    }
+
+    #[test]
+    fn kill_maintains_sorted_live_list() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        for v in 0..6u32 {
+            a.insert(v, rng());
+        }
+        assert!(a.kill(NodeId(2)));
+        assert!(!a.kill(NodeId(2)), "double kill is a no-op");
+        assert!(!a.kill(NodeId(99)));
+        assert_eq!(a.alive_count, 5);
+        assert_eq!(a.live, vec![0, 1, 3, 4, 5]);
+        assert!(a.get(NodeId(2)).is_none());
+        let ids: Vec<u64> = a.nodes().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deferred_kills_then_retain() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        for v in 0..4u32 {
+            a.insert(v, rng());
+        }
+        a.kill_slot_deferred(1);
+        a.kill_slot_deferred(3);
+        a.retain_live();
+        assert_eq!(a.live, vec![0, 2]);
+        assert_eq!(a.alive_count, 2);
+        assert_eq!(a.view().len(), 2);
+    }
+
+    #[test]
+    fn sampling_excludes_and_is_deterministic() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        for v in 0..10u32 {
+            a.insert(v, rng());
+        }
+        let mut out = Vec::new();
+        let mut r1 = Xoshiro256pp::seeded(1);
+        a.sample_alive_into(&mut r1, 4, Some(NodeId(0)), &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(!out.contains(&NodeId(0)));
+        let first = out.clone();
+        let mut r2 = Xoshiro256pp::seeded(1);
+        a.sample_alive_into(&mut r2, 4, Some(NodeId(0)), &mut out);
+        assert_eq!(out, first, "same seed, same sample");
+        // Empty candidate set: no draws, empty result.
+        let mut empty: SlotArena<u32> = SlotArena::new();
+        let before = r2.clone();
+        empty.sample_alive_into(&mut r2, 4, None, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(r2, before, "no RNG draws on the empty path");
+    }
+}

@@ -7,7 +7,10 @@
 
 use gossipopt::core::prelude::*;
 use gossipopt::functions::{by_name, Objective};
-use gossipopt::sim::{Application, ChurnConfig, Ctx, CycleConfig, CycleEngine, NodeId, Transport};
+use gossipopt::sim::{
+    Application, ChurnConfig, Ctx, CycleConfig, CycleEngine, EventConfig, EventEngine, Latency,
+    NodeId, Transport,
+};
 use gossipopt::solvers::pso::Influence;
 use gossipopt::solvers::{BoundPolicy, PsoParams, Solver, Swarm, Topology};
 use gossipopt::util::{Rng64, Xoshiro256pp};
@@ -133,6 +136,38 @@ fn kernel_fingerprint(label: &str, mut cfg: CycleConfig, churn: bool, ticks: u64
     println!("kernel {label}: {:016x}", h.0);
 }
 
+fn event_fingerprint(label: &str, mut cfg: EventConfig, churn: bool, until: u64) {
+    if churn {
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.02,
+            joins_per_tick: 0.5,
+            min_nodes: 2,
+            max_nodes: 96,
+        };
+    }
+    let mut e: EventEngine<Probe> = EventEngine::new(cfg);
+    e.set_spawner(|_, rng| Probe {
+        buddy: None,
+        acc: rng.next_u64(),
+        ticks: 0,
+    });
+    e.populate(32);
+    e.run(until / 2);
+    e.crash(NodeId(1));
+    e.crash(NodeId(5));
+    e.run(until);
+    let mut h = Fnv::new();
+    for (id, app) in e.nodes() {
+        h.push(id.raw());
+        h.push(app.acc);
+        h.push(app.ticks);
+    }
+    for w in [e.delivered(), e.dropped(), e.alive_count() as u64, e.now()] {
+        h.push(w);
+    }
+    println!("event {label}: {:016x}", h.0);
+}
+
 fn distributed_fingerprint(label: &str, spec: &DistributedPsoSpec, function: &str, seed: u64) {
     let r = run_distributed_pso(spec, function, Budget::PerNode(120), seed).expect("runs");
     println!(
@@ -216,6 +251,44 @@ fn main() {
         },
         true,
         80,
+    );
+
+    event_fingerprint("reliable", EventConfig::seeded(41), false, 400);
+    event_fingerprint(
+        "lossy-uniform",
+        {
+            let mut c = EventConfig::seeded(42);
+            c.transport = Transport {
+                loss_prob: 0.25,
+                latency: Latency::Uniform(1, 15),
+            };
+            c
+        },
+        false,
+        400,
+    );
+    event_fingerprint(
+        "exponential-churny",
+        {
+            let mut c = EventConfig::seeded(43);
+            c.transport = Transport {
+                loss_prob: 0.05,
+                latency: Latency::Exponential(8.0),
+            };
+            c
+        },
+        true,
+        400,
+    );
+    event_fingerprint(
+        "no-jitter",
+        {
+            let mut c = EventConfig::seeded(44);
+            c.jitter_phase = false;
+            c
+        },
+        false,
+        400,
     );
 
     let base = DistributedPsoSpec {

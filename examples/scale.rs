@@ -1,0 +1,279 @@
+//! 100k-node scale scenarios: max-aggregation gossip over explicit
+//! topologies, driven by both kernels.
+//!
+//! Every node starts with a private value and, once per tick, pushes the
+//! largest value it has seen to one neighbor of a fixed overlay (ring
+//! lattice, random k-out-regular, or a two-level hierarchy). The run
+//! converges when every live node knows the global maximum — the classic
+//! epidemic-spreading workload, here used to measure the kernels
+//! themselves: node-events/s, messages/s, and the convergence-vs-
+//! communication tradeoff (Nedić et al. 2018) across topologies.
+//!
+//! ```text
+//! cargo run --release --example scale -- \
+//!     --nodes 100000 --topology hier --kernel both --ticks 60
+//! ```
+//!
+//! Options: `--nodes N` (default 2000), `--degree K` (default 4),
+//! `--topology ring|kregular|hier|all`, `--kernel cycle|event|both`,
+//! `--ticks T` (default 60), `--seed S`, `--curve` (print the per-tick
+//! convergence/communication curve).
+
+use gossipopt::gossip::graph::{k_out_regular, ring_lattice, two_level_hierarchy};
+use gossipopt::sim::{
+    Application, Control, Ctx, CycleConfig, CycleEngine, EventConfig, EventEngine, NodeId,
+};
+use gossipopt::util::{Rng64, Xoshiro256pp};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Max-propagation gossip over a fixed neighbor list.
+struct MaxGossip {
+    neighbors: Arc<Vec<Vec<usize>>>,
+    me: usize,
+    best: u64,
+}
+
+impl Application for MaxGossip {
+    type Message = u64;
+
+    fn on_join(&mut self, _contacts: &[NodeId], _ctx: &mut Ctx<'_, u64>) {}
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let nbrs = &self.neighbors[self.me];
+        if nbrs.is_empty() {
+            return;
+        }
+        let pick = nbrs[ctx.rng().index(nbrs.len())];
+        ctx.send(NodeId(pick as u64), self.best);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        // Push-pull: adopt a newer value, answer a stale one — without the
+        // pull half, nodes with in-degree 0 in a directed overlay (≈ e^-k
+        // of a random k-out graph) could never learn the maximum.
+        if msg > self.best {
+            self.best = msg;
+        } else if msg < self.best {
+            ctx.send(from, self.best);
+        }
+    }
+}
+
+struct RunOutcome {
+    converged_at: Option<u64>,
+    delivered: u64,
+    events: u64,
+    wall_secs: f64,
+}
+
+struct Args {
+    nodes: usize,
+    degree: usize,
+    topology: String,
+    kernel: String,
+    ticks: u64,
+    seed: u64,
+    curve: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: 2000,
+        degree: 4,
+        topology: "all".into(),
+        kernel: "both".into(),
+        ticks: 60,
+        seed: 1,
+        curve: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes").parse().expect("--nodes"),
+            "--degree" => args.degree = value("--degree").parse().expect("--degree"),
+            "--topology" => args.topology = value("--topology"),
+            "--kernel" => args.kernel = value("--kernel"),
+            "--ticks" => args.ticks = value("--ticks").parse().expect("--ticks"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--curve" => args.curve = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn build_topology(name: &str, n: usize, degree: usize, seed: u64) -> Vec<Vec<usize>> {
+    match name {
+        "ring" => ring_lattice(n, degree),
+        "kregular" => {
+            let mut rng = Xoshiro256pp::seeded(seed ^ 0x7019);
+            k_out_regular(n, degree, &mut rng)
+        }
+        "hier" => {
+            // Near-square split: clusters ~ sqrt(n), heads form their own
+            // lattice — the two-level shape of Shin et al. (2020).
+            let clusters = (n as f64).sqrt().round() as usize;
+            let clusters = clusters.clamp(1, n);
+            let cluster_size = n.div_ceil(clusters);
+            let intra = degree.min(cluster_size.saturating_sub(1));
+            // Heads are few and long-lived aggregation points; give the
+            // hub ring ~sqrt(clusters) degree so its diameter stays small.
+            let hub = ((clusters as f64).sqrt().ceil() as usize)
+                .max(degree)
+                .min(clusters.saturating_sub(1));
+            two_level_hierarchy(clusters, cluster_size, intra, hub)
+        }
+        other => panic!("unknown topology {other} (ring|kregular|hier)"),
+    }
+}
+
+/// Private per-node starting values; the global max lives at one node.
+fn initial_value(seed: u64, i: usize) -> u64 {
+    // Cheap splitmix-style hash: deterministic, value-diverse.
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z.wrapping_mul(0x94D049BB133111EB)
+}
+
+fn spawn(
+    neighbors: &Arc<Vec<Vec<usize>>>,
+    seed: u64,
+) -> impl FnMut(NodeId, &mut Xoshiro256pp) -> MaxGossip + 'static {
+    let neighbors = Arc::clone(neighbors);
+    move |id: NodeId, _rng: &mut Xoshiro256pp| {
+        let me = id.raw() as usize;
+        MaxGossip {
+            neighbors: Arc::clone(&neighbors),
+            me,
+            best: initial_value(seed, me),
+        }
+    }
+}
+
+fn run_cycle(
+    adj: &Arc<Vec<Vec<usize>>>,
+    args: &Args,
+    curve: &mut Vec<(u64, f64, u64)>,
+) -> RunOutcome {
+    let n = adj.len();
+    let mut cfg = CycleConfig::seeded(args.seed);
+    cfg.bootstrap_sample = 0; // topology is explicit; skip bootstrap work
+    let mut e: CycleEngine<MaxGossip> = CycleEngine::new(cfg);
+    e.set_spawner(spawn(adj, args.seed));
+    e.populate(n);
+    let target = (0..n).map(|i| initial_value(args.seed, i)).max().unwrap();
+    let start = Instant::now();
+    let mut converged_at = None;
+    e.run_until(args.ticks, |t, view| {
+        let know = view.iter().filter(|(_, a)| a.best == target).count();
+        curve.push((t, know as f64 / n as f64, 0));
+        if know == n {
+            converged_at = Some(t);
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let s = e.stats();
+    RunOutcome {
+        converged_at,
+        delivered: s.delivered,
+        events: e.now() * n as u64,
+        wall_secs: wall,
+    }
+}
+
+fn run_event(
+    adj: &Arc<Vec<Vec<usize>>>,
+    args: &Args,
+    curve: &mut Vec<(u64, f64, u64)>,
+) -> RunOutcome {
+    let n = adj.len();
+    let mut cfg = EventConfig::seeded(args.seed);
+    cfg.bootstrap_sample = 0;
+    cfg.tick_period = 10;
+    let period = cfg.tick_period;
+    let mut e: EventEngine<MaxGossip> = EventEngine::new(cfg);
+    e.set_spawner(spawn(adj, args.seed));
+    e.populate(n);
+    let target = (0..n).map(|i| initial_value(args.seed, i)).max().unwrap();
+    let start = Instant::now();
+    let mut converged_at = None;
+    e.run_until(args.ticks * period, period, |t, view| {
+        let know = view.iter().filter(|(_, a)| a.best == target).count();
+        curve.push((t / period, know as f64 / n as f64, 0));
+        if know == n {
+            converged_at = Some(t / period);
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    RunOutcome {
+        converged_at,
+        delivered: e.delivered(),
+        events: e.now() / period * n as u64,
+        wall_secs: wall,
+    }
+}
+
+fn report(
+    kernel: &str,
+    topology: &str,
+    n: usize,
+    out: &RunOutcome,
+    curve: &[(u64, f64, u64)],
+    show_curve: bool,
+) {
+    let conv = out
+        .converged_at
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "none".into());
+    println!(
+        "scale kernel={kernel} topology={topology} nodes={n} converged_tick={conv} \
+         delivered={} node_events_per_sec={:.3e} msgs_per_sec={:.3e} wall_s={:.3}",
+        out.delivered,
+        out.events as f64 / out.wall_secs,
+        out.delivered as f64 / out.wall_secs,
+        out.wall_secs
+    );
+    if show_curve {
+        for (t, frac, _) in curve {
+            println!("curve kernel={kernel} topology={topology} tick={t} converged_frac={frac:.4}");
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let topologies: Vec<&str> = match args.topology.as_str() {
+        "all" => vec!["ring", "kregular", "hier"],
+        one => vec![one],
+    };
+    let kernels: Vec<&str> = match args.kernel.as_str() {
+        "both" => vec!["cycle", "event"],
+        one => vec![one],
+    };
+    for topology in &topologies {
+        let adj = Arc::new(build_topology(topology, args.nodes, args.degree, args.seed));
+        for kernel in &kernels {
+            let mut curve = Vec::new();
+            let out = match *kernel {
+                "cycle" => run_cycle(&adj, &args, &mut curve),
+                "event" => run_event(&adj, &args, &mut curve),
+                other => panic!("unknown kernel {other} (cycle|event)"),
+            };
+            report(kernel, topology, args.nodes, &out, &curve, args.curve);
+        }
+    }
+}

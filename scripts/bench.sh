@@ -1,24 +1,39 @@
 #!/usr/bin/env bash
-# Run the kernel + solvers criterion benches and refresh the
-# BENCH_kernel.json baseline.
+# Run the kernel + solvers criterion benches and refresh (or check against)
+# the BENCH_kernel.json baseline.
 #
-# Usage: scripts/bench.sh [rounds]
+# Usage:
+#   scripts/bench.sh [rounds]     refresh the baseline (default 5 rounds)
+#   scripts/bench.sh --check      run 1 reduced-sample round and compare
+#                                 against the committed baseline; fail on
+#                                 any benchmark slower than NOISE_FACTOR
+#                                 (default 3x) — the gross-regression gate
+#                                 CI's bench-regression job runs
 #
-# Each round runs both bench binaries once with JSON capture; the baseline
-# records, per benchmark, the best (min) and median ns/iter across rounds —
-# min is the robust estimator on noisy shared machines. If BENCH_kernel.json
-# already exists, its "after" numbers are carried over as the new "before"
-# so successive runs track regressions; otherwise only current numbers are
-# written.
+# Refresh mode: each round runs both bench binaries once with JSON capture;
+# the baseline records, per benchmark, the best (min) and median ns/iter
+# across rounds — min is the robust estimator on noisy shared machines. If
+# BENCH_kernel.json already exists, its "after" numbers are carried over as
+# the new "before" so successive runs track regressions; otherwise only
+# current numbers are written.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ROUNDS="${1:-5}"
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+    CHECK=1
+    ROUNDS=1
+    export CRITERION_SAMPLES="${CRITERION_SAMPLES:-8}"
+    export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-100}"
+else
+    ROUNDS="${1:-5}"
+    export CRITERION_SAMPLES="${CRITERION_SAMPLES:-20}"
+    export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-200}"
+fi
+NOISE_FACTOR="${NOISE_FACTOR:-3.0}"
+
 RAW="$(mktemp /tmp/gossipopt-bench.XXXXXX.jsonl)"
 trap 'rm -f "$RAW"' EXIT
-
-export CRITERION_SAMPLES="${CRITERION_SAMPLES:-20}"
-export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-200}"
 
 echo "== building benches (release)"
 cargo bench -p gossipopt_bench --bench kernel --no-run
@@ -30,8 +45,50 @@ for round in $(seq 1 "$ROUNDS"); do
     CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench solvers
 done
 
+if [[ "$CHECK" == 1 ]]; then
+    python3 - "$RAW" "$NOISE_FACTOR" <<'EOF'
+import json, sys, collections
+
+raw = collections.defaultdict(list)
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    raw[r["id"]].append(r["ns_per_iter"])
+factor = float(sys.argv[2])
+
+baseline = {}
+for row in json.load(open("BENCH_kernel.json")).get("results", []):
+    baseline[row["benchmark"]] = row["after_ns_per_iter"]
+
+failures, missing = [], []
+for key, base in sorted(baseline.items()):
+    if key not in raw:
+        missing.append(key)
+        continue
+    cur = min(raw[key])
+    ratio = cur / base
+    status = "FAIL" if ratio > factor else "ok"
+    print(f"{status:>4}  {key:<40} baseline {base:>12.1f} ns  current {cur:>12.1f} ns  ({ratio:.2f}x)")
+    if ratio > factor:
+        failures.append(key)
+for key in sorted(set(raw) - set(baseline)):
+    print(f" new  {key:<40} (no baseline; refresh with scripts/bench.sh)")
+
+if missing:
+    # A baseline row that no longer runs means the gate silently covers
+    # nothing for that family — fail; refresh the baseline deliberately.
+    print(f"FAILED: {len(missing)} baseline benchmark(s) did not run "
+          f"(renamed/removed? refresh with scripts/bench.sh): {', '.join(missing)}")
+if failures:
+    print(f"FAILED: {len(failures)} benchmark(s) regressed beyond {factor}x: {', '.join(failures)}")
+if missing or failures:
+    sys.exit(1)
+print(f"check passed: no benchmark beyond {factor}x of baseline")
+EOF
+    exit 0
+fi
+
 python3 - "$RAW" <<'EOF'
-import json, sys, collections, statistics, os, datetime
+import json, sys, collections, statistics, os
 
 raw = collections.defaultdict(list)
 for line in open(sys.argv[1]):

@@ -283,7 +283,7 @@ pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
