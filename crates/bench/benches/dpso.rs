@@ -1,0 +1,82 @@
+//! Distributed-PSO stack benchmarks: the composed `core::OptNode`
+//! (topology + optimization + coordination services) ticking inside each
+//! kernel.
+//!
+//! The `kernel/*` families measure the simulators under toy protocols;
+//! this family measures the paper's actual node — per-node PSO swarms,
+//! a static scale topology (random 4-out-regular) and anti-entropy
+//! push-pull coordination of the global best — so the regression gate
+//! covers the full stack, pooled message payloads included. One iteration
+//! advances the network by one tick (cycle) or one tick-period (event),
+//! i.e. one local evaluation per node plus its share of coordination
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossipopt_core::experiment::{Budget, DistributedPsoSpec, NodeRecipe, TopologyKind};
+use gossipopt_core::node::OptNode;
+use gossipopt_functions::{by_name, Objective};
+use gossipopt_sim::{CycleConfig, CycleEngine, EventConfig, EventEngine};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SIZES: &[usize] = &[1000, 10_000];
+
+/// The benchmark network: sphere(10), 4 particles per node, coordination
+/// every 4 evaluations over a degree-4 expander. The budget is effectively
+/// unbounded so the steady state never goes quiet mid-measurement.
+fn recipe(n: usize) -> NodeRecipe {
+    let spec = DistributedPsoSpec {
+        nodes: n,
+        particles_per_node: 4,
+        gossip_every: 4,
+        topology: TopologyKind::KOutRegular(4),
+        ..Default::default()
+    };
+    let objective: Arc<dyn Objective> = Arc::from(by_name("sphere", spec.function_dim).unwrap());
+    NodeRecipe::new(&spec, objective, Budget::PerNode(u64::MAX), 7).expect("valid bench spec")
+}
+
+fn bench_dpso_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpso/cycle");
+    for &n in SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let recipe = recipe(n);
+            let mut cfg = CycleConfig::seeded(11);
+            cfg.bootstrap_sample = 0; // static topology: no contacts needed
+            let mut e: CycleEngine<OptNode> = CycleEngine::new(cfg);
+            for i in 0..n {
+                e.insert(recipe.build(i).expect("validated"));
+            }
+            b.iter(|| black_box(e.tick()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpso_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpso/event");
+    for &n in SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let recipe = recipe(n);
+            let mut cfg = EventConfig::seeded(12);
+            cfg.bootstrap_sample = 0;
+            cfg.tick_period = 10;
+            let mut e: EventEngine<OptNode> = EventEngine::new(cfg);
+            for i in 0..n {
+                e.insert(recipe.build(i).expect("validated"));
+            }
+            let mut t = e.now();
+            b.iter(|| {
+                t += 10;
+                e.run(t);
+                black_box(e.delivered())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dpso_cycle, bench_dpso_event);
+criterion_main!(benches);

@@ -12,10 +12,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn offer(dim: usize) -> Msg {
-    Msg::Coord(AntiEntropyMsg::Offer(GlobalBest {
-        x: (0..dim).map(|i| i as f64 * 0.5 - 1.0).collect(),
-        f: 1.25,
-    }))
+    let x: Vec<f64> = (0..dim).map(|i| i as f64 * 0.5 - 1.0).collect();
+    Msg::Coord(AntiEntropyMsg::Offer(GlobalBest::new(&x, 1.25)))
 }
 
 fn bench_wire_codec(c: &mut Criterion) {

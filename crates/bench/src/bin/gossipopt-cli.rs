@@ -187,6 +187,7 @@ fn main() -> ExitCode {
                     "total_evals": r.total_evals,
                     "messages_delivered": r.messages_delivered,
                     "coordination_exchanges": r.coordination_exchanges,
+                    "payload_bytes": r.payload_bytes,
                 })).collect::<Vec<_>>(),
             });
             println!(

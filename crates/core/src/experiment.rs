@@ -12,8 +12,8 @@ use crate::node::{CoordComp, OptNode, Role, TopologyComp};
 use crate::CoreError;
 use gossipopt_functions::{by_name, Objective};
 use gossipopt_gossip::{
-    sampler::topologies, AntiEntropy, ExchangeMode, Newscast, NewscastConfig, RumorConfig,
-    StaticSampler,
+    sampler::topologies, topology, AntiEntropy, ExchangeMode, Newscast, NewscastConfig,
+    RumorConfig, StaticSampler,
 };
 use gossipopt_sim::cycle::KernelStats;
 use gossipopt_sim::{
@@ -51,6 +51,31 @@ pub enum TopologyKind {
     },
     /// Erdős–Rényi random graph with edge probability `p`.
     ErdosRenyi(f64),
+    /// Directed ring lattice with `k` successor links per node — the
+    /// low-degree, diameter-limited baseline of the 100k-node scale runs.
+    RingLattice(usize),
+    /// Random `k`-out-regular digraph built by rejection sampling. Unlike
+    /// [`TopologyKind::KOut`] (per-node shuffle, O(n²) to build) this is
+    /// O(n·k) and therefore the constant-degree expander used at 100k
+    /// nodes.
+    KOutRegular(usize),
+    /// Two-level cluster hierarchy (Shin et al. 2020): ~√n clusters whose
+    /// members run a `degree`-successor ring plus an uplink to the cluster
+    /// head, heads forming their own ring lattice — see
+    /// `gossipopt_gossip::topology::two_level_auto`.
+    TwoLevelHierarchy {
+        /// Ring window within each cluster (and minimum head-ring degree).
+        degree: usize,
+    },
+}
+
+impl TopologyKind {
+    /// Does this topology run the NEWSCAST service (dynamic overlay)?
+    /// Everything else is a precomputed static neighbor list, which needs
+    /// no kernel bootstrap contacts — so 100k-node networks join in O(n).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, TopologyKind::Newscast)
+    }
 }
 
 /// Which coordination service the nodes run.
@@ -198,6 +223,13 @@ pub struct RunReport {
     pub reached_threshold_at: Option<u64>,
     /// Coordination exchanges initiated network-wide (overhead metric).
     pub coordination_exchanges: u64,
+    /// Wire bytes sent by the nodes (topology + coordination traffic,
+    /// sized by `Msg::wire_bytes`) — the paper's communication cost in
+    /// bytes rather than message counts. Like `total_evals` and
+    /// `coordination_exchanges`, this sums over nodes alive at the end of
+    /// the run: counters of churn-crashed nodes are lost with them, so
+    /// under churn all three are a lower bound on network-wide activity.
+    pub payload_bytes: u64,
     /// Kernel message statistics.
     pub messages_sent: u64,
     /// Messages delivered.
@@ -212,12 +244,16 @@ pub struct RunReport {
 
 /// Cloneable recipe constructing framework nodes for a spec — shared by
 /// the cycle runner, the event-driven runner and the churn spawner.
+///
+/// Shared structures (objective, zones, static neighbor lists) live behind
+/// `Arc`s, so cloning the recipe for the churn spawner is O(1) even when
+/// the neighbor lists describe a 100k-node overlay.
 #[derive(Clone)]
 pub struct NodeRecipe {
     spec: DistributedPsoSpec,
     objective: Arc<dyn Objective>,
-    zones: Option<Vec<crate::partition::Zone>>,
-    static_neighbors: Option<Vec<Vec<NodeId>>>,
+    zones: Option<Arc<Vec<crate::partition::Zone>>>,
+    static_neighbors: Option<Arc<Vec<Vec<NodeId>>>>,
     hub: NodeId,
     per_node_budget: u64,
 }
@@ -244,10 +280,10 @@ impl NodeRecipe {
         spec.solver.build(spec.particles_per_node, 0)?;
         let n = spec.nodes;
         let zones = if spec.partition_zones > 0 {
-            Some(crate::partition::grid_zones(
+            Some(Arc::new(crate::partition::grid_zones(
                 objective.as_ref(),
                 spec.partition_zones,
-            ))
+            )))
         } else {
             None
         };
@@ -280,12 +316,43 @@ impl NodeRecipe {
                 let mut topo_rng = gossipopt_util::Xoshiro256pp::seeded(seed ^ 0x00e7_d057);
                 Some(topologies::erdos_renyi(&ids, p, &mut topo_rng))
             }
+            TopologyKind::RingLattice(k) => {
+                if k == 0 || k >= n {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "ring lattice needs 0 < k < n, got k = {k}, n = {n}"
+                    )));
+                }
+                Some(topology::relabel(&ids, &topology::ring_lattice(n, k)))
+            }
+            TopologyKind::KOutRegular(k) => {
+                if k == 0 || k >= n {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "k-out-regular needs 0 < k < n, got k = {k}, n = {n}"
+                    )));
+                }
+                let mut topo_rng = gossipopt_util::Xoshiro256pp::seeded(seed ^ 0x004b_0075);
+                Some(topology::relabel(
+                    &ids,
+                    &topology::k_out_regular(n, k, &mut topo_rng),
+                ))
+            }
+            TopologyKind::TwoLevelHierarchy { degree } => {
+                if degree == 0 {
+                    return Err(CoreError::InvalidSpec(
+                        "two-level hierarchy needs degree >= 1".into(),
+                    ));
+                }
+                Some(topology::relabel(
+                    &ids,
+                    &topology::two_level_auto(n, degree),
+                ))
+            }
         };
         Ok(NodeRecipe {
             spec: spec.clone(),
             objective,
             zones,
-            static_neighbors,
+            static_neighbors: static_neighbors.map(Arc::new),
             hub: NodeId(0),
             per_node_budget: budget.per_node(n),
         })
@@ -296,6 +363,9 @@ impl NodeRecipe {
         self.per_node_budget
     }
 
+    /// The objective for node `index`: the shared `Arc` when unpartitioned
+    /// (a refcount bump, no per-node wrapper allocation at 100k nodes); a
+    /// zone-restricted wrapper only when partitioning is on.
     fn node_objective(&self, index: usize) -> Arc<dyn Objective> {
         match &self.zones {
             None => Arc::clone(&self.objective),
@@ -348,6 +418,18 @@ impl NodeRecipe {
     }
 }
 
+/// Kernel bootstrap-contact count for a spec: NEWSCAST seeds its view from
+/// the join-time sample, but static topologies ignore contacts entirely —
+/// sampling them would make populating a 100k-node network O(n·c) for
+/// nothing, so they get 0 and network construction stays O(n).
+fn bootstrap_sample(spec: &DistributedPsoSpec, n: usize) -> usize {
+    if spec.topology.is_dynamic() {
+        spec.newscast.view_size.min(n.saturating_sub(1)).max(1)
+    } else {
+        0
+    }
+}
+
 /// Build and run one experiment on `objective` under `budget` with `seed`.
 pub fn run_distributed(
     spec: &DistributedPsoSpec,
@@ -362,7 +444,7 @@ pub fn run_distributed(
     let mut cfg = CycleConfig::seeded(seed);
     cfg.transport = Transport::lossy(spec.loss_prob);
     cfg.churn = spec.churn;
-    cfg.bootstrap_sample = spec.newscast.view_size.min(n.saturating_sub(1)).max(1);
+    cfg.bootstrap_sample = bootstrap_sample(spec, n);
 
     let mut engine: CycleEngine<OptNode> = CycleEngine::new(cfg);
     for i in 0..n {
@@ -423,6 +505,7 @@ pub fn run_distributed(
     let mut value = f64::INFINITY;
     let mut total_evals = 0u64;
     let mut exchanges = 0u64;
+    let mut payload_bytes = 0u64;
     for (_, node) in engine.nodes() {
         quality = quality.min(node.quality());
         if let Some(b) = node.best() {
@@ -430,6 +513,7 @@ pub fn run_distributed(
         }
         total_evals += node.evals();
         exchanges += node.exchanges_initiated();
+        payload_bytes += node.payload_bytes_sent();
     }
     let stats: KernelStats = engine.stats();
     Ok(RunReport {
@@ -439,6 +523,7 @@ pub fn run_distributed(
         ticks,
         reached_threshold_at: reached_at,
         coordination_exchanges: exchanges,
+        payload_bytes,
         messages_sent: stats.sent,
         messages_delivered: stats.delivered,
         messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,
@@ -492,7 +577,7 @@ pub fn run_distributed_async(
     cfg.tick_period = opts.tick_period;
     cfg.jitter_phase = opts.jitter_phase;
     cfg.churn = spec.churn;
-    cfg.bootstrap_sample = spec.newscast.view_size.min(n.saturating_sub(1)).max(1);
+    cfg.bootstrap_sample = bootstrap_sample(spec, n);
 
     let mut engine: EventEngine<OptNode> = EventEngine::new(cfg);
     for i in 0..n {
@@ -549,6 +634,7 @@ pub fn run_distributed_async(
     let mut value = f64::INFINITY;
     let mut total_evals = 0u64;
     let mut exchanges = 0u64;
+    let mut payload_bytes = 0u64;
     for (_, node) in engine.nodes() {
         quality = quality.min(node.quality());
         if let Some(b) = node.best() {
@@ -556,6 +642,7 @@ pub fn run_distributed_async(
         }
         total_evals += node.evals();
         exchanges += node.exchanges_initiated();
+        payload_bytes += node.payload_bytes_sent();
     }
     Ok(RunReport {
         best_quality: quality,
@@ -564,6 +651,7 @@ pub fn run_distributed_async(
         ticks: end / opts.tick_period,
         reached_threshold_at: reached_at.map(|t| t / opts.tick_period),
         coordination_exchanges: exchanges,
+        payload_bytes,
         messages_sent: engine.delivered() + engine.dropped(),
         messages_delivered: engine.delivered(),
         messages_dropped: engine.dropped(),
@@ -773,6 +861,9 @@ mod tests {
             TopologyKind::Grid,
             TopologyKind::SmallWorld { k: 4, beta: 0.2 },
             TopologyKind::ErdosRenyi(0.4),
+            TopologyKind::RingLattice(2),
+            TopologyKind::KOutRegular(3),
+            TopologyKind::TwoLevelHierarchy { degree: 2 },
         ] {
             let spec = DistributedPsoSpec {
                 topology,
@@ -788,6 +879,63 @@ mod tests {
         };
         let r = run_distributed_pso(&ms, "sphere", Budget::PerNode(50), 7).unwrap();
         assert!(r.coordination_exchanges > 0, "slaves must report");
+    }
+
+    #[test]
+    fn scale_topologies_are_validated_and_deterministic() {
+        // Degenerate degrees are spec errors, not panics.
+        for topology in [
+            TopologyKind::RingLattice(0),
+            TopologyKind::RingLattice(8),
+            TopologyKind::KOutRegular(0),
+            TopologyKind::KOutRegular(99),
+            TopologyKind::TwoLevelHierarchy { degree: 0 },
+        ] {
+            let spec = DistributedPsoSpec {
+                topology,
+                ..small_spec()
+            };
+            assert!(
+                matches!(
+                    run_distributed_pso(&spec, "sphere", Budget::PerNode(5), 1),
+                    Err(CoreError::InvalidSpec(_))
+                ),
+                "{topology:?} must be rejected at n = 8"
+            );
+        }
+        // Seeded determinism holds for the rejection-sampled expander.
+        let spec = DistributedPsoSpec {
+            topology: TopologyKind::KOutRegular(4),
+            ..small_spec()
+        };
+        let a = run_distributed_pso(&spec, "rastrigin", Budget::PerNode(60), 17).unwrap();
+        let b = run_distributed_pso(&spec, "rastrigin", Budget::PerNode(60), 17).unwrap();
+        assert_eq!(a.best_quality.to_bits(), b.best_quality.to_bits());
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.payload_bytes, b.payload_bytes);
+    }
+
+    #[test]
+    fn payload_bytes_track_coordination_volume() {
+        let r = run_distributed_pso(&small_spec(), "sphere", Budget::PerNode(50), 3).unwrap();
+        assert!(r.payload_bytes > 0, "gossip traffic must be accounted");
+        // Every delivered coordination message carries at least the header,
+        // so the byte ledger must dominate the message count.
+        assert!(
+            r.payload_bytes >= r.messages_sent * 2,
+            "bytes {} vs sent {}",
+            r.payload_bytes,
+            r.messages_sent
+        );
+        // Isolated nodes on a static overlay send nothing at all.
+        let quiet = DistributedPsoSpec {
+            topology: TopologyKind::Ring,
+            coordination: CoordinationKind::None,
+            ..small_spec()
+        };
+        let rq = run_distributed_pso(&quiet, "sphere", Budget::PerNode(50), 3).unwrap();
+        assert_eq!(rq.payload_bytes, 0);
+        assert_eq!(rq.messages_sent, 0);
     }
 
     #[test]

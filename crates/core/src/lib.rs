@@ -5,9 +5,12 @@
 //! The decentralized optimization framework of Biazzini, Brunato &
 //! Montresor (2008), assembled from the workspace substrates:
 //!
-//! * **topology service** — NEWSCAST peer sampling (or a static mesh /
-//!   star / ring / random digraph for the baseline topologies the paper
-//!   sketches);
+//! * **topology service** — NEWSCAST peer sampling, or any static overlay
+//!   from the unified builder module (`gossipopt_gossip::topology`): mesh,
+//!   star, ring, random digraphs, torus grid, small world, Erdős–Rényi,
+//!   plus the 100k-scale kinds `RingLattice`, `KOutRegular` (O(n·k)
+//!   rejection construction) and `TwoLevelHierarchy` (~√n clusters with a
+//!   head ring);
 //! * **function optimization service** — any [`gossipopt_solvers::Solver`]
 //!   (per-node PSO swarms in the paper's instantiation);
 //! * **coordination service** — anti-entropy diffusion of the best-known
@@ -19,6 +22,30 @@
 //! runs budgeted simulations and aggregates repetitions; [`paper`]
 //! enumerates the exact parameter grids of the paper's four experiment
 //! sets (Tables 1–4 / Figures 1–4).
+//!
+//! ## Scale architecture (100k nodes)
+//!
+//! The composed stack runs at 100k nodes on both kernels (CI's
+//! `bench-smoke` proves it every push). Three design points make that
+//! work:
+//!
+//! * **Pooled message payloads** — the gossiped optimum's position
+//!   ([`rumor::Pos`]) is stored inline up to [`rumor::POS_INLINE_DIM`]
+//!   dimensions (beyond that, behind a shared `Arc`), so the per-hop
+//!   clones in `Msg::RumorPush` / `Coord` / `Migrant` / `Master*` never
+//!   allocate; hosts additionally gate payload construction on
+//!   [`rumor::GlobalBest::improves`], so steady-state coordination
+//!   traffic is allocation-free at any dimension.
+//! * **O(n) network construction** — static topologies skip kernel
+//!   bootstrap sampling entirely (their samplers ignore join contacts),
+//!   neighbor lists are built once in index space and shared via `Arc`
+//!   through [`experiment::NodeRecipe`], and the unpartitioned objective
+//!   is one `Arc` refcount per node.
+//! * **Byte-level communication accounting** — every node tracks the
+//!   wire size of what it sends ([`messages::Msg::wire_bytes`], kept in
+//!   lock-step with the runtime codec by test), and
+//!   [`experiment::RunReport::payload_bytes`] reports the paper's
+//!   communication cost in bytes, not just message counts.
 //!
 //! ```
 //! use gossipopt_core::prelude::*;

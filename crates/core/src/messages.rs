@@ -28,17 +28,62 @@ pub enum Msg {
     MasterUpdate(GlobalBest),
 }
 
+impl Msg {
+    /// Serialized size of this message in bytes under the runtime wire
+    /// codec (`gossipopt_runtime::encode`), version + tag header included.
+    ///
+    /// The paper reports communication cost; counting bytes instead of
+    /// messages lets reports weigh a 10-dimensional optimum push against a
+    /// 20-descriptor NEWSCAST exchange honestly. Kept in lock-step with the
+    /// codec by a test in `gossipopt_runtime::wire`.
+    pub fn wire_bytes(&self) -> usize {
+        /// Version byte + tag byte.
+        const HEADER: usize = 2;
+        /// A `Descriptor` is a `u64` id + `u64` timestamp.
+        const DESCRIPTOR: usize = 16;
+        HEADER
+            + match self {
+                Msg::Newscast(NewscastMsg::Request(ds)) | Msg::Newscast(NewscastMsg::Reply(ds)) => {
+                    4 + DESCRIPTOR * ds.len()
+                }
+                Msg::Coord(AntiEntropyMsg::Offer(g)) | Msg::Coord(AntiEntropyMsg::Tell(g)) => {
+                    g.wire_bytes()
+                }
+                Msg::Coord(AntiEntropyMsg::Ask) => 0,
+                Msg::RumorFeedback(_) => 1,
+                Msg::RumorPush(g)
+                | Msg::Migrant(g)
+                | Msg::MasterReport(g)
+                | Msg::MasterUpdate(g) => g.wire_bytes(),
+            }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn messages_are_cloneable_and_debuggable() {
-        let m = Msg::MasterReport(GlobalBest {
-            x: vec![1.0],
-            f: 0.5,
-        });
+        let m = Msg::MasterReport(GlobalBest::new(&[1.0], 0.5));
         let c = m.clone();
         assert!(format!("{c:?}").contains("MasterReport"));
+    }
+
+    #[test]
+    fn wire_bytes_counts_payload_dimensions() {
+        let g = GlobalBest::new(&[0.0; 10], 1.0);
+        // 2 header + 4 length + 10 coordinates + 1 value, each f64 = 8B.
+        assert_eq!(Msg::RumorPush(g.clone()).wire_bytes(), 2 + 4 + 88);
+        assert_eq!(Msg::Coord(AntiEntropyMsg::Ask).wire_bytes(), 2);
+        assert_eq!(
+            Msg::RumorFeedback(RumorAck::Duplicate).wire_bytes(),
+            3,
+            "feedback is a single flag byte"
+        );
+        assert_eq!(
+            Msg::Newscast(NewscastMsg::Request(Vec::new())).wire_bytes(),
+            6
+        );
     }
 }

@@ -96,6 +96,20 @@ pub struct OptNode {
     eval_budget: Option<u64>,
     /// Count of coordination exchanges this node initiated.
     exchanges_initiated: u64,
+    /// Wire bytes of every message this node sent (topology and
+    /// coordination traffic alike) — the paper reports communication cost,
+    /// so reports can state volume in bytes, not just counts.
+    bytes_sent: u64,
+}
+
+/// Queue `msg` on `ctx` while charging its wire size to `bytes` — every
+/// [`OptNode`] send goes through here so the byte ledger cannot drift from
+/// the traffic. (Free function so the accumulator can borrow one field
+/// while a service component borrows another.)
+#[inline]
+fn send_tracked(bytes: &mut u64, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg) {
+    *bytes += msg.wire_bytes() as u64;
+    ctx.send(to, msg);
 }
 
 impl OptNode {
@@ -119,6 +133,7 @@ impl OptNode {
             gossip_every,
             eval_budget,
             exchanges_initiated: 0,
+            bytes_sent: 0,
         }
     }
 
@@ -145,6 +160,11 @@ impl OptNode {
         self.exchanges_initiated
     }
 
+    /// Total wire bytes this node has sent (see [`Msg::wire_bytes`]).
+    pub fn payload_bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
     /// The solver's registry name.
     pub fn solver_name(&self) -> &str {
         self.solver.name()
@@ -161,17 +181,25 @@ impl OptNode {
     }
 
     /// Sync the coordination store with the solver's current best so the
-    /// next exchange carries fresh information.
+    /// next exchange carries fresh information. The payload is only built
+    /// when the local best would actually improve the stored optimum
+    /// ([`GlobalBest::improves`] is the exact predicate `offer_local`
+    /// applies), keeping the steady state allocation-free even beyond the
+    /// [`crate::rumor::POS_INLINE_DIM`] inline cap.
     fn sync_gossip_value(&mut self) {
         match &mut self.coord {
             CoordComp::Gossip(ae) => {
                 if let Some(b) = self.solver.best() {
-                    ae.offer_local(GlobalBest::from_point(b));
+                    if GlobalBest::improves(b.f, ae.value().map(|v| v.f)) {
+                        ae.offer_local(GlobalBest::from_point(b));
+                    }
                 }
             }
             CoordComp::Rumor(rm) => {
                 if let Some(b) = self.solver.best() {
-                    rm.offer_local(GlobalBest::from_point(b));
+                    if GlobalBest::improves(b.f, rm.value().map(|v| v.f)) {
+                        rm.offer_local(GlobalBest::from_point(b));
+                    }
                 }
             }
             _ => {}
@@ -194,7 +222,7 @@ impl OptNode {
                 if let Some(msg) = ae.initiate() {
                     if let Some(peer) = self.topology.sample(ctx.rng()) {
                         self.exchanges_initiated += 1;
-                        ctx.send(peer, Msg::Coord(msg));
+                        send_tracked(&mut self.bytes_sent, ctx, peer, Msg::Coord(msg));
                     }
                 }
             }
@@ -207,7 +235,12 @@ impl OptNode {
                     for _ in 0..fanout {
                         if let Some(peer) = self.topology.sample(ctx.rng()) {
                             self.exchanges_initiated += 1;
-                            ctx.send(peer, Msg::RumorPush(g.clone()));
+                            send_tracked(
+                                &mut self.bytes_sent,
+                                ctx,
+                                peer,
+                                Msg::RumorPush(g.clone()),
+                            );
                         }
                     }
                 }
@@ -220,14 +253,24 @@ impl OptNode {
                     };
                     if let Some(peer) = self.topology.sample(ctx.rng()) {
                         self.exchanges_initiated += 1;
-                        ctx.send(peer, Msg::Migrant(GlobalBest::from_point(&e)));
+                        send_tracked(
+                            &mut self.bytes_sent,
+                            ctx,
+                            peer,
+                            Msg::Migrant(GlobalBest::from_point(&e)),
+                        );
                     }
                 }
             }
             (CoordComp::MasterSlave, Role::Slave(master)) => {
                 if let Some(b) = self.solver.best() {
                     self.exchanges_initiated += 1;
-                    ctx.send(master, Msg::MasterReport(GlobalBest::from_point(b)));
+                    send_tracked(
+                        &mut self.bytes_sent,
+                        ctx,
+                        master,
+                        Msg::MasterReport(GlobalBest::from_point(b)),
+                    );
                 }
             }
             // The master is purely reactive.
@@ -256,7 +299,7 @@ impl Application for OptNode {
         if let TopologyComp::Newscast(nc) = &mut self.topology {
             let (self_id, now) = (ctx.self_id, ctx.now);
             if let Some((peer, msg)) = nc.on_tick(self_id, now, ctx.rng()) {
-                ctx.send(peer, Msg::Newscast(msg));
+                send_tracked(&mut self.bytes_sent, ctx, peer, Msg::Newscast(msg));
             }
         }
 
@@ -272,7 +315,7 @@ impl Application for OptNode {
                 if let TopologyComp::Newscast(nc) = &mut self.topology {
                     let (self_id, now) = (ctx.self_id, ctx.now);
                     if let Some(reply) = nc.handle(self_id, from, m, now, ctx.rng()) {
-                        ctx.send(from, Msg::Newscast(reply));
+                        send_tracked(&mut self.bytes_sent, ctx, from, Msg::Newscast(reply));
                     }
                 }
             }
@@ -292,7 +335,7 @@ impl Application for OptNode {
                         self.adopt_remote(&g);
                     }
                     if let Some(r) = reply {
-                        ctx.send(from, Msg::Coord(r));
+                        send_tracked(&mut self.bytes_sent, ctx, from, Msg::Coord(r));
                     }
                 }
             }
@@ -305,7 +348,7 @@ impl Application for OptNode {
                         let g = rm.value().expect("new implies value").clone();
                         self.adopt_remote(&g);
                     }
-                    ctx.send(from, Msg::RumorFeedback(ack));
+                    send_tracked(&mut self.bytes_sent, ctx, from, Msg::RumorFeedback(ack));
                 }
             }
             Msg::RumorFeedback(ack) => {
@@ -320,7 +363,12 @@ impl Application for OptNode {
                 if self.role == Role::Master {
                     self.adopt_remote(&g);
                     if let Some(b) = self.solver.best() {
-                        ctx.send(from, Msg::MasterUpdate(GlobalBest::from_point(b)));
+                        send_tracked(
+                            &mut self.bytes_sent,
+                            ctx,
+                            from,
+                            Msg::MasterUpdate(GlobalBest::from_point(b)),
+                        );
                     }
                 }
             }
@@ -428,10 +476,7 @@ mod tests {
             let mut ctx = Ctx::new(NodeId(0), t, &mut rng, &mut outbox);
             n.on_tick(&mut ctx);
         }
-        let incoming = GlobalBest {
-            x: vec![0.0; 5],
-            f: 0.0,
-        };
+        let incoming = GlobalBest::new(&[0.0; 5], 0.0);
         let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
         let mut ctx = Ctx::new(NodeId(0), 5, &mut rng, &mut outbox);
         n.on_message(
@@ -452,10 +497,7 @@ mod tests {
             let mut ctx = Ctx::new(NodeId(0), t, &mut rng, &mut outbox);
             n.on_tick(&mut ctx);
         }
-        let incoming = GlobalBest {
-            x: vec![90.0; 5],
-            f: 5.0 * 90.0 * 90.0,
-        };
+        let incoming = GlobalBest::new(&[90.0; 5], 5.0 * 90.0 * 90.0);
         let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
         let mut ctx = Ctx::new(NodeId(0), 5, &mut rng, &mut outbox);
         let my_quality = n.quality();
@@ -488,10 +530,7 @@ mod tests {
         let mut ctx = Ctx::new(NodeId(0), 1, &mut rng, &mut outbox);
         master.on_message(
             NodeId(1),
-            Msg::MasterReport(GlobalBest {
-                x: vec![0.0; 3],
-                f: 0.0,
-            }),
+            Msg::MasterReport(GlobalBest::new(&[0.0; 3], 0.0)),
             &mut ctx,
         );
         assert_eq!(master.quality(), 0.0);
@@ -514,10 +553,7 @@ mod tests {
         let mut ctx2 = Ctx::new(NodeId(1), 1, &mut rng, &mut outbox2);
         slave.on_message(
             NodeId(0),
-            Msg::MasterUpdate(GlobalBest {
-                x: vec![0.0; 3],
-                f: 0.0,
-            }),
+            Msg::MasterUpdate(GlobalBest::new(&[0.0; 3], 0.0)),
             &mut ctx2,
         );
         assert_eq!(slave.quality(), 0.0);
@@ -611,10 +647,7 @@ mod tests {
         let mut ctx = Ctx::new(NodeId(0), 5, &mut rng, &mut outbox);
         n.on_message(
             NodeId(7),
-            Msg::RumorPush(GlobalBest {
-                x: vec![0.0; 5],
-                f: 0.0,
-            }),
+            Msg::RumorPush(GlobalBest::new(&[0.0; 5], 0.0)),
             &mut ctx,
         );
         assert_eq!(n.quality(), 0.0, "new rumor adopted into the solver");
@@ -630,10 +663,7 @@ mod tests {
         let mut ctx2 = Ctx::new(NodeId(0), 6, &mut rng, &mut outbox2);
         n.on_message(
             NodeId(8),
-            Msg::RumorPush(GlobalBest {
-                x: vec![9.0; 5],
-                f: 405.0,
-            }),
+            Msg::RumorPush(GlobalBest::new(&[9.0; 5], 405.0)),
             &mut ctx2,
         );
         assert!(matches!(
@@ -714,10 +744,7 @@ mod tests {
         let mut ctx = Ctx::new(NodeId(1), 1, &mut rng, &mut outbox);
         receiver.on_message(
             NodeId(0),
-            Msg::Migrant(GlobalBest {
-                x: vec![0.0; 4],
-                f: 0.0,
-            }),
+            Msg::Migrant(GlobalBest::new(&[0.0; 4], 0.0)),
             &mut ctx,
         );
         assert_eq!(receiver.quality(), 0.0);

@@ -5,39 +5,172 @@ use gossipopt_gossip::rumor::{RumorAck, RumorConfig};
 use gossipopt_gossip::Rumor;
 use gossipopt_solvers::BestPoint;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Inline capacity of [`Pos`]: positions up to this many dimensions live
+/// directly inside the message (no heap), which covers every paper
+/// experiment (`dim ≤ 10`) and the default scale scenarios.
+pub const POS_INLINE_DIM: usize = 16;
+
+#[derive(Clone)]
+enum PosRepr {
+    /// Up to [`POS_INLINE_DIM`] coordinates stored in place.
+    Inline { len: u8, buf: [f64; POS_INLINE_DIM] },
+    /// Higher-dimensional positions share one immutable allocation.
+    Shared(Arc<[f64]>),
+}
+
+/// A search-space position with allocation-free `clone`.
+///
+/// Coordination messages carry the best-known position on every hop, and
+/// every hop clones it (fan-out pushes, push-pull replies, migration). A
+/// `Vec<f64>` payload therefore allocated once per delivered message; `Pos`
+/// clones by memcpy (inline, `dim ≤ POS_INLINE_DIM`) or by refcount bump
+/// (shared spill), so steady-state coordination traffic never touches the
+/// allocator. Positions are immutable once built — exactly the lifecycle
+/// of a gossiped optimum.
+#[derive(Clone)]
+pub struct Pos(PosRepr);
+
+impl Pos {
+    /// Build from a coordinate slice (allocates only beyond the inline cap).
+    pub fn from_slice(x: &[f64]) -> Self {
+        if x.len() <= POS_INLINE_DIM {
+            let mut buf = [0.0; POS_INLINE_DIM];
+            buf[..x.len()].copy_from_slice(x);
+            Pos(PosRepr::Inline {
+                len: x.len() as u8,
+                buf,
+            })
+        } else {
+            Pos(PosRepr::Shared(x.into()))
+        }
+    }
+
+    /// The coordinates.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.0 {
+            PosRepr::Inline { len, buf } => &buf[..*len as usize],
+            PosRepr::Shared(xs) => xs,
+        }
+    }
+
+    /// True when the position is stored inline (clone is a pure memcpy).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, PosRepr::Inline { .. })
+    }
+
+    /// Copy out as an owned vector (allocates).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for Pos {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Pos {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[f64]> for Pos {
+    fn from(x: &[f64]) -> Self {
+        Pos::from_slice(x)
+    }
+}
+
+impl From<Vec<f64>> for Pos {
+    fn from(x: Vec<f64>) -> Self {
+        // No reuse opportunity: Arc<[f64]> from a Vec copies into a fresh
+        // refcounted allocation anyway, so the slice path covers both.
+        Pos::from_slice(&x)
+    }
+}
+
+impl Serialize for Pos {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl Deserialize for Pos {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<f64>::from_value(v).map(Pos::from)
+    }
+}
 
 /// A `⟨g, f(g)⟩` pair as diffused by the anti-entropy coordination service
 /// (newtype so the [`Rumor`] ordering lives in this crate).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GlobalBest {
     /// Position of the best-known optimum.
-    pub x: Vec<f64>,
+    pub x: Pos,
     /// Its objective value `f(g)`.
     pub f: f64,
 }
 
 impl GlobalBest {
-    /// Convert from the solver-side best point.
-    pub fn from_point(p: &BestPoint) -> Self {
+    /// Build from a coordinate slice and its objective value.
+    pub fn new(x: &[f64], f: f64) -> Self {
         GlobalBest {
-            x: p.x.clone(),
-            f: p.f,
+            x: Pos::from_slice(x),
+            f,
         }
     }
 
-    /// Convert into the solver-side best point.
+    /// Convert from the solver-side best point.
+    pub fn from_point(p: &BestPoint) -> Self {
+        GlobalBest::new(&p.x, p.f)
+    }
+
+    /// Convert into the solver-side best point (allocates; adoption-time
+    /// only, never on the per-hop path).
     pub fn to_point(&self) -> BestPoint {
         BestPoint {
-            x: self.x.clone(),
+            x: self.x.to_vec(),
             f: self.f,
         }
+    }
+
+    /// The [`Rumor`] preference order as a predicate on objective values:
+    /// would a candidate with value `candidate_f` strictly improve on
+    /// `current_f`? NaN-safe against an existing value — a NaN candidate
+    /// never beats a stored one; with no value stored (`None`) any
+    /// candidate counts as an improvement, exactly mirroring
+    /// `offer_local`/`absorb`. Hosts use this to skip building a payload
+    /// at all when the local best cannot improve the stored optimum.
+    #[inline]
+    pub fn improves(candidate_f: f64, current_f: Option<f64>) -> bool {
+        match current_f {
+            None => true,
+            Some(cur) => candidate_f.total_cmp(&cur).is_lt() && candidate_f.is_finite(),
+        }
+    }
+
+    /// Serialized size in bytes under the runtime wire codec
+    /// (`u32` length + `f64` coordinates + `f64` value).
+    pub fn wire_bytes(&self) -> usize {
+        4 + 8 * self.x.len() + 8
     }
 }
 
 impl Rumor for GlobalBest {
     fn better_than(&self, other: &Self) -> bool {
-        // NaN-safe: a NaN value never wins.
-        self.f.total_cmp(&other.f).is_lt() && self.f.is_finite()
+        GlobalBest::improves(self.f, Some(other.f))
     }
 }
 
@@ -133,10 +266,7 @@ mod tests {
     fn best_rumor_heats_on_improvement_only() {
         let mut r = BestRumor::new(RumorConfig::default());
         assert!(!r.is_hot());
-        r.offer_local(GlobalBest {
-            x: vec![1.0],
-            f: 5.0,
-        });
+        r.offer_local(GlobalBest::new(&[1.0], 5.0));
         assert!(r.is_hot());
         let mut rng = Xoshiro256pp::seeded(1);
         // Cool it down with duplicate feedback.
@@ -144,29 +274,23 @@ mod tests {
             r.feedback(RumorAck::Duplicate, &mut rng);
         }
         // A non-improving offer stays cold; an improving one re-heats.
-        r.offer_local(GlobalBest {
-            x: vec![1.0],
-            f: 9.0,
-        });
+        r.offer_local(GlobalBest::new(&[1.0], 9.0));
         assert!(!r.is_hot(), "worse offer must not re-heat");
         assert_eq!(r.value().unwrap().f, 5.0);
-        r.offer_local(GlobalBest {
-            x: vec![0.5],
-            f: 1.0,
-        });
+        r.offer_local(GlobalBest::new(&[0.5], 1.0));
         assert!(r.is_hot());
     }
 
     #[test]
     fn best_rumor_receive_orders_by_fitness() {
         let mut r = BestRumor::new(RumorConfig::default());
-        assert_eq!(r.receive(GlobalBest { x: vec![], f: 3.0 }), RumorAck::New);
+        assert_eq!(r.receive(GlobalBest::new(&[], 3.0)), RumorAck::New);
         assert_eq!(
-            r.receive(GlobalBest { x: vec![], f: 4.0 }),
+            r.receive(GlobalBest::new(&[], 4.0)),
             RumorAck::Duplicate,
             "worse optimum is a duplicate"
         );
-        assert_eq!(r.receive(GlobalBest { x: vec![], f: 2.0 }), RumorAck::New);
+        assert_eq!(r.receive(GlobalBest::new(&[], 2.0)), RumorAck::New);
         assert_eq!(r.value().unwrap().f, 2.0);
     }
 
@@ -177,7 +301,7 @@ mod tests {
             stop_prob: 1.0,
         });
         assert!(r.on_tick().is_none());
-        r.offer_local(GlobalBest { x: vec![], f: 1.0 });
+        r.offer_local(GlobalBest::new(&[], 1.0));
         let (g, k) = r.on_tick().unwrap();
         assert_eq!((g.f, k), (1.0, 3));
         assert_eq!(r.pushes_sent, 3);
@@ -189,14 +313,8 @@ mod tests {
 
     #[test]
     fn ordering_prefers_lower_f() {
-        let a = GlobalBest {
-            x: vec![0.0],
-            f: 1.0,
-        };
-        let b = GlobalBest {
-            x: vec![1.0],
-            f: 2.0,
-        };
+        let a = GlobalBest::new(&[0.0], 1.0);
+        let b = GlobalBest::new(&[1.0], 2.0);
         assert!(a.better_than(&b));
         assert!(!b.better_than(&a));
         assert!(!a.better_than(&a));
@@ -204,16 +322,59 @@ mod tests {
 
     #[test]
     fn nan_never_wins() {
-        let nan = GlobalBest {
-            x: vec![],
-            f: f64::NAN,
-        };
-        let fin = GlobalBest {
-            x: vec![],
-            f: 1e300,
-        };
+        let nan = GlobalBest::new(&[], f64::NAN);
+        let fin = GlobalBest::new(&[], 1e300);
         assert!(!nan.better_than(&fin));
         assert!(fin.better_than(&nan));
+    }
+
+    #[test]
+    fn pos_is_inline_through_the_cap_and_shared_beyond() {
+        // Paper-scale payloads (dim <= POS_INLINE_DIM) must stay inline —
+        // cloning them on the per-hop path is a memcpy, not an allocation.
+        for dim in [0, 1, 10, POS_INLINE_DIM] {
+            let g = GlobalBest::new(&vec![1.5; dim], 2.0);
+            assert!(g.x.is_inline(), "dim {dim} must be inline");
+            assert!(g.clone().x.is_inline());
+            assert_eq!(g.x.as_slice(), &vec![1.5; dim][..]);
+        }
+        // Beyond the cap the spill is one shared allocation: clones bump a
+        // refcount and alias the same coordinates.
+        let big = GlobalBest::new(&[0.25; POS_INLINE_DIM + 1], 3.0);
+        assert!(!big.x.is_inline());
+        let c = big.clone();
+        assert_eq!(
+            big.x.as_slice().as_ptr(),
+            c.x.as_slice().as_ptr(),
+            "shared spill must alias, not copy"
+        );
+        assert_eq!(c.x.len(), POS_INLINE_DIM + 1);
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_dimension() {
+        assert_eq!(GlobalBest::new(&[], 0.0).wire_bytes(), 12);
+        assert_eq!(GlobalBest::new(&[0.0; 10], 0.0).wire_bytes(), 12 + 80);
+    }
+
+    #[test]
+    fn improves_matches_better_than() {
+        let cases = [0.0, 1.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &cases {
+            assert!(
+                GlobalBest::improves(a, None),
+                "any value beats no value ({a})"
+            );
+            for &b in &cases {
+                let ga = GlobalBest::new(&[], a);
+                let gb = GlobalBest::new(&[], b);
+                assert_eq!(
+                    GlobalBest::improves(a, Some(b)),
+                    ga.better_than(&gb),
+                    "improves({a}, {b}) must mirror better_than"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Property-based tests for `core::partition::grid_zones`: for any zone
+//! count from 1 to 64 and any function in the registry suite, the k-d
+//! decomposition must yield exactly `zones` axis-aligned boxes that are
+//! pairwise disjoint (in their interiors) and cover the full domain box.
+
+use gossipopt_core::partition::{grid_zones, Zone};
+use gossipopt_functions::registry::names;
+use gossipopt_functions::{by_name, Objective};
+use proptest::prelude::*;
+
+/// Build the function under test; fixed-dimension registry entries ignore
+/// the requested `dim`, so read the realized dimension back off the object.
+fn function(index: usize, dim: usize) -> Box<dyn Objective> {
+    let all = names();
+    by_name(all[index % all.len()], dim).expect("registry name")
+}
+
+fn domain(f: &dyn Objective) -> Zone {
+    (0..f.dim()).map(|d| f.bounds(d)).collect()
+}
+
+fn volume(zone: &Zone) -> f64 {
+    zone.iter().map(|(lo, hi)| (hi - lo).max(0.0)).product()
+}
+
+/// Strictly inside `zone` with a relative margin away from the cut planes
+/// (points on a shared face legitimately belong to two closed boxes).
+fn strictly_inside(x: &[f64], zone: &Zone) -> bool {
+    x.iter().zip(zone.iter()).all(|(v, (lo, hi))| {
+        let eps = (hi - lo).abs() * 1e-9;
+        *v > lo + eps && *v < hi - eps
+    })
+}
+
+fn inside_closed(x: &[f64], zone: &Zone) -> bool {
+    x.iter()
+        .zip(zone.iter())
+        .all(|(v, (lo, hi))| *v >= *lo && *v <= *hi)
+}
+
+proptest! {
+    /// Exactly `zones` boxes come back, each inside the domain box, and
+    /// their volumes sum to the domain volume (a bisection never loses or
+    /// double-counts space).
+    #[test]
+    fn zones_count_containment_and_volume(
+        fi in 0usize..64,
+        dim in 1usize..8,
+        zones in 1usize..=64,
+    ) {
+        let f = function(fi, dim);
+        let zs = grid_zones(f.as_ref(), zones);
+        prop_assert_eq!(zs.len(), zones);
+        let dom = domain(f.as_ref());
+        for z in &zs {
+            prop_assert_eq!(z.len(), dom.len(), "zone dims match the domain");
+            for ((lo, hi), (dlo, dhi)) in z.iter().zip(dom.iter()) {
+                prop_assert!(lo < hi, "degenerate zone side [{lo}, {hi}]");
+                prop_assert!(lo >= dlo && hi <= dhi, "zone escapes the domain");
+            }
+        }
+        let total: f64 = zs.iter().map(volume).sum();
+        let dom_vol = volume(&dom);
+        prop_assert!(
+            ((total - dom_vol) / dom_vol).abs() < 1e-9,
+            "zones cover {total} of {dom_vol}"
+        );
+    }
+
+    /// Random domain points land in at least one closed zone (coverage)
+    /// and in at most one zone interior (pairwise disjointness).
+    #[test]
+    fn zones_cover_and_are_disjoint_on_samples(
+        fi in 0usize..64,
+        dim in 1usize..6,
+        zones in 1usize..=64,
+        unit in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let f = function(fi, dim);
+        let zs = grid_zones(f.as_ref(), zones);
+        let dom = domain(f.as_ref());
+        let x: Vec<f64> = dom
+            .iter()
+            .enumerate()
+            .map(|(d, (lo, hi))| lo + unit[d % unit.len()] * (hi - lo))
+            .collect();
+        let closed_hits = zs.iter().filter(|z| inside_closed(&x, z)).count();
+        prop_assert!(closed_hits >= 1, "point {x:?} uncovered by {zones} zones");
+        let interior_hits = zs.iter().filter(|z| strictly_inside(&x, z)).count();
+        prop_assert!(
+            interior_hits <= 1,
+            "point {x:?} inside {interior_hits} zone interiors"
+        );
+    }
+}

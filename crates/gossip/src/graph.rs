@@ -10,78 +10,9 @@
 use gossipopt_util::{OnlineStats, Rng64, Xoshiro256pp};
 use std::collections::VecDeque;
 
-/// Directed ring lattice: node `i` points at its `k` successors
-/// `i+1 .. i+k` (mod `n`). `k = 1` is the plain ring. The canonical
-/// low-degree, high-diameter baseline for the scale scenarios.
-pub fn ring_lattice(n: usize, k: usize) -> Vec<Vec<usize>> {
-    assert!(k < n.max(1), "ring lattice needs k < n");
-    (0..n)
-        .map(|i| (1..=k).map(|d| (i + d) % n).collect())
-        .collect()
-}
-
-/// Random `k`-out-regular digraph: every node picks `k` distinct
-/// out-neighbors uniformly (never itself). Expander-like: low diameter at
-/// constant degree, the random-graph reference point for the scale runs.
-pub fn k_out_regular(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
-    assert!(k < n.max(1), "k-out-regular needs k < n");
-    let mut adj = Vec::with_capacity(n);
-    let mut picked = Vec::with_capacity(k);
-    for i in 0..n {
-        picked.clear();
-        while picked.len() < k {
-            let c = rng.index(n);
-            if c != i && !picked.contains(&c) {
-                picked.push(c);
-            }
-        }
-        adj.push(picked.clone());
-    }
-    adj
-}
-
-/// Two-level hierarchy (Shin et al. 2020-style power-network scaling):
-/// nodes are grouped into `clusters` clusters of `cluster_size`; members
-/// of a cluster form a degree-`intra_k` ring lattice and additionally
-/// point at their cluster head (the cluster's first node) unless their
-/// ring window already reaches it, while the heads form a degree-`hub_k`
-/// ring lattice among themselves. Node ids are
-/// `cluster * cluster_size + member`; adjacency lists are duplicate-free.
-pub fn two_level_hierarchy(
-    clusters: usize,
-    cluster_size: usize,
-    intra_k: usize,
-    hub_k: usize,
-) -> Vec<Vec<usize>> {
-    assert!(cluster_size >= 1, "clusters cannot be empty");
-    assert!(
-        intra_k < cluster_size.max(1),
-        "intra_k must fit the cluster"
-    );
-    assert!(hub_k < clusters.max(1), "hub_k must fit the head ring");
-    let n = clusters * cluster_size;
-    let mut adj = vec![Vec::new(); n];
-    for c in 0..clusters {
-        let base = c * cluster_size;
-        for m in 0..cluster_size {
-            let i = base + m;
-            for d in 1..=intra_k {
-                adj[i].push(base + (m + d) % cluster_size);
-            }
-            // Member -> cluster head uplink, unless the ring window above
-            // already wrapped onto the head (m >= cluster_size - intra_k),
-            // which would duplicate the edge and double the head's pick
-            // probability under uniform neighbor selection.
-            if m != 0 && m < cluster_size - intra_k {
-                adj[i].push(base);
-            }
-        }
-        for d in 1..=hub_k {
-            adj[base].push(((c + d) % clusters) * cluster_size);
-        }
-    }
-    adj
-}
+// The scale-topology constructors historically lived here; they are now
+// part of the unified topology service and re-exported for compatibility.
+pub use crate::topology::{k_out_regular, ring_lattice, two_level_hierarchy};
 
 /// Breadth-first distances from `src` along directed edges; `usize::MAX`
 /// marks unreachable nodes.

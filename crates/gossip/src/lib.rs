@@ -17,10 +17,13 @@
 //! * [`aggregation`] — push-pull gossip averaging (Jelasity, Montresor &
 //!   Babaoglu), included as the background's example epidemic service and
 //!   used in tests as a convergence yardstick;
-//! * [`sampler`] — static peer samplers and topology builders (full mesh,
-//!   ring, star, random k-out, torus grid, Watts–Strogatz small world,
-//!   Erdős–Rényi) for the baseline topologies the paper sketches and the
-//!   PSO-neighborhood graphs it cites;
+//! * [`sampler`] — static peer samplers, plus the compatibility facade
+//!   `sampler::topologies` over the unified builders;
+//! * [`topology`] — **the unified topology service**: every static overlay
+//!   builder (full mesh, ring, star, ring lattice, shuffle and rejection
+//!   k-out, torus grid, Watts–Strogatz, Erdős–Rényi, two-level hierarchy)
+//!   in one index-space module, single source of truth for both the
+//!   experiment layer and the 100k-node scale paths;
 //! * [`tman`] — T-Man gossip-based topology *construction* (Jelasity &
 //!   Babaoglu, the paper's reference for overlay management): evolves the
 //!   overlay toward an arbitrary ranked target topology;
@@ -41,6 +44,7 @@ pub mod newscast;
 pub mod rumor;
 pub mod sampler;
 pub mod tman;
+pub mod topology;
 pub mod view;
 
 pub use antientropy::{AntiEntropy, AntiEntropyMsg, ExchangeMode, Rumor};

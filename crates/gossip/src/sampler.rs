@@ -51,192 +51,62 @@ impl PeerSampler for StaticSampler {
 
 /// Build per-node neighbor lists for the standard static topologies over
 /// nodes `ids[0..n]`. Returned `Vec` is indexed like `ids`.
+///
+/// Compatibility facade: the builders themselves live in
+/// [`crate::topology`] (the unified topology service, in index space);
+/// these wrappers apply [`crate::topology::relabel`] so the historical
+/// `&[NodeId] -> Vec<Vec<NodeId>>` signatures — and their seeded RNG draw
+/// orders — are preserved exactly.
 pub mod topologies {
     use super::*;
+    use crate::topology;
 
     /// Full mesh: everyone knows everyone else.
     pub fn full_mesh(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
-        ids.iter()
-            .map(|&me| ids.iter().copied().filter(|&x| x != me).collect())
-            .collect()
+        topology::relabel(ids, &topology::full_mesh(ids.len()))
     }
 
     /// Star: `ids[0]` is the hub; spokes only know the hub.
     pub fn star(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
-        ids.iter()
-            .enumerate()
-            .map(|(i, _)| {
-                if i == 0 {
-                    ids[1..].to_vec()
-                } else {
-                    vec![ids[0]]
-                }
-            })
-            .collect()
+        topology::relabel(ids, &topology::star(ids.len()))
     }
 
     /// Bidirectional ring in `ids` order.
     pub fn ring(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
-        let n = ids.len();
-        ids.iter()
-            .enumerate()
-            .map(|(i, _)| {
-                if n <= 1 {
-                    Vec::new()
-                } else if n == 2 {
-                    vec![ids[1 - i]]
-                } else {
-                    vec![ids[(i + n - 1) % n], ids[(i + 1) % n]]
-                }
-            })
-            .collect()
+        topology::relabel(ids, &topology::ring(ids.len()))
     }
 
     /// Random `k`-out digraph: each node gets `k` distinct random
-    /// out-neighbors (excluding itself).
+    /// out-neighbors (excluding itself). See [`topology::k_out_random`].
     pub fn k_out_random(ids: &[NodeId], k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<NodeId>> {
-        let n = ids.len();
-        ids.iter()
-            .enumerate()
-            .map(|(i, _)| {
-                if n <= 1 {
-                    return Vec::new();
-                }
-                let k = k.min(n - 1);
-                let mut others: Vec<NodeId> = ids
-                    .iter()
-                    .copied()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, x)| x)
-                    .collect();
-                rng.shuffle(&mut others);
-                others.truncate(k);
-                others
-            })
-            .collect()
+        topology::relabel(ids, &topology::k_out_random(ids.len(), k, rng))
     }
 
-    /// 2-D torus grid (4-neighborhood with wraparound) — the "mesh
-    /// topology connecting nodes responsible for different partitions"
-    /// sketched in the paper's architecture section.
-    ///
-    /// The grid is `rows × cols` with `rows` the largest divisor of
-    /// `ids.len()` not exceeding its square root; prime sizes therefore
-    /// degenerate to a `1 × n` ring, which is still a valid torus.
+    /// 2-D torus grid (4-neighborhood with wraparound); see
+    /// [`topology::torus_grid`].
     pub fn torus_grid(ids: &[NodeId]) -> Vec<Vec<NodeId>> {
-        let n = ids.len();
-        if n <= 1 {
-            return vec![Vec::new(); n];
+        let mut lists = topology::relabel(ids, &topology::torus_grid(ids.len()));
+        // Historical contract: neighbor lists are ordered by raw id (a
+        // no-op for ascending `ids`, but callers may pass any labeling).
+        for nbrs in &mut lists {
+            nbrs.sort_unstable_by_key(|id| id.raw());
         }
-        let mut rows = 1;
-        let mut d = 1;
-        while d * d <= n {
-            if n.is_multiple_of(d) {
-                rows = d;
-            }
-            d += 1;
-        }
-        let cols = n / rows;
-        ids.iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let (r, c) = (i / cols, i % cols);
-                let mut nbrs = vec![
-                    ids[r * cols + (c + 1) % cols],
-                    ids[r * cols + (c + cols - 1) % cols],
-                ];
-                if rows > 1 {
-                    nbrs.push(ids[((r + 1) % rows) * cols + c]);
-                    nbrs.push(ids[((r + rows - 1) % rows) * cols + c]);
-                }
-                nbrs.sort_unstable_by_key(|id| id.raw());
-                nbrs.dedup();
-                nbrs.retain(|&x| x != ids[i]);
-                nbrs
-            })
-            .collect()
+        lists
     }
 
-    /// Watts–Strogatz small world: a ring lattice where every node links to
-    /// its `k` nearest neighbors (`k/2` per side, `k` rounded up to even),
-    /// each lattice edge then rewired with probability `beta`. `beta = 0`
-    /// keeps the lattice (high clustering, long paths); `beta = 1`
-    /// approaches a random graph — the regime the PSO-neighborhood
-    /// literature the paper cites ([Kennedy 1999]) studies.
+    /// Watts–Strogatz small world; see [`topology::watts_strogatz`].
     pub fn watts_strogatz(
         ids: &[NodeId],
         k: usize,
         beta: f64,
         rng: &mut Xoshiro256pp,
     ) -> Vec<Vec<NodeId>> {
-        let n = ids.len();
-        if n <= 1 {
-            return vec![Vec::new(); n];
-        }
-        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
-        let half = (k.max(2) / 2).min((n - 1) / 2).max(1);
-        // Undirected edge set as (min, max) index pairs.
-        let mut edges: Vec<(usize, usize)> = Vec::new();
-        for i in 0..n {
-            for j in 1..=half {
-                let t = (i + j) % n;
-                edges.push((i.min(t), i.max(t)));
-            }
-        }
-        edges.sort_unstable();
-        edges.dedup();
-        let has_edge = |edges: &[(usize, usize)], a: usize, b: usize| {
-            let key = (a.min(b), a.max(b));
-            edges.binary_search(&key).is_ok()
-        };
-        // Rewire pass: detach the far end of each original lattice edge
-        // with probability beta, re-attaching it to a uniform non-neighbor.
-        let originals = edges.clone();
-        for &(a, b) in &originals {
-            if !rng.chance(beta) {
-                continue;
-            }
-            // Choose a new target for `a` distinct from both endpoints and
-            // not already a neighbor; give up after a few tries in tiny or
-            // near-complete graphs.
-            for _ in 0..16 {
-                let t = rng.index(n);
-                if t != a && t != b && !has_edge(&edges, a, t) {
-                    if let Ok(pos) = edges.binary_search(&(a.min(b), a.max(b))) {
-                        edges.remove(pos);
-                    }
-                    let key = (a.min(t), a.max(t));
-                    let pos = edges.binary_search(&key).unwrap_err();
-                    edges.insert(pos, key);
-                    break;
-                }
-            }
-        }
-        let mut lists = vec![Vec::new(); n];
-        for (a, b) in edges {
-            lists[a].push(ids[b]);
-            lists[b].push(ids[a]);
-        }
-        lists
+        topology::relabel(ids, &topology::watts_strogatz(ids.len(), k, beta, rng))
     }
 
-    /// Erdős–Rényi `G(n, p)`: every undirected pair independently linked
-    /// with probability `p`. Isolated nodes are possible at small `p`;
-    /// their sampler simply yields no peer.
+    /// Erdős–Rényi `G(n, p)`; see [`topology::erdos_renyi`].
     pub fn erdos_renyi(ids: &[NodeId], p: f64, rng: &mut Xoshiro256pp) -> Vec<Vec<NodeId>> {
-        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
-        let n = ids.len();
-        let mut lists = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if rng.chance(p) {
-                    lists[i].push(ids[j]);
-                    lists[j].push(ids[i]);
-                }
-            }
-        }
-        lists
+        topology::relabel(ids, &topology::erdos_renyi(ids.len(), p, rng))
     }
 
     /// Neighbor lists converted to index-based adjacency (for the graph

@@ -1,0 +1,403 @@
+//! The unified topology service: every static overlay builder in one
+//! module, in index space.
+//!
+//! Before this module existed the workspace grew two parallel builder
+//! families: [`crate::sampler::topologies`] built `Vec<Vec<NodeId>>`
+//! neighbor lists for the experiment layer, while [`crate::graph`] built
+//! `Vec<Vec<usize>>` adjacencies for the overlay-analysis and 100k-scale
+//! paths — with ring and k-out graphs implemented twice. This module is now
+//! the single source of truth: every builder works in **index space**
+//! (`adj[i]` = out-neighbor indices of node `i`), and [`relabel`] maps an
+//! adjacency onto an id slice for the samplers. Both old modules re-export
+//! from here, so existing call sites keep compiling.
+//!
+//! Determinism contract: the ported builders consume their RNG in exactly
+//! the same order as the originals (shuffles of equal length, identical
+//! loop nests), so seeded overlays — and everything downstream of them,
+//! including the committed `examples/fingerprint.rs` hashes — are
+//! bit-for-bit unchanged.
+//!
+//! Two k-out constructions coexist on purpose:
+//!
+//! * [`k_out_random`] — per-node shuffle of all other indices, O(n²) total;
+//!   the historical experiment-layer builder, kept for seed compatibility.
+//! * [`k_out_regular`] — rejection sampling, O(n·k) total; the only viable
+//!   construction at 100k nodes.
+
+use gossipopt_sim::NodeId;
+use gossipopt_util::{Rng64, Xoshiro256pp};
+
+/// Map an index-space adjacency onto `ids` (node `i` ↦ `ids[i]`).
+///
+/// `ids` must index positions the same way the builder did — i.e. the
+/// caller's node list in construction order.
+pub fn relabel(ids: &[NodeId], adj: &[Vec<usize>]) -> Vec<Vec<NodeId>> {
+    adj.iter()
+        .map(|nbrs| nbrs.iter().map(|&j| ids[j]).collect())
+        .collect()
+}
+
+/// Full mesh: everyone knows everyone else. O(n²) — paper-scale only.
+pub fn full_mesh(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| (0..n).filter(|&j| j != i).collect())
+        .collect()
+}
+
+/// Star: node `0` is the hub; spokes only know the hub.
+pub fn star(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| if i == 0 { (1..n).collect() } else { vec![0] })
+        .collect()
+}
+
+/// Bidirectional ring in index order.
+pub fn ring(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| {
+            if n <= 1 {
+                Vec::new()
+            } else if n == 2 {
+                vec![1 - i]
+            } else {
+                vec![(i + n - 1) % n, (i + 1) % n]
+            }
+        })
+        .collect()
+}
+
+/// Directed ring lattice: node `i` points at its `k` successors
+/// `i+1 .. i+k` (mod `n`). `k = 1` is the plain ring. The canonical
+/// low-degree, high-diameter baseline for the scale scenarios.
+pub fn ring_lattice(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k < n.max(1), "ring lattice needs k < n");
+    (0..n)
+        .map(|i| (1..=k).map(|d| (i + d) % n).collect())
+        .collect()
+}
+
+/// Random `k`-out digraph by per-node shuffle: each node shuffles all
+/// other indices and keeps the first `k` (saturating at `n − 1`).
+///
+/// O(n²) total work — use [`k_out_regular`] beyond a few thousand nodes.
+/// Kept because its RNG draw order backs the experiment layer's seeded
+/// `KOut` topologies.
+pub fn k_out_random(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| {
+            if n <= 1 {
+                return Vec::new();
+            }
+            let k = k.min(n - 1);
+            let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            rng.shuffle(&mut others);
+            others.truncate(k);
+            others
+        })
+        .collect()
+}
+
+/// Random `k`-out-regular digraph by rejection sampling: every node picks
+/// `k` distinct out-neighbors uniformly (never itself). Expander-like: low
+/// diameter at constant degree, O(n·k) construction — the random-graph
+/// reference point for the 100k-node runs.
+pub fn k_out_regular(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
+    assert!(k < n.max(1), "k-out-regular needs k < n");
+    let mut adj = Vec::with_capacity(n);
+    let mut picked = Vec::with_capacity(k);
+    for i in 0..n {
+        picked.clear();
+        while picked.len() < k {
+            let c = rng.index(n);
+            if c != i && !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        adj.push(picked.clone());
+    }
+    adj
+}
+
+/// 2-D torus grid (4-neighborhood with wraparound) — the "mesh topology
+/// connecting nodes responsible for different partitions" sketched in the
+/// paper's architecture section.
+///
+/// The grid is `rows × cols` with `rows` the largest divisor of `n` not
+/// exceeding its square root; prime sizes therefore degenerate to a
+/// `1 × n` ring, which is still a valid torus.
+pub fn torus_grid(n: usize) -> Vec<Vec<usize>> {
+    if n <= 1 {
+        return vec![Vec::new(); n];
+    }
+    let rows = largest_divisor_below_sqrt(n);
+    let cols = n / rows;
+    (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            let mut nbrs = vec![r * cols + (c + 1) % cols, r * cols + (c + cols - 1) % cols];
+            if rows > 1 {
+                nbrs.push(((r + 1) % rows) * cols + c);
+                nbrs.push(((r + rows - 1) % rows) * cols + c);
+            }
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            nbrs.retain(|&x| x != i);
+            nbrs
+        })
+        .collect()
+}
+
+/// Watts–Strogatz small world: a ring lattice where every node links to
+/// its `k` nearest neighbors (`k/2` per side, `k` rounded up to even),
+/// each lattice edge then rewired with probability `beta`. `beta = 0`
+/// keeps the lattice (high clustering, long paths); `beta = 1` approaches
+/// a random graph — the regime the PSO-neighborhood literature the paper
+/// cites ([Kennedy 1999]) studies.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
+    if n <= 1 {
+        return vec![Vec::new(); n];
+    }
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let half = (k.max(2) / 2).min((n - 1) / 2).max(1);
+    // Undirected edge set as (min, max) index pairs.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in 1..=half {
+            let t = (i + j) % n;
+            edges.push((i.min(t), i.max(t)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let has_edge = |edges: &[(usize, usize)], a: usize, b: usize| {
+        let key = (a.min(b), a.max(b));
+        edges.binary_search(&key).is_ok()
+    };
+    // Rewire pass: detach the far end of each original lattice edge with
+    // probability beta, re-attaching it to a uniform non-neighbor.
+    let originals = edges.clone();
+    for &(a, b) in &originals {
+        if !rng.chance(beta) {
+            continue;
+        }
+        // Choose a new target for `a` distinct from both endpoints and not
+        // already a neighbor; give up after a few tries in tiny or
+        // near-complete graphs.
+        for _ in 0..16 {
+            let t = rng.index(n);
+            if t != a && t != b && !has_edge(&edges, a, t) {
+                if let Ok(pos) = edges.binary_search(&(a.min(b), a.max(b))) {
+                    edges.remove(pos);
+                }
+                let key = (a.min(t), a.max(t));
+                let pos = edges.binary_search(&key).unwrap_err();
+                edges.insert(pos, key);
+                break;
+            }
+        }
+    }
+    let mut lists = vec![Vec::new(); n];
+    for (a, b) in edges {
+        lists[a].push(b);
+        lists[b].push(a);
+    }
+    lists
+}
+
+/// Erdős–Rényi `G(n, p)`: every undirected pair independently linked with
+/// probability `p`. Isolated nodes are possible at small `p`; their
+/// sampler simply yields no peer.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut Xoshiro256pp) -> Vec<Vec<usize>> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut lists = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(p) {
+                lists[i].push(j);
+                lists[j].push(i);
+            }
+        }
+    }
+    lists
+}
+
+/// Two-level hierarchy (Shin et al. 2020-style power-network scaling):
+/// nodes are grouped into `clusters` clusters of `cluster_size`; members
+/// of a cluster form a degree-`intra_k` ring lattice and additionally
+/// point at their cluster head (the cluster's first node) unless their
+/// ring window already reaches it, while the heads form a degree-`hub_k`
+/// ring lattice among themselves. Node ids are
+/// `cluster * cluster_size + member`; adjacency lists are duplicate-free.
+pub fn two_level_hierarchy(
+    clusters: usize,
+    cluster_size: usize,
+    intra_k: usize,
+    hub_k: usize,
+) -> Vec<Vec<usize>> {
+    assert!(cluster_size >= 1, "clusters cannot be empty");
+    assert!(
+        intra_k < cluster_size.max(1),
+        "intra_k must fit the cluster"
+    );
+    assert!(hub_k < clusters.max(1), "hub_k must fit the head ring");
+    let n = clusters * cluster_size;
+    let mut adj = vec![Vec::new(); n];
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for m in 0..cluster_size {
+            let i = base + m;
+            for d in 1..=intra_k {
+                adj[i].push(base + (m + d) % cluster_size);
+            }
+            // Member -> cluster head uplink, unless the ring window above
+            // already wrapped onto the head (m >= cluster_size - intra_k),
+            // which would duplicate the edge and double the head's pick
+            // probability under uniform neighbor selection.
+            if m != 0 && m < cluster_size - intra_k {
+                adj[i].push(base);
+            }
+        }
+        for d in 1..=hub_k {
+            adj[base].push(((c + d) % clusters) * cluster_size);
+        }
+    }
+    adj
+}
+
+/// The two-level hierarchy shaped automatically for **exactly** `n` nodes
+/// and a per-member degree budget: `round(√n)` clusters for every `n`
+/// (sizes differ by at most one — ragged, never divisor-dependent), ring
+/// window `degree` within each cluster, member → head uplinks, and a head
+/// ring of degree `≈ √clusters` (at least `degree`) so the hub overlay's
+/// diameter stays small. Unlike [`two_level_hierarchy`] this never pads
+/// above `n` and never degenerates to a couple of giant rings when `n`
+/// has no divisor near `√n`.
+pub fn two_level_auto(n: usize, degree: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let clusters = ((n as f64).sqrt().round() as usize).clamp(1, n);
+    let hub = ((clusters as f64).sqrt().ceil() as usize)
+        .max(degree)
+        .min(clusters.saturating_sub(1));
+    let (base_size, extra) = (n / clusters, n % clusters);
+    // Cluster c (0-based) has base_size + 1 members while c < extra; its
+    // head sits at the cumulative offset.
+    let head_of = |c: usize| c * base_size + c.min(extra);
+    let mut adj = vec![Vec::new(); n];
+    for c in 0..clusters {
+        let base = head_of(c);
+        let size = base_size + usize::from(c < extra);
+        let intra = degree.min(size.saturating_sub(1));
+        for m in 0..size {
+            let i = base + m;
+            for d in 1..=intra {
+                adj[i].push(base + (m + d) % size);
+            }
+            // Member -> head uplink unless the ring window already wraps
+            // onto the head (which would duplicate the edge and double the
+            // head's pick probability under uniform neighbor selection).
+            if m != 0 && m < size - intra {
+                adj[i].push(base);
+            }
+        }
+        for d in 1..=hub {
+            adj[base].push(head_of((c + d) % clusters));
+        }
+    }
+    adj
+}
+
+/// The largest divisor of `n` that does not exceed `√n` (1 for primes).
+fn largest_divisor_below_sqrt(n: usize) -> usize {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_maps_through_ids() {
+        let ids = [NodeId(10), NodeId(20), NodeId(30)];
+        let adj = vec![vec![1, 2], vec![0], vec![]];
+        assert_eq!(
+            relabel(&ids, &adj),
+            vec![vec![NodeId(20), NodeId(30)], vec![NodeId(10)], vec![]]
+        );
+    }
+
+    #[test]
+    fn two_level_auto_builds_exactly_n_nodes() {
+        for n in [1usize, 2, 7, 12, 60, 97, 100] {
+            let adj = two_level_auto(n, 3);
+            assert_eq!(adj.len(), n, "n = {n}");
+            for (i, nbrs) in adj.iter().enumerate() {
+                assert!(!nbrs.contains(&i), "self loop at {i} (n = {n})");
+                assert!(nbrs.iter().all(|&v| v < n), "phantom edge at {i}");
+                let mut s = nbrs.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), nbrs.len(), "duplicate edge at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_auto_is_strongly_connected_at_scale_shapes() {
+        // Includes a prime (997) and a semiprime (9998 = 2 × 4999): the
+        // ragged split must keep ~sqrt(n) clusters for every n, not fall
+        // back to a couple of giant rings when no divisor is near sqrt(n).
+        for n in [60usize, 100, 997, 1000, 9998] {
+            let adj = two_level_auto(n, 4);
+            assert!(
+                crate::graph::is_strongly_connected(&adj),
+                "auto hierarchy with n = {n} must be strongly connected"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_auto_keeps_sqrt_clusters_for_awkward_n() {
+        // 9998 has no divisor near sqrt(9998) ≈ 100; a divisor-based split
+        // would produce 2 clusters of 4999 (diameter ~1250 at degree 4).
+        // The ragged split keeps ~100 clusters, so BFS eccentricity from
+        // any node stays two orders of magnitude below ring diameter.
+        let adj = two_level_auto(9998, 4);
+        let ecc = crate::graph::bfs_distances(&adj, 1)
+            .into_iter()
+            .max()
+            .unwrap();
+        assert!(ecc < 200, "hierarchy eccentricity {ecc} looks like a ring");
+        // Heads at the ragged offsets: cluster sizes differ by at most 1
+        // and sum to n, so every index is covered exactly once.
+        let frac: usize = adj.iter().map(Vec::len).sum();
+        assert!(frac > 0);
+    }
+
+    #[test]
+    fn shuffle_and_rejection_kout_agree_on_degree_only() {
+        // Same seed, different algorithms: both yield k distinct non-self
+        // out-neighbors, but their draw orders are intentionally different
+        // (each backs a different committed-seed lineage).
+        let mut r1 = Xoshiro256pp::seeded(5);
+        let mut r2 = Xoshiro256pp::seeded(5);
+        let a = k_out_random(50, 3, &mut r1);
+        let b = k_out_regular(50, 3, &mut r2);
+        for g in [&a, &b] {
+            for (i, nbrs) in g.iter().enumerate() {
+                assert_eq!(nbrs.len(), 3);
+                assert!(!nbrs.contains(&i));
+            }
+        }
+        assert_ne!(a, b, "distinct constructions (seed lineages) expected");
+    }
+}

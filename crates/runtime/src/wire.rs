@@ -76,7 +76,7 @@ mod tag {
 
 fn put_best(buf: &mut BytesMut, g: &GlobalBest) {
     buf.put_u32_le(g.x.len() as u32);
-    for v in &g.x {
+    for v in g.x.iter() {
         buf.put_f64_le(*v);
     }
     buf.put_f64_le(g.f);
@@ -163,7 +163,7 @@ fn get_best(buf: &mut impl Buf) -> Result<GlobalBest, WireError> {
     }
     need(buf, 8)?;
     let f = buf.get_f64_le();
-    Ok(GlobalBest { x, f })
+    Ok(GlobalBest { x: x.into(), f })
 }
 
 fn get_descriptors(buf: &mut impl Buf) -> Result<Vec<Descriptor>, WireError> {
@@ -221,10 +221,8 @@ mod tests {
     use super::*;
 
     fn best(dim: usize) -> GlobalBest {
-        GlobalBest {
-            x: (0..dim).map(|i| i as f64 * 1.25 - 3.0).collect(),
-            f: 42.5,
-        }
+        let x: Vec<f64> = (0..dim).map(|i| i as f64 * 1.25 - 3.0).collect();
+        GlobalBest::new(&x, 42.5)
     }
 
     fn descriptors(n: usize) -> Vec<Descriptor> {
@@ -256,6 +254,15 @@ mod tests {
         // Msg intentionally does not derive PartialEq (f64 payloads);
         // compare via the Debug rendering, which is exact for our fields.
         format!("{a:?}") == format!("{b:?}")
+    }
+
+    #[test]
+    fn wire_bytes_accounting_matches_codec() {
+        // `Msg::wire_bytes` is the byte ledger the experiment reports use;
+        // it must never drift from what the codec actually emits.
+        for m in all_variants() {
+            assert_eq!(encode(&m).len(), m.wire_bytes(), "{m:?}");
+        }
     }
 
     #[test]
@@ -315,10 +322,10 @@ mod tests {
 
     #[test]
     fn nan_and_infinity_survive() {
-        let g = GlobalBest {
-            x: vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0],
-            f: f64::MAX,
-        };
+        let g = GlobalBest::new(
+            &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0],
+            f64::MAX,
+        );
         let bytes = encode(&Msg::Migrant(g));
         let Msg::Migrant(back) = decode(&bytes).unwrap() else {
             panic!("wrong variant");

@@ -13,7 +13,7 @@ fn arb_best() -> impl Strategy<Value = GlobalBest> {
         prop::collection::vec(prop::num::f64::ANY, 0..32),
         prop::num::f64::ANY,
     )
-        .prop_map(|(x, f)| GlobalBest { x, f })
+        .prop_map(|(x, f)| GlobalBest { x: x.into(), f })
 }
 
 fn arb_descriptors() -> impl Strategy<Value = Vec<Descriptor>> {

@@ -322,9 +322,51 @@ fn main() {
                 SolverSpec::Named("nelder-mead".into()),
                 SolverSpec::Named("sa".into()),
             ]),
-            ..base
+            ..base.clone()
         },
         "griewank",
         33,
+    );
+    // Static topologies skip kernel bootstrap sampling as of PR 3 (their
+    // samplers ignore join contacts), which intentionally shifted their
+    // seeded results once; this line locks the post-PR-3 behavior for a
+    // pre-existing static kind so future refactors are covered.
+    distributed_fingerprint(
+        "static-kout-sphere",
+        &DistributedPsoSpec {
+            topology: TopologyKind::KOut(3),
+            ..base.clone()
+        },
+        "sphere",
+        37,
+    );
+    // The scale topologies wired into the topology service (PR 3): static
+    // overlays from the unified builder module, zero kernel bootstrap.
+    distributed_fingerprint(
+        "ring-lattice-sphere",
+        &DistributedPsoSpec {
+            topology: TopologyKind::RingLattice(2),
+            ..base.clone()
+        },
+        "sphere",
+        34,
+    );
+    distributed_fingerprint(
+        "kout-regular-rastrigin",
+        &DistributedPsoSpec {
+            topology: TopologyKind::KOutRegular(4),
+            ..base.clone()
+        },
+        "rastrigin",
+        35,
+    );
+    distributed_fingerprint(
+        "two-level-griewank",
+        &DistributedPsoSpec {
+            topology: TopologyKind::TwoLevelHierarchy { degree: 2 },
+            ..base
+        },
+        "griewank",
+        36,
     );
 }

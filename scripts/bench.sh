@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Run the kernel + solvers criterion benches and refresh (or check against)
-# the BENCH_kernel.json baseline.
+# Run the kernel + dpso + solvers criterion benches and refresh (or check
+# against) the BENCH_kernel.json baseline.
 #
 # Usage:
 #   scripts/bench.sh [rounds]     refresh the baseline (default 5 rounds)
@@ -37,11 +37,13 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "== building benches (release)"
 cargo bench -p gossipopt_bench --bench kernel --no-run
+cargo bench -p gossipopt_bench --bench dpso --no-run
 cargo bench -p gossipopt_bench --bench solvers --no-run
 
 for round in $(seq 1 "$ROUNDS"); do
     echo "== round $round/$ROUNDS"
     CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench kernel
+    CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench dpso
     CRITERION_JSON="$RAW" cargo bench -q -p gossipopt_bench --bench solvers
 done
 
@@ -119,8 +121,8 @@ for key in sorted(raw):
     rows.append(row)
 
 doc = {
-    "description": "Criterion (in-repo shim) baseline for the kernel + solvers "
-    "hot paths; regenerate with scripts/bench.sh. 'before' carries the previous "
+    "description": "Criterion (in-repo shim) baseline for the kernel + dpso + "
+    "solvers hot paths; regenerate with scripts/bench.sh. 'before' carries the previous "
     "baseline's numbers so successive runs track regressions.",
     "generated_by": "scripts/bench.sh",
     "results": rows,
