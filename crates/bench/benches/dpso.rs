@@ -10,6 +10,13 @@
 //! advances the network by one tick (cycle) or one tick-period (event),
 //! i.e. one local evaluation per node plus its share of coordination
 //! traffic.
+//!
+//! The `dpso-par/*` family runs the same network under sharded execution
+//! (`threads = 2`, pinned for reproducible baselines): the cycle kernel's
+//! phased tick and the event kernel's sharded same-timestamp batches,
+//! with per-node solver state in the cross-node `SwarmArena`. The 10k row
+//! is directly comparable against `dpso/*/10000`; the 100k row covers the
+//! memory-bound regime the arena exists for.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gossipopt_core::experiment::{Budget, DistributedPsoSpec, NodeRecipe, TopologyKind};
@@ -20,6 +27,15 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 const SIZES: &[usize] = &[1000, 10_000];
+
+/// Sharded-execution family sizes: the 10k row is directly comparable to
+/// `dpso/*/10000`, the 100k row is the ROADMAP's memory-bound regime.
+const PAR_SIZES: &[usize] = &[10_000, 100_000];
+/// Worker threads for the `dpso-par` family — pinned (not
+/// `available_parallelism`) so the committed baseline means the same
+/// thing on every runner. Results are thread-count invariant; only the
+/// wall clock varies with the machine.
+const PAR_THREADS: usize = 2;
 
 /// The benchmark network: sphere(10), 4 particles per node, coordination
 /// every 4 evaluations over a degree-4 expander. The budget is effectively
@@ -78,5 +94,55 @@ fn bench_dpso_event(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dpso_cycle, bench_dpso_event);
+fn bench_dpso_par_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpso-par/cycle");
+    for &n in PAR_SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let recipe = recipe(n);
+            let mut cfg = CycleConfig::seeded(11);
+            cfg.bootstrap_sample = 0;
+            cfg.threads = PAR_THREADS; // phased sharded tick
+            let mut e: CycleEngine<OptNode> = CycleEngine::new(cfg);
+            for i in 0..n {
+                e.insert(recipe.build(i).expect("validated"));
+            }
+            b.iter(|| black_box(e.tick()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpso_par_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpso-par/event");
+    for &n in PAR_SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let recipe = recipe(n);
+            let mut cfg = EventConfig::seeded(12);
+            cfg.bootstrap_sample = 0;
+            cfg.tick_period = 10;
+            cfg.threads = PAR_THREADS; // sharded same-timestamp batches
+            let mut e: EventEngine<OptNode> = EventEngine::new(cfg);
+            for i in 0..n {
+                e.insert(recipe.build(i).expect("validated"));
+            }
+            let mut t = e.now();
+            b.iter(|| {
+                t += 10;
+                e.run(t);
+                black_box(e.delivered())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dpso_cycle,
+    bench_dpso_event,
+    bench_dpso_par_cycle,
+    bench_dpso_par_event
+);
 criterion_main!(benches);

@@ -20,7 +20,7 @@ use gossipopt_sim::{
     ChurnConfig, Control, CycleConfig, CycleEngine, EventConfig, EventEngine, Latency, NodeId,
     Transport,
 };
-use gossipopt_solvers::{solver_by_name, PsoParams, Solver, Swarm};
+use gossipopt_solvers::{solver_by_name, PsoParams, Solver, Swarm, SwarmArena};
 use gossipopt_util::{OnlineStats, Summary};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -183,6 +183,13 @@ pub struct DistributedPsoSpec {
     /// (`0` disables). The epidemic service still diffuses the global
     /// best, so the network keeps a global view.
     pub partition_zones: usize,
+    /// Kernel worker threads. `0` (default): the sequential engines,
+    /// exactly the historical semantics. `>= 1`: sharded execution — the
+    /// event kernel stays bit-identical to sequential at any thread
+    /// count, while the cycle kernel switches to the *phased* tick
+    /// discipline (thread-count invariant, but a different schedule than
+    /// the sequential tick; see `gossipopt_sim::cycle`).
+    pub threads: usize,
 }
 
 impl Default for DistributedPsoSpec {
@@ -204,6 +211,7 @@ impl Default for DistributedPsoSpec {
             stop_at_quality: None,
             trace_every: None,
             partition_zones: 0,
+            threads: 0,
         }
     }
 }
@@ -256,6 +264,13 @@ pub struct NodeRecipe {
     static_neighbors: Option<Arc<Vec<Vec<NodeId>>>>,
     hub: NodeId,
     per_node_budget: u64,
+    /// Cross-node SoA store for the hot particle state when the solver
+    /// spec is the gbest/classic PSO the arena implements bit-identically
+    /// (see `gossipopt_solvers::arena`): one flat allocation for the whole
+    /// network instead of `n` boxed swarms, so a tick streams memory
+    /// instead of pointer-chasing. Sized for the initial population; churn
+    /// joiners beyond it fall back to boxed swarms (same trajectories).
+    solver_arena: Option<Arc<SwarmArena>>,
 }
 
 impl NodeRecipe {
@@ -348,6 +363,17 @@ impl NodeRecipe {
                 ))
             }
         };
+        // Arena eligibility: one shared objective (no per-node zone
+        // wrappers, whose bounds differ) and the gbest/classic PSO. The
+        // arena is a pure storage change — `ArenaPso` is bit-identical to
+        // `Swarm` — so this engages for the default solver spec without
+        // shifting any seeded result.
+        let solver_arena = match (&spec.solver, &zones) {
+            (SolverSpec::Pso(params), None) if SwarmArena::supports(params) => Some(Arc::new(
+                SwarmArena::new(n, spec.particles_per_node, *params, objective.as_ref()),
+            )),
+            _ => None,
+        };
         Ok(NodeRecipe {
             spec: spec.clone(),
             objective,
@@ -355,6 +381,7 @@ impl NodeRecipe {
             static_neighbors: static_neighbors.map(Arc::new),
             hub: NodeId(0),
             per_node_budget: budget.per_node(n),
+            solver_arena,
         })
     }
 
@@ -380,7 +407,15 @@ impl NodeRecipe {
     /// (churn joiners) fall back to hub-only static neighbors.
     pub fn build(&self, index: usize) -> Result<OptNode, CoreError> {
         let spec = &self.spec;
-        let solver = spec.solver.build(spec.particles_per_node, index)?;
+        let solver: Box<dyn Solver> = match &self.solver_arena {
+            Some(arena) => match arena.alloc() {
+                Some(handle) => Box::new(handle),
+                // Arena exhausted (churn joiner beyond the initial
+                // population): a boxed swarm runs the identical search.
+                None => spec.solver.build(spec.particles_per_node, index)?,
+            },
+            None => spec.solver.build(spec.particles_per_node, index)?,
+        };
         let topology = match &self.static_neighbors {
             None => TopologyComp::Newscast(Newscast::new(spec.newscast)),
             Some(lists) => {
@@ -445,6 +480,7 @@ pub fn run_distributed(
     cfg.transport = Transport::lossy(spec.loss_prob);
     cfg.churn = spec.churn;
     cfg.bootstrap_sample = bootstrap_sample(spec, n);
+    cfg.threads = spec.threads;
 
     let mut engine: CycleEngine<OptNode> = CycleEngine::new(cfg);
     for i in 0..n {
@@ -578,6 +614,7 @@ pub fn run_distributed_async(
     cfg.jitter_phase = opts.jitter_phase;
     cfg.churn = spec.churn;
     cfg.bootstrap_sample = bootstrap_sample(spec, n);
+    cfg.threads = spec.threads;
 
     let mut engine: EventEngine<OptNode> = EventEngine::new(cfg);
     for i in 0..n {

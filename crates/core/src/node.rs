@@ -83,6 +83,14 @@ pub enum CoordComp {
 /// topology service, exactly the cadence defined in the paper's §4
 /// ("each node exchanges information about the global optimum with a
 /// random peer every `r` local function evaluations").
+///
+/// `OptNode` is `Send` (the [`Application`] contract), so the kernels can
+/// run disjoint shards of a network on worker threads. All callback state
+/// is per-node: the solver (possibly an `ArenaPso` handle into the shared
+/// cross-node `SwarmArena` — see `NodeRecipe` — whose row is exclusively
+/// this node's), the topology view, the coordination store and the byte
+/// ledger. Nothing here may reach for cross-node shared mutable state;
+/// that isolation is what makes sharded ticks deterministic.
 pub struct OptNode {
     objective: Arc<dyn Objective>,
     solver: Box<dyn Solver>,

@@ -19,9 +19,14 @@ use gossipopt_util::Xoshiro256pp;
 /// Implementations communicate *only* through [`Ctx::send`]; the kernel
 /// owns loss, latency and liveness. Sending to a crashed node silently
 /// drops the message, as UDP would.
-pub trait Application: Sized {
+/// `Application` and its messages are `Send` so a network can be sharded
+/// across worker threads (the engines' `threads >= 1` phased/sharded
+/// execution paths); per-node state is still only ever touched by one
+/// thread at a time — the kernel hands each shard exclusive access to a
+/// disjoint slot range.
+pub trait Application: Sized + Send {
     /// Message type exchanged between nodes of this application.
-    type Message: Clone + std::fmt::Debug;
+    type Message: Clone + std::fmt::Debug + Send;
 
     /// Called once when the node joins; `contacts` is a uniform sample of
     /// currently live nodes (possibly empty for the very first node).

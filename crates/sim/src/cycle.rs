@@ -14,11 +14,47 @@
 //! All scheduling randomness comes from a kernel stream derived from the
 //! root seed; every node owns an independent derived stream, so runs are
 //! bit-reproducible and insensitive to unrelated configuration changes.
+//!
+//! ## Sharded (phased) execution — `CycleConfig::threads >= 1`
+//!
+//! With `threads = 0` (the default) ticks run the sequential discipline
+//! above, byte-for-byte as they always have. Setting `threads >= 1`
+//! switches the engine to the *phased* tick, which processes one tick as
+//! parallel slot-range shards over the arena with a deterministic merge:
+//!
+//! 1. **Callback phase** — the live list is cut into contiguous slot
+//!    ranges, one shard per worker; each shard runs its nodes'
+//!    [`Application::on_tick`] in ascending slot order against a
+//!    shard-private scratch outbox. Callbacks only touch their own node's
+//!    state and private RNG stream, so shard boundaries cannot influence
+//!    any node's behavior.
+//! 2. **Deterministic merge** — shard outboxes are concatenated in shard
+//!    order (= ascending source slot, then per-source emission order) and
+//!    stably sorted by destination slot: the canonical delivery order is
+//!    **destination slot, then source slot, then source emission
+//!    sequence**, independent of the shard count.
+//! 3. **Delivery rounds** — transport loss and liveness are decided
+//!    *sequentially* in canonical order (so the kernel RNG stream is
+//!    consumed identically at any thread count), then surviving messages
+//!    are dispatched in parallel shards cut at destination boundaries;
+//!    each destination handles its messages in canonical order. Replies
+//!    form the next round (breadth-first, like the sequential drain),
+//!    bounded by [`CycleConfig::max_hops_per_tick`] *rounds* rather than
+//!    per-cascade hops.
+//!
+//! The phased tick is a *different scheduling discipline* from the
+//! sequential one (no per-tick shuffle, level-order delivery), but it is
+//! bit-for-bit deterministic and **thread-count invariant**: every
+//! `threads >= 1` value produces the identical trace, proven by the
+//! sharded-vs-sequential equivalence suite (`tests/shard_equivalence.rs`)
+//! and the fingerprint CI job diffing `--threads 1/2/8`. Churn and
+//! explicit joins keep the sequential path (they run in the sequential
+//! churn phase of the tick).
 
 use crate::app::{Application, Ctx};
 use crate::churn::ChurnConfig;
 use crate::ids::{NodeId, Ticks};
-use crate::slots::SlotArena;
+use crate::slots::{Slot, SlotArena};
 use crate::transport::Transport;
 use crate::Control;
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
@@ -46,6 +82,12 @@ pub struct CycleConfig {
     pub max_hops_per_tick: u32,
     /// How many live contacts a joining node is bootstrapped with.
     pub bootstrap_sample: usize,
+    /// Execution mode. `0` (default): the sequential tick, exactly the
+    /// historical semantics. `>= 1`: the sharded *phased* tick on this
+    /// many worker threads (see the module docs); results are identical
+    /// for every `threads >= 1` value, so `1` is the sequential reference
+    /// of the same discipline.
+    pub threads: usize,
 }
 
 impl Default for CycleConfig {
@@ -57,6 +99,7 @@ impl Default for CycleConfig {
             intra_tick_delivery: true,
             max_hops_per_tick: 64,
             bootstrap_sample: 8,
+            threads: 0,
         }
     }
 }
@@ -132,6 +175,39 @@ pub struct CycleEngine<A: Application> {
     drain_outbox_buf: Vec<(NodeId, A::Message)>,
     /// Bootstrap-contact scratch reused across `insert` calls.
     contacts_buf: Vec<NodeId>,
+    /// Phased-tick round buffer: the current round's `(from, to, msg)`
+    /// stream in canonical order.
+    par_round_buf: Vec<(NodeId, NodeId, A::Message)>,
+    /// Pool of `(from, to, msg)` scratch vectors for shard accumulators
+    /// and per-chunk message batches (phased tick only).
+    par_tri_pool: Vec<Vec<(NodeId, NodeId, A::Message)>>,
+    /// Pool of per-shard `Ctx` outboxes (phased tick only).
+    par_out_pool: Vec<Vec<(NodeId, A::Message)>>,
+}
+
+/// Callback-phase shard of a phased tick: exclusive slots of one
+/// contiguous range plus the live positions inside it.
+struct TickShard<'a, A: Application> {
+    base: usize,
+    slots: &'a mut [Slot<A>],
+    live: &'a [u32],
+    now: Ticks,
+    /// Shard-private accumulator of `(from, to, msg)`.
+    acc: Vec<(NodeId, NodeId, A::Message)>,
+    /// Per-callback `Ctx` outbox.
+    tmp: Vec<(NodeId, A::Message)>,
+}
+
+/// Delivery-phase shard: a canonical-order message batch whose
+/// destinations all fall inside this shard's exclusive slot range.
+struct DeliverShard<'a, A: Application> {
+    base: usize,
+    slots: &'a mut [Slot<A>],
+    now: Ticks,
+    msgs: Vec<(NodeId, NodeId, A::Message)>,
+    /// Replies produced by this shard, in canonical parent order.
+    replies: Vec<(NodeId, NodeId, A::Message)>,
+    tmp: Vec<(NodeId, A::Message)>,
 }
 
 impl<A: Application> CycleEngine<A> {
@@ -151,6 +227,9 @@ impl<A: Application> CycleEngine<A> {
             queue_buf: VecDeque::new(),
             drain_outbox_buf: Vec::new(),
             contacts_buf: Vec::new(),
+            par_round_buf: Vec::new(),
+            par_tri_pool: Vec::new(),
+            par_out_pool: Vec::new(),
         }
     }
 
@@ -278,8 +357,12 @@ impl<A: Application> CycleEngine<A> {
         self.arena.view()
     }
 
-    /// Run exactly one tick.
+    /// Run exactly one tick (sequential or phased, per
+    /// [`CycleConfig::threads`]).
     pub fn tick(&mut self) -> StepReport {
+        if self.cfg.threads >= 1 {
+            return self.tick_phased();
+        }
         let mut report = StepReport::default();
         self.churn_step(&mut report);
         self.now += 1;
@@ -320,6 +403,240 @@ impl<A: Application> CycleEngine<A> {
         self.outbox_buf = outbox;
         self.order_buf = order;
         report
+    }
+
+    /// Check a `(from, to, msg)` scratch vector back into the bounded
+    /// pool. The cap keeps pooling O(shards): an unbounded pool would
+    /// retain one buffer per tick × round × shard over a long run (the
+    /// delivery loop checks two vectors in per shard-round but only one
+    /// out), growing memory linearly with simulated time.
+    fn return_tri_scratch(&mut self, mut buf: Vec<(NodeId, NodeId, A::Message)>) {
+        if self.par_tri_pool.len() < 2 * self.cfg.threads.max(1) + 2 {
+            buf.clear();
+            self.par_tri_pool.push(buf);
+        }
+    }
+
+    /// Check a `Ctx`-outbox scratch vector back into the bounded pool.
+    fn return_out_scratch(&mut self, mut buf: Vec<(NodeId, A::Message)>) {
+        if self.par_out_pool.len() < 2 * self.cfg.threads.max(1) + 2 {
+            buf.clear();
+            self.par_out_pool.push(buf);
+        }
+    }
+
+    /// One tick of the sharded phased discipline (see the module docs):
+    /// parallel callback shards, canonical merge, breadth-first delivery
+    /// rounds. Thread-count invariant by construction — the callback phase
+    /// is per-node isolated and every cross-node effect (kernel RNG draws,
+    /// delivery order) happens in the canonical merge order.
+    fn tick_phased(&mut self) -> StepReport {
+        let mut report = StepReport::default();
+        self.churn_step(&mut report);
+        self.now += 1;
+
+        // Messages deferred from the previous tick (`intra_tick_delivery =
+        // false`) are delivered first, as in the sequential tick.
+        if !self.deferred.is_empty() {
+            let mut round = std::mem::take(&mut self.par_round_buf);
+            round.clear();
+            round.extend(self.deferred.drain(..));
+            self.deliver_phased(&mut round, &mut report);
+            self.par_round_buf = round;
+        }
+
+        // Callback phase: every live node's on_tick, sharded over
+        // contiguous slot ranges, ascending slot order within a shard.
+        let threads = self.cfg.threads.max(1);
+        let mut merged = std::mem::take(&mut self.par_round_buf);
+        merged.clear();
+        if !self.arena.live.is_empty() {
+            let chunks = crate::slots::even_chunks(self.arena.live.len(), threads);
+            let ranges: Vec<(usize, usize)> = chunks
+                .iter()
+                .map(|&(s, e)| {
+                    (
+                        self.arena.live[s] as usize,
+                        self.arena.live[e - 1] as usize + 1,
+                    )
+                })
+                .collect();
+            let live = &self.arena.live;
+            let now = self.now;
+            let views = crate::slots::disjoint_slot_ranges(&mut self.arena.slots, &ranges);
+            let tasks: Vec<TickShard<'_, A>> = views
+                .into_iter()
+                .zip(&chunks)
+                .map(|((base, slots), &(s, e))| TickShard {
+                    base,
+                    slots,
+                    live: &live[s..e],
+                    now,
+                    acc: self.par_tri_pool.pop().unwrap_or_default(),
+                    tmp: self.par_out_pool.pop().unwrap_or_default(),
+                })
+                .collect();
+            let outs = rayon::execute_indexed(tasks, threads, &|mut shard: TickShard<'_, A>| {
+                for &pos in shard.live {
+                    let slot = &mut shard.slots[pos as usize - shard.base];
+                    debug_assert!(slot.alive);
+                    let id = slot.id;
+                    shard.tmp.clear();
+                    {
+                        let mut ctx = Ctx::new(id, shard.now, &mut slot.rng, &mut shard.tmp);
+                        slot.app.on_tick(&mut ctx);
+                    }
+                    shard
+                        .acc
+                        .extend(shard.tmp.drain(..).map(|(to, m)| (id, to, m)));
+                }
+                (shard.acc, shard.tmp)
+            });
+            // Shard order = ascending source slot, so this concatenation is
+            // already sorted by (source slot, emission seq) — the tiebreak
+            // the stable by-destination sort in `deliver_phased` preserves.
+            for (mut acc, tmp) in outs {
+                merged.append(&mut acc);
+                self.return_tri_scratch(acc);
+                self.return_out_scratch(tmp);
+            }
+        }
+
+        if self.cfg.intra_tick_delivery {
+            self.deliver_phased(&mut merged, &mut report);
+        } else {
+            self.deferred.extend(merged.drain(..));
+        }
+        self.par_round_buf = merged;
+        report
+    }
+
+    /// Deliver `round` (and the reply rounds it spawns) under the phased
+    /// discipline. Each round: stable-sort by destination slot (canonical
+    /// order), decide loss/liveness sequentially in that order, dispatch
+    /// survivors in parallel shards cut at destination boundaries, then
+    /// recurse on the collected replies. `max_hops_per_tick` bounds the
+    /// number of rounds; the remainder is discarded as hop overflow.
+    fn deliver_phased(
+        &mut self,
+        round: &mut Vec<(NodeId, NodeId, A::Message)>,
+        report: &mut StepReport,
+    ) {
+        let threads = self.cfg.threads.max(1);
+        let mut rounds = 0u32;
+        while !round.is_empty() {
+            if rounds >= self.cfg.max_hops_per_tick {
+                let discarded = round.len() as u64;
+                self.stats.sent += discarded;
+                self.stats.hop_overflow += discarded;
+                report.dropped += discarded;
+                round.clear();
+                break;
+            }
+            rounds += 1;
+
+            // Canonical order: destination slot; stable, so the incoming
+            // (source slot, seq) order is the tiebreak.
+            round.sort_by_key(|&(_, to, _)| to.raw());
+
+            // Sequential transport + liveness pre-pass in canonical order:
+            // the only kernel-RNG consumer of the delivery phase, so the
+            // stream is identical at any thread count. Mirrors the
+            // sequential `deliver_one` short-circuit: a reliable transport
+            // draws nothing.
+            let transport = self.cfg.transport;
+            let lossy = transport.loss_prob > 0.0;
+            let stats = &mut self.stats;
+            let arena = &self.arena;
+            let krng = &mut self.kernel_rng;
+            let mut dropped = 0u64;
+            round.retain(|&(_, to, _)| {
+                stats.sent += 1;
+                if lossy && transport.drops(krng) {
+                    stats.lost += 1;
+                    dropped += 1;
+                    return false;
+                }
+                match arena.slot_index(to) {
+                    Some(i) if arena.slots[i].alive => true,
+                    _ => {
+                        stats.dead_letter += 1;
+                        dropped += 1;
+                        false
+                    }
+                }
+            });
+            report.dropped += dropped;
+            let delivered = round.len() as u64;
+            self.stats.delivered += delivered;
+            report.delivered += delivered;
+            if round.is_empty() {
+                break;
+            }
+
+            // Cut the survivor stream into shard batches at destination
+            // boundaries (a destination's messages never split).
+            let n = round.len();
+            let cuts = crate::slots::cuts_at_group_boundaries(n, threads, |i| {
+                round[i].1 == round[i - 1].1
+            });
+            let ranges: Vec<(usize, usize)> = cuts
+                .windows(2)
+                .map(|w| {
+                    (
+                        self.arena.slot_of_live(round[w[0]].1),
+                        self.arena.slot_of_live(round[w[1] - 1].1) + 1,
+                    )
+                })
+                .collect();
+            // Move each batch out of the round buffer (reverse split_off
+            // keeps order).
+            let mut batches: Vec<Vec<(NodeId, NodeId, A::Message)>> =
+                Vec::with_capacity(ranges.len());
+            for w in cuts.windows(2).rev() {
+                batches.push(round.split_off(w[0]));
+            }
+            batches.reverse();
+
+            let now = self.now;
+            let views = crate::slots::disjoint_slot_ranges(&mut self.arena.slots, &ranges);
+            let tasks: Vec<DeliverShard<'_, A>> = views
+                .into_iter()
+                .zip(batches)
+                .map(|((base, slots), msgs)| DeliverShard {
+                    base,
+                    slots,
+                    now,
+                    msgs,
+                    replies: self.par_tri_pool.pop().unwrap_or_default(),
+                    tmp: self.par_out_pool.pop().unwrap_or_default(),
+                })
+                .collect();
+            let outs = rayon::execute_indexed(tasks, threads, &|mut shard: DeliverShard<'_, A>| {
+                for (from, to, msg) in shard.msgs.drain(..) {
+                    let slot = &mut shard.slots[to.raw() as usize - shard.base];
+                    debug_assert!(slot.alive, "liveness was decided in the pre-pass");
+                    shard.tmp.clear();
+                    {
+                        let mut ctx = Ctx::new(to, shard.now, &mut slot.rng, &mut shard.tmp);
+                        slot.app.on_message(from, msg, &mut ctx);
+                    }
+                    shard
+                        .replies
+                        .extend(shard.tmp.drain(..).map(|(nto, m)| (to, nto, m)));
+                }
+                (shard.msgs, shard.replies, shard.tmp)
+            });
+            // Replies concatenate in shard order = canonical parent order;
+            // they are the next breadth-first round.
+            debug_assert!(round.is_empty());
+            for (batch, mut replies, tmp) in outs {
+                round.append(&mut replies);
+                self.return_tri_scratch(batch);
+                self.return_tri_scratch(replies);
+                self.return_out_scratch(tmp);
+            }
+        }
     }
 
     /// Run `ticks` ticks unconditionally.
@@ -952,6 +1269,90 @@ mod tests {
         }
         e.run(3);
         assert_eq!(e.alive_count(), 20);
+    }
+
+    /// Run a churny, lossy, reply-heavy phased network and return a full
+    /// behavioral digest (per-node state + stats).
+    fn phased_digest(threads: usize, intra: bool) -> (Vec<(u64, u64, u64)>, KernelStats) {
+        let mut cfg = CycleConfig::seeded(97);
+        cfg.threads = threads;
+        cfg.intra_tick_delivery = intra;
+        cfg.transport = Transport::lossy(0.2);
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.03,
+            joins_per_tick: 0.6,
+            min_nodes: 4,
+            max_nodes: 64,
+        };
+        let mut e: CycleEngine<Counter> = CycleEngine::new(cfg);
+        e.set_spawner(|_, _| Counter::new());
+        e.populate(24);
+        e.run(40);
+        let states = e
+            .nodes()
+            .map(|(id, a)| (id.raw(), a.sent, a.max_seen))
+            .collect();
+        (states, e.stats())
+    }
+
+    #[test]
+    fn phased_tick_is_thread_count_invariant() {
+        for intra in [true, false] {
+            let reference = phased_digest(1, intra);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    phased_digest(threads, intra),
+                    reference,
+                    "threads={threads} intra={intra} must match the 1-thread phased run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phased_tick_conserves_message_accounting() {
+        let (_, s) = phased_digest(4, true);
+        assert_eq!(
+            s.sent,
+            s.delivered + s.lost + s.dead_letter + s.hop_overflow,
+            "conservation: {s:?}"
+        );
+        assert!(s.delivered > 0 && s.lost > 0 && s.crashes > 0 && s.joins > 0);
+    }
+
+    #[test]
+    fn phased_round_budget_stops_ping_pong() {
+        #[derive(Debug)]
+        struct PingPong {
+            peer: Option<NodeId>,
+        }
+        impl Application for PingPong {
+            type Message = ();
+            fn on_join(&mut self, contacts: &[NodeId], _ctx: &mut Ctx<'_, ()>) {
+                self.peer = contacts.first().copied();
+            }
+            fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if let Some(p) = self.peer {
+                    ctx.send(p, ());
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _msg: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.send(from, ());
+            }
+        }
+        let mut cfg = CycleConfig::seeded(98);
+        cfg.threads = 2;
+        cfg.max_hops_per_tick = 16;
+        let mut e: CycleEngine<PingPong> = CycleEngine::new(cfg);
+        e.insert(PingPong { peer: None });
+        e.insert(PingPong { peer: None });
+        e.tick(); // would never terminate without the round budget
+        let s = e.stats();
+        assert!(s.hop_overflow > 0);
+        assert_eq!(
+            s.sent,
+            s.delivered + s.lost + s.dead_letter + s.hop_overflow
+        );
     }
 
     #[test]

@@ -31,6 +31,36 @@
 //! drain): observation boundaries are checked once per distinct timestamp,
 //! which cannot change the trace because new events are always scheduled at
 //! least one time unit in the future.
+//!
+//! ## Sharded execution — `EventConfig::threads >= 1`
+//!
+//! Setting `threads >= 1` runs each same-timestamp batch as parallel
+//! slot-range shards, and — unlike the cycle kernel's phased tick, which
+//! is a new discipline — the result is **bit-for-bit identical to the
+//! sequential engine** at every thread count. The argument:
+//!
+//! * Callbacks only touch their own node's state, private RNG stream and
+//!   outbox, never the kernel RNG. So the global `(time, seq)`
+//!   interleaving only matters *per node*: the batch is grouped by target
+//!   node (a tick targets its node, a delivery its destination), each
+//!   target's events run in seq order, and targets are sharded across
+//!   workers by contiguous slot ranges.
+//! * Everything that consumes the kernel RNG or allocates sequence
+//!   numbers — transport loss/latency draws and `schedule` calls — is
+//!   *replayed sequentially in event-seq order* after the callbacks, which
+//!   is exactly the order the sequential engine interleaves them in
+//!   (callbacks draw nothing from the kernel stream in between).
+//! * Churn events mutate liveness and spawn nodes, so a batch is split at
+//!   every churn event: the sub-batch before it is processed (callbacks +
+//!   replay), churn runs sequentially, and the remainder sees the updated
+//!   network — the same state each event observed sequentially. Liveness
+//!   is static within a sub-batch because nothing else crashes or joins
+//!   nodes mid-batch.
+//!
+//! The committed event fingerprints therefore hold unchanged at
+//! `--threads 1/2/8`, and `tests/shard_equivalence.rs` asserts
+//! byte-identical delivery traces against the sequential engine under
+//! churn, loss and latency.
 
 use crate::app::{Application, Ctx};
 use crate::churn::ChurnConfig;
@@ -61,6 +91,11 @@ pub struct EventConfig {
     pub churn: ChurnConfig,
     /// How many live contacts a joining node is bootstrapped with.
     pub bootstrap_sample: usize,
+    /// Execution mode. `0` (default): process events one at a time.
+    /// `>= 1`: shard each same-timestamp batch across this many worker
+    /// threads — results are bit-identical to the sequential engine at
+    /// every thread count (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for EventConfig {
@@ -72,6 +107,7 @@ impl Default for EventConfig {
             jitter_phase: true,
             churn: ChurnConfig::none(),
             bootstrap_sample: 8,
+            threads: 0,
         }
     }
 }
@@ -117,6 +153,26 @@ impl<M> Ord for Event<M> {
 }
 
 type Spawner<A> = Box<dyn FnMut(NodeId, &mut Xoshiro256pp) -> A>;
+
+/// One shard of a sharded same-timestamp segment: exclusive slots of a
+/// contiguous range plus the events targeting them, in seq order.
+struct EventShard<'a, A: Application> {
+    base: usize,
+    slots: &'a mut [crate::slots::Slot<A>],
+    now: Ticks,
+    events: Vec<Event<A::Message>>,
+}
+
+/// Deferred side effects of one processed event, replayed sequentially in
+/// seq order after the parallel callback phase.
+struct Replay<M> {
+    seq: u64,
+    /// The event's target node (sender of the outbox; owner of the timer).
+    from: NodeId,
+    outbox: Vec<(NodeId, M)>,
+    /// Tick events reschedule their timer after routing, like `process`.
+    reschedule_tick: bool,
+}
 
 /// Number of buckets in the timer wheel (power of two). Delays shorter than
 /// this — every tick timer and all but pathological latency samples — take
@@ -308,27 +364,49 @@ impl<A: Application> EventEngine<A> {
             // timestamp, so their sequence numbers all precede any bucketed
             // event's.
             self.now = batch_time;
-            while let Some(Reverse(head)) = self.overflow.peek() {
-                if head.time != batch_time {
-                    break;
+            if self.cfg.threads >= 1 {
+                // Sharded mode: collect the whole timestamp's events (still
+                // in seq order: overflow seqs all precede bucketed seqs)
+                // and process them as parallel shards with a sequential
+                // seq-order replay — bit-identical to the loop below.
+                let mut batch: Vec<Event<A::Message>> = Vec::new();
+                while let Some(Reverse(head)) = self.overflow.peek() {
+                    if head.time != batch_time {
+                        break;
+                    }
+                    let Reverse(ev) = self.overflow.pop().expect("peeked event vanished");
+                    batch.push(ev);
                 }
-                let Reverse(ev) = self.overflow.pop().expect("peeked event vanished");
-                self.pending -= 1;
-                self.process(ev.kind);
+                let bucket = (batch_time & WHEEL_MASK) as usize;
+                let mut bucket_events = std::mem::take(&mut self.wheel[bucket]);
+                debug_assert!(bucket_events.iter().all(|ev| ev.time == batch_time));
+                batch.append(&mut bucket_events);
+                std::mem::swap(&mut self.wheel[bucket], &mut bucket_events);
+                self.pending -= batch.len();
+                self.process_batch_sharded(batch);
+            } else {
+                while let Some(Reverse(head)) = self.overflow.peek() {
+                    if head.time != batch_time {
+                        break;
+                    }
+                    let Reverse(ev) = self.overflow.pop().expect("peeked event vanished");
+                    self.pending -= 1;
+                    self.process(ev.kind);
+                }
+                let bucket = (batch_time & WHEEL_MASK) as usize;
+                let mut batch = std::mem::take(&mut self.wheel[bucket]);
+                for ev in batch.drain(..) {
+                    debug_assert_eq!(ev.time, batch_time);
+                    self.pending -= 1;
+                    self.process(ev.kind);
+                }
+                // Nothing can have landed in this bucket meanwhile (that
+                // would need a delay that is a positive multiple of
+                // WHEEL_SLOTS, which goes to the overflow heap) — swap the
+                // grown buffer back so its capacity is reused.
+                debug_assert!(self.wheel[bucket].is_empty());
+                std::mem::swap(&mut self.wheel[bucket], &mut batch);
             }
-            let bucket = (batch_time & WHEEL_MASK) as usize;
-            let mut batch = std::mem::take(&mut self.wheel[bucket]);
-            for ev in batch.drain(..) {
-                debug_assert_eq!(ev.time, batch_time);
-                self.pending -= 1;
-                self.process(ev.kind);
-            }
-            // Nothing can have landed in this bucket meanwhile (that would
-            // need a delay that is a positive multiple of WHEEL_SLOTS,
-            // which goes to the overflow heap) — swap the grown buffer
-            // back so its capacity is reused.
-            debug_assert!(self.wheel[bucket].is_empty());
-            std::mem::swap(&mut self.wheel[bucket], &mut batch);
         }
         // Trailing observations up to max_time.
         while next_observe <= max_time {
@@ -434,6 +512,167 @@ impl<A: Application> EventEngine<A> {
                 self.churn_step();
                 let period = self.cfg.tick_period;
                 self.schedule(period, EventKind::Churn);
+            }
+        }
+    }
+
+    /// Process one same-timestamp batch in sharded mode: split at churn
+    /// events (liveness barriers), run each sub-batch as parallel shards
+    /// grouped by target node, then replay routing/scheduling sequentially
+    /// in seq order. Bit-identical to processing the batch event by event.
+    fn process_batch_sharded(&mut self, batch: Vec<Event<A::Message>>) {
+        let mut segment: Vec<Event<A::Message>> = Vec::with_capacity(batch.len());
+        for ev in batch {
+            if matches!(ev.kind, EventKind::Churn) {
+                let seg = std::mem::take(&mut segment);
+                self.process_segment_sharded(seg);
+                self.process(EventKind::Churn);
+            } else {
+                segment.push(ev);
+            }
+        }
+        self.process_segment_sharded(segment);
+    }
+
+    /// Sharded execution of a churn-free, same-timestamp event segment.
+    // `drain().collect()` (not `mem::take`) is deliberate: `tmp` keeps its
+    // capacity for the next callback of the shard.
+    #[allow(clippy::drain_collect)]
+    fn process_segment_sharded(&mut self, events: Vec<Event<A::Message>>) {
+        if events.len() <= 1 {
+            // Nothing to parallelize; the sequential path is the identical
+            // semantics at any thread count.
+            for ev in events {
+                self.process(ev.kind);
+            }
+            return;
+        }
+        let threads = self.cfg.threads.max(1);
+
+        // Triage: drop events for dead/unknown targets now (liveness is
+        // static within the segment, so this matches the per-event checks
+        // of the sequential engine), and index live events by target slot.
+        let mut wrapped: Vec<Option<Event<A::Message>>> = events.into_iter().map(Some).collect();
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(wrapped.len());
+        for (i, ev) in wrapped.iter().enumerate() {
+            let ev = ev.as_ref().expect("just wrapped");
+            let target = match &ev.kind {
+                EventKind::Tick { node } => *node,
+                EventKind::Deliver { to, .. } => *to,
+                EventKind::Churn => unreachable!("segments are split at churn events"),
+            };
+            match self.arena.slot_index(target) {
+                Some(t) if self.arena.slots[t].alive => order.push((t as u32, i as u32)),
+                _ => {
+                    // Crashed-node timer lapses silently; message
+                    // dead-letters.
+                    if matches!(ev.kind, EventKind::Deliver { .. }) {
+                        self.dropped += 1;
+                    }
+                }
+            }
+        }
+        if order.is_empty() {
+            return;
+        }
+        // Stable by target slot: each target's events stay in seq order
+        // (batch index order = seq order).
+        order.sort_by_key(|&(t, _)| t);
+
+        // Shard chunks cut at target boundaries.
+        let n = order.len();
+        let cuts =
+            crate::slots::cuts_at_group_boundaries(n, threads, |i| order[i].0 == order[i - 1].0);
+        let ranges: Vec<(usize, usize)> = cuts
+            .windows(2)
+            .map(|w| (order[w[0]].0 as usize, order[w[1] - 1].0 as usize + 1))
+            .collect();
+        let mut chunk_events: Vec<Vec<Event<A::Message>>> = Vec::with_capacity(ranges.len());
+        for w in cuts.windows(2) {
+            let mut evs = Vec::with_capacity(w[1] - w[0]);
+            for &(_, idx) in &order[w[0]..w[1]] {
+                evs.push(
+                    wrapped[idx as usize]
+                        .take()
+                        .expect("each event claimed once"),
+                );
+            }
+            chunk_events.push(evs);
+        }
+
+        // Callback phase: parallel shards, per-target seq order.
+        let now = self.now;
+        let views = crate::slots::disjoint_slot_ranges(&mut self.arena.slots, &ranges);
+        let tasks: Vec<EventShard<'_, A>> = views
+            .into_iter()
+            .zip(chunk_events)
+            .map(|((base, slots), events)| EventShard {
+                base,
+                slots,
+                now,
+                events,
+            })
+            .collect();
+        let outs = rayon::execute_indexed(tasks, threads, &|mut shard: EventShard<'_, A>| {
+            let mut replays: Vec<Replay<A::Message>> = Vec::new();
+            let mut delivered = 0u64;
+            let mut tmp: Vec<(NodeId, A::Message)> = Vec::new();
+            for ev in shard.events.drain(..) {
+                match ev.kind {
+                    EventKind::Tick { node } => {
+                        let slot = &mut shard.slots[node.raw() as usize - shard.base];
+                        debug_assert!(slot.alive, "triage kept live targets only");
+                        tmp.clear();
+                        {
+                            let mut ctx = Ctx::new(node, shard.now, &mut slot.rng, &mut tmp);
+                            slot.app.on_tick(&mut ctx);
+                        }
+                        // Ticks always replay: the timer must be rescheduled.
+                        replays.push(Replay {
+                            seq: ev.seq,
+                            from: node,
+                            outbox: tmp.drain(..).collect(),
+                            reschedule_tick: true,
+                        });
+                    }
+                    EventKind::Deliver { from, to, msg } => {
+                        let slot = &mut shard.slots[to.raw() as usize - shard.base];
+                        debug_assert!(slot.alive, "triage kept live targets only");
+                        tmp.clear();
+                        {
+                            let mut ctx = Ctx::new(to, shard.now, &mut slot.rng, &mut tmp);
+                            slot.app.on_message(from, msg, &mut ctx);
+                        }
+                        delivered += 1;
+                        if !tmp.is_empty() {
+                            replays.push(Replay {
+                                seq: ev.seq,
+                                from: to,
+                                outbox: tmp.drain(..).collect(),
+                                reschedule_tick: false,
+                            });
+                        }
+                    }
+                    EventKind::Churn => unreachable!("segments are split at churn events"),
+                }
+            }
+            (replays, delivered)
+        });
+
+        // Replay phase: sequential, in seq order — the exact interleaving
+        // of kernel-RNG draws and sequence allocation the per-event loop
+        // produces (callbacks never touch the kernel stream in between).
+        let mut replays: Vec<Replay<A::Message>> = Vec::new();
+        for (shard_replays, delivered) in outs {
+            self.delivered += delivered;
+            replays.extend(shard_replays);
+        }
+        replays.sort_unstable_by_key(|r| r.seq);
+        let period = self.cfg.tick_period;
+        for mut r in replays {
+            self.route(r.from, &mut r.outbox);
+            if r.reschedule_tick {
+                self.schedule(period, EventKind::Tick { node: r.from });
             }
         }
     }
@@ -668,6 +907,55 @@ mod tests {
         e.run(2000);
         assert!(e.alive_count() >= 2 && e.alive_count() <= 50);
         assert!(e.arena.slots.len() > 20, "some joins should have happened");
+    }
+
+    type RunDigest = (u64, u64, u64, Vec<(u64, u64, u64)>, [u64; 4]);
+
+    /// Full-behavior digest of a churny, lossy, jittered run at the given
+    /// shard thread count (0 = sequential engine).
+    fn sharded_digest(threads: usize) -> RunDigest {
+        let mut cfg = EventConfig::seeded(77);
+        cfg.threads = threads;
+        cfg.tick_period = 10;
+        cfg.transport = Transport {
+            loss_prob: 0.15,
+            latency: Latency::Uniform(1, 30),
+        };
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.02,
+            joins_per_tick: 0.5,
+            min_nodes: 4,
+            max_nodes: 64,
+        };
+        let mut e: EventEngine<Echo> = EventEngine::new(cfg);
+        e.set_spawner(|_, _| Echo::new());
+        e.populate(24);
+        e.run(600);
+        let states = e
+            .nodes()
+            .map(|(id, a)| (id.raw(), a.ticks, a.pings))
+            .collect();
+        (
+            e.delivered(),
+            e.dropped(),
+            e.now(),
+            states,
+            e.kernel_rng.state(),
+        )
+    }
+
+    #[test]
+    fn sharded_batches_are_bit_identical_to_sequential() {
+        // The strong contract of the module docs: sharding the event
+        // kernel changes nothing, down to the kernel RNG state.
+        let sequential = sharded_digest(0);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                sharded_digest(threads),
+                sequential,
+                "threads={threads} diverged from the sequential engine"
+            );
+        }
     }
 
     #[test]

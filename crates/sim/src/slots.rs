@@ -94,6 +94,18 @@ impl<A> SlotArena<A> {
         }
     }
 
+    /// Slot index for an id already verified allocated **and live** (the
+    /// sharded delivery paths pre-check liveness, then index repeatedly).
+    /// Arithmetic today; like [`SlotArena::slot_index`], this is the seam
+    /// a future slot compaction would reroute through `slot_of`.
+    #[inline]
+    pub(crate) fn slot_of_live(&self, id: NodeId) -> usize {
+        let i = id.raw() as usize;
+        debug_assert_eq!(self.slot_of[i] as usize, i);
+        debug_assert!(self.slots[i].alive);
+        i
+    }
+
     /// Reserve the next sequential id without inserting (callers derive the
     /// node's RNG streams from the id before constructing the app).
     #[inline]
@@ -236,6 +248,76 @@ impl<A> SlotArena<A> {
     }
 }
 
+/// Split `slots` into disjoint mutable sub-slices covering the half-open,
+/// ascending, pairwise-disjoint slot `ranges`; returns `(base, slice)`
+/// pairs where `slice[i]` is the slot at absolute index `base + i`.
+///
+/// This is the aliasing-free foundation of the sharded execution paths:
+/// each shard gets exclusive `&mut` access to a contiguous slot range, so
+/// per-node callbacks can run concurrently without locks while the borrow
+/// checker rules out cross-shard access.
+pub(crate) fn disjoint_slot_ranges<'a, A>(
+    mut slots: &'a mut [Slot<A>],
+    ranges: &[(usize, usize)],
+) -> Vec<(usize, &'a mut [Slot<A>])> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for &(lo, hi) in ranges {
+        debug_assert!(lo >= consumed && hi >= lo, "ranges ascending + disjoint");
+        let rest = std::mem::take(&mut slots);
+        let (_skip, rest) = rest.split_at_mut(lo - consumed);
+        let (mine, rest) = rest.split_at_mut(hi - lo);
+        out.push((lo, mine));
+        slots = rest;
+        consumed = hi;
+    }
+    out
+}
+
+/// Ascending cut positions (starting at 0, ending at `len`) slicing
+/// `0..len` into at most `parts` near-even contiguous chunks whose
+/// boundaries never split a group: while `joined(i)` says position `i`
+/// belongs with position `i - 1`, the boundary advances. Shared by both
+/// kernels' sharded delivery paths (groups = one destination's messages /
+/// one target's events).
+pub(crate) fn cuts_at_group_boundaries(
+    len: usize,
+    parts: usize,
+    joined: impl Fn(usize) -> bool,
+) -> Vec<usize> {
+    let mut cuts: Vec<usize> = vec![0];
+    for (_, mut e) in even_chunks(len, parts) {
+        while e < len && joined(e) {
+            e += 1;
+        }
+        if e > *cuts.last().expect("cuts starts non-empty") {
+            cuts.push(e);
+        }
+    }
+    debug_assert_eq!(*cuts.last().expect("non-empty"), len);
+    cuts
+}
+
+/// Cut the positions `0..len` into at most `parts` contiguous chunks of
+/// near-equal size (difference ≤ 1), skipping empty chunks. Returns
+/// half-open `(start, end)` position ranges.
+pub(crate) fn even_chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            break;
+        }
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +367,66 @@ mod tests {
         assert_eq!(a.live, vec![0, 2]);
         assert_eq!(a.alive_count, 2);
         assert_eq!(a.view().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_ranges_cover_exactly_and_exclusively() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        for v in 0..10u32 {
+            a.insert(v, rng());
+        }
+        let views = disjoint_slot_ranges(&mut a.slots, &[(0, 3), (4, 4), (5, 9)]);
+        assert_eq!(views.len(), 3);
+        let (base0, s0) = &views[0];
+        assert_eq!((*base0, s0.len()), (0, 3));
+        let (base1, s1) = &views[1];
+        assert_eq!((*base1, s1.len()), (4, 0));
+        let (base2, s2) = &views[2];
+        assert_eq!((*base2, s2.len()), (5, 4));
+        assert_eq!(s2[3].id, NodeId(8));
+    }
+
+    #[test]
+    fn group_boundary_cuts_never_split_a_group() {
+        // Groups: [0,0,0,1,2,2,2,2,3] — cuts must land only at group edges.
+        let keys = [0, 0, 0, 1, 2, 2, 2, 2, 3];
+        for parts in [1, 2, 3, 8] {
+            let cuts = cuts_at_group_boundaries(keys.len(), parts, |i| keys[i] == keys[i - 1]);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), keys.len());
+            for w in cuts.windows(2) {
+                assert!(w[1] > w[0], "strictly ascending: {cuts:?}");
+                assert_ne!(
+                    keys[w[1] - 1],
+                    keys.get(w[1]).copied().unwrap_or(usize::MAX),
+                    "cut at {} splits a group (parts {parts}): {cuts:?}",
+                    w[1]
+                );
+            }
+        }
+        assert_eq!(cuts_at_group_boundaries(0, 4, |_| false), vec![0]);
+    }
+
+    #[test]
+    fn even_chunks_partition_every_position() {
+        for (len, parts) in [(10, 3), (0, 4), (5, 8), (7, 1), (16, 16)] {
+            let chunks = even_chunks(len, parts);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for &(s, e) in &chunks {
+                assert_eq!(s, prev_end, "contiguous");
+                assert!(e > s, "no empty chunks");
+                covered += e - s;
+                prev_end = e;
+            }
+            assert_eq!(covered, len, "len {len} parts {parts}");
+            assert!(chunks.len() <= parts.max(1));
+            if len > 0 {
+                let sizes: Vec<usize> = chunks.iter().map(|&(s, e)| e - s).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal sizes {sizes:?}");
+            }
+        }
     }
 
     #[test]

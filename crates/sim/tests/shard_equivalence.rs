@@ -1,0 +1,262 @@
+//! Sharded-vs-sequential equivalence: byte-identical delivery traces.
+//!
+//! Two contracts, proven over randomized configurations (churn, loss,
+//! latency, deferred delivery, hop budgets):
+//!
+//! * **Event kernel** — `threads >= 1` shards each same-timestamp batch
+//!   but must reproduce the *sequential engine* (`threads = 0`)
+//!   bit-for-bit: every node's full receive trace, tick count, the kernel
+//!   counters, and the engine clock.
+//! * **Cycle kernel** — the phased tick (`threads >= 1`) is its own
+//!   scheduling discipline, so the reference is the same discipline run
+//!   on one thread: `threads ∈ {2, 3, 8}` must reproduce `threads = 1`
+//!   byte-for-byte. On top of the trace comparison, a hand-rolled
+//!   sequential model of the phased discipline (independent code: visit
+//!   in slot order, merge by destination/source/sequence, breadth-first
+//!   rounds) pins the canonical merge order itself for the reliable,
+//!   churn-free case.
+
+use gossipopt_sim::{
+    Application, ChurnConfig, Ctx, CycleConfig, CycleEngine, EventConfig, EventEngine, Latency,
+    NodeId, Transport,
+};
+use proptest::prelude::*;
+
+/// Records every event the node observes, in order — the "delivery trace".
+#[derive(Debug, Clone, Default)]
+struct Tracer {
+    contacts: Vec<NodeId>,
+    ticks: u64,
+    /// `(tick/time, from, payload)` for every delivered message.
+    trace: Vec<(u64, u64, u64)>,
+    draws: u64,
+}
+
+impl Application for Tracer {
+    type Message = u64;
+
+    fn on_join(&mut self, contacts: &[NodeId], ctx: &mut Ctx<'_, u64>) {
+        self.contacts = contacts.to_vec();
+        for &c in contacts {
+            ctx.send(c, c.raw() ^ 0xABCD);
+        }
+    }
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, u64>) {
+        use gossipopt_util::Rng64;
+        self.ticks += 1;
+        self.draws = self.draws.wrapping_add(ctx.rng().next_u64());
+        // Send to a pseudo-random earlier node: cross-shard traffic.
+        if let Some(&c) = self.contacts.first() {
+            ctx.send(c, self.draws);
+        }
+        let spread = NodeId(self.draws % (ctx.self_id.raw() + 1));
+        ctx.send(spread, self.ticks);
+    }
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        self.trace.push((ctx.now, from.raw(), msg));
+        // Occasional replies exercise multi-round (reply) delivery.
+        if msg.is_multiple_of(3) {
+            ctx.send(from, msg / 3 + 1);
+        }
+    }
+}
+
+type Digest = (Vec<(u64, u64, Vec<(u64, u64, u64)>)>, u64, u64);
+type NodeStates = Vec<(u64, Vec<(u64, u64, u64)>)>;
+
+/// Cycle-run parameters a proptest case draws (one struct keeps the
+/// drivers' signatures honest).
+#[derive(Debug, Clone, Copy)]
+struct CycleCase {
+    seed: u64,
+    n: usize,
+    loss: f64,
+    churny: bool,
+    intra: bool,
+    max_hops: u32,
+    ticks: u64,
+}
+
+fn digest_cycle(e: &CycleEngine<Tracer>) -> Digest {
+    let nodes = e
+        .nodes()
+        .map(|(id, a)| (id.raw(), a.ticks, a.trace.clone()))
+        .collect();
+    let s = e.stats();
+    (nodes, s.sent, s.delivered + s.lost + s.dead_letter)
+}
+
+fn run_cycle(threads: usize, case: CycleCase) -> Digest {
+    let mut cfg = CycleConfig::seeded(case.seed);
+    cfg.threads = threads;
+    cfg.transport = Transport::lossy(case.loss);
+    cfg.intra_tick_delivery = case.intra;
+    cfg.max_hops_per_tick = case.max_hops;
+    if case.churny {
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.03,
+            joins_per_tick: 0.4,
+            min_nodes: 2,
+            max_nodes: 2 * case.n + 8,
+        };
+    }
+    let mut e: CycleEngine<Tracer> = CycleEngine::new(cfg);
+    e.set_spawner(|_, _| Tracer::default());
+    e.populate(case.n);
+    e.run(case.ticks);
+    digest_cycle(&e)
+}
+
+fn run_event(
+    threads: usize,
+    seed: u64,
+    n: usize,
+    loss: f64,
+    churny: bool,
+    latency: Latency,
+    until: u64,
+) -> Digest {
+    let mut cfg = EventConfig::seeded(seed);
+    cfg.threads = threads;
+    cfg.transport = Transport {
+        loss_prob: loss,
+        latency,
+    };
+    if churny {
+        cfg.churn = ChurnConfig {
+            crash_prob_per_tick: 0.02,
+            joins_per_tick: 0.4,
+            min_nodes: 2,
+            max_nodes: 2 * n + 8,
+        };
+    }
+    let mut e: EventEngine<Tracer> = EventEngine::new(cfg);
+    e.set_spawner(|_, _| Tracer::default());
+    e.populate(n);
+    e.run(until);
+    let nodes = e
+        .nodes()
+        .map(|(id, a)| (id.raw(), a.ticks, a.trace.clone()))
+        .collect();
+    (nodes, e.delivered(), e.dropped())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Event kernel: sharded batches reproduce the sequential engine
+    /// byte-for-byte under churn, loss and latency, at every thread count.
+    #[test]
+    fn event_sharded_equals_sequential(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        loss in 0.0f64..0.5,
+        churny in any::<bool>(),
+        exp_latency in any::<bool>(),
+        until in 50u64..400,
+    ) {
+        let latency = if exp_latency {
+            Latency::Exponential(6.0)
+        } else {
+            Latency::Uniform(1, 25)
+        };
+        let sequential = run_event(0, seed, n, loss, churny, latency, until);
+        for threads in [1usize, 2, 8] {
+            let sharded = run_event(threads, seed, n, loss, churny, latency, until);
+            prop_assert_eq!(
+                &sharded, &sequential,
+                "event threads={} diverged", threads
+            );
+        }
+    }
+
+    /// Cycle kernel: the phased tick is thread-count invariant — any
+    /// worker count reproduces the 1-thread phased run byte-for-byte,
+    /// under churn, loss, both delivery disciplines and tight hop budgets.
+    #[test]
+    fn cycle_phased_is_thread_count_invariant(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        loss in 0.0f64..0.5,
+        churny in any::<bool>(),
+        intra in any::<bool>(),
+        max_hops in 2u32..64,
+        ticks in 1u64..40,
+    ) {
+        let case = CycleCase { seed, n, loss, churny, intra, max_hops, ticks };
+        let reference = run_cycle(1, case);
+        for threads in [2usize, 3, 8] {
+            let sharded = run_cycle(threads, case);
+            prop_assert_eq!(
+                &sharded, &reference,
+                "cycle threads={} diverged", threads
+            );
+        }
+    }
+}
+
+/// Independent sequential model of one phased tick for a static, reliable
+/// network: visit every node in slot order collecting `(from, to, msg)`,
+/// then deliver in rounds sorted stably by destination (ties keep source
+/// order), replies forming the next round. Validates the engine's merge
+/// order — not just its self-consistency.
+#[test]
+fn phased_merge_order_matches_reference_model() {
+    const N: usize = 12;
+    const TICKS: u64 = 6;
+
+    // Engine run (threads = 4 to actually shard).
+    let mut cfg = CycleConfig::seeded(4242);
+    cfg.threads = 4;
+    let mut e: CycleEngine<Tracer> = CycleEngine::new(cfg);
+    e.set_spawner(|_, _| Tracer::default());
+    e.populate(N);
+    e.run(TICKS);
+
+    // Reference model over hand-driven applications, replicating the
+    // kernel's RNG stream derivation. Join messages: nodes join one at a
+    // time with bootstrap samples; replicate by running the same engine
+    // population with zero ticks and harvesting the traces — the phased
+    // path does not alter joins, so seeding the model with the post-join
+    // state isolates the tick/merge machinery under test.
+    let mut seeded: CycleEngine<Tracer> = CycleEngine::new({
+        let mut cfg = CycleConfig::seeded(4242);
+        cfg.threads = 4;
+        cfg
+    });
+    seeded.set_spawner(|_, _| Tracer::default());
+    seeded.populate(N);
+    let mut apps: Vec<Tracer> = seeded.nodes().map(|(_, a)| a.clone()).collect();
+    let mut rngs: Vec<gossipopt_util::Xoshiro256pp> = (0..N as u64)
+        .map(|id| gossipopt_util::Xoshiro256pp::derive(4242, gossipopt_util::StreamId::node(0, id)))
+        .collect();
+    // Replay the join-time RNG usage the engine already performed: joins
+    // draw nothing from node streams in Tracer, so streams start fresh.
+    for now in 1..=TICKS {
+        // Callback phase, slot order.
+        let mut round: Vec<(NodeId, NodeId, u64)> = Vec::new();
+        for i in 0..N {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(NodeId(i as u64), now, &mut rngs[i], &mut outbox);
+            apps[i].on_tick(&mut ctx);
+            round.extend(outbox.into_iter().map(|(to, m)| (NodeId(i as u64), to, m)));
+        }
+        // Delivery rounds.
+        while !round.is_empty() {
+            round.sort_by_key(|&(_, to, _)| to.raw());
+            let mut next = Vec::new();
+            for (from, to, msg) in round {
+                let t = to.raw() as usize;
+                let mut outbox = Vec::new();
+                let mut ctx = Ctx::new(to, now, &mut rngs[t], &mut outbox);
+                apps[t].on_message(from, msg, &mut ctx);
+                next.extend(outbox.into_iter().map(|(nto, m)| (to, nto, m)));
+            }
+            round = next;
+        }
+    }
+
+    let engine_states: NodeStates = e.nodes().map(|(_, a)| (a.ticks, a.trace.clone())).collect();
+    let model_states: NodeStates = apps.iter().map(|a| (a.ticks, a.trace.clone())).collect();
+    assert_eq!(engine_states, model_states, "merge order departs the model");
+}

@@ -25,6 +25,7 @@
 //! * **[`Solver::best`] extraction** — what the coordination service
 //!   gossips out.
 
+pub mod arena;
 pub mod cmaes;
 pub mod de;
 pub mod es;
@@ -37,6 +38,7 @@ pub mod sa;
 use gossipopt_functions::Objective;
 use gossipopt_util::{Rng64, Xoshiro256pp};
 
+pub use arena::{ArenaPso, SwarmArena};
 pub use cmaes::{CmaesParams, SepCmaes};
 pub use de::{DeParams, DifferentialEvolution};
 pub use es::{EsParams, EvolutionStrategy};

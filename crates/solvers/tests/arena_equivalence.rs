@@ -1,0 +1,143 @@
+//! The arena contract: an [`ArenaPso`] handle is bit-identical to a boxed
+//! gbest/classic [`Swarm`] — same trajectories, same RNG draw order, same
+//! coordination behavior (`tell_best` / `emigrate` / `immigrate`). This is
+//! what lets `core::NodeRecipe` swap 100k boxed swarms for one flat arena
+//! without shifting a single committed fingerprint.
+
+use gossipopt_functions::by_name;
+use gossipopt_solvers::{
+    ArenaPso, BestPoint, BoundPolicy, Inertia, PsoParams, Solver, Swarm, SwarmArena,
+};
+use gossipopt_util::Xoshiro256pp;
+use std::sync::Arc;
+
+fn configs() -> Vec<(&'static str, PsoParams)> {
+    vec![
+        ("default-constriction", PsoParams::default()),
+        ("vanilla-1995", PsoParams::paper_1995()),
+        (
+            "constant-inertia-clamp",
+            PsoParams {
+                inertia: Inertia::Constant(0.7),
+                bounds: BoundPolicy::Clamp,
+                ..PsoParams::default()
+            },
+        ),
+        (
+            "reflect-bounds",
+            PsoParams {
+                bounds: BoundPolicy::Reflect,
+                ..PsoParams::default()
+            },
+        ),
+    ]
+}
+
+fn assert_same_best(a: &dyn Solver, b: &dyn Solver, context: &str) {
+    match (a.best(), b.best()) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.f.to_bits(), y.f.to_bits(), "{context}: best value");
+            let xb: Vec<u64> = x.x.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "{context}: best position");
+        }
+        _ => panic!("{context}: one solver has a best, the other does not"),
+    }
+}
+
+/// Lockstep driver: identical RNG streams into both solvers, with
+/// interleaved coordination traffic, asserting bit-equality throughout.
+fn lockstep(label: &str, params: PsoParams, function: &str, dim: usize, seed: u64) {
+    let f = by_name(function, dim).unwrap();
+    let arena = Arc::new(SwarmArena::new(4, 6, params, f.as_ref()));
+    // Burn a row so the tested handle is not row 0 (offset indexing).
+    let _burn: ArenaPso = arena.alloc().unwrap();
+    let mut arena_solver = arena.alloc().unwrap();
+    let mut boxed = Swarm::new(6, params);
+    let mut rng_a = Xoshiro256pp::seeded(seed);
+    let mut rng_b = Xoshiro256pp::seeded(seed);
+
+    for step in 0..600u64 {
+        arena_solver.step(f.as_ref(), &mut rng_a);
+        boxed.step(f.as_ref(), &mut rng_b);
+        assert_eq!(
+            rng_a.state(),
+            rng_b.state(),
+            "{label}: RNG diverged @ {step}"
+        );
+        if step % 97 == 0 {
+            // Remote optimum injection (the coordination hook).
+            let point = BestPoint {
+                x: vec![0.25; dim],
+                f: 0.125 * step as f64,
+            };
+            arena_solver.tell_best(point.clone());
+            boxed.tell_best(point);
+        }
+        if step % 131 == 0 {
+            let ea = arena_solver.emigrate(&mut rng_a);
+            let eb = boxed.emigrate(&mut rng_b);
+            assert_eq!(
+                ea.as_ref().map(|p| p.f.to_bits()),
+                eb.as_ref().map(|p| p.f.to_bits()),
+                "{label}: emigrant @ {step}"
+            );
+            assert_eq!(rng_a.state(), rng_b.state(), "{label}: emigrate draws");
+            let migrant = BestPoint {
+                x: vec![0.5; dim],
+                f: 1.0 + step as f64,
+            };
+            arena_solver.immigrate(migrant.clone(), &mut rng_a);
+            boxed.immigrate(migrant, &mut rng_b);
+        }
+        assert_same_best(&arena_solver, &boxed, label);
+        assert_eq!(arena_solver.evals(), boxed.evals(), "{label}");
+    }
+}
+
+#[test]
+fn arena_matches_boxed_swarm_bit_for_bit() {
+    for (label, params) in configs() {
+        for (function, dim, seed) in [("sphere", 8, 41), ("rastrigin", 5, 42), ("griewank", 3, 43)]
+        {
+            lockstep(&format!("{label}/{function}"), params, function, dim, seed);
+        }
+    }
+}
+
+#[test]
+fn arena_name_matches_boxed_swarm() {
+    let f = by_name("sphere", 4).unwrap();
+    let arena = Arc::new(SwarmArena::new(1, 2, PsoParams::default(), f.as_ref()));
+    let handle = arena.alloc().unwrap();
+    assert_eq!(handle.name(), Swarm::new(2, PsoParams::default()).name());
+}
+
+#[test]
+fn pre_initialization_behavior_matches() {
+    // tell_best / emigrate / best before any step: the lazy-init edge.
+    let f = by_name("sphere", 4).unwrap();
+    let arena = Arc::new(SwarmArena::new(1, 3, PsoParams::default(), f.as_ref()));
+    let mut a = arena.alloc().unwrap();
+    let mut b = Swarm::new(3, PsoParams::default());
+    assert!(a.best().is_none() && b.best().is_none());
+    let mut ra = Xoshiro256pp::seeded(9);
+    let mut rb = Xoshiro256pp::seeded(9);
+    assert_eq!(
+        a.emigrate(&mut ra).is_none(),
+        b.emigrate(&mut rb).is_none(),
+        "no emigrant before init on either side"
+    );
+    let p = BestPoint {
+        x: vec![1.0; 4],
+        f: 4.0,
+    };
+    a.tell_best(p.clone());
+    b.tell_best(p);
+    assert_same_best(&a, &b, "pre-init tell_best");
+    a.step(f.as_ref(), &mut ra);
+    b.step(f.as_ref(), &mut rb);
+    assert_eq!(ra.state(), rb.state());
+    assert_same_best(&a, &b, "first step after injected best");
+}

@@ -1,9 +1,17 @@
 //! Determinism fingerprint: hashes solver trajectories and kernel traces
 //! for a spread of configurations. Two builds that print identical lines
 //! produce bit-identical simulations — used to verify that hot-path
-//! refactors (SoA swarm, dense slot map) preserve behavior exactly.
+//! refactors (SoA swarm, dense slot map, cross-node solver arena) preserve
+//! behavior exactly.
 //!
 //! Run with `cargo run --release --example fingerprint`.
+//!
+//! `--threads N` (default 0) runs the kernel / event / dist families under
+//! sharded execution with `N` worker threads. The event kernel is
+//! bit-identical to sequential, and the cycle kernel's phased discipline
+//! is thread-count invariant, so the output for every `N >= 1` must be
+//! byte-identical — CI diffs `--threads 1/2/8`. `N = 0` keeps the
+//! historical sequential output.
 
 use gossipopt::core::prelude::*;
 use gossipopt::functions::{by_name, Objective};
@@ -96,6 +104,7 @@ impl Application for Probe {
 }
 
 fn kernel_fingerprint(label: &str, mut cfg: CycleConfig, churn: bool, ticks: u64) {
+    cfg.threads = shard_threads();
     if churn {
         cfg.churn = ChurnConfig {
             crash_prob_per_tick: 0.03,
@@ -137,6 +146,7 @@ fn kernel_fingerprint(label: &str, mut cfg: CycleConfig, churn: bool, ticks: u64
 }
 
 fn event_fingerprint(label: &str, mut cfg: EventConfig, churn: bool, until: u64) {
+    cfg.threads = shard_threads();
     if churn {
         cfg.churn = ChurnConfig {
             crash_prob_per_tick: 0.02,
@@ -169,7 +179,11 @@ fn event_fingerprint(label: &str, mut cfg: EventConfig, churn: bool, until: u64)
 }
 
 fn distributed_fingerprint(label: &str, spec: &DistributedPsoSpec, function: &str, seed: u64) {
-    let r = run_distributed_pso(spec, function, Budget::PerNode(120), seed).expect("runs");
+    let spec = DistributedPsoSpec {
+        threads: shard_threads(),
+        ..spec.clone()
+    };
+    let r = run_distributed_pso(&spec, function, Budget::PerNode(120), seed).expect("runs");
     println!(
         "dist {label}: q={:016x} sent={} evals={} exch={} pop={}",
         r.best_quality.to_bits(),
@@ -178,6 +192,20 @@ fn distributed_fingerprint(label: &str, spec: &DistributedPsoSpec, function: &st
         r.coordination_exchanges,
         r.final_population,
     );
+}
+
+/// `--threads N` from the command line; 0 (sequential engines) when absent.
+fn shard_threads() -> usize {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--threads" {
+            return it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads requires a number");
+        }
+    }
+    0
 }
 
 fn main() {

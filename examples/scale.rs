@@ -20,13 +20,19 @@
 //!     --nodes 100000 --topology hier --kernel both --ticks 60
 //! cargo run --release --example scale -- \
 //!     --mode dpso --nodes 100000 --topology kregular --kernel both --ticks 24
+//! # the 1M-node raw-gossip scenario (CI bench-smoke runs this):
+//! cargo run --release --example scale -- \
+//!     --nodes 1000000 --topology kregular --kernel both --ticks 30 --threads 4
 //! ```
 //!
 //! Options: `--mode gossip|dpso`, `--nodes N` (default 2000), `--degree K`
 //! (default 4), `--topology ring|kregular|hier|all`,
 //! `--kernel cycle|event|both`, `--ticks T` (default 60; in dpso mode the
-//! per-node evaluation budget), `--seed S`, `--curve` (gossip mode only:
-//! print the per-tick convergence/communication curve).
+//! per-node evaluation budget), `--seed S`, `--threads N` (default 0 =
+//! sequential kernels; `>= 1` shards ticks/batches over that many worker
+//! threads — event-kernel results are bit-identical to sequential, cycle
+//! results follow the thread-count-invariant phased discipline), and
+//! `--curve` (gossip mode only: print the per-tick convergence curve).
 
 use gossipopt::core::experiment::CoordinationKind;
 use gossipopt::core::prelude::*;
@@ -87,6 +93,7 @@ struct Args {
     kernel: String,
     ticks: u64,
     seed: u64,
+    threads: usize,
     curve: bool,
 }
 
@@ -99,6 +106,7 @@ fn parse_args() -> Args {
         kernel: "both".into(),
         ticks: 60,
         seed: 1,
+        threads: 0,
         curve: false,
     };
     let mut it = std::env::args().skip(1);
@@ -115,6 +123,7 @@ fn parse_args() -> Args {
             "--kernel" => args.kernel = value("--kernel"),
             "--ticks" => args.ticks = value("--ticks").parse().expect("--ticks"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
             "--curve" => args.curve = true,
             other => panic!("unknown flag {other}"),
         }
@@ -171,6 +180,7 @@ fn run_cycle(
     let n = adj.len();
     let mut cfg = CycleConfig::seeded(args.seed);
     cfg.bootstrap_sample = 0; // topology is explicit; skip bootstrap work
+    cfg.threads = args.threads;
     let mut e: CycleEngine<MaxGossip> = CycleEngine::new(cfg);
     e.set_spawner(spawn(adj, args.seed));
     e.populate(n);
@@ -206,6 +216,7 @@ fn run_event(
     let mut cfg = EventConfig::seeded(args.seed);
     cfg.bootstrap_sample = 0;
     cfg.tick_period = 10;
+    cfg.threads = args.threads;
     let period = cfg.tick_period;
     let mut e: EventEngine<MaxGossip> = EventEngine::new(cfg);
     e.set_spawner(spawn(adj, args.seed));
@@ -278,6 +289,7 @@ fn dpso_spec(topology: &str, args: &Args) -> DistributedPsoSpec {
         topology: kind,
         coordination: CoordinationKind::GossipBest(ExchangeMode::PushPull),
         function_dim: 8,
+        threads: args.threads,
         ..Default::default()
     }
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Run the kernel + dpso + solvers criterion benches and refresh (or check
-# against) the BENCH_kernel.json baseline.
+# against) the BENCH_kernel.json baseline. The dpso bench binary includes
+# the sharded `dpso-par/{cycle,event}/{10000,100000}` family (thread count
+# pinned inside the bench for reproducibility); its rows sit under the
+# same regression gate as everything else.
 #
 # Usage:
 #   scripts/bench.sh [rounds]     refresh the baseline (default 5 rounds)

@@ -51,11 +51,29 @@
 //!   never allocate, and the composed `core::OptNode` stack runs at 100k
 //!   nodes on both kernels (`examples/scale.rs --mode dpso`, measured by
 //!   the `dpso/*` bench family).
+//! * **Cross-node solver arena** — `solvers::SwarmArena` stores the hot
+//!   particle state of *every node's* swarm in one flat allocation
+//!   (stride-indexed rows); `core::NodeRecipe` hands each node an
+//!   `ArenaPso` handle that is bit-identical to a boxed `Swarm`, so a
+//!   network tick streams memory instead of chasing 100k boxed swarms
+//!   (`dpso/cycle/10000` dropped ~5x when this landed; see
+//!   `BENCH_kernel.json`).
+//! * **Sharded multi-core kernels** — `threads >= 1` on either kernel
+//!   config (or `DistributedPsoSpec::threads`, `--threads` on the
+//!   examples) runs one simulated network across worker threads with a
+//!   deterministic merge. The event kernel stays bit-identical to its
+//!   sequential engine at any thread count; the cycle kernel's *phased*
+//!   tick is a thread-count-invariant discipline of its own (merge order:
+//!   destination slot, then source slot, then emission sequence). The 1M-
+//!   node raw-gossip scenario (`examples/scale.rs --nodes 1000000`) and
+//!   the `dpso-par/*` bench family run on this path.
 //!
 //! All of this preserves determinism bit for bit: RNG draw order, float
 //! operation order and delivery order are unchanged, verified against the
-//! pre-refactor implementation by `examples/fingerprint.rs` and the
-//! `soa_equivalence` test suite.
+//! pre-refactor implementation by `examples/fingerprint.rs` (which also
+//! proves thread-count invariance under `--threads 1/2/8`) and the
+//! `soa_equivalence`, `arena_equivalence` and `shard_equivalence` test
+//! suites.
 //!
 //! Run the benches with `scripts/bench.sh` (refreshes `BENCH_kernel.json`)
 //! or directly: `cargo bench -p gossipopt_bench --bench kernel`.

@@ -1,11 +1,18 @@
 //! Offline stand-in for `rayon`'s `par_iter` surface.
 //!
-//! `into_par_iter().map(f).collect()` materializes the input, splits it
-//! into one contiguous chunk per available core, runs the chunks on scoped
-//! `std::thread`s and reassembles results in order — real parallelism for
-//! the embarrassingly parallel repetition loops this workspace runs, minus
-//! rayon's work stealing (irrelevant for near-uniform experiment
-//! repetitions).
+//! `into_par_iter().map(f).collect()` materializes the input and runs the
+//! mapped items on scoped `std::thread`s with **work stealing**: workers
+//! claim items one at a time from a shared atomic cursor, so a skewed
+//! workload (one slow item per chunk) no longer serializes on the slowest
+//! static chunk — the idle workers simply pull the remaining items.
+//! Results are written to their input's slot, preserving order.
+//!
+//! [`execute_indexed`] exposes the same self-scheduling executor for
+//! callers that already hold a vector of independent jobs (the simulation
+//! kernels' shard runners use it directly).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
@@ -69,38 +76,72 @@ where
     type Item = R;
 
     fn run(self) -> Vec<R> {
-        let items = self.inner.run();
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        if threads <= 1 {
-            return items.into_iter().map(&self.f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let f = &self.f;
-        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
-        let mut items = items;
-        while !items.is_empty() {
-            let rest = items.split_off(items.len().min(chunk));
-            chunks.push(std::mem::replace(&mut items, rest));
-        }
-        let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("rayon-shim worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
+            .unwrap_or(1);
+        execute_indexed(self.inner.run(), threads, &self.f)
     }
+}
+
+/// Run `f` over `items` on up to `threads` workers with work stealing and
+/// return the results in input order.
+///
+/// Scheduling is a shared atomic cursor: each worker claims the next
+/// unclaimed index, runs it, and loops — item-granular self-scheduling, so
+/// wall-clock time is bounded by `total_work / workers + max_item`, not by
+/// the slowest static chunk. Item slots are independently locked, which
+/// costs one uncontended lock/unlock per item — noise for the
+/// coarse-grained jobs (experiment repetitions, kernel shards) this shim
+/// exists for.
+pub fn execute_indexed<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        // The scope owns worker lifetimes; panics in a worker propagate on
+        // join below, after every worker has stopped claiming items.
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (slots, results, cursor) = (&slots, &results, &cursor);
+            handles.push(scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("rayon-shim slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().expect("rayon-shim result poisoned") = Some(r);
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon-shim worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon-shim result poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 /// Order-preserving result assembly.
@@ -150,6 +191,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -170,5 +212,38 @@ mod tests {
             })
             .collect();
         assert_eq!(out.unwrap_err(), "seven");
+    }
+
+    #[test]
+    fn execute_indexed_preserves_order_at_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = super::execute_indexed((0..257u32).collect(), threads, &|x| x + 1);
+            assert_eq!(out, (1..258u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn skewed_items_are_stolen_not_chunked() {
+        // One pathological item at the front of the list: under static
+        // chunking the first chunk's worker would also own the following
+        // items; under work stealing every other item may be claimed by
+        // the idle workers. Assert the scheduling property directly: some
+        // later item starts before the slow item finishes.
+        let slow_done = AtomicUsize::new(0);
+        let started_while_slow = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        super::execute_indexed(items, 4, &|i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                slow_done.store(1, Ordering::SeqCst);
+            } else if slow_done.load(Ordering::SeqCst) == 0 {
+                started_while_slow.fetch_add(1, Ordering::SeqCst);
+            }
+            i
+        });
+        assert!(
+            started_while_slow.load(Ordering::SeqCst) > 0,
+            "no other item ran while the slow item held its worker"
+        );
     }
 }
