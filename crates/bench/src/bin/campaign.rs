@@ -1,0 +1,133 @@
+//! Campaign entrypoint: run a declarative scenario file end to end.
+//!
+//! ```text
+//! cargo run --release -p gossipopt_bench --bin campaign -- scenarios/paper_grid.toml
+//! ```
+//!
+//! Options (after the spec path):
+//!
+//! * `--out DIR` — write `<name>.json` and `<name>.csv` reports there
+//!   (default `campaign-out`); the JSON/CSV bytes are identical across
+//!   runs and `--threads` values, which CI diffs across fresh processes;
+//! * `--threads N` — campaign worker threads (default 1; cells are
+//!   independently seeded, so N does not affect the report);
+//! * `--quiet` — suppress the summary table.
+//!
+//! Exit status: `0` when every cell ran and every `[assert]` bound held;
+//! `1` on assertion failures; `2` on usage/spec errors.
+
+use gossipopt_scenarios::{parse_campaign, run_campaign};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    spec: PathBuf,
+    out: PathBuf,
+    threads: usize,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec: Option<PathBuf> = None;
+    let mut out = PathBuf::from("campaign-out");
+    let mut threads = 1usize;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out requires a directory")?);
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads requires a number")?
+                    .parse()
+                    .map_err(|_| "--threads requires a number".to_string())?;
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: campaign <spec.toml> [--out DIR] [--threads N] [--quiet]".to_string(),
+                )
+            }
+            other if spec.is_none() && !other.starts_with('-') => {
+                spec = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        spec: spec.ok_or("usage: campaign <spec.toml> [--out DIR] [--threads N] [--quiet]")?,
+        out,
+        threads,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.spec.display());
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match parse_campaign(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", args.spec.display());
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "campaign `{}`: {} cells on {} worker thread(s)",
+        spec.name,
+        spec.cells.len(),
+        args.threads.max(1)
+    );
+    let started = std::time::Instant::now();
+    let report = match run_campaign(&spec, args.threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Wall time goes to stderr only — the written reports must be
+    // byte-identical across runs.
+    eprintln!("ran in {:.2}s", started.elapsed().as_secs_f64());
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    let json_path = args.out.join(format!("{}.json", spec.name));
+    let csv_path = args.out.join(format!("{}.csv", spec.name));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        eprintln!("cannot write {}: {e}", csv_path.display());
+        return ExitCode::from(2);
+    }
+    if !args.quiet {
+        print!("{}", report.to_table());
+        println!("report: {} / {}", json_path.display(), csv_path.display());
+    }
+    let failures = report.failures();
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} assertion failure(s)", failures.len());
+        ExitCode::from(1)
+    }
+}

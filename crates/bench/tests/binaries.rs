@@ -170,3 +170,86 @@ fn cli_is_deterministic_per_seed() {
     };
     assert_eq!(run().to_bits(), run().to_bits());
 }
+
+fn campaign() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+}
+
+#[test]
+fn campaign_runs_a_spec_deterministically_and_gates_on_asserts() {
+    let dir = std::env::temp_dir().join("gossipopt-bin-test-campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("tiny.toml");
+    std::fs::write(
+        &spec_path,
+        r#"
+[campaign]
+name = "tiny"
+seed = 3
+
+[cell]
+nodes = 12
+particles = 4
+budget = 40
+
+[sweep]
+kernel = ["cycle", "event"]
+
+[assert]
+min_final_population = 12
+"#,
+    )
+    .unwrap();
+
+    let run = |out: &str, threads: &str| {
+        let outdir = dir.join(out);
+        let res = campaign()
+            .arg(&spec_path)
+            .args([
+                "--out",
+                outdir.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--quiet",
+            ])
+            .output()
+            .expect("campaign runs");
+        assert!(
+            res.status.success(),
+            "{}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+        std::fs::read_to_string(outdir.join("tiny.json")).unwrap()
+    };
+    let a = run("a", "1");
+    let b = run("b", "1");
+    let c = run("c", "2");
+    assert_eq!(a, b, "two runs must be byte-identical");
+    assert_eq!(a, c, "--threads 1 and 2 must be byte-identical");
+    let report: serde_json::Value = serde_json::from_str(&a).unwrap();
+    assert_eq!(report["schema"], "gossipopt-campaign/v1");
+    assert_eq!(report["cells"].as_array().unwrap().len(), 2);
+    assert!(dir.join("a").join("tiny.csv").exists());
+
+    // A failing assertion must exit nonzero.
+    let failing = dir.join("failing.toml");
+    std::fs::write(
+        &failing,
+        "[cell]\nnodes = 8\nbudget = 20\n[assert]\nmax_quality = -1.0\n",
+    )
+    .unwrap();
+    let res = campaign()
+        .arg(&failing)
+        .args(["--out", dir.join("f").to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(1), "assert failures exit 1");
+
+    // A bad spec must exit 2.
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "[cell]\nnoodles = 1\n").unwrap();
+    let res = campaign().arg(&bad).output().unwrap();
+    assert_eq!(res.status.code(), Some(2), "spec errors exit 2");
+    let _ = std::fs::remove_dir_all(&dir);
+}

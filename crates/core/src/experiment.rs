@@ -8,6 +8,7 @@
 //! repetitions (rayon-parallel) and is the basis of every table row and
 //! figure series.
 
+use crate::metrics::{MetricSample, MetricsRing, MetricsSpec};
 use crate::node::{CoordComp, OptNode, Role, TopologyComp};
 use crate::CoreError;
 use gossipopt_functions::{by_name, Objective};
@@ -190,6 +191,12 @@ pub struct DistributedPsoSpec {
     /// discipline (thread-count invariant, but a different schedule than
     /// the sequential tick; see `gossipopt_sim::cycle`).
     pub threads: usize,
+    /// Optional allocation-free metrics tap (see [`crate::metrics`]):
+    /// when set, the run records per-tick best-so-far / alive count /
+    /// delivered messages / wire bytes into a preallocated ring and
+    /// returns the series in [`RunReport::samples`]. Observer-only — it
+    /// cannot shift a seeded trajectory.
+    pub metrics: Option<MetricsSpec>,
 }
 
 impl Default for DistributedPsoSpec {
@@ -212,6 +219,7 @@ impl Default for DistributedPsoSpec {
             trace_every: None,
             partition_zones: 0,
             threads: 0,
+            metrics: None,
         }
     }
 }
@@ -248,6 +256,10 @@ pub struct RunReport {
     pub final_population: usize,
     /// Sampled `(tick, global quality)` trace (empty unless requested).
     pub trace: Vec<(u64, f64)>,
+    /// Metric samples from the ring-buffer tap (empty unless
+    /// [`DistributedPsoSpec::metrics`] was set); chronological, most
+    /// recent `capacity` samples.
+    pub samples: Vec<MetricSample>,
 }
 
 /// Cloneable recipe constructing framework nodes for a spec — shared by
@@ -510,32 +522,63 @@ pub fn run_distributed(
     let mut reached_at: Option<u64> = None;
     let stop_quality = spec.stop_at_quality;
     let trace_every = spec.trace_every;
+    let mut ring = spec.metrics.map(MetricsRing::new);
 
-    let ticks = engine.run_until(max_ticks, |now, view| {
+    // Explicit tick loop replicating `run_until` exactly (tick, observe,
+    // stop → `t + 1` ticks) — driven directly so the metrics tap can read
+    // kernel counters between ticks, which an observer closure cannot.
+    let mut ticks = max_ticks;
+    for t in 0..max_ticks {
+        engine.tick();
+        let now = engine.now();
         let mut quality = f64::INFINITY;
         let mut evals = 0u64;
-        for (_, node) in view.iter() {
-            quality = quality.min(node.quality());
-            evals += node.evals();
+        {
+            let view = engine.view();
+            for (_, node) in view.iter() {
+                quality = quality.min(node.quality());
+                evals += node.evals();
+            }
+            if let Some(ring) = ring.as_mut() {
+                if ring.wants(now) {
+                    let mut wire_bytes = 0u64;
+                    for (_, node) in view.iter() {
+                        wire_bytes += node.payload_bytes_sent();
+                    }
+                    ring.record(MetricSample {
+                        tick: now,
+                        best_quality: quality,
+                        alive: view.len(),
+                        delivered: engine.stats().delivered,
+                        wire_bytes,
+                    });
+                }
+            }
         }
         if let Some(every) = trace_every {
-            if now % every == 0 {
+            if now.is_multiple_of(every) {
                 trace.push((now, quality));
             }
         }
+        let mut stop = false;
         if let Some(thr) = stop_quality {
             if quality <= thr && reached_at.is_none() {
                 reached_at = Some(now);
-                return Control::Stop;
+                stop = true;
             }
         }
-        if let Some(cap) = total_cap {
-            if evals >= cap {
-                return Control::Stop;
+        if !stop {
+            if let Some(cap) = total_cap {
+                if evals >= cap {
+                    stop = true;
+                }
             }
         }
-        Control::Continue
-    });
+        if stop {
+            ticks = t + 1;
+            break;
+        }
+    }
 
     let mut quality = f64::INFINITY;
     let mut value = f64::INFINITY;
@@ -565,6 +608,7 @@ pub fn run_distributed(
         messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,
         final_population: engine.alive_count(),
         trace,
+        samples: ring.map(|r| r.to_series()).unwrap_or_default(),
     })
 }
 
@@ -640,8 +684,10 @@ pub fn run_distributed_async(
     let mut reached_at: Option<u64> = None;
     let stop_quality = spec.stop_at_quality;
     let trace_every = spec.trace_every.map(|t| t * opts.tick_period);
+    let mut ring = spec.metrics.map(MetricsRing::new);
 
-    let end = engine.run_until(max_time, opts.tick_period, |now, view| {
+    let stopped = std::cell::Cell::new(false);
+    let mut observer = |now: u64, view: &gossipopt_sim::NodesView<'_, OptNode>| {
         let mut quality = f64::INFINITY;
         let mut evals = 0u64;
         for (_, node) in view.iter() {
@@ -649,23 +695,62 @@ pub fn run_distributed_async(
             evals += node.evals();
         }
         if let Some(every) = trace_every {
-            if now % every == 0 {
+            if now.is_multiple_of(every) {
                 trace.push((now, quality));
             }
         }
         if let Some(thr) = stop_quality {
             if quality <= thr && reached_at.is_none() {
                 reached_at = Some(now);
+                stopped.set(true);
                 return Control::Stop;
             }
         }
         if let Some(cap) = total_cap {
             if evals >= cap {
+                stopped.set(true);
                 return Control::Stop;
             }
         }
         Control::Continue
-    });
+    };
+
+    let end = if let Some(ring) = ring.as_mut() {
+        // Tapped run: advance period by period so the tap can read the
+        // kernel's delivery counter between chunks (an observer closure
+        // cannot — the engine is mutably borrowed while it runs). The
+        // chunk boundaries are exactly the observation boundaries of the
+        // single-call path, so the trajectory is identical.
+        let period = opts.tick_period;
+        let mut end = 0;
+        for t in 1..=max_time / period {
+            end = engine.run_until(t * period, period, &mut observer);
+            if ring.wants(t) {
+                let mut quality = f64::INFINITY;
+                let mut wire_bytes = 0u64;
+                for (_, node) in engine.nodes() {
+                    quality = quality.min(node.quality());
+                    wire_bytes += node.payload_bytes_sent();
+                }
+                ring.record(MetricSample {
+                    tick: t,
+                    best_quality: quality,
+                    alive: engine.alive_count(),
+                    delivered: engine.delivered(),
+                    wire_bytes,
+                });
+            }
+            if stopped.get() {
+                break;
+            }
+        }
+        if !stopped.get() && !max_time.is_multiple_of(period) {
+            end = engine.run_until(max_time, period, &mut observer);
+        }
+        end
+    } else {
+        engine.run_until(max_time, opts.tick_period, &mut observer)
+    };
 
     let mut quality = f64::INFINITY;
     let mut value = f64::INFINITY;
@@ -694,6 +779,7 @@ pub fn run_distributed_async(
         messages_dropped: engine.dropped(),
         final_population: engine.alive_count(),
         trace,
+        samples: ring.map(|r| r.to_series()).unwrap_or_default(),
     })
 }
 
@@ -1149,6 +1235,75 @@ mod tests {
             (ls - la).abs() < 8.0,
             "cycle 1e{ls:.1} vs async 1e{la:.1} diverge wildly"
         );
+    }
+
+    #[test]
+    fn metrics_tap_records_ring_samples_without_shifting_the_run() {
+        let spec = DistributedPsoSpec {
+            metrics: Some(MetricsSpec {
+                sample_every: 5,
+                capacity: 4,
+            }),
+            ..small_spec()
+        };
+        let r = run_distributed_pso(&spec, "sphere", Budget::PerNode(50), 3).unwrap();
+        // 10 sampled ticks (5, 10, …, 50); the ring keeps the last 4.
+        assert_eq!(r.samples.len(), 4);
+        assert_eq!(
+            r.samples.iter().map(|s| s.tick).collect::<Vec<_>>(),
+            [35, 40, 45, 50]
+        );
+        for w in r.samples.windows(2) {
+            assert!(w[1].best_quality <= w[0].best_quality, "monotone quality");
+            assert!(w[1].delivered >= w[0].delivered, "cumulative delivered");
+            assert!(w[1].wire_bytes >= w[0].wire_bytes, "cumulative bytes");
+        }
+        assert_eq!(r.samples.last().unwrap().alive, 8);
+        // Observer-only: the tapped run is bit-identical to the plain one.
+        let plain = run_distributed_pso(&small_spec(), "sphere", Budget::PerNode(50), 3).unwrap();
+        assert_eq!(plain.best_quality.to_bits(), r.best_quality.to_bits());
+        assert_eq!(plain.messages_sent, r.messages_sent);
+        assert_eq!(plain.payload_bytes, r.payload_bytes);
+        assert!(plain.samples.is_empty(), "no tap, no samples");
+    }
+
+    #[test]
+    fn async_metrics_tap_matches_untapped_run() {
+        let obj: Arc<dyn Objective> =
+            Arc::from(gossipopt_functions::by_name("sphere", 10).unwrap());
+        let tapped_spec = DistributedPsoSpec {
+            metrics: Some(MetricsSpec {
+                sample_every: 10,
+                capacity: 64,
+            }),
+            ..small_spec()
+        };
+        let tapped = run_distributed_async(
+            &tapped_spec,
+            Arc::clone(&obj),
+            Budget::PerNode(100),
+            AsyncOpts::default(),
+            17,
+        )
+        .unwrap();
+        let plain = run_distributed_async(
+            &small_spec(),
+            obj,
+            Budget::PerNode(100),
+            AsyncOpts::default(),
+            17,
+        )
+        .unwrap();
+        // Chunked execution must not change the trajectory.
+        assert_eq!(tapped.best_quality.to_bits(), plain.best_quality.to_bits());
+        assert_eq!(tapped.messages_delivered, plain.messages_delivered);
+        assert_eq!(tapped.total_evals, plain.total_evals);
+        assert_eq!(tapped.ticks, plain.ticks);
+        assert!(!tapped.samples.is_empty());
+        for w in tapped.samples.windows(2) {
+            assert!(w[1].tick > w[0].tick);
+            assert!(w[1].delivered >= w[0].delivered);
+        }
     }
 
     #[test]

@@ -64,6 +64,7 @@
 pub mod baselines;
 pub mod experiment;
 pub mod messages;
+pub mod metrics;
 pub mod node;
 pub mod paper;
 pub mod partition;
@@ -101,6 +102,7 @@ pub mod prelude {
         run_distributed, run_distributed_async, run_distributed_pso, run_repeated, AsyncOpts,
         Budget, CoordinationKind, DistributedPsoSpec, RunReport, SolverSpec, TopologyKind,
     };
+    pub use crate::metrics::{MetricSample, MetricsRing, MetricsSpec};
     pub use crate::node::OptNode;
     pub use crate::CoreError;
     pub use gossipopt_functions::{by_name as function_by_name, Objective};

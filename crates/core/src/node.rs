@@ -219,6 +219,28 @@ impl OptNode {
         self.solver.tell_best(g.to_point());
     }
 
+    /// Turn this node byzantine: plant `lie` (a fabricated optimum,
+    /// typically claiming an objective value below the true `f*`) into the
+    /// coordination store *and* the local solver, so the node both reports
+    /// the lie as its own best and gossips it onward through whatever
+    /// coordination service it runs. Used by the scenario harness's
+    /// `corrupt_optimum` fault schedule to measure how an unauthenticated
+    /// epidemic reacts to optimum poisoning; honest runs never call this.
+    pub fn poison_best(&mut self, lie: GlobalBest) {
+        match &mut self.coord {
+            CoordComp::Gossip(ae) => {
+                ae.offer_local(lie.clone());
+            }
+            CoordComp::Rumor(rm) => {
+                rm.offer_local(lie.clone());
+            }
+            // Migration / master–slave / isolated nodes lie through the
+            // solver state alone (it is what they report or emigrate).
+            _ => {}
+        }
+        self.solver.tell_best(lie.to_point());
+    }
+
     fn coordinate(&mut self, ctx: &mut Ctx<'_, Msg>) {
         match (&self.coord, self.role) {
             (CoordComp::Isolated, _) => {}
@@ -600,6 +622,37 @@ mod tests {
     #[should_panic(expected = "gossip_every")]
     fn zero_gossip_period_rejected() {
         sphere_node(4, 0);
+    }
+
+    #[test]
+    fn poisoned_node_reports_and_gossips_the_lie() {
+        let mut n = sphere_node(4, 4);
+        let mut rng = Xoshiro256pp::derive(8, StreamId::node(0, 0));
+        {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(NodeId(0), 0, &mut rng, &mut outbox);
+            n.on_join(&[NodeId(1)], &mut ctx);
+        }
+        for t in 1..=3 {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(NodeId(0), t, &mut rng, &mut outbox);
+            n.on_tick(&mut ctx);
+        }
+        // Plant a lie claiming f = −1e9 (below sphere's true optimum 0).
+        n.poison_best(GlobalBest::new(&[0.0; 5], -1e9));
+        assert_eq!(n.quality(), -1e9, "the node now reports the lie");
+        // The next coordination event (eval 4, r = 4) offers the lie.
+        let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), 4, &mut rng, &mut outbox);
+        n.on_tick(&mut ctx);
+        let coord: Vec<_> = outbox
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::Coord(gossipopt_gossip::AntiEntropyMsg::Offer(g)) => Some(g.f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(coord, vec![-1e9], "the lie travels on the wire");
     }
 
     fn rumor_node(fanout: usize, stop_prob: f64) -> OptNode {

@@ -1,0 +1,248 @@
+//! Campaign runner: execute an expanded grid of cells in parallel and
+//! render machine-readable reports.
+//!
+//! Cells run via the vendored rayon work-stealing executor; each cell is
+//! fully self-seeded (see `spec::parse_campaign`), results are assembled
+//! in grid order, and no wall-clock data enters the report — so the JSON
+//! and CSV outputs are **byte-identical across runs and worker counts**,
+//! which the determinism CI job diffs across fresh processes.
+
+use crate::exec::{run_cell, CellReport};
+use crate::spec::{AssertSpec, CampaignSpec};
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Report schema identifier; bump when the report shape changes so CI
+/// consumers fail loudly instead of misreading fields.
+pub const SCHEMA: &str = "gossipopt-campaign/v1";
+
+/// The machine-readable outcome of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Campaign name.
+    pub name: String,
+    /// Master seed the cells derived theirs from.
+    pub seed: u64,
+    /// Cell outcomes in grid order.
+    pub cells: Vec<CellReport>,
+}
+
+/// Run every cell of `spec` on up to `threads` workers (1 = sequential).
+/// The report is independent of `threads` and of scheduling order.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport> {
+    let jobs: Vec<usize> = (0..spec.cells.len()).collect();
+    let outs = rayon::execute_indexed(jobs, threads.max(1), &|i: usize| run_cell(&spec.cells[i]));
+    let mut cells = Vec::with_capacity(outs.len());
+    for (i, out) in outs.into_iter().enumerate() {
+        let mut cell =
+            out.map_err(|e| Error::Run(format!("cell {i} ({}): {e}", spec.cells[i].name)))?;
+        cell.index = i;
+        cell.failures = check_asserts(&spec.asserts, &cell);
+        cells.push(cell);
+    }
+    Ok(CampaignReport {
+        schema: SCHEMA.into(),
+        name: spec.name.clone(),
+        seed: spec.seed,
+        cells,
+    })
+}
+
+/// Evaluate the campaign assertions against one cell.
+fn check_asserts(asserts: &AssertSpec, cell: &CellReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if let Some(maxq) = asserts.max_quality {
+        // NaN (never produced, but defensive) must count as a failure.
+        if cell.report.best_quality > maxq || cell.report.best_quality.is_nan() {
+            failures.push(format!(
+                "best_quality {:.6e} exceeds max_quality {maxq:.6e}",
+                cell.report.best_quality
+            ));
+        }
+    }
+    if let Some(minp) = asserts.min_final_population {
+        if cell.report.final_population < minp {
+            failures.push(format!(
+                "final_population {} below min_final_population {minp}",
+                cell.report.final_population
+            ));
+        }
+    }
+    if let Some(expect) = asserts.expect_poisoned {
+        if cell.poisoned != expect {
+            failures.push(format!(
+                "poisoned = {} but expect_poisoned = {expect}",
+                cell.poisoned
+            ));
+        }
+    }
+    if let Some(minb) = asserts.min_blocked {
+        if cell.blocked_messages < minb {
+            failures.push(format!(
+                "blocked_messages {} below min_blocked {minb}",
+                cell.blocked_messages
+            ));
+        }
+    }
+    if let Some(maxt) = asserts.max_ticks {
+        if cell.report.ticks > maxt {
+            failures.push(format!(
+                "ticks {} exceeds max_ticks {maxt}",
+                cell.report.ticks
+            ));
+        }
+    }
+    failures
+}
+
+impl CampaignReport {
+    /// Flattened `label: failure` list over every cell (empty = all pass).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            for f in &cell.failures {
+                out.push(format!("cell {} [{}]: {f}", cell.index, cell.label));
+            }
+        }
+        out
+    }
+
+    /// Pretty JSON (newline-terminated; byte-stable across runs/threads).
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("report serializes");
+        text.push('\n');
+        text
+    }
+
+    /// Parse a report back (schema-checked).
+    pub fn from_json(text: &str) -> Result<Self> {
+        let report: CampaignReport = serde_json::from_str(text).map_err(|e| Error::Parse(e.0))?;
+        if report.schema != SCHEMA {
+            return Err(Error::Parse(format!(
+                "report schema `{}` != supported `{SCHEMA}`",
+                report.schema
+            )));
+        }
+        Ok(report)
+    }
+
+    /// One CSV row per cell (byte-stable across runs/threads).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,kernel,topology,coordination,function,nodes,churn,loss,seed,\
+             quality,value,evals,ticks,reached_at,sent,delivered,dropped,payload_bytes,\
+             exchanges,final_population,blocked,poisoned,failures\n",
+        );
+        for c in &self.cells {
+            let r = &c.report;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{:e},{:e},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.index,
+                csv_escape(&c.label),
+                c.cell.kernel,
+                c.cell.topology,
+                c.cell.coordination,
+                c.cell.function,
+                c.cell.nodes,
+                c.cell.churn,
+                c.cell.loss,
+                c.cell.seed.unwrap_or(0),
+                r.best_quality,
+                r.best_value,
+                r.total_evals,
+                r.ticks,
+                r.reached_threshold_at
+                    .map(|t| t.to_string())
+                    .unwrap_or_default(),
+                r.messages_sent,
+                r.messages_delivered,
+                r.messages_dropped,
+                r.payload_bytes,
+                r.coordination_exchanges,
+                r.final_population,
+                c.blocked_messages,
+                c.poisoned,
+                c.failures.len(),
+            ));
+        }
+        out
+    }
+
+    /// Human summary table (stdout-oriented).
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "campaign {} (seed {}, {} cells)\n{:<4} {:<44} {:>12} {:>7} {:>10} {:>7} {:>8} {:>6}\n",
+            self.name,
+            self.seed,
+            self.cells.len(),
+            "#",
+            "cell",
+            "quality",
+            "ticks",
+            "delivered",
+            "pop",
+            "blocked",
+            "state"
+        );
+        for c in &self.cells {
+            let label = if c.label.is_empty() {
+                c.cell.name.clone()
+            } else {
+                c.label.clone()
+            };
+            let label = if label.is_empty() {
+                format!("cell-{}", c.index)
+            } else {
+                label
+            };
+            let state = if !c.failures.is_empty() {
+                "FAIL"
+            } else if c.poisoned {
+                "poisd"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<4} {:<44} {:>12.4e} {:>7} {:>10} {:>7} {:>8} {:>6}\n",
+                c.index,
+                truncate(&label, 44),
+                c.report.best_quality,
+                c.report.ticks,
+                c.report.messages_delivered,
+                c.report.final_population,
+                c.blocked_messages,
+                state
+            ));
+        }
+        for f in self.failures() {
+            out.push_str(&format!("ASSERT FAIL: {f}\n"));
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
+    }
+}

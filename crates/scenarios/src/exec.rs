@@ -1,0 +1,557 @@
+//! Cell executor: run one validated [`CellSpec`] on the requested kernel
+//! with fault injection and the allocation-free metrics tap.
+//!
+//! The executor drives the engines directly (instead of going through
+//! `core::experiment::run_distributed`) because timed faults need engine
+//! access between ticks — scripted mass crashes, flash-crowd joins — and
+//! the tap wants the kernel's delivery counters. For a fault-free cycle
+//! cell the loop replicates `run_distributed` exactly (same construction,
+//! same tick/observe/stop order, transparent [`FaultApp`] wrapper), which
+//! `exec::tests::fault_free_cell_matches_run_distributed` locks bit for
+//! bit.
+
+use crate::faults::{FaultApp, FaultSchedule};
+use crate::spec::{CellSpec, Fault};
+use crate::{Error, Result};
+use gossipopt_core::experiment::{AsyncOpts, Budget, DistributedPsoSpec, NodeRecipe, RunReport};
+use gossipopt_core::metrics::{MetricSample, MetricsRing};
+use gossipopt_core::node::OptNode;
+use gossipopt_functions::Objective;
+use gossipopt_sim::{
+    Control, CycleConfig, CycleEngine, EventConfig, EventEngine, NodeId, Transport,
+};
+use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Reported quality below this counts as "poisoned": honest runs can
+/// never report better-than-optimal (the benchmark optima are exact), so
+/// a clearly negative quality is the corrupt-optimum fault's signature.
+pub const POISON_EPSILON: f64 = -1e-6;
+
+/// Outcome of one cell run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Position in the expanded grid.
+    pub index: usize,
+    /// Sweep label (e.g. `topology=kregular:4 kernel=cycle`).
+    pub label: String,
+    /// Echo of the cell that ran (with its resolved seed).
+    pub cell: CellSpec,
+    /// The run's figures of merit (including the metric samples).
+    pub report: RunReport,
+    /// Messages eaten by partition windows (send + receive side).
+    pub blocked_messages: u64,
+    /// Did the run end poisoned (reported quality below the true
+    /// optimum — see [`POISON_EPSILON`])?
+    pub poisoned: bool,
+    /// Assertion failures (filled by the campaign runner; empty = pass).
+    pub failures: Vec<String>,
+}
+
+/// Membership faults the executor applies through the engine.
+struct EngineFaults {
+    faults: Vec<Fault>,
+    rng: Xoshiro256pp,
+}
+
+impl EngineFaults {
+    fn new(faults: &[Fault], seed: u64) -> Self {
+        EngineFaults {
+            faults: faults.to_vec(),
+            rng: Xoshiro256pp::derive(seed, StreamId(0xfa17, 0)),
+        }
+    }
+
+    /// Ids to crash and nodes to join at tick `t` (computed against the
+    /// currently live id list, which the caller supplies).
+    fn at_tick(&mut self, t: u64, live: impl Fn() -> Vec<NodeId>) -> (Vec<NodeId>, usize) {
+        let mut crash = Vec::new();
+        let mut join = 0usize;
+        for f in &self.faults {
+            match *f {
+                Fault::Massacre { at, kill_frac } if at == t => {
+                    let ids = live();
+                    let m = ((ids.len() as f64 * kill_frac).round() as usize).min(ids.len());
+                    let mut picks = Vec::new();
+                    self.rng.sample_indices_into(ids.len(), m, &mut picks);
+                    crash.extend(picks.into_iter().map(|i| ids[i]));
+                }
+                Fault::FlashCrowd { at, join: n } if at == t => join += n,
+                _ => {}
+            }
+        }
+        (crash, join)
+    }
+}
+
+/// Kernel bootstrap-contact count, mirroring `core::experiment`: NEWSCAST
+/// seeds its view from the join-time sample; static overlays need none.
+fn bootstrap_sample(spec: &DistributedPsoSpec, n: usize) -> usize {
+    if spec.topology.is_dynamic() {
+        spec.newscast.view_size.min(n.saturating_sub(1)).max(1)
+    } else {
+        0
+    }
+}
+
+/// Run one cell (validates first). Deterministic per cell: all randomness
+/// derives from the cell's resolved seed.
+pub fn run_cell(cell: &CellSpec) -> Result<CellReport> {
+    cell.validate()?;
+    let spec = cell.to_dist_spec()?;
+    let seed = cell.resolved_seed();
+    let objective: Arc<dyn Objective> =
+        Arc::from(gossipopt_functions::by_name(&cell.function, cell.dim).expect("validated"));
+    let budget = Budget::PerNode(cell.budget);
+    let recipe =
+        NodeRecipe::new(&spec, Arc::clone(&objective), budget, seed).map_err(Error::from_core)?;
+    let faults = cell.compiled_faults()?;
+
+    let (report, blocked_messages) = match cell.kernel.as_str() {
+        "cycle" => run_cycle_cell(cell, &spec, recipe, &faults, seed),
+        "event" => run_event_cell(cell, &spec, recipe, &faults, seed),
+        other => unreachable!("validated kernel {other}"),
+    };
+    let poisoned = report.best_quality < POISON_EPSILON;
+    Ok(CellReport {
+        index: 0,
+        label: cell.name.clone(),
+        cell: cell.clone(),
+        report,
+        blocked_messages,
+        poisoned,
+        failures: Vec::new(),
+    })
+}
+
+/// Per-tick observer: the global best quality only — the stop check
+/// needs nothing else, and the full scan clones every node's best point
+/// (a Vec per node), which at 100k nodes would dominate the tick.
+fn scan_quality<'a>(nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>) -> f64 {
+    let mut quality = f64::INFINITY;
+    for (_, app) in nodes {
+        quality = quality.min(app.inner().quality());
+    }
+    quality
+}
+
+/// Sampled-tick observer: `(quality, wire bytes, alive)` for the ring.
+fn scan_sample<'a>(
+    nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>,
+) -> (f64, u64, usize) {
+    let mut quality = f64::INFINITY;
+    let mut bytes = 0u64;
+    let mut alive = 0usize;
+    for (_, app) in nodes {
+        quality = quality.min(app.inner().quality());
+        bytes += app.inner().payload_bytes_sent();
+        alive += 1;
+    }
+    (quality, bytes, alive)
+}
+
+/// End-of-run observer scan shared by both kernels.
+fn scan<'a>(
+    nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>,
+) -> (f64, f64, u64, u64, u64, u64, usize) {
+    let mut quality = f64::INFINITY;
+    let mut value = f64::INFINITY;
+    let mut evals = 0u64;
+    let mut exchanges = 0u64;
+    let mut bytes = 0u64;
+    let mut blocked = 0u64;
+    let mut alive = 0usize;
+    for (_, app) in nodes {
+        let node = app.inner();
+        quality = quality.min(node.quality());
+        if let Some(b) = node.best() {
+            value = value.min(b.f);
+        }
+        evals += node.evals();
+        exchanges += node.exchanges_initiated();
+        bytes += node.payload_bytes_sent();
+        blocked += app.blocked();
+        alive += 1;
+    }
+    (quality, value, evals, exchanges, bytes, blocked, alive)
+}
+
+fn run_cycle_cell(
+    cell: &CellSpec,
+    spec: &DistributedPsoSpec,
+    recipe: NodeRecipe,
+    faults: &[Fault],
+    seed: u64,
+) -> (RunReport, u64) {
+    let n = spec.nodes;
+    let sched = Arc::new(FaultSchedule::new(faults, cell.dim, seed, 1));
+    let mut engine_faults = EngineFaults::new(faults, seed);
+
+    let mut cfg = CycleConfig::seeded(seed);
+    cfg.transport = Transport::lossy(spec.loss_prob);
+    cfg.churn = spec.churn;
+    cfg.bootstrap_sample = bootstrap_sample(spec, n);
+    cfg.threads = spec.threads;
+
+    let mut engine: CycleEngine<FaultApp<OptNode>> = CycleEngine::new(cfg);
+    for i in 0..n {
+        engine.insert(FaultApp::new(
+            recipe.build(i).expect("recipe validated"),
+            Arc::clone(&sched),
+        ));
+    }
+    {
+        // Spawner serves both churn joins and flash-crowd populates.
+        let recipe2 = recipe.clone();
+        let sched2 = Arc::clone(&sched);
+        engine.set_spawner(move |id, _rng| {
+            FaultApp::new(
+                recipe2
+                    .build(id.raw() as usize)
+                    .expect("recipe validated at construction"),
+                Arc::clone(&sched2),
+            )
+        });
+    }
+
+    let max_ticks = recipe.per_node_budget();
+    let mut ring = MetricsRing::new(cell.metrics);
+    let stop_quality = cell.stop_at_quality;
+    let mut reached_at: Option<u64> = None;
+    let mut ticks = max_ticks;
+
+    for t in 0..max_ticks {
+        // Membership faults scheduled for the upcoming tick fire first.
+        let upcoming = t + 1;
+        let (crash, join) =
+            engine_faults.at_tick(upcoming, || engine.nodes().map(|(id, _)| id).collect());
+        for id in crash {
+            engine.crash(id);
+        }
+        if join > 0 {
+            engine.populate(join);
+        }
+
+        engine.tick();
+        let now = engine.now();
+        let quality = if ring.wants(now) {
+            let (quality, bytes, alive) = scan_sample(engine.nodes());
+            ring.record(MetricSample {
+                tick: now,
+                best_quality: quality,
+                alive,
+                delivered: engine.stats().delivered,
+                wire_bytes: bytes,
+            });
+            quality
+        } else {
+            scan_quality(engine.nodes())
+        };
+        if let Some(thr) = stop_quality {
+            if quality <= thr && reached_at.is_none() {
+                reached_at = Some(now);
+                ticks = t + 1;
+                break;
+            }
+        }
+    }
+
+    let (quality, value, evals, exchanges, bytes, blocked, alive) = scan(engine.nodes());
+    let stats = engine.stats();
+    let report = RunReport {
+        best_quality: quality,
+        best_value: value,
+        total_evals: evals,
+        ticks,
+        reached_threshold_at: reached_at,
+        coordination_exchanges: exchanges,
+        payload_bytes: bytes,
+        messages_sent: stats.sent,
+        messages_delivered: stats.delivered,
+        messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,
+        final_population: alive,
+        trace: Vec::new(),
+        samples: ring.to_series(),
+    };
+    (report, blocked)
+}
+
+fn run_event_cell(
+    cell: &CellSpec,
+    spec: &DistributedPsoSpec,
+    recipe: NodeRecipe,
+    faults: &[Fault],
+    seed: u64,
+) -> (RunReport, u64) {
+    let n = spec.nodes;
+    let opts = AsyncOpts::default();
+    let period = opts.tick_period;
+    let sched = Arc::new(FaultSchedule::new(faults, cell.dim, seed, period));
+    let mut engine_faults = EngineFaults::new(faults, seed);
+
+    let mut cfg = EventConfig::seeded(seed);
+    cfg.transport = Transport {
+        loss_prob: spec.loss_prob,
+        latency: opts.latency,
+    };
+    cfg.tick_period = period;
+    cfg.jitter_phase = opts.jitter_phase;
+    cfg.churn = spec.churn;
+    cfg.bootstrap_sample = bootstrap_sample(spec, n);
+    cfg.threads = spec.threads;
+
+    let mut engine: EventEngine<FaultApp<OptNode>> = EventEngine::new(cfg);
+    for i in 0..n {
+        engine.insert(FaultApp::new(
+            recipe.build(i).expect("recipe validated"),
+            Arc::clone(&sched),
+        ));
+    }
+    {
+        let recipe2 = recipe.clone();
+        let sched2 = Arc::clone(&sched);
+        engine.set_spawner(move |id, _rng| {
+            FaultApp::new(
+                recipe2
+                    .build(id.raw() as usize)
+                    .expect("recipe validated at construction"),
+                Arc::clone(&sched2),
+            )
+        });
+    }
+
+    // Same horizon as `run_distributed_async`: budget plus latency slack.
+    let per_node_budget = recipe.per_node_budget();
+    let max_time = per_node_budget * period + 10 * period + 200;
+    let horizon = max_time / period;
+    let mut ring = MetricsRing::new(cell.metrics);
+    let stop_quality = cell.stop_at_quality;
+    let mut reached_at: Option<u64> = None;
+    let mut end = 0u64;
+
+    for t in 1..=horizon {
+        let (crash, join) = engine_faults.at_tick(t, || engine.nodes().map(|(id, _)| id).collect());
+        for id in crash {
+            engine.crash(id);
+        }
+        if join > 0 {
+            engine.populate(join);
+        }
+
+        end = engine.run_until(t * period, period, |_, _| Control::Continue);
+        let quality = if ring.wants(t) {
+            let (quality, bytes, alive) = scan_sample(engine.nodes());
+            ring.record(MetricSample {
+                tick: t,
+                best_quality: quality,
+                alive,
+                delivered: engine.delivered(),
+                wire_bytes: bytes,
+            });
+            quality
+        } else {
+            scan_quality(engine.nodes())
+        };
+        if let Some(thr) = stop_quality {
+            if quality <= thr && reached_at.is_none() {
+                reached_at = Some(t);
+                break;
+            }
+        }
+    }
+
+    let (quality, value, evals, exchanges, bytes, blocked, alive) = scan(engine.nodes());
+    let report = RunReport {
+        best_quality: quality,
+        best_value: value,
+        total_evals: evals,
+        ticks: end / period,
+        reached_threshold_at: reached_at,
+        coordination_exchanges: exchanges,
+        payload_bytes: bytes,
+        messages_sent: engine.delivered() + engine.dropped(),
+        messages_delivered: engine.delivered(),
+        messages_dropped: engine.dropped(),
+        final_population: alive,
+        trace: Vec::new(),
+        samples: ring.to_series(),
+    };
+    (report, blocked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+    use gossipopt_core::experiment::run_distributed_pso;
+
+    fn small_cell() -> CellSpec {
+        CellSpec {
+            nodes: 16,
+            particles: 4,
+            gossip_every: 4,
+            budget: 60,
+            seed: Some(11),
+            ..CellSpec::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_cell_matches_run_distributed() {
+        // The executor's cycle loop + transparent FaultApp wrapper must be
+        // bit-identical to core's run_distributed on the same spec/seed.
+        let cell = small_cell();
+        let out = run_cell(&cell).unwrap();
+        let mut spec = cell.to_dist_spec().unwrap();
+        spec.metrics = None;
+        let reference =
+            run_distributed_pso(&spec, &cell.function, Budget::PerNode(cell.budget), 11).unwrap();
+        assert_eq!(
+            out.report.best_quality.to_bits(),
+            reference.best_quality.to_bits()
+        );
+        assert_eq!(out.report.messages_sent, reference.messages_sent);
+        assert_eq!(out.report.payload_bytes, reference.payload_bytes);
+        assert_eq!(out.report.total_evals, reference.total_evals);
+        assert_eq!(out.blocked_messages, 0);
+        assert!(!out.poisoned);
+        assert!(!out.report.samples.is_empty(), "the tap is always on");
+    }
+
+    #[test]
+    fn cells_are_deterministic_on_both_kernels() {
+        for kernel in ["cycle", "event"] {
+            let cell = CellSpec {
+                kernel: kernel.into(),
+                churn: 0.01,
+                loss: 0.1,
+                ..small_cell()
+            };
+            let a = run_cell(&cell).unwrap();
+            let b = run_cell(&cell).unwrap();
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap(),
+                "{kernel} must be reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn massacre_cuts_the_population() {
+        for kernel in ["cycle", "event"] {
+            let mut cell = CellSpec {
+                kernel: kernel.into(),
+                ..small_cell()
+            };
+            cell.fault.push(FaultSpec {
+                kind: "massacre".into(),
+                at: 20,
+                heal_at: None,
+                groups: None,
+                join: None,
+                kill_frac: Some(0.5),
+                node_frac: None,
+                lie: None,
+            });
+            let out = run_cell(&cell).unwrap();
+            assert_eq!(
+                out.report.final_population, 8,
+                "{kernel}: half of 16 nodes must be gone"
+            );
+            // The tap saw the drop.
+            let early = out.report.samples.iter().find(|s| s.tick < 20).unwrap();
+            let late = out.report.samples.iter().next_back().unwrap();
+            assert_eq!(early.alive, 16);
+            assert_eq!(late.alive, 8);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_grows_the_population() {
+        for kernel in ["cycle", "event"] {
+            let mut cell = CellSpec {
+                kernel: kernel.into(),
+                ..small_cell()
+            };
+            cell.fault.push(FaultSpec {
+                kind: "flash_crowd".into(),
+                at: 30,
+                heal_at: None,
+                groups: None,
+                join: Some(10),
+                kill_frac: None,
+                node_frac: None,
+                lie: None,
+            });
+            let out = run_cell(&cell).unwrap();
+            assert_eq!(out.report.final_population, 26, "{kernel}: 16 + 10 joiners");
+        }
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        for kernel in ["cycle", "event"] {
+            let mut cell = CellSpec {
+                kernel: kernel.into(),
+                topology: "fullmesh".into(),
+                ..small_cell()
+            };
+            cell.fault.push(FaultSpec {
+                kind: "partition".into(),
+                at: 10,
+                heal_at: Some(40),
+                groups: Some(vec![(0, 8), (8, 16)]),
+                join: None,
+                kill_frac: None,
+                node_frac: None,
+                lie: None,
+            });
+            let out = run_cell(&cell).unwrap();
+            assert!(
+                out.blocked_messages > 0,
+                "{kernel}: the partition must cut messages (blocked = {})",
+                out.blocked_messages
+            );
+            // The healed network still finished the run.
+            assert!(out.report.best_quality.is_finite());
+            assert_eq!(out.report.final_population, 16);
+        }
+    }
+
+    #[test]
+    fn corrupt_optimum_poisons_the_network() {
+        for kernel in ["cycle", "event"] {
+            let mut cell = CellSpec {
+                kernel: kernel.into(),
+                ..small_cell()
+            };
+            cell.fault.push(FaultSpec {
+                kind: "corrupt_optimum".into(),
+                at: 20,
+                heal_at: None,
+                groups: None,
+                join: None,
+                kill_frac: None,
+                node_frac: Some(0.25),
+                lie: Some(-1e9),
+            });
+            let out = run_cell(&cell).unwrap();
+            assert!(out.poisoned, "{kernel}: the lie must surface");
+            assert!(out.report.best_quality <= -1e8, "{kernel}: lie dominates");
+            // Before the fault the network was honest.
+            let early = out.report.samples.iter().find(|s| s.tick < 20).unwrap();
+            assert!(early.best_quality >= 0.0, "{kernel}: honest before `at`");
+        }
+    }
+
+    #[test]
+    fn invalid_cells_are_rejected() {
+        let bad = CellSpec {
+            kernel: "quantum".into(),
+            ..small_cell()
+        };
+        assert!(run_cell(&bad).is_err());
+    }
+}

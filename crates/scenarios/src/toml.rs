@@ -1,0 +1,624 @@
+//! Minimal TOML parser producing the shim `serde::Value` data model.
+//!
+//! The build environment has no network, so instead of the `toml` crate
+//! this module implements the subset the scenario specs use — which is
+//! most of everyday TOML:
+//!
+//! * `key = value` pairs with bare (`a_b-c`), quoted (`"a b"`) and dotted
+//!   (`a.b.c`) keys;
+//! * `[table]` / `[table.sub]` headers and `[[array.of.tables]]`;
+//! * values: basic strings (with the standard escapes), literal strings
+//!   (`'...'`), integers (with `_` separators, `+`/`-` signs), floats
+//!   (including exponents, `inf`, `nan`), booleans, arrays (nested,
+//!   multi-line) and inline tables `{ k = v, ... }`;
+//! * `#` comments and arbitrary whitespace/blank lines.
+//!
+//! Unsupported (rejected with an error rather than misparsed): datetimes,
+//! multi-line strings, and redefining an existing key or table.
+//!
+//! Tables map to `Value::Object` (insertion-ordered — the spec's sweep
+//! axes rely on document order), arrays to `Value::Array`, integers to
+//! `Number::Pos`/`Neg` and floats to `Number::Float`.
+
+use serde::{Error, Number, Value};
+
+/// Parse a TOML document into a [`Value::Object`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut root = Value::Object(Vec::new());
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    // Path of the table currently being filled ([] = root).
+    let mut current: Vec<String> = Vec::new();
+    // Explicitly declared `[table]` headers: re-opening one (or declaring
+    // a `[table]` over an existing `[[array]]`) is an error, as in real
+    // TOML — a file with two `[cell]` sections is a mistake, not a merge.
+    let mut declared: Vec<Vec<String>> = Vec::new();
+    let mut array_paths: Vec<Vec<String>> = Vec::new();
+    loop {
+        p.skip_trivia();
+        let Some(b) = p.peek() else { break };
+        if b == b'[' {
+            p.bump();
+            let array_of_tables = p.peek() == Some(b'[');
+            if array_of_tables {
+                p.bump();
+            }
+            p.skip_inline_ws();
+            let path = p.key_path()?;
+            p.skip_inline_ws();
+            p.expect(b']')?;
+            if array_of_tables {
+                p.expect(b']')?;
+            }
+            p.end_of_line()?;
+            if array_of_tables {
+                if declared.contains(&path) {
+                    return Err(Error(format!(
+                        "line {}: `[[{}]]` collides with a declared table",
+                        p.line,
+                        path.join(".")
+                    )));
+                }
+                push_array_table(&mut root, &path, p.line)?;
+                if !array_paths.contains(&path) {
+                    array_paths.push(path.clone());
+                }
+            } else {
+                if declared.contains(&path) || array_paths.contains(&path) {
+                    return Err(Error(format!(
+                        "line {}: table `[{}]` is declared twice",
+                        p.line,
+                        path.join(".")
+                    )));
+                }
+                declare_table(&mut root, &path, p.line)?;
+                declared.push(path.clone());
+            }
+            current = path;
+        } else {
+            let path = p.key_path()?;
+            p.skip_inline_ws();
+            p.expect(b'=')?;
+            p.skip_inline_ws();
+            let value = p.value()?;
+            p.end_of_line()?;
+            let mut full = current.clone();
+            full.extend(path);
+            insert(&mut root, &full, value, p.line)?;
+        }
+    }
+    Ok(root)
+}
+
+/// Walk (creating as needed) to the object at `path`, resolving the last
+/// element of an array-of-tables when the path crosses one.
+fn navigate<'a>(root: &'a mut Value, path: &[String], line: usize) -> Result<&'a mut Value, Error> {
+    let mut node = root;
+    for part in path {
+        // Arrays of tables: descend into the most recent element.
+        if let Value::Array(items) = node {
+            let Some(last) = items.last_mut() else {
+                return Err(Error(format!("line {line}: empty table array")));
+            };
+            node = last;
+        }
+        let Value::Object(pairs) = node else {
+            return Err(Error(format!(
+                "line {line}: `{part}` is not a table (already a value)"
+            )));
+        };
+        let idx = match pairs.iter().position(|(k, _)| k == part) {
+            Some(i) => i,
+            None => {
+                pairs.push((part.clone(), Value::Object(Vec::new())));
+                pairs.len() - 1
+            }
+        };
+        node = &mut pairs[idx].1;
+    }
+    // A trailing array-of-tables path also resolves to its latest element.
+    if let Value::Array(items) = node {
+        let Some(last) = items.last_mut() else {
+            return Err(Error(format!("line {line}: empty table array")));
+        };
+        node = last;
+    }
+    Ok(node)
+}
+
+fn declare_table(root: &mut Value, path: &[String], line: usize) -> Result<(), Error> {
+    let node = navigate(root, path, line)?;
+    match node {
+        Value::Object(_) => Ok(()),
+        _ => Err(Error(format!(
+            "line {line}: table `{}` collides with an existing value",
+            path.join(".")
+        ))),
+    }
+}
+
+fn push_array_table(root: &mut Value, path: &[String], line: usize) -> Result<(), Error> {
+    let (last, parents) = path.split_last().expect("table header path is non-empty");
+    let node = navigate(root, parents, line)?;
+    let Value::Object(pairs) = node else {
+        return Err(Error(format!("line {line}: parent of `{last}` is a value")));
+    };
+    match pairs.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Array(items))) => {
+            items.push(Value::Object(Vec::new()));
+        }
+        Some(_) => {
+            return Err(Error(format!(
+                "line {line}: `[[{}]]` collides with an existing value",
+                path.join(".")
+            )));
+        }
+        None => {
+            pairs.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())])));
+        }
+    }
+    Ok(())
+}
+
+fn insert(root: &mut Value, path: &[String], value: Value, line: usize) -> Result<(), Error> {
+    let (last, parents) = path.split_last().expect("key path is non-empty");
+    let node = navigate(root, parents, line)?;
+    let Value::Object(pairs) = node else {
+        return Err(Error(format!(
+            "line {line}: cannot set `{last}` inside a non-table"
+        )));
+    };
+    if pairs.iter().any(|(k, _)| k == last) {
+        return Err(Error(format!("line {line}: duplicate key `{last}`")));
+    }
+    pairs.push((last.clone(), value));
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("line {}: {msg}", self.line))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected `{}`, found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    /// Skip spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => self.bump(),
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// After a key/value or table header: only trivia may remain on the line.
+    fn end_of_line(&mut self) -> Result<(), Error> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'\r') => Ok(()),
+            Some(b'#') => Ok(()),
+            Some(c) => Err(self.err(&format!("unexpected `{}` after value", c as char))),
+        }
+    }
+
+    /// One dotted key path: `part(.part)*`.
+    fn key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut parts = vec![self.key_part()?];
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.bump();
+                self.skip_inline_ws();
+                parts.push(self.key_part()?);
+            } else {
+                return Ok(parts);
+            }
+        }
+    }
+
+    fn key_part(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b'\'') => self.literal_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII key")
+                    .to_string())
+            }
+            other => Err(self.err(&format!(
+                "expected key, found {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => self.basic_string().map(Value::String),
+            Some(b'\'') => self.literal_string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(c) if c == b'+' || c == b'-' || c.is_ascii_digit() || c == b'i' || c == b'n' => {
+                self.number()
+            }
+            other => Err(self.err(&format!(
+                "expected value, found {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') | Some(b'U') => {
+                            let long = self.peek() == Some(b'U');
+                            let n = if long { 8 } else { 4 };
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 1 + n)
+                                .ok_or_else(|| self.err("truncated unicode escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += n;
+                        }
+                        other => {
+                            return Err(
+                                self.err(&format!("bad escape {:?}", other.map(|c| c as char)))
+                            )
+                        }
+                    }
+                    self.bump();
+                }
+                Some(b'\n') | None => return Err(self.err("unterminated string")),
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn literal_string(&mut self) -> Result<String, Error> {
+        self.expect(b'\'')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        .to_string();
+                    self.bump();
+                    return Ok(s);
+                }
+                Some(b'\n') | None => return Err(self.err("unterminated literal string")),
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(self.err("expected `true` or `false`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.bump();
+        }
+        // inf / nan (with optional sign consumed above).
+        for kw in ["inf", "nan"] {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += 3;
+                let negative = self.bytes[start] == b'-';
+                let v = if kw == "inf" {
+                    if negative {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    f64::NAN
+                };
+                return Ok(Value::Number(Number::Float(v)));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.bump(),
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        let text: String = raw.chars().filter(|&c| c != '_').collect();
+        if text.is_empty() || text == "+" || text == "-" {
+            return Err(self.err("expected number"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::Pos(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Neg(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some(b'}') {
+                self.bump();
+                return Ok(Value::Object(pairs));
+            }
+            let key = self.key_part()?;
+            self.skip_inline_ws();
+            self.expect(b'=')?;
+            self.skip_inline_ws();
+            let value = self.value()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}` in inline table")));
+            }
+            pairs.push((key, value));
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_tables() {
+        let v = parse(
+            r#"
+# a campaign
+name = "grid"        # trailing comment
+count = 12
+rate = 0.25
+big = 1_000_000
+neg = -3
+on = true
+
+[nested.table]
+key = 'literal "quotes"'
+"#,
+        )
+        .unwrap();
+        assert_eq!(v["name"], "grid");
+        assert_eq!(v["count"], 12u64);
+        assert_eq!(v["rate"], 0.25);
+        assert_eq!(v["big"], 1_000_000u64);
+        assert_eq!(v["neg"], -3i64);
+        assert_eq!(v["on"], true);
+        assert_eq!(v["nested"]["table"]["key"], r#"literal "quotes""#);
+    }
+
+    #[test]
+    fn arrays_nested_and_multiline() {
+        let v = parse(
+            "groups = [[0, 500], [500, 1000]]\nmulti = [\n  1,\n  2, # comment\n  3,\n]\nmixed = [1.5, 2.5]\n",
+        )
+        .unwrap();
+        assert_eq!(v["groups"][1][0], 500u64);
+        assert_eq!(v["multi"].as_array().unwrap().len(), 3);
+        assert_eq!(v["mixed"][0], 1.5);
+    }
+
+    #[test]
+    fn array_of_tables_and_dotted_keys() {
+        let v = parse(
+            r#"
+[cell]
+nodes = 100
+metrics.sample_every = 5
+
+[[cell.fault]]
+kind = "partition"
+at = 10
+
+[[cell.fault]]
+kind = "massacre"
+at = 20
+"#,
+        )
+        .unwrap();
+        assert_eq!(v["cell"]["nodes"], 100u64);
+        assert_eq!(v["cell"]["metrics"]["sample_every"], 5u64);
+        let faults = v["cell"]["fault"].as_array().unwrap();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0]["kind"], "partition");
+        assert_eq!(faults[1]["at"], 20u64);
+    }
+
+    #[test]
+    fn inline_tables() {
+        let v = parse("churn = { rate = 0.01, min = 2 }\n").unwrap();
+        assert_eq!(v["churn"]["rate"], 0.01);
+        assert_eq!(v["churn"]["min"], 2u64);
+    }
+
+    #[test]
+    fn floats_and_specials() {
+        let v = parse("a = 1e-3\nb = -2.5E2\nc = inf\nd = -inf\n").unwrap();
+        assert_eq!(v["a"], 1e-3);
+        assert_eq!(v["b"], -250.0);
+        assert_eq!(v["c"].as_f64().unwrap(), f64::INFINITY);
+        assert_eq!(v["d"].as_f64().unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn errors_are_rejected_with_line_numbers() {
+        for bad in [
+            "a = ",
+            "a == 1",
+            "a = \"unterminated",
+            "a = 1\na = 2",
+            "[t]\nx = 1\n[t.x]\ny = 2",
+            "a = 1 trailing",
+            "a = [1, 2",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert!(e.0.contains("line"), "{bad:?} -> {e:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_table_headers_are_rejected() {
+        let e = parse("[cell]\nx = 1\n[cell]\ny = 2\n").unwrap_err();
+        assert!(e.0.contains("declared twice"), "{e:?}");
+        let e = parse("[[f]]\nx = 1\n[f]\ny = 2\n").unwrap_err();
+        assert!(e.0.contains("declared twice"), "{e:?}");
+        let e = parse("[f]\nx = 1\n[[f]]\ny = 2\n").unwrap_err();
+        assert!(e.0.contains("collides"), "{e:?}");
+        // Re-entering an array of tables is of course fine, and sibling
+        // sub-tables do not collide.
+        parse("[[f]]\nx = 1\n[[f]]\nx = 2\n").unwrap();
+        parse("[a.b]\nx = 1\n[a.c]\ny = 2\n").unwrap();
+    }
+
+    #[test]
+    fn document_order_is_preserved() {
+        let v = parse("[sweep]\nz = [1]\na = [2]\nm = [3]\n").unwrap();
+        let Value::Object(pairs) = &v["sweep"] else {
+            panic!("sweep is a table")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"], "sweep axes keep document order");
+    }
+}

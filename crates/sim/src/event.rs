@@ -161,6 +161,10 @@ struct EventShard<'a, A: Application> {
     slots: &'a mut [crate::slots::Slot<A>],
     now: Ticks,
     events: Vec<Event<A::Message>>,
+    /// Recycled outbox vectors handed to this shard (its slice of the
+    /// engine's replay pool); callbacks pop from here instead of
+    /// allocating one `Vec` per sending event.
+    pool: Vec<Vec<(NodeId, A::Message)>>,
 }
 
 /// Deferred side effects of one processed event, replayed sequentially in
@@ -209,7 +213,18 @@ pub struct EventEngine<A: Application> {
     contacts_buf: Vec<NodeId>,
     /// Live-slot snapshot for the churn crash sweep.
     churn_buf: Vec<u32>,
+    /// Pool of recycled per-event outbox vectors for the sharded replay
+    /// path (sequential dispatch reuses `outbox_buf`; the sharded path
+    /// needs one live outbox per *sending* event until the seq-order
+    /// replay has routed it). Bounded so one pathological batch cannot
+    /// pin memory forever.
+    replay_pool: Vec<Vec<(NodeId, A::Message)>>,
 }
+
+/// Upper bound on pooled replay outboxes ([`EventEngine::replay_pool`]):
+/// enough to cover every sending event of a large same-timestamp batch,
+/// while letting a one-off burst's excess be freed instead of retained.
+const REPLAY_POOL_CAP: usize = 4096;
 
 impl<A: Application> EventEngine<A> {
     /// Create an empty network with the given configuration.
@@ -232,6 +247,7 @@ impl<A: Application> EventEngine<A> {
             join_outbox_buf: Vec::new(),
             contacts_buf: Vec::new(),
             churn_buf: Vec::new(),
+            replay_pool: Vec::new(),
         };
         if !engine.cfg.churn.is_static() {
             let period = engine.cfg.tick_period;
@@ -535,9 +551,6 @@ impl<A: Application> EventEngine<A> {
     }
 
     /// Sharded execution of a churn-free, same-timestamp event segment.
-    // `drain().collect()` (not `mem::take`) is deliberate: `tmp` keeps its
-    // capacity for the next callback of the shard.
-    #[allow(clippy::drain_collect)]
     fn process_segment_sharded(&mut self, events: Vec<Event<A::Message>>) {
         if events.len() <= 1 {
             // Nothing to parallelize; the sequential path is the identical
@@ -600,9 +613,14 @@ impl<A: Application> EventEngine<A> {
             chunk_events.push(evs);
         }
 
-        // Callback phase: parallel shards, per-target seq order.
+        // Callback phase: parallel shards, per-target seq order. Each
+        // shard takes an even slice of the engine's recycled outbox pool,
+        // so a sending event's outbox is a pooled vector instead of a
+        // fresh allocation (steady state: zero outbox allocations).
         let now = self.now;
+        let nshards = ranges.len();
         let views = crate::slots::disjoint_slot_ranges(&mut self.arena.slots, &ranges);
+        let per_shard_pool = self.replay_pool.len() / nshards.max(1);
         let tasks: Vec<EventShard<'_, A>> = views
             .into_iter()
             .zip(chunk_events)
@@ -611,44 +629,51 @@ impl<A: Application> EventEngine<A> {
                 slots,
                 now,
                 events,
+                pool: self
+                    .replay_pool
+                    .split_off(self.replay_pool.len() - per_shard_pool),
             })
             .collect();
         let outs = rayon::execute_indexed(tasks, threads, &|mut shard: EventShard<'_, A>| {
             let mut replays: Vec<Replay<A::Message>> = Vec::new();
             let mut delivered = 0u64;
-            let mut tmp: Vec<(NodeId, A::Message)> = Vec::new();
             for ev in shard.events.drain(..) {
                 match ev.kind {
                     EventKind::Tick { node } => {
                         let slot = &mut shard.slots[node.raw() as usize - shard.base];
                         debug_assert!(slot.alive, "triage kept live targets only");
-                        tmp.clear();
+                        let mut outbox = shard.pool.pop().unwrap_or_default();
+                        outbox.clear();
                         {
-                            let mut ctx = Ctx::new(node, shard.now, &mut slot.rng, &mut tmp);
+                            let mut ctx = Ctx::new(node, shard.now, &mut slot.rng, &mut outbox);
                             slot.app.on_tick(&mut ctx);
                         }
                         // Ticks always replay: the timer must be rescheduled.
                         replays.push(Replay {
                             seq: ev.seq,
                             from: node,
-                            outbox: tmp.drain(..).collect(),
+                            outbox,
                             reschedule_tick: true,
                         });
                     }
                     EventKind::Deliver { from, to, msg } => {
                         let slot = &mut shard.slots[to.raw() as usize - shard.base];
                         debug_assert!(slot.alive, "triage kept live targets only");
-                        tmp.clear();
+                        let mut outbox = shard.pool.pop().unwrap_or_default();
+                        outbox.clear();
                         {
-                            let mut ctx = Ctx::new(to, shard.now, &mut slot.rng, &mut tmp);
+                            let mut ctx = Ctx::new(to, shard.now, &mut slot.rng, &mut outbox);
                             slot.app.on_message(from, msg, &mut ctx);
                         }
                         delivered += 1;
-                        if !tmp.is_empty() {
+                        if outbox.is_empty() {
+                            // Silent receiver: hand the vector straight back.
+                            shard.pool.push(outbox);
+                        } else {
                             replays.push(Replay {
                                 seq: ev.seq,
                                 from: to,
-                                outbox: tmp.drain(..).collect(),
+                                outbox,
                                 reschedule_tick: false,
                             });
                         }
@@ -656,16 +681,19 @@ impl<A: Application> EventEngine<A> {
                     EventKind::Churn => unreachable!("segments are split at churn events"),
                 }
             }
-            (replays, delivered)
+            (replays, delivered, shard.pool)
         });
 
         // Replay phase: sequential, in seq order — the exact interleaving
         // of kernel-RNG draws and sequence allocation the per-event loop
         // produces (callbacks never touch the kernel stream in between).
         let mut replays: Vec<Replay<A::Message>> = Vec::new();
-        for (shard_replays, delivered) in outs {
+        for (shard_replays, delivered, leftover_pool) in outs {
             self.delivered += delivered;
             replays.extend(shard_replays);
+            for buf in leftover_pool {
+                self.return_replay_scratch(buf);
+            }
         }
         replays.sort_unstable_by_key(|r| r.seq);
         let period = self.cfg.tick_period;
@@ -674,6 +702,16 @@ impl<A: Application> EventEngine<A> {
             if r.reschedule_tick {
                 self.schedule(period, EventKind::Tick { node: r.from });
             }
+            self.return_replay_scratch(r.outbox);
+        }
+    }
+
+    /// Check a replay outbox vector back into the bounded pool (see
+    /// [`REPLAY_POOL_CAP`]); excess capacity from a one-off burst is freed.
+    fn return_replay_scratch(&mut self, mut buf: Vec<(NodeId, A::Message)>) {
+        if self.replay_pool.len() < REPLAY_POOL_CAP {
+            buf.clear();
+            self.replay_pool.push(buf);
         }
     }
 

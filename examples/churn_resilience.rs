@@ -1,68 +1,53 @@
 //! Churn resilience: the paper's target deployment is idle desktop
-//! workstations, where "nodes may join and leave the system at will". This
-//! example measures solution quality as churn increases, and demonstrates
-//! the self-repair after half the network crashes at once.
+//! workstations, where "nodes may join and leave the system at will".
+//!
+//! This example is now a thin wrapper over the declarative campaign
+//! harness (`gossipopt::scenarios`): the churn sweep is the committed
+//! `scenarios/churn_resilience.toml` campaign, and the catastrophic
+//! failure demo is the `scenarios/massacre.toml` fault schedule — run
+//! them directly with the `campaign` binary to get JSON/CSV reports.
 //!
 //! ```text
 //! cargo run --release --example churn_resilience
 //! ```
 
-use gossipopt::core::prelude::*;
+use gossipopt::scenarios::{parse_campaign, run_campaign};
 
 fn main() {
-    let nodes = 128;
-    let reps = 3;
-    println!("== quality vs churn rate (n = {nodes}, sphere, 1000 evals/node) ==");
-    println!(
-        "{:<24} {:>13} {:>13}",
-        "churn / tick", "avg quality", "worst"
+    // Quality vs churn rate, 3 repetitions per rate (sweep axis `churn`).
+    let churn = parse_campaign(include_str!("../scenarios/churn_resilience.toml"))
+        .expect("committed campaign parses");
+    println!("== quality vs churn rate (campaign `{}`) ==", churn.name);
+    let report = run_campaign(&churn, 2).expect("campaign runs");
+    print!("{}", report.to_table());
+    assert!(
+        report.failures().is_empty(),
+        "committed churn campaign must pass its assertions"
     );
-    for rate in [0.0, 1e-4, 1e-3, 1e-2] {
-        let spec = DistributedPsoSpec {
-            nodes,
-            particles_per_node: 16,
-            gossip_every: 16,
-            churn: if rate > 0.0 {
-                ChurnConfig::balanced(rate, nodes)
-            } else {
-                ChurnConfig::none()
-            },
-            ..Default::default()
-        };
-        let rep =
-            run_repeated(&spec, "sphere", Budget::PerNode(1000), reps, 11).expect("valid spec");
+
+    // Catastrophic failure: half the network crashes at once mid-run
+    // (a `massacre` fault schedule), and the survivors still finish.
+    let massacre = parse_campaign(include_str!("../scenarios/massacre.toml"))
+        .expect("committed campaign parses");
+    println!(
+        "\n== catastrophic mid-run crash (campaign `{}`) ==",
+        massacre.name
+    );
+    let report = run_campaign(&massacre, 2).expect("campaign runs");
+    print!("{}", report.to_table());
+    for cell in &report.cells {
         println!(
-            "{:<24} {:>13.5e} {:>13.5e}",
-            format!("{rate} crash+join"),
-            rep.quality.avg,
-            rep.quality.max
+            "{}: survivors {} finished at quality {:.5e} ({} msgs dropped)",
+            cell.label,
+            cell.report.final_population,
+            cell.report.best_quality,
+            cell.report.messages_dropped
         );
     }
-
-    // Catastrophic failure: the kernel supports scripted mass crashes; the
-    // run_distributed API models sustained churn, so here we approximate a
-    // catastrophe with a burst of very heavy churn mid-run and verify the
-    // search still finishes with a sane answer.
-    println!("\n== catastrophic churn burst (half the network replaced) ==");
-    let spec = DistributedPsoSpec {
-        nodes,
-        particles_per_node: 16,
-        gossip_every: 16,
-        churn: ChurnConfig {
-            crash_prob_per_tick: 0.005,
-            joins_per_tick: 0.64,
-            min_nodes: 8,
-            max_nodes: 2 * nodes,
-        },
-        ..Default::default()
-    };
-    let report =
-        run_distributed_pso(&spec, "griewank", Budget::PerNode(1000), 13).expect("valid spec");
-    println!("final population  : {}", report.final_population);
-    println!("global quality    : {:.5e}", report.best_quality);
-    println!("messages dropped  : {}", report.messages_dropped);
     println!(
-        "\nThe computation completed despite continuous node replacement —\n\
-         no single point of failure, exactly the robustness the paper claims."
+        "\nThe computation completed despite continuous node replacement and\n\
+         a catastrophic half-network crash — no single point of failure,\n\
+         exactly the robustness the paper claims."
     );
+    assert!(report.failures().is_empty());
 }

@@ -10,10 +10,14 @@
 //!   topologies.
 //! * `--mode dpso` — the paper's composed distributed-PSO stack
 //!   (`core::OptNode`: topology + optimization + coordination services)
-//!   at the same scale, via `run_distributed_pso` /
-//!   `run_distributed_async`. Proves the end-to-end framework — pooled
-//!   message payloads, O(n) network construction, allocation-free
-//!   steady-state coordination — at 100k nodes on both kernels.
+//!   at the same scale, executed through the scenario harness
+//!   (`gossipopt::scenarios::run_cell` — bit-identical to
+//!   `run_distributed_pso`, plus the metrics tap). Proves the end-to-end
+//!   framework — pooled message payloads, O(n) network construction,
+//!   allocation-free steady-state coordination — at 100k nodes on both
+//!   kernels.
+//! * `--mode campaign --spec FILE` — run a declarative campaign file
+//!   (see `scenarios/README.md`) and print its summary table.
 //!
 //! ```text
 //! cargo run --release --example scale -- \
@@ -34,10 +38,8 @@
 //! results follow the thread-count-invariant phased discipline), and
 //! `--curve` (gossip mode only: print the per-tick convergence curve).
 
-use gossipopt::core::experiment::CoordinationKind;
-use gossipopt::core::prelude::*;
 use gossipopt::gossip::topology::{k_out_regular, ring_lattice, two_level_auto};
-use gossipopt::gossip::ExchangeMode;
+use gossipopt::scenarios::{parse_campaign, run_campaign, run_cell, CellSpec};
 use gossipopt::sim::{
     Application, Control, Ctx, CycleConfig, CycleEngine, EventConfig, EventEngine, NodeId,
 };
@@ -95,6 +97,7 @@ struct Args {
     seed: u64,
     threads: usize,
     curve: bool,
+    spec: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -108,6 +111,7 @@ fn parse_args() -> Args {
         seed: 1,
         threads: 0,
         curve: false,
+        spec: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -125,6 +129,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
             "--threads" => args.threads = value("--threads").parse().expect("--threads"),
             "--curve" => args.curve = true,
+            "--spec" => args.spec = Some(value("--spec")),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -270,60 +275,50 @@ fn report(
     }
 }
 
-/// The distributed-PSO spec for a scale topology: the composed OptNode
-/// stack (anti-entropy coordination of the global best, static overlay,
-/// per-node PSO swarms) with `--ticks` as the per-node evaluation budget.
-fn dpso_spec(topology: &str, args: &Args) -> DistributedPsoSpec {
-    let kind = match topology {
-        "ring" => TopologyKind::RingLattice(args.degree),
-        "kregular" => TopologyKind::KOutRegular(args.degree),
-        "hier" => TopologyKind::TwoLevelHierarchy {
-            degree: args.degree,
-        },
+/// The scenario cell for a scale topology: the composed OptNode stack
+/// (anti-entropy coordination of the global best, static overlay,
+/// per-node PSO swarms) with `--ticks` as the per-node evaluation
+/// budget, executed through `gossipopt::scenarios::run_cell` — the same
+/// trajectory `run_distributed_pso` produces, plus the metrics tap.
+fn dpso_cell(topology: &str, kernel: &str, args: &Args) -> CellSpec {
+    let topology = match topology {
+        "ring" => format!("ring-lattice:{}", args.degree),
+        "kregular" => format!("kregular:{}", args.degree),
+        "hier" => format!("hier:{}", args.degree),
         other => panic!("unknown topology {other} (ring|kregular|hier)"),
     };
-    DistributedPsoSpec {
+    CellSpec {
+        name: format!("scale-dpso {topology} {kernel}"),
         nodes: args.nodes,
-        particles_per_node: 4,
+        particles: 4,
         gossip_every: 4,
-        topology: kind,
-        coordination: CoordinationKind::GossipBest(ExchangeMode::PushPull),
-        function_dim: 8,
+        budget: args.ticks,
+        kernel: kernel.into(),
         threads: args.threads,
-        ..Default::default()
+        topology,
+        function: "sphere".into(),
+        dim: 8,
+        seed: Some(args.seed),
+        ..CellSpec::default()
     }
 }
 
 fn run_dpso(topology: &str, kernel: &str, args: &Args) {
-    let spec = dpso_spec(topology, args);
-    let budget = Budget::PerNode(args.ticks);
+    let cell = dpso_cell(topology, kernel, args);
     // End-to-end clock: unlike gossip mode (which times only the run
-    // loop), the runners build the network internally, so evals_per_sec
-    // includes the O(n) construction — ~0.4 s of a ~20 s run at 100k
-    // nodes. Don't compare it 1:1 against gossip-mode node_events_per_sec.
+    // loop), the executor builds the network internally, so
+    // evals_per_sec includes the O(n) construction — ~0.4 s of a ~20 s
+    // run at 100k nodes. Don't compare it 1:1 against gossip-mode
+    // node_events_per_sec.
     let start = Instant::now();
-    let report = match kernel {
-        "cycle" => run_distributed_pso(&spec, "sphere", budget, args.seed).expect("dpso run"),
-        "event" => {
-            let objective: std::sync::Arc<dyn Objective> =
-                std::sync::Arc::from(function_by_name("sphere", spec.function_dim).unwrap());
-            run_distributed_async(
-                &spec,
-                objective,
-                budget,
-                gossipopt::core::experiment::AsyncOpts::default(),
-                args.seed,
-            )
-            .expect("dpso async run")
-        }
-        other => panic!("unknown kernel {other} (cycle|event)"),
-    };
+    let out = run_cell(&cell).expect("dpso cell runs");
     let wall = start.elapsed().as_secs_f64();
+    let report = &out.report;
     println!(
         "scale-dpso kernel={kernel} topology={topology} nodes={} quality={:.3e} \
          evals={} exchanges={} delivered={} payload_bytes={} \
          evals_per_sec={:.3e} wall_s={:.3}",
-        spec.nodes,
+        cell.nodes,
         report.best_quality,
         report.total_evals,
         report.coordination_exchanges,
@@ -366,6 +361,17 @@ fn main() {
                 }
             }
         }
-        other => panic!("unknown mode {other} (gossip|dpso)"),
+        "campaign" => {
+            let path = args
+                .spec
+                .expect("--mode campaign requires --spec <file.toml>");
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let spec = parse_campaign(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let report = run_campaign(&spec, args.threads.max(1)).unwrap_or_else(|e| panic!("{e}"));
+            print!("{}", report.to_table());
+            assert!(report.failures().is_empty(), "campaign assertions failed");
+        }
+        other => panic!("unknown mode {other} (gossip|dpso|campaign)"),
     }
 }

@@ -18,6 +18,11 @@
 //! * [`core`] — the three-service framework (topology / optimization /
 //!   coordination), the distributed PSO instantiation, baselines, and the
 //!   experiment runner reproducing every table and figure of the paper;
+//! * [`scenarios`] — declarative experiment campaigns: TOML scenario
+//!   specs with sweep grids, fault-schedule injection (partitions, flash
+//!   crowds, massacres, byzantine optimum corruption), an
+//!   allocation-free metrics tap, and a deterministic parallel campaign
+//!   runner (committed campaigns live in the repo's `scenarios/` dir);
 //! * [`runtime`] — a real threaded deployment of the same protocol (one OS
 //!   thread per node, channel or UDP transport, binary wire format).
 //!
@@ -99,6 +104,7 @@ pub use gossipopt_core as core;
 pub use gossipopt_functions as functions;
 pub use gossipopt_gossip as gossip;
 pub use gossipopt_runtime as runtime;
+pub use gossipopt_scenarios as scenarios;
 pub use gossipopt_sim as sim;
 pub use gossipopt_solvers as solvers;
 pub use gossipopt_util as util;

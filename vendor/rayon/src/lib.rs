@@ -1,18 +1,37 @@
 //! Offline stand-in for `rayon`'s `par_iter` surface.
 //!
 //! `into_par_iter().map(f).collect()` materializes the input and runs the
-//! mapped items on scoped `std::thread`s with **work stealing**: workers
-//! claim items one at a time from a shared atomic cursor, so a skewed
-//! workload (one slow item per chunk) no longer serializes on the slowest
-//! static chunk — the idle workers simply pull the remaining items.
-//! Results are written to their input's slot, preserving order.
+//! mapped items on a **persistent worker pool** with **work stealing**:
+//! workers claim items one at a time from a shared atomic cursor, so a
+//! skewed workload (one slow item per chunk) no longer serializes on the
+//! slowest static chunk — the idle workers simply pull the remaining
+//! items. Results are written to their input's slot, preserving order.
 //!
 //! [`execute_indexed`] exposes the same self-scheduling executor for
 //! callers that already hold a vector of independent jobs (the simulation
 //! kernels' shard runners use it directly).
+//!
+//! ## Persistent pool
+//!
+//! Workers are spawned lazily on first use and then parked on a condvar
+//! between calls — a per-tick `execute_indexed` (the kernels' phased
+//! shards fire twice or more per simulated tick) costs two lock/notify
+//! handshakes instead of `threads` thread spawns + joins, which showed up
+//! as sys-time at 1M nodes. The submitting thread always participates in
+//! its own job, so `threads = k` still means `k` claim loops. Borrowed
+//! job state is protected scope-style: the submitter enqueues `k − 1`
+//! erased-lifetime tickets, runs the claim loop itself, then *cancels
+//! every unclaimed ticket and blocks until every claimed one has
+//! finished* before returning (or unwinding), so no worker can touch the
+//! job's stack frame after it is gone. Nested calls cannot deadlock:
+//! waits are only ever on tickets a worker is actively running, and a
+//! saturated pool simply leaves tickets unclaimed for the submitter to
+//! cancel after it has finished the work itself.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
@@ -83,6 +102,154 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One submitted job: a type-erased claim loop plus completion accounting.
+///
+/// `body` points into the submitting call's stack frame; the lifetime
+/// erasure is sound because [`execute_indexed`] cannot return (or unwind)
+/// past its `JobGuard`, which cancels unclaimed tickets and waits for
+/// every claimed one before the frame dies.
+struct Job {
+    body: *const (dyn Fn() + Sync),
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+// The raw body pointer is only dereferenced while the submitter guarantees
+// the pointee is alive (see `JobGuard`), and the pointee is `Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct JobState {
+    /// Tickets enqueued for this job.
+    issued: usize,
+    /// Tickets removed from the queue before any worker claimed them.
+    cancelled: usize,
+    /// Tickets whose body run has completed.
+    finished: usize,
+    /// A worker's body run panicked.
+    panicked: bool,
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+/// Upper bound on pool workers; requests beyond it leave tickets unclaimed
+/// (the submitter cancels them after doing the work itself), so oversized
+/// `threads` arguments degrade to less parallelism, never to errors.
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .saturating_mul(4)
+        .max(16)
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Number of pool workers spawned so far (observability for tests).
+#[doc(hidden)]
+pub fn worker_count() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let want = want.min(max_workers());
+    loop {
+        let have = p.spawned.load(Ordering::Relaxed);
+        if have >= want {
+            return;
+        }
+        if p.spawned
+            .compare_exchange(have, have + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let spawned = std::thread::Builder::new()
+            .name("rayon-shim-worker".into())
+            .spawn(move || worker_loop(p));
+        if spawned.is_err() {
+            // Thread exhaustion: undo the claim and run with fewer workers.
+            p.spawned.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("rayon-shim queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = p.available.wait(q).expect("rayon-shim queue poisoned");
+            }
+        };
+        // SAFETY: the submitter blocks in `JobGuard::drop` until this
+        // ticket is counted finished, so the pointee outlives this call.
+        let body = unsafe { &*job.body };
+        let panicked = catch_unwind(AssertUnwindSafe(body)).is_err();
+        let mut st = job.state.lock().expect("rayon-shim job state poisoned");
+        st.finished += 1;
+        st.panicked |= panicked;
+        job.done.notify_all();
+    }
+}
+
+/// Scope guard making the lifetime erasure sound: on drop (return *or*
+/// unwind) it cancels every ticket still sitting unclaimed in the queue
+/// and blocks until every claimed ticket has finished running.
+struct JobGuard<'a> {
+    job: &'a Arc<Job>,
+    pool: &'static Pool,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        let mut removed = 0usize;
+        {
+            let mut q = self.pool.queue.lock().expect("rayon-shim queue poisoned");
+            q.retain(|j| {
+                if Arc::ptr_eq(j, self.job) {
+                    removed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut st = self
+            .job
+            .state
+            .lock()
+            .expect("rayon-shim job state poisoned");
+        st.cancelled += removed;
+        while st.finished + st.cancelled < st.issued {
+            st = self
+                .job
+                .done
+                .wait(st)
+                .expect("rayon-shim job state poisoned");
+        }
+    }
+}
+
 /// Run `f` over `items` on up to `threads` workers with work stealing and
 /// return the results in input order.
 ///
@@ -92,7 +259,8 @@ where
 /// the slowest static chunk. Item slots are independently locked, which
 /// costs one uncontended lock/unlock per item — noise for the
 /// coarse-grained jobs (experiment repetitions, kernel shards) this shim
-/// exists for.
+/// exists for. Workers come from the lazily-spawned persistent pool (see
+/// the module docs); the calling thread always runs one claim loop itself.
 pub fn execute_indexed<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
 where
     T: Send,
@@ -110,30 +278,59 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        // The scope owns worker lifetimes; panics in a worker propagate on
-        // join below, after every worker has stopped claiming items.
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let (slots, results, cursor) = (&slots, &results, &cursor);
-            handles.push(scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("rayon-shim slot poisoned")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let r = f(item);
-                *results[i].lock().expect("rayon-shim result poisoned") = Some(r);
-            }));
+    let body = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-        for h in handles {
-            h.join().expect("rayon-shim worker panicked");
-        }
+        let item = slots[i]
+            .lock()
+            .expect("rayon-shim slot poisoned")
+            .take()
+            .expect("each index is claimed exactly once");
+        let r = f(item);
+        *results[i].lock().expect("rayon-shim result poisoned") = Some(r);
+    };
+
+    let tickets = threads - 1;
+    // SAFETY: erasing the borrow's lifetime is sound because `guard`
+    // (dropped before `body`/`slots`/`results` die, on return and on
+    // unwind alike) cancels unclaimed tickets and waits for claimed ones.
+    let body_ref: &(dyn Fn() + Sync) = &body;
+    let body_ptr: *const (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync)>(body_ref) };
+    let job = Arc::new(Job {
+        body: body_ptr,
+        state: Mutex::new(JobState {
+            issued: tickets,
+            cancelled: 0,
+            finished: 0,
+            panicked: false,
+        }),
+        done: Condvar::new(),
     });
+    let p = pool();
+    ensure_workers(p, tickets);
+    {
+        let mut q = p.queue.lock().expect("rayon-shim queue poisoned");
+        for _ in 0..tickets {
+            q.push_back(Arc::clone(&job));
+        }
+    }
+    p.available.notify_all();
+
+    let guard = JobGuard { job: &job, pool: p };
+    body(); // the submitting thread is always one of the claim loops
+    drop(guard);
+
+    if job
+        .state
+        .lock()
+        .expect("rayon-shim job state poisoned")
+        .panicked
+    {
+        panic!("rayon-shim worker panicked");
+    }
     results
         .into_iter()
         .map(|m| {
@@ -220,6 +417,63 @@ mod tests {
             let out = super::execute_indexed((0..257u32).collect(), threads, &|x| x + 1);
             assert_eq!(out, (1..258u32).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        // Warm the pool, then issue many more calls: the spawned-worker
+        // count must not grow past the first round's high-water mark —
+        // i.e. calls reuse parked workers instead of spawning fresh ones.
+        let run = |threads| {
+            let out = super::execute_indexed((0..64u64).collect(), threads, &|x| x * 3);
+            assert_eq!(out[63], 189);
+        };
+        // Drive the pool to this process's high-water mark (the widest
+        // request any test makes) so concurrently running tests cannot
+        // grow it mid-assertion.
+        run(64);
+        let high_water = super::worker_count();
+        assert!(high_water >= 1, "a wide call must spawn pool workers");
+        for _ in 0..50 {
+            run(4);
+            run(64);
+        }
+        assert_eq!(
+            super::worker_count(),
+            high_water,
+            "repeat calls must reuse the parked workers"
+        );
+    }
+
+    #[test]
+    fn nested_execute_indexed_completes() {
+        // Outer fan-out whose items each fan out again. A saturated pool
+        // leaves inner tickets unclaimed; the inner submitter must finish
+        // the work itself and cancel them rather than deadlock.
+        let out = super::execute_indexed((0..8u64).collect(), 4, &|i| {
+            let inner = super::execute_indexed((0..16u64).collect(), 4, &|j| i * 100 + j);
+            inner.iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8u64)
+            .map(|i| (0..16).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            super::execute_indexed((0..64u32).collect(), 4, &|x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "an item panic must fail the whole call");
+        // The pool must still be usable afterwards.
+        let out = super::execute_indexed((0..16u32).collect(), 4, &|x| x + 1);
+        assert_eq!(out, (1..17u32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -408,8 +408,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
+    // Fully qualified return type: the deriving module may shadow the
+    // `Result` prelude alias with its own (e.g. `crate::Result<T>`).
     let out = format!(
-        "{}{{ fn from_value(__v: &serde::__private::Value) -> Result<Self, serde::__private::Error> {{ {body} }} }}",
+        "{}{{ fn from_value(__v: &serde::__private::Value) -> std::result::Result<Self, serde::__private::Error> {{ {body} }} }}",
         impl_header("Deserialize", &item)
     );
     out.parse()
