@@ -1,0 +1,19 @@
+fn main() {
+    let spec = gossipopt_scenarios::parse_campaign(r#"
+[campaign]
+name = "typo"
+seed = 7
+
+[cell]
+nodes = 16
+particles = 4
+budget = 20
+
+[sweep]
+chrun = [0.0, 0.5]
+"#).unwrap();
+    println!("cells = {}", spec.cells.len());
+    for c in &spec.cells {
+        println!("label={:?} churn={}", c.name, c.churn);
+    }
+}
