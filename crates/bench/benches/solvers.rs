@@ -2,9 +2,9 @@
 //! solver bookkeeping) for every registered solver and PSO variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gossipopt_functions::Sphere;
+use gossipopt_functions::{by_name, Sphere};
 use gossipopt_solvers::{solver_by_name, Inertia, PsoParams, Solver, Swarm};
-use gossipopt_util::Xoshiro256pp;
+use gossipopt_util::{Rng64, Xoshiro256pp};
 use std::hint::black_box;
 
 fn bench_solver_steps(c: &mut Criterion) {
@@ -52,5 +52,47 @@ fn bench_pso_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver_steps, bench_pso_variants);
+/// Batch objective-evaluation throughput for the four-wide lane kernels:
+/// a 32-point batch through `eval_batch`, at a small and a large
+/// dimensionality. (`schwefel` is the suite's Schwefel problem 1.2.)
+fn bench_eval_batch(c: &mut Criterion) {
+    const POINTS: usize = 32;
+    for (label, registry_name) in [
+        ("sphere", "sphere"),
+        ("rastrigin", "rastrigin"),
+        ("schwefel", "schwefel12"),
+        ("griewank", "griewank"),
+    ] {
+        let mut group = c.benchmark_group(&format!("eval/{label}"));
+        for dim in [4usize, 32] {
+            let f = by_name(registry_name, dim).expect("registered");
+            let mut rng = Xoshiro256pp::seeded(11);
+            let xs: Vec<f64> = (0..POINTS * dim)
+                .map(|i| {
+                    let (lo, hi) = f.bounds(i % dim);
+                    rng.range_f64(lo, hi)
+                })
+                .collect();
+            let mut out = vec![0.0f64; POINTS];
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("dim{dim}")),
+                &dim,
+                |b, &dim| {
+                    b.iter(|| {
+                        f.eval_batch(black_box(&xs), dim, &mut out);
+                        black_box(out[POINTS - 1])
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_solver_steps,
+    bench_pso_variants,
+    bench_eval_batch
+);
 criterion_main!(benches);

@@ -545,6 +545,10 @@ pub fn run_distributed(
                     for (_, node) in view.iter() {
                         wire_bytes += node.payload_bytes_sent();
                     }
+                    // Node ledgers charge unbatched sizes at send time;
+                    // frame coalescing happens later in the kernel, so
+                    // its savings are netted off here.
+                    wire_bytes = wire_bytes.saturating_sub(engine.stats().frame_bytes_saved);
                     ring.record(MetricSample {
                         tick: now,
                         best_quality: quality,
@@ -602,7 +606,9 @@ pub fn run_distributed(
         ticks,
         reached_threshold_at: reached_at,
         coordination_exchanges: exchanges,
-        payload_bytes,
+        // Sender ledgers charge unbatched sizes; the kernel's frame
+        // coalescing (phased path only) reports what it saved on the wire.
+        payload_bytes: payload_bytes.saturating_sub(stats.frame_bytes_saved),
         messages_sent: stats.sent,
         messages_delivered: stats.delivered,
         messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,

@@ -1,10 +1,11 @@
 //! The composed framework node: topology + optimization + coordination.
 
-use crate::messages::Msg;
+use crate::messages::{CoordBatch, Msg};
 use crate::rumor::{BestRumor, GlobalBest};
 use gossipopt_functions::Objective;
 use gossipopt_gossip::{
-    AntiEntropy, ExchangeMode, Newscast, NewscastConfig, PartialView, PeerSampler, StaticSampler,
+    AntiEntropy, AntiEntropyMsg, ExchangeMode, Newscast, NewscastConfig, PartialView, PeerSampler,
+    StaticSampler,
 };
 use gossipopt_sim::{Application, Ctx, NodeId};
 use gossipopt_solvers::Solver;
@@ -150,6 +151,21 @@ impl OptNode {
         self.solver.best().cloned()
     }
 
+    /// Is `evals` on the coordination cadence? Same predicate as
+    /// `evals.is_multiple_of(self.gossip_every)`, but the experiments all
+    /// use small power-of-two periods, where a mask beats the hardware
+    /// divide this check would otherwise pay twice per tick (once in the
+    /// kernel's quiet scan, once in `on_tick`).
+    #[inline]
+    fn coord_due(&self, evals: u64) -> bool {
+        let g = self.gossip_every;
+        if g & (g - 1) == 0 {
+            evals & (g - 1) == 0
+        } else {
+            evals.is_multiple_of(g)
+        }
+    }
+
     /// Solution quality: `f(g) − f*` (`+inf` before any evaluation).
     pub fn quality(&self) -> f64 {
         match self.solver.best() {
@@ -216,7 +232,9 @@ impl OptNode {
 
     /// Absorb a remotely received optimum into the local solver.
     fn adopt_remote(&mut self, g: &GlobalBest) {
-        self.solver.tell_best(g.to_point());
+        // Borrowed-payload injection: solvers reuse their best-point
+        // allocation, so steady-state adoption stays off the allocator.
+        self.solver.tell_best_slice(g.x.as_slice(), g.f);
     }
 
     /// Turn this node byzantine: plant `lie` (a fabricated optimum,
@@ -239,6 +257,38 @@ impl OptNode {
             _ => {}
         }
         self.solver.tell_best(lie.to_point());
+    }
+
+    /// Handle one anti-entropy coordination message from `from`: compare
+    /// against the freshest local best, absorb an improvement into the
+    /// solver, and send the push-pull reply when the local value wins.
+    /// Shared by the `Msg::Coord` arm and per-item [`Msg::CoordBatch`]
+    /// unpacking; draws no randomness, so batched and unbatched delivery
+    /// leave every RNG stream untouched.
+    fn handle_coord(
+        &mut self,
+        from: NodeId,
+        m: AntiEntropyMsg<GlobalBest>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        // Make sure the exchange compares against our freshest best.
+        self.sync_gossip_value();
+        if let CoordComp::Gossip(ae) = &mut self.coord {
+            let before = ae.value().map(|v| v.f);
+            let reply = ae.handle(m);
+            let improved = match (before, ae.value()) {
+                (Some(b), Some(a)) => a.f < b,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            if improved {
+                let g = ae.value().expect("improved implies value").clone();
+                self.adopt_remote(&g);
+            }
+            if let Some(r) = reply {
+                send_tracked(&mut self.bytes_sent, ctx, from, Msg::Coord(r));
+            }
+        }
     }
 
     fn coordinate(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -334,9 +384,41 @@ impl Application for OptNode {
         }
 
         // 3. Coordination service: every `r` local evaluations.
-        if may_evaluate && self.solver.evals().is_multiple_of(self.gossip_every) {
+        if may_evaluate && self.coord_due(self.solver.evals()) {
             self.coordinate(ctx);
         }
+    }
+
+    /// Exact one-tick-ahead mirror of [`OptNode::on_tick`]'s send
+    /// conditions (conservative where a send depends on runtime state the
+    /// hint cannot cheaply see, e.g. a master–slave hub's pending reply —
+    /// replies happen in `on_message`, which the kernel never treats as
+    /// quiet). Returning `true` lets the sequential cycle kernel visit
+    /// nodes in slot order instead of the shuffled sweep; the kernel
+    /// panics if a declared-quiet node sends anyway, so this must stay in
+    /// lock-step with `on_tick`.
+    fn quiet_tick(&self) -> bool {
+        // Step 1 sends nothing; step 3 fires when the (possibly advanced)
+        // evaluation counter hits the coordination cadence.
+        let may_evaluate = self.eval_budget.is_none_or(|b| self.solver.evals() < b);
+        let evals_after = self.solver.evals() + u64::from(may_evaluate);
+        let coord_due = may_evaluate && self.coord_due(evals_after);
+        let coord_may_send = match (&self.coord, self.role) {
+            (CoordComp::Isolated, _) => false,
+            // The master is purely reactive; only slaves report.
+            (CoordComp::MasterSlave, role) => matches!(role, Role::Slave(_)),
+            _ => true,
+        };
+        // Step 2: periodic NEWSCAST exchange on its own cadence.
+        let topology_may_send = match &self.topology {
+            TopologyComp::Newscast(nc) => nc.exchange_due_next_tick(),
+            TopologyComp::Static(_) => false,
+        };
+        !((coord_due && coord_may_send) || topology_may_send)
+    }
+
+    fn prefetch(&self) {
+        self.solver.prefetch();
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -349,24 +431,13 @@ impl Application for OptNode {
                     }
                 }
             }
-            Msg::Coord(m) => {
-                // Make sure the exchange compares against our freshest best.
-                self.sync_gossip_value();
-                if let CoordComp::Gossip(ae) = &mut self.coord {
-                    let before = ae.value().map(|v| v.f);
-                    let reply = ae.handle(m);
-                    let improved = match (before, ae.value()) {
-                        (Some(b), Some(a)) => a.f < b,
-                        (None, Some(_)) => true,
-                        _ => false,
-                    };
-                    if improved {
-                        let g = ae.value().expect("improved implies value").clone();
-                        self.adopt_remote(&g);
-                    }
-                    if let Some(r) = reply {
-                        send_tracked(&mut self.bytes_sent, ctx, from, Msg::Coord(r));
-                    }
+            Msg::Coord(m) => self.handle_coord(from, m, ctx),
+            Msg::CoordBatch(b) => {
+                // Unpack in delivery order, replying to each item's
+                // original source — byte-for-byte the state transitions
+                // and replies of receiving the messages unbatched.
+                for (src, m) in b.items {
+                    self.handle_coord(src, m, ctx);
                 }
             }
             Msg::RumorPush(g) => {
@@ -406,6 +477,62 @@ impl Application for OptNode {
                 self.adopt_remote(&g);
             }
         }
+    }
+
+    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Msg)>) -> u64 {
+        // Cheap pre-scan: leave the round untouched unless some
+        // consecutive same-destination pair is coordination traffic
+        // (random-peer topologies rarely produce runs).
+        let fusible = round.windows(2).any(|w| {
+            w[0].1 == w[1].1 && matches!(w[0].2, Msg::Coord(_)) && matches!(w[1].2, Msg::Coord(_))
+        });
+        if !fusible {
+            return 0;
+        }
+        let mut saved = 0u64;
+        let taken = std::mem::take(round);
+        round.reserve(taken.len());
+        let mut it = taken.into_iter().peekable();
+        while let Some((from, to, msg)) = it.next() {
+            let run_continues = |next: Option<&(NodeId, NodeId, Msg)>| {
+                next.is_some_and(|(_, nto, nm)| *nto == to && matches!(nm, Msg::Coord(_)))
+            };
+            if !matches!(msg, Msg::Coord(_)) || !run_continues(it.peek()) {
+                round.push((from, to, msg));
+                continue;
+            }
+            // Collect the maximal run of consecutive coordination
+            // messages for this destination.
+            let mut unbatched = msg.wire_bytes() as u64;
+            let Msg::Coord(first) = msg else {
+                unreachable!()
+            };
+            let mut batch = CoordBatch {
+                items: vec![(from, first)],
+            };
+            while run_continues(it.peek()) {
+                let (nfrom, _, nmsg) = it.next().expect("peeked");
+                unbatched += nmsg.wire_bytes() as u64;
+                let Msg::Coord(m) = nmsg else { unreachable!() };
+                batch.items.push((nfrom, m));
+            }
+            let fused = Msg::CoordBatch(batch);
+            let batched = fused.wire_bytes() as u64;
+            if batched < unbatched {
+                saved += unbatched - batched;
+                round.push((from, to, fused));
+            } else {
+                // The frame would not shrink (payloads too dissimilar for
+                // the delta coding to win): keep the run unbatched.
+                let Msg::CoordBatch(b) = fused else {
+                    unreachable!()
+                };
+                for (src, m) in b.items {
+                    round.push((src, to, Msg::Coord(m)));
+                }
+            }
+        }
+        saved
     }
 }
 

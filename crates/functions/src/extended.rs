@@ -24,6 +24,7 @@ macro_rules! extended_objective {
         min_dim: $min_dim:expr,
         optimum: $opt:expr,
         eval($x:ident) $body:block
+        lanes($pts:ident, $dim:ident) $lanes_body:block
     ) => {
         $(#[$meta])*
         #[derive(Debug, Clone)]
@@ -44,6 +45,18 @@ macro_rules! extended_objective {
             /// Per-point kernel shared by `eval` and `eval_batch`.
             #[inline(always)]
             fn eval_point($x: &[f64]) -> f64 $body
+
+            /// Four-points-at-once kernel (see [`crate::lanes`]); each lane
+            /// replays `eval_point`'s arithmetic in the same order, so
+            /// results stay bit-identical while the four independent chains
+            /// vectorize. Index loops are deliberate: the `d`-outer /
+            /// `l`-inner order is the bit-identity contract.
+            #[allow(clippy::needless_range_loop)]
+            #[inline(always)]
+            fn eval_lanes($pts: [&[f64]; 4]) -> [f64; 4] {
+                let $dim = $pts[0].len();
+                $lanes_body
+            }
         }
 
         impl Objective for $name {
@@ -63,9 +76,7 @@ macro_rules! extended_objective {
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, self.dim, "stride must equal the dimensionality");
                 assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
-                for (chunk, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
-                    *slot = Self::eval_point(chunk);
-                }
+                crate::lanes::eval_groups(xs, k, out, Self::eval_lanes, Self::eval_point);
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 ($opt)(self.dim)
@@ -113,9 +124,19 @@ macro_rules! fixed_2d_objective {
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, 2, "stride must equal the dimensionality");
                 assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
-                for (chunk, slot) in xs.chunks_exact(2).zip(out.iter_mut()) {
-                    *slot = Self::eval_point(chunk[0], chunk[1]);
-                }
+                crate::lanes::eval_groups(
+                    xs,
+                    2,
+                    out,
+                    |pts| {
+                        let mut r = [0.0f64; 4];
+                        for l in 0..4 {
+                            r[l] = Self::eval_point(pts[l][0], pts[l][1]);
+                        }
+                        r
+                    },
+                    |p| Self::eval_point(p[0], p[1]),
+                );
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 Some($opt.to_vec())
@@ -143,6 +164,27 @@ extended_objective! {
             })
             .sum();
         head + mid + tail
+    }
+    lanes(pts, k) {
+        let w = |v: f64| 1.0 + (v - 1.0) / 4.0;
+        // -0.0 is `Iterator::sum`'s additive identity for f64; seeding the
+        // lanes with it keeps signed zeros (and empty sums) bit-identical.
+        let mut mid = [-0.0f64; 4];
+        for d in 0..k - 1 {
+            for l in 0..4 {
+                let wi = w(pts[l][d]);
+                mid[l] += (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2));
+            }
+        }
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            let w1 = w(pts[l][0]);
+            let wd = w(pts[l][k - 1]);
+            let head = (PI * w1).sin().powi(2);
+            let tail = (wd - 1.0).powi(2) * (1.0 + (2.0 * PI * wd).sin().powi(2));
+            r[l] = head + mid[l] + tail;
+        }
+        r
     }
 }
 
@@ -173,6 +215,22 @@ extended_objective! {
             .sum();
         head + tail
     }
+    lanes(pts, k) {
+        let mut tail = [-0.0f64; 4];
+        for d in 0..k - 1 {
+            let wgt = (d + 2) as f64;
+            for l in 0..4 {
+                let (a, b) = (pts[l][d], pts[l][d + 1]);
+                let t = 2.0 * b * b - a;
+                tail[l] += wgt * t * t;
+            }
+        }
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = (pts[l][0] - 1.0).powi(2) + tail[l];
+        }
+        r
+    }
 }
 
 extended_objective! {
@@ -187,6 +245,17 @@ extended_objective! {
             .map(|(i, v)| (i + 1) as f64 * v * v)
             .sum()
     }
+    lanes(pts, k) {
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            let wgt = (d + 1) as f64;
+            for l in 0..4 {
+                let v = pts[l][d];
+                acc[l] += wgt * v * v;
+            }
+        }
+        acc
+    }
 }
 
 extended_objective! {
@@ -197,6 +266,20 @@ extended_objective! {
     optimum: |d| Some(vec![0.0; d]),
     eval(x) {
         x[0] * x[0] + 1e6 * x[1..].iter().map(|v| v * v).sum::<f64>()
+    }
+    lanes(pts, k) {
+        let mut s = [-0.0f64; 4];
+        for d in 1..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                s[l] += v * v;
+            }
+        }
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = pts[l][0] * pts[l][0] + 1e6 * s[l];
+        }
+        r
     }
 }
 
@@ -216,6 +299,24 @@ extended_objective! {
             .map(|(i, v)| 10f64.powf(6.0 * i as f64 / (d - 1) as f64) * v * v)
             .sum()
     }
+    lanes(pts, k) {
+        if k == 1 {
+            let mut r = [0.0f64; 4];
+            for l in 0..4 {
+                r[l] = pts[l][0] * pts[l][0];
+            }
+            return r;
+        }
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            let wgt = 10f64.powf(6.0 * d as f64 / (k - 1) as f64);
+            for l in 0..4 {
+                let v = pts[l][d];
+                acc[l] += wgt * v * v;
+            }
+        }
+        acc
+    }
 }
 
 extended_objective! {
@@ -226,6 +327,16 @@ extended_objective! {
     optimum: |d| Some(vec![0.0; d]),
     eval(x) {
         x.iter().map(|v| (v * v.sin() + 0.1 * v).abs()).sum()
+    }
+    lanes(pts, k) {
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                acc[l] += (v * v.sin() + 0.1 * v).abs();
+            }
+        }
+        acc
     }
 }
 
@@ -239,6 +350,21 @@ extended_objective! {
     eval(x) {
         let r = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         1.0 - (2.0 * PI * r).cos() + 0.1 * r
+    }
+    lanes(pts, k) {
+        let mut s = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                s[l] += v * v;
+            }
+        }
+        let mut out = [0.0f64; 4];
+        for l in 0..4 {
+            let r = s[l].sqrt();
+            out[l] = 1.0 - (2.0 * PI * r).cos() + 0.1 * r;
+        }
+        out
     }
 }
 
@@ -272,6 +398,25 @@ extended_objective! {
             penalty += excess * excess;
         }
         SCHWEFEL226_OFFSET * x.len() as f64 - raw + penalty
+    }
+    lanes(pts, k) {
+        let mut raw = [0.0f64; 4];
+        let mut penalty = [0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                let c = v.clamp(-500.0, 500.0);
+                raw[l] += c * c.abs().sqrt().sin();
+                let excess = v - c;
+                penalty[l] += excess * excess;
+            }
+        }
+        let base = SCHWEFEL226_OFFSET * k as f64;
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = base - raw[l] + penalty[l];
+        }
+        r
     }
 }
 

@@ -17,6 +17,7 @@
 //! search-space-partitioning coordination strategy).
 
 pub mod extended;
+pub(crate) mod lanes;
 pub mod registry;
 pub mod suite;
 pub mod wrappers;

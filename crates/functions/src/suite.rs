@@ -29,6 +29,7 @@ macro_rules! simple_objective {
         $name:ident, $str_name:expr, lo: $lo:expr, hi: $hi:expr,
         optimum: $opt:expr,
         eval($x:ident) $body:block
+        lanes($pts:ident, $dim:ident) $lanes_body:block
     ) => {
         $(#[$meta])*
         #[derive(Debug, Clone)]
@@ -47,6 +48,18 @@ macro_rules! simple_objective {
             /// batch path is bit-identical to point-wise evaluation.
             #[inline(always)]
             fn eval_point($x: &[f64]) -> f64 $body
+
+            /// Four-points-at-once kernel (see [`crate::lanes`]); each lane
+            /// replays `eval_point`'s arithmetic in the same order, so
+            /// results stay bit-identical while the four independent chains
+            /// vectorize. Index loops are deliberate: the `d`-outer /
+            /// `l`-inner order is the bit-identity contract.
+            #[allow(clippy::needless_range_loop)]
+            #[inline(always)]
+            fn eval_lanes($pts: [&[f64]; 4]) -> [f64; 4] {
+                let $dim = $pts[0].len();
+                $lanes_body
+            }
         }
 
         impl Objective for $name {
@@ -66,11 +79,9 @@ macro_rules! simple_objective {
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, self.dim, "stride must equal the dimensionality");
                 assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
-                // Specialized tight loop: one virtual dispatch for the whole
-                // batch, monomorphized per-point kernel inside.
-                for (chunk, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
-                    *slot = Self::eval_point(chunk);
-                }
+                // One virtual dispatch for the whole batch; groups of four
+                // points run the lane kernel, the tail the scalar one.
+                crate::lanes::eval_groups(xs, k, out, Self::eval_lanes, Self::eval_point);
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 ($opt)(self.dim)
@@ -84,6 +95,18 @@ simple_objective! {
     Sphere, "sphere", lo: -100.0, hi: 100.0,
     optimum: |d| Some(vec![0.0; d]),
     eval(x) { x.iter().map(|v| v * v).sum() }
+    lanes(pts, k) {
+        // -0.0 is `Iterator::sum`'s additive identity for f64; seeding the
+        // lanes with it keeps signed zeros (and empty sums) bit-identical.
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                acc[l] += v * v;
+            }
+        }
+        acc
+    }
 }
 
 simple_objective! {
@@ -98,6 +121,17 @@ simple_objective! {
                 100.0 * t * t + (1.0 - w[0]) * (1.0 - w[0])
             })
             .sum()
+    }
+    lanes(pts, k) {
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k.saturating_sub(1) {
+            for l in 0..4 {
+                let (a, b) = (pts[l][d], pts[l][d + 1]);
+                let t = b - a * a;
+                acc[l] += 100.0 * t * t + (1.0 - a) * (1.0 - a);
+            }
+        }
+        acc
     }
 }
 
@@ -115,6 +149,23 @@ simple_objective! {
             .sum();
         s1 + s2 * s2 + s2 * s2 * s2 * s2
     }
+    lanes(pts, k) {
+        let mut s1 = [-0.0f64; 4];
+        let mut s2 = [-0.0f64; 4];
+        for d in 0..k {
+            let w = 0.5 * (d + 1) as f64;
+            for l in 0..4 {
+                let v = pts[l][d];
+                s1[l] += v * v;
+                s2[l] += w * v;
+            }
+        }
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = s1[l] + s2[l] * s2[l] + s2[l] * s2[l] * s2[l] * s2[l];
+        }
+        r
+    }
 }
 
 simple_objective! {
@@ -131,6 +182,23 @@ simple_objective! {
             .product();
         1.0 + s - p
     }
+    lanes(pts, k) {
+        let mut s = [-0.0f64; 4];
+        let mut prod = [1.0f64; 4];
+        for d in 0..k {
+            let root = ((d + 1) as f64).sqrt();
+            for l in 0..4 {
+                let v = pts[l][d];
+                s[l] += v * v;
+                prod[l] *= (v / root).cos();
+            }
+        }
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = 1.0 + s[l] / 4000.0 - prod[l];
+        }
+        r
+    }
 }
 
 simple_objective! {
@@ -144,6 +212,21 @@ simple_objective! {
                 .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
                 .sum::<f64>()
     }
+    lanes(pts, k) {
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                acc[l] += v * v - 10.0 * (2.0 * PI * v).cos();
+            }
+        }
+        let base = 10.0 * k as f64;
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            r[l] = base + acc[l];
+        }
+        r
+    }
 }
 
 simple_objective! {
@@ -155,6 +238,25 @@ simple_objective! {
         let sq = x.iter().map(|v| v * v).sum::<f64>() / d;
         let cs = x.iter().map(|v| (2.0 * PI * v).cos()).sum::<f64>() / d;
         -20.0 * (-0.2 * sq.sqrt()).exp() - cs.exp() + 20.0 + std::f64::consts::E
+    }
+    lanes(pts, k) {
+        let mut sq = [-0.0f64; 4];
+        let mut cs = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let v = pts[l][d];
+                sq[l] += v * v;
+                cs[l] += (2.0 * PI * v).cos();
+            }
+        }
+        let dd = k as f64;
+        let mut r = [0.0f64; 4];
+        for l in 0..4 {
+            let a = sq[l] / dd;
+            let b = cs[l] / dd;
+            r[l] = -20.0 * (-0.2 * a.sqrt()).exp() - b.exp() + 20.0 + std::f64::consts::E;
+        }
+        r
     }
 }
 
@@ -172,6 +274,17 @@ simple_objective! {
         }
         total
     }
+    lanes(pts, k) {
+        let mut total = [0.0f64; 4];
+        let mut prefix = [0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                prefix[l] += pts[l][d];
+                total[l] += prefix[l] * prefix[l];
+            }
+        }
+        total
+    }
 }
 
 simple_objective! {
@@ -186,6 +299,16 @@ simple_objective! {
                 t * t
             })
             .sum()
+    }
+    lanes(pts, k) {
+        let mut acc = [-0.0f64; 4];
+        for d in 0..k {
+            for l in 0..4 {
+                let t = (pts[l][d] + 0.5).floor();
+                acc[l] += t * t;
+            }
+        }
+        acc
     }
 }
 
@@ -219,10 +342,20 @@ impl Objective for DeJongF2 {
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, 2);
         assert_eq!(xs.len(), k * out.len());
-        for (p, slot) in xs.chunks_exact(2).zip(out.iter_mut()) {
-            let t = p[0] * p[0] - p[1];
-            *slot = 100.0 * t * t + (1.0 - p[0]) * (1.0 - p[0]);
-        }
+        crate::lanes::eval_groups(
+            xs,
+            2,
+            out,
+            |pts| {
+                let mut r = [0.0f64; 4];
+                for l in 0..4 {
+                    let t = pts[l][0] * pts[l][0] - pts[l][1];
+                    r[l] = 100.0 * t * t + (1.0 - pts[l][0]) * (1.0 - pts[l][0]);
+                }
+                r
+            },
+            |p| self.eval(p),
+        );
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![1.0, 1.0])
@@ -270,9 +403,19 @@ impl Objective for SchafferF6 {
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, 2);
         assert_eq!(xs.len(), k * out.len());
-        for (p, slot) in xs.chunks_exact(2).zip(out.iter_mut()) {
-            *slot = Self::ripple(p[0] * p[0] + p[1] * p[1]);
-        }
+        crate::lanes::eval_groups(
+            xs,
+            2,
+            out,
+            |pts| {
+                let mut r = [0.0f64; 4];
+                for l in 0..4 {
+                    r[l] = Self::ripple(pts[l][0] * pts[l][0] + pts[l][1] * pts[l][1]);
+                }
+                r
+            },
+            |p| self.eval(p),
+        );
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0, 0.0])
@@ -313,12 +456,22 @@ impl Objective for SchafferF6Nd {
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, self.dim);
         assert_eq!(xs.len(), k * out.len());
-        for (p, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
-            *slot = p
-                .windows(2)
-                .map(|w| SchafferF6::ripple(w[0] * w[0] + w[1] * w[1]))
-                .sum();
-        }
+        crate::lanes::eval_groups(
+            xs,
+            k,
+            out,
+            |pts| {
+                let mut acc = [-0.0f64; 4];
+                for d in 0..k - 1 {
+                    for l in 0..4 {
+                        let (a, b) = (pts[l][d], pts[l][d + 1]);
+                        acc[l] += SchafferF6::ripple(a * a + b * b);
+                    }
+                }
+                acc
+            },
+            |p| self.eval(p),
+        );
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0; self.dim])
@@ -368,13 +521,35 @@ impl Objective for StyblinskiTang {
         assert_eq!(k, self.dim);
         assert_eq!(xs.len(), k * out.len());
         let offset = STYBLINSKI_MIN_PER_DIM * self.dim as f64;
-        for (p, slot) in xs.chunks_exact(k).zip(out.iter_mut()) {
-            let raw: f64 = p
-                .iter()
-                .map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v))
-                .sum();
-            *slot = raw - offset;
-        }
+        crate::lanes::eval_groups(
+            xs,
+            k,
+            out,
+            |pts| {
+                let mut raw = [-0.0f64; 4];
+                // Deliberate index loop: d-outer / l-inner is the
+                // bit-identity contract with the scalar path.
+                #[allow(clippy::needless_range_loop)]
+                for d in 0..k {
+                    for l in 0..4 {
+                        let v = pts[l][d];
+                        raw[l] += 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v);
+                    }
+                }
+                let mut r = [0.0f64; 4];
+                for l in 0..4 {
+                    r[l] = raw[l] - offset;
+                }
+                r
+            },
+            |p| {
+                let raw: f64 = p
+                    .iter()
+                    .map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v))
+                    .sum();
+                raw - offset
+            },
+        );
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![STYBLINSKI_ARGMIN; self.dim])

@@ -16,18 +16,26 @@
 //!   migrant, master report/update) — `u32` dimension, `dim × f64`
 //!   coordinates, `f64` fitness;
 //! * anti-entropy `Ask` — empty;
-//! * rumor feedback — one `u8` (0 = new, 1 = duplicate).
+//! * rumor feedback — one `u8` (0 = new, 1 = duplicate);
+//! * coordination batch — an item-count varint, then per item a source-id
+//!   varint, a kind byte (0 = offer, 1 = ask, 2 = tell) and, for
+//!   payload-carrying kinds, a `u32` dimension followed by either raw
+//!   `f64`s (the frame's first payload, or one whose dimension differs
+//!   from that reference) or zig-zag LEB128 varints of the `f64`
+//!   bit-pattern deltas against the reference payload.
 //!
 //! Decoding is strict: trailing bytes, truncation, unknown tags and
 //! unknown versions are all errors (a corrupted optimum silently accepted
-//! would poison the whole epidemic).
+//! would poison the whole epidemic). Overlong varints are rejected as
+//! truncation.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gossipopt_core::messages::Msg;
+use gossipopt_core::messages::{CoordBatch, Msg};
 use gossipopt_core::rumor::GlobalBest;
 use gossipopt_gossip::view::Descriptor;
 use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg, RumorAck};
 use gossipopt_sim::NodeId;
+use gossipopt_util::varint::{read_f64_delta, read_varint, write_f64_delta, write_varint};
 
 /// Wire format version accepted by this build.
 pub const WIRE_VERSION: u8 = 1;
@@ -72,6 +80,13 @@ mod tag {
     pub const MIGRANT: u8 = 7;
     pub const MASTER_REPORT: u8 = 8;
     pub const MASTER_UPDATE: u8 = 9;
+    pub const COORD_BATCH: u8 = 10;
+}
+
+mod kind {
+    pub const OFFER: u8 = 0;
+    pub const ASK: u8 = 1;
+    pub const TELL: u8 = 2;
 }
 
 fn put_best(buf: &mut BytesMut, g: &GlobalBest) {
@@ -80,6 +95,46 @@ fn put_best(buf: &mut BytesMut, g: &GlobalBest) {
         buf.put_f64_le(*v);
     }
     buf.put_f64_le(g.f);
+}
+
+fn put_coord_batch(buf: &mut BytesMut, b: &CoordBatch) {
+    let mut out = Vec::with_capacity(b.payload_wire_bytes());
+    write_varint(&mut out, b.items.len() as u64);
+    let mut reference: Option<&GlobalBest> = None;
+    for (src, m) in &b.items {
+        write_varint(&mut out, src.raw());
+        let (k, g) = match m {
+            AntiEntropyMsg::Offer(g) => (kind::OFFER, Some(g)),
+            AntiEntropyMsg::Ask => (kind::ASK, None),
+            AntiEntropyMsg::Tell(g) => (kind::TELL, Some(g)),
+        };
+        out.push(k);
+        let Some(g) = g else { continue };
+        out.extend_from_slice(&(g.x.len() as u32).to_le_bytes());
+        match reference {
+            // Same dimensionality as the frame reference: bit-pattern
+            // deltas (one byte per element once the epidemic converges).
+            Some(r) if r.x.len() == g.x.len() => {
+                for (&x, &rx) in g.x.iter().zip(r.x.iter()) {
+                    write_f64_delta(&mut out, x, rx);
+                }
+                write_f64_delta(&mut out, g.f, r.f);
+            }
+            // First payload (or a dimension mismatch): raw, and the first
+            // one becomes the reference — a deterministic rule, so the
+            // decoder needs no flag byte.
+            _ => {
+                for &x in g.x.iter() {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out.extend_from_slice(&g.f.to_le_bytes());
+                if reference.is_none() {
+                    reference = Some(g);
+                }
+            }
+        }
+    }
+    buf.put_slice(&out);
 }
 
 fn put_descriptors(buf: &mut BytesMut, ds: &[Descriptor]) {
@@ -137,6 +192,10 @@ pub fn encode(msg: &Msg) -> Bytes {
             buf.put_u8(tag::MASTER_UPDATE);
             put_best(&mut buf, g);
         }
+        Msg::CoordBatch(b) => {
+            buf.put_u8(tag::COORD_BATCH);
+            put_coord_batch(&mut buf, b);
+        }
     }
     buf.freeze()
 }
@@ -164,6 +223,87 @@ fn get_best(buf: &mut impl Buf) -> Result<GlobalBest, WireError> {
     need(buf, 8)?;
     let f = buf.get_f64_le();
     Ok(GlobalBest { x: x.into(), f })
+}
+
+/// Read a LEB128 varint off the front of `buf`. Truncated *and* overlong
+/// encodings both report [`WireError::Truncated`] — neither can have been
+/// produced by [`encode`].
+fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
+    let (v, n) = read_varint(buf).ok_or(WireError::Truncated)?;
+    *buf = &buf[n..];
+    Ok(v)
+}
+
+fn get_f64_delta(buf: &mut &[u8], reference: f64) -> Result<f64, WireError> {
+    let (v, n) = read_f64_delta(buf, reference).ok_or(WireError::Truncated)?;
+    *buf = &buf[n..];
+    Ok(v)
+}
+
+fn get_coord_batch(buf: &mut &[u8]) -> Result<CoordBatch, WireError> {
+    let count = get_varint(buf)?;
+    // Every item costs at least a source varint + a kind byte; reject
+    // impossible counts before allocating.
+    if count.saturating_mul(2) > buf.len() as u64 {
+        return Err(WireError::LengthOverflow(count));
+    }
+    let mut items = Vec::with_capacity(count as usize);
+    let mut reference: Option<GlobalBest> = None;
+    for _ in 0..count {
+        let src = NodeId(get_varint(buf)?);
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let k = buf.get_u8();
+        let m = match k {
+            kind::ASK => AntiEntropyMsg::Ask,
+            kind::OFFER | kind::TELL => {
+                if buf.len() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let dim = buf.get_u32_le() as usize;
+                let g = match &reference {
+                    // Reference-dimension payloads are delta-coded;
+                    // capacity is bounded by the already-validated
+                    // reference.
+                    Some(r) if r.x.len() == dim => {
+                        let mut x = Vec::with_capacity(dim);
+                        for i in 0..dim {
+                            x.push(get_f64_delta(buf, r.x[i])?);
+                        }
+                        let f = get_f64_delta(buf, r.f)?;
+                        GlobalBest { x: x.into(), f }
+                    }
+                    _ => {
+                        if (dim as u64).saturating_mul(8) > buf.len() as u64 {
+                            return Err(WireError::LengthOverflow(dim as u64));
+                        }
+                        let mut x = Vec::with_capacity(dim);
+                        for _ in 0..dim {
+                            x.push(buf.get_f64_le());
+                        }
+                        if buf.len() < 8 {
+                            return Err(WireError::Truncated);
+                        }
+                        let f = buf.get_f64_le();
+                        let g = GlobalBest { x: x.into(), f };
+                        if reference.is_none() {
+                            reference = Some(g.clone());
+                        }
+                        g
+                    }
+                };
+                if k == kind::OFFER {
+                    AntiEntropyMsg::Offer(g)
+                } else {
+                    AntiEntropyMsg::Tell(g)
+                }
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        items.push((src, m));
+    }
+    Ok(CoordBatch { items })
 }
 
 fn get_descriptors(buf: &mut impl Buf) -> Result<Vec<Descriptor>, WireError> {
@@ -208,6 +348,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Msg, WireError> {
         tag::MIGRANT => Msg::Migrant(get_best(&mut buf)?),
         tag::MASTER_REPORT => Msg::MasterReport(get_best(&mut buf)?),
         tag::MASTER_UPDATE => Msg::MasterUpdate(get_best(&mut buf)?),
+        tag::COORD_BATCH => Msg::CoordBatch(get_coord_batch(&mut buf)?),
         other => return Err(WireError::BadTag(other)),
     };
     if buf.remaining() > 0 {
@@ -247,7 +388,38 @@ mod tests {
             Msg::Migrant(best(1)),
             Msg::MasterReport(best(4)),
             Msg::MasterUpdate(best(0)),
+            // Batch exercising every per-item shape: the raw reference, a
+            // payload-free ask, an identical delta-coded payload, a
+            // near-identical one, and a dimension mismatch encoded raw.
+            Msg::CoordBatch(CoordBatch {
+                items: vec![
+                    (NodeId(3), AntiEntropyMsg::Offer(best(10))),
+                    (NodeId(70_000), AntiEntropyMsg::Ask),
+                    (NodeId(12), AntiEntropyMsg::Tell(best(10))),
+                    (NodeId(12), AntiEntropyMsg::Offer(perturbed(best(10)))),
+                    (NodeId(5), AntiEntropyMsg::Offer(best(3))),
+                ],
+            }),
+            Msg::CoordBatch(CoordBatch { items: Vec::new() }),
         ]
+    }
+
+    /// Nudge the last coordinate by one ulp — a near-identical payload
+    /// whose deltas stay tiny but non-zero.
+    fn perturbed(mut g: GlobalBest) -> GlobalBest {
+        let xs: Vec<f64> =
+            g.x.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    if i == 9 {
+                        f64::from_bits(v.to_bits() + 1)
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+        g.x = xs.into();
+        g
     }
 
     fn msg_eq(a: &Msg, b: &Msg) -> bool {
@@ -335,6 +507,64 @@ mod tests {
         assert_eq!(back.x[2], f64::NEG_INFINITY);
         assert_eq!(back.x[3].to_bits(), (-0.0f64).to_bits());
         assert_eq!(back.f, f64::MAX);
+    }
+
+    #[test]
+    fn batch_of_identical_payloads_collapses_to_deltas() {
+        // The anti-entropy steady state: every node pushes the same
+        // optimum. One 10-D payload is raw (94 bytes incl. framing);
+        // each follower costs src varint + kind + dim + 11 delta bytes
+        // instead of 86 raw payload bytes.
+        let g = best(10);
+        let items: Vec<_> = (0..8u64)
+            .map(|i| (NodeId(i), AntiEntropyMsg::Offer(g.clone())))
+            .collect();
+        let fused = Msg::CoordBatch(CoordBatch { items });
+        let unbatched: usize = (0..8)
+            .map(|_| Msg::Coord(AntiEntropyMsg::Offer(g.clone())).wire_bytes())
+            .sum();
+        let batched = encode(&fused).len();
+        assert_eq!(batched, fused.wire_bytes());
+        assert!(
+            batched * 3 < unbatched,
+            "batched {batched} vs unbatched {unbatched}: identical payloads must collapse"
+        );
+    }
+
+    #[test]
+    fn batch_unknown_kind_rejected() {
+        // version, tag, count=1, src=0, kind=7.
+        let bytes = vec![WIRE_VERSION, 10, 1, 0, 7];
+        assert!(matches!(decode(&bytes), Err(WireError::BadTag(7))));
+    }
+
+    #[test]
+    fn batch_hostile_count_does_not_allocate() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(10);
+        // count = u64::MAX as an overlong-but-valid 10-byte varint.
+        buf.put_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        let r = decode(&buf);
+        assert!(matches!(r, Err(WireError::LengthOverflow(_))), "{r:?}");
+    }
+
+    #[test]
+    fn batch_reference_rule_is_first_payload() {
+        // An Ask before the first payload must not disturb the reference
+        // choice, and a dimension mismatch must not steal it.
+        let m = Msg::CoordBatch(CoordBatch {
+            items: vec![
+                (NodeId(1), AntiEntropyMsg::Ask),
+                (NodeId(2), AntiEntropyMsg::Offer(best(4))),
+                (NodeId(3), AntiEntropyMsg::Tell(best(7))),
+                (NodeId(4), AntiEntropyMsg::Tell(best(4))),
+            ],
+        });
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), m.wire_bytes());
+        let back = decode(&bytes).unwrap();
+        assert!(msg_eq(&m, &back), "{m:?} != {back:?}");
     }
 
     #[test]

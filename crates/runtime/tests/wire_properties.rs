@@ -1,6 +1,6 @@
 //! Property-based tests of the binary wire protocol.
 
-use gossipopt_core::messages::Msg;
+use gossipopt_core::messages::{CoordBatch, Msg};
 use gossipopt_core::rumor::GlobalBest;
 use gossipopt_gossip::view::Descriptor;
 use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg, RumorAck};
@@ -14,6 +14,31 @@ fn arb_best() -> impl Strategy<Value = GlobalBest> {
         prop::num::f64::ANY,
     )
         .prop_map(|(x, f)| GlobalBest { x: x.into(), f })
+}
+
+/// Any f64 bit pattern — including every NaN payload, ±inf and both
+/// zeros, which `prop::num::f64::ANY` underweights. The delta codec works
+/// on raw bits, so these must round-trip exactly.
+fn arb_bits_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_bits_best() -> impl Strategy<Value = GlobalBest> {
+    (prop::collection::vec(arb_bits_f64(), 0..16), arb_bits_f64())
+        .prop_map(|(x, f)| GlobalBest { x: x.into(), f })
+}
+
+fn arb_ae_item() -> impl Strategy<Value = (NodeId, AntiEntropyMsg<GlobalBest>)> {
+    let msg = prop_oneof![
+        arb_bits_best().prop_map(AntiEntropyMsg::Offer),
+        Just(AntiEntropyMsg::Ask),
+        arb_bits_best().prop_map(AntiEntropyMsg::Tell),
+    ];
+    (any::<u64>().prop_map(NodeId), msg)
+}
+
+fn arb_batch() -> impl Strategy<Value = CoordBatch> {
+    prop::collection::vec(arb_ae_item(), 0..12).prop_map(|items| CoordBatch { items })
 }
 
 fn arb_descriptors() -> impl Strategy<Value = Vec<Descriptor>> {
@@ -40,6 +65,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         arb_best().prop_map(Msg::Migrant),
         arb_best().prop_map(Msg::MasterReport),
         arb_best().prop_map(Msg::MasterUpdate),
+        arb_batch().prop_map(Msg::CoordBatch),
     ]
 }
 
@@ -50,12 +76,25 @@ fn canonical(m: &Msg) -> String {
         let xs: Vec<u64> = g.x.iter().map(|v| v.to_bits()).collect();
         format!("{xs:?}|{}", g.f.to_bits())
     }
+    fn ae(m: &AntiEntropyMsg<GlobalBest>) -> String {
+        match m {
+            AntiEntropyMsg::Offer(g) => format!("offer{}", best(g)),
+            AntiEntropyMsg::Ask => "ask".into(),
+            AntiEntropyMsg::Tell(g) => format!("tell{}", best(g)),
+        }
+    }
     match m {
         Msg::Newscast(NewscastMsg::Request(d)) => format!("req{d:?}"),
         Msg::Newscast(NewscastMsg::Reply(d)) => format!("rep{d:?}"),
-        Msg::Coord(AntiEntropyMsg::Offer(g)) => format!("offer{}", best(g)),
-        Msg::Coord(AntiEntropyMsg::Ask) => "ask".into(),
-        Msg::Coord(AntiEntropyMsg::Tell(g)) => format!("tell{}", best(g)),
+        Msg::Coord(m) => ae(m),
+        Msg::CoordBatch(b) => {
+            let items: Vec<String> = b
+                .items
+                .iter()
+                .map(|(src, m)| format!("{}:{}", src.raw(), ae(m)))
+                .collect();
+            format!("batch{items:?}")
+        }
         Msg::RumorPush(g) => format!("push{}", best(g)),
         Msg::RumorFeedback(a) => format!("fb{a:?}"),
         Msg::Migrant(g) => format!("mig{}", best(g)),
@@ -97,5 +136,29 @@ proptest! {
     #[test]
     fn fuzz_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode(&bytes);
+    }
+
+    /// Batch frames round-trip bit-exactly for arbitrary f64 *bit
+    /// patterns* (every NaN, ±inf, both zeros) and their accounting via
+    /// `Msg::wire_bytes` matches the bytes actually emitted — the ledger
+    /// the experiment reports use must never drift from the codec.
+    #[test]
+    fn batch_roundtrip_and_accounting(b in arb_batch()) {
+        let m = Msg::CoordBatch(b);
+        let bytes = encode(&m);
+        prop_assert_eq!(bytes.len(), m.wire_bytes());
+        let back = decode(&bytes).expect("well-formed batch frames must decode");
+        prop_assert_eq!(canonical(&m), canonical(&back));
+    }
+
+    /// Every strict prefix of a batch frame is rejected: the delta coding
+    /// must not let a truncated frame parse as a shorter valid one.
+    #[test]
+    fn batch_prefixes_always_fail(b in arb_batch(), frac in 0.0f64..1.0) {
+        let bytes = encode(&Msg::CoordBatch(b));
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
     }
 }

@@ -1,5 +1,6 @@
 fn main() {
-    let spec = gossipopt_scenarios::parse_campaign(r#"
+    let spec = gossipopt_scenarios::parse_campaign(
+        r#"
 [campaign]
 name = "typo"
 seed = 7
@@ -11,7 +12,9 @@ budget = 20
 
 [sweep]
 chrun = [0.0, 0.5]
-"#).unwrap();
+"#,
+    )
+    .unwrap();
     println!("cells = {}", spec.cells.len());
     for c in &spec.cells {
         println!("label={:?} churn={}", c.name, c.churn);

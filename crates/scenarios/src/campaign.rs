@@ -94,6 +94,14 @@ fn check_asserts(asserts: &AssertSpec, cell: &CellReport) -> Vec<String> {
             ));
         }
     }
+    if let Some(maxb) = asserts.max_payload_bytes {
+        if cell.report.payload_bytes > maxb {
+            failures.push(format!(
+                "payload_bytes {} exceeds max_payload_bytes {maxb}",
+                cell.report.payload_bytes
+            ));
+        }
+    }
     failures
 }
 

@@ -242,7 +242,9 @@ fn run_cycle_cell(
                 best_quality: quality,
                 alive,
                 delivered: engine.stats().delivered,
-                wire_bytes: bytes,
+                // Node ledgers charge unbatched sizes; net off what the
+                // kernel's frame coalescing saved on the wire so far.
+                wire_bytes: bytes.saturating_sub(engine.stats().frame_bytes_saved),
             });
             quality
         } else {
@@ -266,7 +268,7 @@ fn run_cycle_cell(
         ticks,
         reached_threshold_at: reached_at,
         coordination_exchanges: exchanges,
-        payload_bytes: bytes,
+        payload_bytes: bytes.saturating_sub(stats.frame_bytes_saved),
         messages_sent: stats.sent,
         messages_delivered: stats.delivered,
         messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,

@@ -22,6 +22,7 @@
 //! execution is unaffected (no cross-node state).
 
 use crate::spec::Fault;
+use gossipopt_core::messages::Msg;
 use gossipopt_core::node::OptNode;
 use gossipopt_core::rumor::GlobalBest;
 use gossipopt_sim::{Application, Ctx, NodeId, Ticks};
@@ -33,11 +34,31 @@ pub trait FaultTarget: Application {
     /// `dim`-dimensional space; the node must thereafter report and
     /// gossip it as its best.
     fn inject_lie(&mut self, lie: f64, dim: usize);
+
+    /// Split a batch frame produced by this application's
+    /// `coalesce_round` back into `(original source, message)` items, so
+    /// the wrapper can apply receive-side fault filtering per original
+    /// link instead of per fused frame. Non-batch messages come back
+    /// unchanged as `Err`. The default treats nothing as a batch.
+    fn unbatch(msg: Self::Message) -> Result<Vec<(NodeId, Self::Message)>, Self::Message> {
+        Err(msg)
+    }
 }
 
 impl FaultTarget for OptNode {
     fn inject_lie(&mut self, lie: f64, dim: usize) {
         self.poison_best(GlobalBest::new(&vec![0.0; dim], lie));
+    }
+
+    fn unbatch(msg: Msg) -> Result<Vec<(NodeId, Msg)>, Msg> {
+        match msg {
+            Msg::CoordBatch(b) => Ok(b
+                .items
+                .into_iter()
+                .map(|(src, m)| (src, Msg::Coord(m)))
+                .collect()),
+            other => Err(other),
+        }
     }
 }
 
@@ -242,12 +263,33 @@ impl<A: FaultTarget> Application for FaultApp<A> {
     }
 
     fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<'_, Self::Message>) {
-        // Receive-side cut: in-flight traffic dies with the link.
-        if self.sched.blocks(ctx.now, from, ctx.self_id) {
-            self.blocked += 1;
-            return;
+        match A::unbatch(msg) {
+            Err(msg) => {
+                // Receive-side cut: in-flight traffic dies with the link.
+                if self.sched.blocks(ctx.now, from, ctx.self_id) {
+                    self.blocked += 1;
+                    return;
+                }
+                self.forward(ctx, |inner, ctx| inner.on_message(from, msg, ctx));
+            }
+            Ok(items) => {
+                // A fused frame: the receive-side cut applies per
+                // *original* link, exactly as if the items had arrived
+                // unbatched — a partition must not leak (or eat) traffic
+                // just because the kernel coalesced frames.
+                for (src, m) in items {
+                    if self.sched.blocks(ctx.now, src, ctx.self_id) {
+                        self.blocked += 1;
+                        continue;
+                    }
+                    self.forward(ctx, |inner, ctx| inner.on_message(src, m, ctx));
+                }
+            }
         }
-        self.forward(ctx, |inner, ctx| inner.on_message(from, msg, ctx));
+    }
+
+    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> u64 {
+        A::coalesce_round(round)
     }
 }
 

@@ -209,6 +209,9 @@ pub struct AssertSpec {
     /// Every cell must finish within this many ticks (with
     /// `stop_at_quality`, a convergence-time gate).
     pub max_ticks: Option<u64>,
+    /// Every cell's `payload_bytes` (wire bytes after frame coalescing)
+    /// must be ≤ this — the regression gate on coordination wire volume.
+    pub max_payload_bytes: Option<u64>,
 }
 
 /// A fully-expanded campaign: validated cells plus assertions.
@@ -637,6 +640,7 @@ pub fn parse_campaign(text: &str) -> Result<CampaignSpec> {
                     "expect_poisoned",
                     "min_blocked",
                     "max_ticks",
+                    "max_payload_bytes",
                 ],
                 "assert",
             )?;

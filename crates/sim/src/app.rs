@@ -37,6 +37,52 @@ pub trait Application: Sized + Send {
 
     /// A message from `from` has been delivered.
     fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// Scheduling hint: is the *upcoming* [`Application::on_tick`]
+    /// guaranteed to send no messages?
+    ///
+    /// When every live node answers `true`, callbacks of that tick cannot
+    /// interact (nodes communicate only through messages), so the
+    /// sequential cycle kernel may visit slots in storage order —
+    /// sequential memory access — instead of the shuffled sweep, without
+    /// changing any trajectory. The kernel still advances its RNG exactly
+    /// as if it had shuffled, so the random stream is unaffected.
+    ///
+    /// The default `false` always keeps the canonical shuffled sweep.
+    /// Returning `true` is a *contract*: if the next `on_tick` then sends
+    /// anyway, the kernel panics (a silent fallback would let the
+    /// declared-quiet visit order leak into trajectories).
+    fn quiet_tick(&self) -> bool {
+        false
+    }
+
+    /// Cache-warming hint: the kernel is about to run this node's
+    /// callback within a few iterations; prefetch any out-of-line hot
+    /// state (e.g. an arena row) now. Must not mutate anything. Default:
+    /// no-op.
+    fn prefetch(&self) {}
+
+    /// Frame-coalescing hook for the phased delivery rounds.
+    ///
+    /// The phased cycle kernel hands each post-loss round — `(from, to,
+    /// msg)` in canonical order, stably sorted by destination — to this
+    /// hook before sharding it for dispatch. An application may rewrite
+    /// *consecutive runs* of same-destination messages into batch frames
+    /// of its own message type (e.g. `OptNode` fuses coordination
+    /// messages into one delta-encoded `Msg::CoordBatch`), shrinking both
+    /// the simulated wire traffic and, in a real deployment, the frames
+    /// on the socket. Returns the wire bytes saved (the byte accounting
+    /// delta between the replaced messages and their batch frames), which
+    /// the kernel accumulates into its statistics.
+    ///
+    /// Contract: the rewrite must preserve per-destination processing
+    /// order and the exact replies each receiver would have emitted, so
+    /// trajectories and kernel statistics other than byte accounting are
+    /// unchanged — the kernel counts `sent`/`delivered` *before* calling
+    /// this hook. The default does nothing.
+    fn coalesce_round(_round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> u64 {
+        0
+    }
 }
 
 /// Kernel services exposed to a protocol during a callback.

@@ -88,6 +88,13 @@ pub struct CycleConfig {
     /// for every `threads >= 1` value, so `1` is the sequential reference
     /// of the same discipline.
     pub threads: usize,
+    /// Phased tick only: hand each delivery round to
+    /// [`Application::coalesce_round`] so same-destination message runs
+    /// can be fused into batch frames (default `true`). Trajectories and
+    /// message counts are unchanged either way — only byte accounting
+    /// (and real wire frames) shrink — so this switch exists for A/B
+    /// equivalence tests, not tuning.
+    pub coalesce_frames: bool,
 }
 
 impl Default for CycleConfig {
@@ -100,6 +107,7 @@ impl Default for CycleConfig {
             max_hops_per_tick: 64,
             bootstrap_sample: 8,
             threads: 0,
+            coalesce_frames: true,
         }
     }
 }
@@ -144,6 +152,10 @@ pub struct KernelStats {
     pub crashes: u64,
     /// Total churn joins.
     pub joins: u64,
+    /// Wire bytes saved by application frame coalescing in the phased
+    /// delivery rounds (see [`Application::coalesce_round`]); `0` on the
+    /// sequential path, which never batches.
+    pub frame_bytes_saved: u64,
 }
 
 type Spawner<A> = Box<dyn FnMut(NodeId, &mut Xoshiro256pp) -> A>;
@@ -386,8 +398,62 @@ impl<A: Application> CycleEngine<A> {
         self.kernel_rng.shuffle(&mut order);
 
         let mut outbox = std::mem::take(&mut self.outbox_buf);
-        for &i in &order {
-            let i = i as usize;
+        // Quiescent fast path: when every live node's scheduling hint
+        // declares its upcoming callback send-free, callbacks cannot
+        // interact this tick (nodes communicate only through messages), so
+        // the visit order is unobservable — walk the slots in storage
+        // order for sequential memory access instead of the shuffle's
+        // random pointer chase. The shuffle above still ran, so the kernel
+        // RNG stream is bit-identical either way; on ticks where any node
+        // may send (`all` short-circuits at the first one) the canonical
+        // shuffled sweep below runs unchanged. The hint is a contract:
+        // panic if a declared-quiet node sends anyway, because silently
+        // routing it would let the slot-order visit leak into trajectories.
+        let quiet = self
+            .arena
+            .live
+            .iter()
+            .all(|&i| self.arena.slots[i as usize].app.quiet_tick());
+        if quiet {
+            outbox.clear();
+            for at in 0..self.arena.live.len() {
+                let i = self.arena.live[at] as usize;
+                debug_assert!(self.arena.slots[i].alive);
+                let slot = &mut self.arena.slots[i];
+                let mut ctx = Ctx::new(slot.id, self.now, &mut slot.rng, &mut outbox);
+                slot.app.on_tick(&mut ctx);
+                assert!(
+                    outbox.is_empty(),
+                    "Application::quiet_tick contract violated: node {:?} sent \
+                     during a tick it declared quiet",
+                    slot.id
+                );
+            }
+            self.outbox_buf = outbox;
+            self.order_buf = order;
+            return report;
+        }
+
+        // How far ahead of the sweep position to warm the cache: slot
+        // memory one full miss latency out, the node's own out-of-line
+        // state (`Application::prefetch`, e.g. an arena row — reachable
+        // only once the slot lines are in) at half that distance.
+        const SLOT_AHEAD: usize = 12;
+        const APP_AHEAD: usize = 6;
+        for at in 0..order.len() {
+            if let Some(&j) = order.get(at + SLOT_AHEAD) {
+                let slot = &self.arena.slots[j as usize];
+                let p = slot as *const _ as *const u8;
+                // A slot spans several lines (id/rng header plus the
+                // application state); pull the first four.
+                for line in 0..4 {
+                    gossipopt_util::prefetch_read(p.wrapping_add(64 * line));
+                }
+            }
+            if let Some(&j) = order.get(at + APP_AHEAD) {
+                self.arena.slots[j as usize].app.prefetch();
+            }
+            let i = order[at] as usize;
             // Nodes crash only in the churn phase before this loop, but a
             // stale order entry would be a logic error — guard in debug.
             debug_assert!(self.arena.slots[i].alive);
@@ -572,6 +638,15 @@ impl<A: Application> CycleEngine<A> {
             report.delivered += delivered;
             if round.is_empty() {
                 break;
+            }
+
+            // Frame coalescing: after every message of the round has been
+            // counted as sent/delivered, let the application fuse runs of
+            // same-destination messages into batch frames. Run boundaries
+            // respect destination boundaries, so the shard cuts below and
+            // each receiver's processing order are unaffected.
+            if self.cfg.coalesce_frames {
+                self.stats.frame_bytes_saved += A::coalesce_round(round);
             }
 
             // Cut the survivor stream into shard batches at destination

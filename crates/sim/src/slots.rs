@@ -119,6 +119,22 @@ impl<A> SlotArena<A> {
         self.next_id += 1;
         let slot_idx = self.slots.len();
         debug_assert_eq!(slot_idx as u64, id.raw(), "ids are slot-sequential");
+        // The tick loops visit slots in shuffled order; at large networks
+        // the buffer spans more 4 KiB pages than the TLB covers, which also
+        // makes hardware drop the sweep's prefetches. THP in `madvise` mode
+        // only installs 2 MiB pages at fault time for pre-advised ranges,
+        // so on growth (O(log n) times total) allocate the new buffer
+        // ourselves, advise it while still untouched, then move the slots.
+        if self.slots.len() == self.slots.capacity() {
+            let grown = self.slots.capacity().max(4).saturating_mul(2);
+            let mut moved: Vec<Slot<A>> = Vec::with_capacity(grown);
+            gossipopt_util::mem::advise_hugepages(
+                moved.as_ptr(),
+                grown * std::mem::size_of::<Slot<A>>(),
+            );
+            moved.append(&mut self.slots);
+            self.slots = moved;
+        }
         self.slots.push(Slot {
             id,
             app,

@@ -55,8 +55,16 @@ unsafe impl<T: Send> Sync for Column<T> {}
 
 impl<T: Clone> Column<T> {
     fn new(len: usize, fill: T) -> Self {
+        // Advise huge pages *before* first touch: with THP in `madvise`
+        // mode the kernel only installs 2 MiB pages at fault time for
+        // advised ranges, and the columns are walked in random row order
+        // every tick — at large capacities 4 KiB pages overflow the TLB
+        // (which also makes hardware drop the sweep's prefetches).
+        let mut cells: Vec<UnsafeCell<T>> = Vec::with_capacity(len);
+        gossipopt_util::mem::advise_hugepages(cells.as_ptr(), len * std::mem::size_of::<T>());
+        cells.extend((0..len).map(|_| UnsafeCell::new(fill.clone())));
         Column {
-            cells: (0..len).map(|_| UnsafeCell::new(fill.clone())).collect(),
+            cells: cells.into_boxed_slice(),
         }
     }
 
@@ -296,6 +304,33 @@ impl ArenaPso {
         let row = unsafe { a.row(self.row) };
         let social: Option<&[f64]> = self.swarm_best.as_ref().map(|b| b.x.as_slice());
         let at = i * k;
+        // Hot specialization for the default parameterization: no bound
+        // policy and a known swarm optimum (always the case once any
+        // particle has been evaluated — `step` evaluates a particle before
+        // it ever moves it). Same FP expressions and RNG draw order as the
+        // general branch below, but with the per-dimension `Option` match
+        // and bound-policy match hoisted out and every operand pre-sliced
+        // to length `k` so the loop compiles branch- and bounds-check-free
+        // — this is the innermost kernel of the network tick.
+        if a.params.bounds == BoundPolicy::None {
+            if let Some(g) = social.filter(|g| g.len() == k) {
+                let xs = &mut row.x[at..at + k];
+                let vs = &mut row.v[at..at + k];
+                let pb = &row.pbest_x[at..at + k];
+                let vmax = &a.vmax[..k];
+                for d in 0..k {
+                    let xd = xs[d];
+                    let cognitive = c1 * rng.next_f64() * (pb[d] - xd);
+                    let social_term = c2 * rng.next_f64() * (g[d] - xd);
+                    let attraction = cognitive + social_term;
+                    let mut vel = chi * (w * vs[d] + attraction);
+                    vel = vel.clamp(-vmax[d], vmax[d]);
+                    vs[d] = vel;
+                    xs[d] = xd + vel;
+                }
+                return;
+            }
+        }
         for d in 0..k {
             let (lo, hi) = (a.bounds_lo[d], a.bounds_hi[d]);
             let vmax = a.vmax[d];
@@ -384,8 +419,14 @@ impl Solver for ArenaPso {
         if self.cursor == self.arena.particles {
             self.cursor = 0;
         }
-        // SAFETY: see `SwarmArena::row` — this handle owns the row.
-        let was_evaluated = unsafe { self.arena.row(self.row) }.evaluated[i];
+        // SAFETY: see `SwarmArena::row` — this handle owns the row (a
+        // single-flag read; building the whole `Row` view here would cost
+        // more than the read).
+        let was_evaluated = unsafe {
+            self.arena
+                .evaluated
+                .slice_mut(self.row as usize * self.arena.particles + i, 1)[0]
+        };
         if was_evaluated {
             self.move_particle(i, rng);
         }
@@ -402,6 +443,22 @@ impl Solver for ArenaPso {
         }
     }
 
+    fn tell_best_slice(&mut self, x: &[f64], f: f64) {
+        match &mut self.swarm_best {
+            Some(b) if f < b.f => {
+                // Reuse the existing allocation: gossiped optima arrive on
+                // every coordination exchange, and this is the adoption path.
+                b.x.clear();
+                b.x.extend_from_slice(x);
+                b.f = f;
+            }
+            Some(_) => {}
+            none => {
+                *none = Some(BestPoint { x: x.to_vec(), f });
+            }
+        }
+    }
+
     fn evals(&self) -> u64 {
         self.evals
     }
@@ -409,6 +466,28 @@ impl Solver for ArenaPso {
     /// Reports "pso", like the boxed swarm it is a drop-in for.
     fn name(&self) -> &str {
         "pso"
+    }
+
+    fn prefetch(&self) {
+        let a = &self.arena;
+        let stride = a.particles * a.dim;
+        let at = self.row as usize * stride + self.cursor * a.dim;
+        // The next `step` reads this particle's position/velocity/pbest
+        // segments plus the per-particle flag columns; pull their first
+        // lines in now (a row segment is at most a couple of lines — the
+        // adjacent-line prefetcher covers the rest).
+        gossipopt_util::prefetch_read(a.x.cells.as_ptr().wrapping_add(at));
+        gossipopt_util::prefetch_read(a.v.cells.as_ptr().wrapping_add(at));
+        gossipopt_util::prefetch_read(a.pbest_x.cells.as_ptr().wrapping_add(at));
+        gossipopt_util::prefetch_read(
+            a.pbest_f
+                .cells
+                .as_ptr()
+                .wrapping_add(self.row as usize * a.particles),
+        );
+        if let Some(b) = &self.swarm_best {
+            gossipopt_util::prefetch_read(b.x.as_ptr());
+        }
     }
 
     fn emigrate(&mut self, rng: &mut Xoshiro256pp) -> Option<BestPoint> {

@@ -95,6 +95,21 @@ pub trait Solver: Send {
     /// exploit it to guide the search.
     fn tell_best(&mut self, point: BestPoint);
 
+    /// Borrowed-payload variant of [`Solver::tell_best`], for callers that
+    /// hold the position as a slice (the coordination service's gossiped
+    /// optima). Must behave exactly like
+    /// `tell_best(BestPoint { x: x.to_vec(), f })` — the default does just
+    /// that — but implementations can override it to reuse an existing
+    /// allocation, keeping steady-state optimum adoption allocation-free.
+    fn tell_best_slice(&mut self, x: &[f64], f: f64) {
+        self.tell_best(BestPoint { x: x.to_vec(), f });
+    }
+
+    /// Cache-warming hint: the host is about to call [`Solver::step`]
+    /// within a few iterations; prefetch any out-of-line hot state (e.g.
+    /// an arena row) now. Must not mutate anything. Default: no-op.
+    fn prefetch(&self) {}
+
     /// Evaluations performed by [`Solver::step`] so far.
     fn evals(&self) -> u64;
 

@@ -551,6 +551,20 @@ impl Solver for Swarm {
         }
     }
 
+    fn tell_best_slice(&mut self, x: &[f64], f: f64) {
+        match &mut self.swarm_best {
+            Some(b) if f < b.f => {
+                b.x.clear();
+                b.x.extend_from_slice(x);
+                b.f = f;
+            }
+            Some(_) => {}
+            none => {
+                *none = Some(BestPoint { x: x.to_vec(), f });
+            }
+        }
+    }
+
     fn evals(&self) -> u64 {
         self.evals
     }

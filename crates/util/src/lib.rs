@@ -18,12 +18,17 @@
 //! * [`hypothesis`] — Mann–Whitney U / Vargha–Delaney A₁₂ for comparing
 //!   configurations (used by the baseline and ablation reports).
 //! * [`csv`] — a tiny dependency-free CSV writer for experiment artifacts.
+//! * [`varint`] — LEB128 varints and bit-pattern f64 deltas shared by the
+//!   simulator's byte accounting and the runtime wire codec.
 
 pub mod csv;
 pub mod hypothesis;
+pub mod mem;
 pub mod rng;
 pub mod stats;
+pub mod varint;
 
 pub use hypothesis::{mann_whitney, MannWhitney};
+pub use mem::prefetch_read;
 pub use rng::{Rng64, SplitMix64, StreamId, Xoshiro256pp};
 pub use stats::{OnlineStats, Summary};

@@ -1,5 +1,5 @@
-//! 100k-node scale scenarios over explicit topologies, driven by both
-//! kernels, in two modes:
+//! Large-scale (100k to 10M node) scenarios over explicit topologies,
+//! driven by both kernels, in two modes:
 //!
 //! * `--mode gossip` (default) — max-aggregation push-pull gossip: every
 //!   node starts with a private value and pushes the largest value it has
@@ -27,6 +27,10 @@
 //! # the 1M-node raw-gossip scenario (CI bench-smoke runs this):
 //! cargo run --release --example scale -- \
 //!     --nodes 1000000 --topology kregular --kernel both --ticks 30 --threads 4
+//! # the 10M-node scenario (CI runs the cycle kernel, time-boxed; the
+//! # event kernel clears it too in ~5x the wall time):
+//! cargo run --release --example scale -- \
+//!     --nodes 10000000 --topology kregular --kernel cycle --ticks 20 --threads 4
 //! ```
 //!
 //! Options: `--mode gossip|dpso`, `--nodes N` (default 2000), `--degree K`

@@ -1,11 +1,17 @@
 //! Offline stand-in for `rayon`'s `par_iter` surface.
 //!
 //! `into_par_iter().map(f).collect()` materializes the input and runs the
-//! mapped items on a **persistent worker pool** with **work stealing**:
-//! workers claim items one at a time from a shared atomic cursor, so a
-//! skewed workload (one slow item per chunk) no longer serializes on the
-//! slowest static chunk — the idle workers simply pull the remaining
-//! items. Results are written to their input's slot, preserving order.
+//! mapped items on a **persistent worker pool** with **sticky home blocks
+//! plus work stealing**: every participating thread owns a stable *lane*
+//! (a process-lifetime thread id modulo the job's width) and first drains
+//! the contiguous block of items its lane maps to, then sweeps the rest
+//! of the item array claiming anything still unclaimed. A skewed workload
+//! (one slow item per block) therefore never serializes on a static
+//! chunk — idle lanes steal the leftovers — while repeated calls of the
+//! same shape (the simulation kernels dispatch the *same* shard list
+//! every tick) keep routing each shard block to the thread whose cache
+//! already holds it, as long as the same pool threads serve the job.
+//! Results are written to their input's slot, preserving order.
 //!
 //! [`execute_indexed`] exposes the same self-scheduling executor for
 //! callers that already hold a vector of independent jobs (the simulation
@@ -166,6 +172,38 @@ pub fn worker_count() -> usize {
     pool().spawned.load(Ordering::Relaxed)
 }
 
+/// Process-lifetime identity of the calling thread, assigned on first
+/// use. Stable ids are what make home blocks *sticky*: the same pool
+/// thread computes the same lane for every job of a given width, so a
+/// per-tick shard dispatch keeps landing each shard range on the thread
+/// that ran it last tick (whose caches still hold its node state).
+fn thread_ordinal() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    ORDINAL.with(|c| match c.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The contiguous block of `n` items that `lane` of `threads` owns:
+/// `ceil(n / threads)`-sized slices in lane order (the tail lane may be
+/// short or empty). Blocks partition `0..n` exactly.
+#[doc(hidden)]
+pub fn home_block(lane: usize, threads: usize, n: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(threads.max(1));
+    let start = (lane * per).min(n);
+    let end = ((lane + 1) * per).min(n);
+    start..end
+}
+
 fn ensure_workers(p: &'static Pool, want: usize) {
     let want = want.min(max_workers());
     loop {
@@ -250,17 +288,22 @@ impl Drop for JobGuard<'_> {
     }
 }
 
-/// Run `f` over `items` on up to `threads` workers with work stealing and
-/// return the results in input order.
+/// Run `f` over `items` on up to `threads` workers with sticky home
+/// blocks plus work stealing, and return the results in input order.
 ///
-/// Scheduling is a shared atomic cursor: each worker claims the next
-/// unclaimed index, runs it, and loops — item-granular self-scheduling, so
-/// wall-clock time is bounded by `total_work / workers + max_item`, not by
-/// the slowest static chunk. Item slots are independently locked, which
-/// costs one uncontended lock/unlock per item — noise for the
-/// coarse-grained jobs (experiment repetitions, kernel shards) this shim
-/// exists for. Workers come from the lazily-spawned persistent pool (see
-/// the module docs); the calling thread always runs one claim loop itself.
+/// Each participant computes its lane — a stable process-lifetime thread
+/// id modulo `threads` — and first drains [`home_block`]`(lane, threads,
+/// n)` in index order, claiming items via a per-item flag. It then sweeps
+/// the remaining indices (wrapping) and steals anything still unclaimed.
+/// Wall-clock time stays bounded by `total_work / workers + max_item`
+/// like any self-scheduling executor, while repeated calls of the same
+/// shape keep each block on the thread that ran it last time (see the
+/// module docs). Item slots are independently locked, which costs one
+/// uncontended lock/unlock per item — noise for the coarse-grained jobs
+/// (experiment repetitions, kernel shards) this shim exists for. Workers
+/// come from the lazily-spawned persistent pool; the calling thread
+/// always runs one claim loop itself, so every item is claimed by the
+/// time the call returns.
 pub fn execute_indexed<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
 where
     T: Send,
@@ -277,19 +320,32 @@ where
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let body = || loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
+    let claimed: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(false))
+        .collect();
+    let body = || {
+        // The claim flag is an atomic swap, so exactly one participant
+        // wins each index; the slot mutex synchronizes the item payload.
+        let run_if_unclaimed = |i: usize| {
+            if claimed[i].swap(true, Ordering::Relaxed) {
+                return;
+            }
+            let item = slots[i]
+                .lock()
+                .expect("rayon-shim slot poisoned")
+                .take()
+                .expect("each index is claimed exactly once");
+            let r = f(item);
+            *results[i].lock().expect("rayon-shim result poisoned") = Some(r);
+        };
+        let home = home_block(thread_ordinal() % threads, threads, n);
+        for i in home.clone() {
+            run_if_unclaimed(i);
         }
-        let item = slots[i]
-            .lock()
-            .expect("rayon-shim slot poisoned")
-            .take()
-            .expect("each index is claimed exactly once");
-        let r = f(item);
-        *results[i].lock().expect("rayon-shim result poisoned") = Some(r);
+        // Steal sweep: everything outside the home block, wrapping.
+        for i in (home.end..n).chain(0..home.start) {
+            run_if_unclaimed(i);
+        }
     };
 
     let tickets = threads - 1;
@@ -474,6 +530,35 @@ mod tests {
         // The pool must still be usable afterwards.
         let out = super::execute_indexed((0..16u32).collect(), 4, &|x| x + 1);
         assert_eq!(out, (1..17u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn home_blocks_partition_the_items_exactly() {
+        for threads in [1usize, 2, 3, 7, 8, 64] {
+            for n in [0usize, 1, 2, 7, 64, 257] {
+                let mut seen = vec![0u32; n];
+                for lane in 0..threads {
+                    for i in super::home_block(lane, threads, n) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "threads={threads} n={n}: blocks must cover each index exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_identity_is_stable_per_thread() {
+        // The whole point of home blocks: the same thread must land on
+        // the same lane for every job of a given width.
+        let a = super::thread_ordinal();
+        let b = super::thread_ordinal();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(super::thread_ordinal).join().unwrap();
+        assert_ne!(a, other, "distinct threads get distinct ordinals");
     }
 
     #[test]
