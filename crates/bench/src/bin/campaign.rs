@@ -1,37 +1,73 @@
-//! Campaign entrypoint: run a declarative scenario file end to end.
+//! Campaign entrypoint: run a declarative scenario file end to end, or
+//! render the paper's tables from the result store.
 //!
 //! ```text
 //! cargo run --release -p gossipopt_bench --bin campaign -- scenarios/paper_grid.toml
+//! cargo run --release -p gossipopt_bench --bin campaign -- report
 //! ```
 //!
-//! Options (after the spec path):
+//! Run mode — `campaign <spec.toml>` plus options:
 //!
 //! * `--out DIR` — write `<name>.json` and `<name>.csv` reports there
 //!   (default `campaign-out`); the JSON/CSV bytes are identical across
 //!   runs and `--threads` values, which CI diffs across fresh processes;
 //! * `--threads N` — campaign worker threads (default 1; cells are
 //!   independently seeded, so N does not affect the report);
+//! * `--store DIR` — content-addressed result store (default
+//!   `<out>/store`): finished cells are loaded instead of re-simulated,
+//!   fresh results are persisted, corrupt entries are recomputed in
+//!   place (with a warning naming the offending path and key);
+//! * `--no-store` — always simulate, never persist;
 //! * `--quiet` — suppress the summary table.
+//!
+//! Report mode — `campaign report [spec.toml ...]` (default: the four
+//! committed `scenarios/paper_table{1..4}.toml` campaigns) runs or loads
+//! every listed campaign through the store, then renders the paper-style
+//! aggregate tables to `<out>/paper_tables.txt` (and stdout) plus one
+//! `curves_<name>.csv` of raw convergence samples per campaign — all
+//! byte-identical across runs and `--threads`.
 //!
 //! Exit status: `0` when every cell ran and every `[assert]` bound held;
 //! `1` on assertion failures; `2` on usage/spec errors.
 
-use gossipopt_scenarios::{parse_campaign, run_campaign};
+use gossipopt_scenarios::{
+    curves_csv, parse_campaign, render_paper_tables, run_campaign_stored, CampaignOutcome,
+    CampaignSpec, Store,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: campaign <spec.toml> [--out DIR] [--threads N] \
+                     [--store DIR | --no-store] [--quiet]\n       \
+                     campaign report [spec.toml ...] [same options]";
+
+/// The campaigns `campaign report` renders when none are listed.
+const PAPER_TABLES: [&str; 4] = [
+    "scenarios/paper_table1.toml",
+    "scenarios/paper_table2.toml",
+    "scenarios/paper_table3.toml",
+    "scenarios/paper_table4.toml",
+];
+
 struct Args {
-    spec: PathBuf,
+    report_mode: bool,
+    specs: Vec<PathBuf>,
     out: PathBuf,
+    store: Option<PathBuf>, // None = --no-store
     threads: usize,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut spec: Option<PathBuf> = None;
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut report_mode = false;
     let mut out = PathBuf::from("campaign-out");
+    let mut store: Option<PathBuf> = None;
+    let mut no_store = false;
+    let mut store_explicit = false;
     let mut threads = 1usize;
     let mut quiet = false;
+    let mut first_positional = true;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,24 +81,144 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--threads requires a number".to_string())?;
             }
-            "--quiet" => quiet = true,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: campaign <spec.toml> [--out DIR] [--threads N] [--quiet]".to_string(),
-                )
+            "--store" => {
+                store = Some(PathBuf::from(
+                    it.next().ok_or("--store requires a directory")?,
+                ));
+                store_explicit = true;
             }
-            other if spec.is_none() && !other.starts_with('-') => {
-                spec = Some(PathBuf::from(other));
+            "--no-store" => no_store = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "report" if first_positional => {
+                report_mode = true;
+                first_positional = false;
+            }
+            other if !other.starts_with('-') => {
+                specs.push(PathBuf::from(other));
+                first_positional = false;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if no_store && store_explicit {
+        return Err("--store and --no-store are mutually exclusive".to_string());
+    }
+    if report_mode && specs.is_empty() {
+        specs = PAPER_TABLES.iter().map(PathBuf::from).collect();
+    }
+    if specs.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    if !report_mode && specs.len() > 1 {
+        return Err("run mode takes exactly one spec (use `report` for several)".to_string());
+    }
+    let store = if no_store {
+        None
+    } else {
+        Some(store.unwrap_or_else(|| out.join("store")))
+    };
     Ok(Args {
-        spec: spec.ok_or("usage: campaign <spec.toml> [--out DIR] [--threads N] [--quiet]")?,
+        report_mode,
+        specs,
         out,
+        store,
         threads,
         quiet,
     })
+}
+
+fn load_spec(path: &PathBuf) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_campaign(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run (or load) one campaign through the optional store, narrating the
+/// store's work on stderr. Wall time and store paths never reach the
+/// written reports, which stay byte-identical across runs.
+fn run_one(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<CampaignOutcome, String> {
+    eprintln!(
+        "campaign `{}`: {} cells on {} worker thread(s)",
+        spec.name,
+        spec.cells.len(),
+        threads.max(1)
+    );
+    let started = std::time::Instant::now();
+    let outcome = run_campaign_stored(spec, threads, store).map_err(|e| e.to_string())?;
+    for warning in &outcome.recovered {
+        eprintln!("store: recovered {warning}");
+    }
+    if store.is_some() {
+        eprintln!(
+            "store: {} loaded, {} executed",
+            outcome.loaded, outcome.executed
+        );
+    }
+    eprintln!("ran in {:.2}s", started.elapsed().as_secs_f64());
+    Ok(outcome)
+}
+
+fn write(path: &PathBuf, bytes: &str) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn run(args: &Args) -> Result<u8, String> {
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let store = match &args.store {
+        Some(dir) => Some(
+            Store::open(dir.clone())
+                .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+
+    let mut specs = Vec::new();
+    for path in &args.specs {
+        specs.push(load_spec(path)?);
+    }
+
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for spec in &specs {
+        let outcome = run_one(spec, args.threads, store.as_ref())?;
+        failures.extend(outcome.report.failures());
+        let json_path = args.out.join(format!("{}.json", spec.name));
+        let csv_path = args.out.join(format!("{}.csv", spec.name));
+        write(&json_path, &outcome.report.to_json())?;
+        write(&csv_path, &outcome.report.to_csv())?;
+        if !args.quiet && !args.report_mode {
+            print!("{}", outcome.report.to_table());
+            println!("report: {} / {}", json_path.display(), csv_path.display());
+        }
+        reports.push(outcome.report);
+    }
+
+    if args.report_mode {
+        let tables = render_paper_tables(&reports);
+        let tables_path = args.out.join("paper_tables.txt");
+        write(&tables_path, &tables)?;
+        for report in &reports {
+            let curves_path = args.out.join(format!("curves_{}.csv", report.name));
+            write(&curves_path, &curves_csv(report))?;
+        }
+        if !args.quiet {
+            print!("{tables}");
+            println!("report: {}", tables_path.display());
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(0)
+    } else {
+        eprintln!("{} assertion failure(s)", failures.len());
+        Ok(1)
+    }
 }
 
 fn main() -> ExitCode {
@@ -73,61 +229,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&args.spec) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.spec.display());
-            return ExitCode::from(2);
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
         }
-    };
-    let spec = match parse_campaign(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{}: {e}", args.spec.display());
-            return ExitCode::from(2);
-        }
-    };
-    eprintln!(
-        "campaign `{}`: {} cells on {} worker thread(s)",
-        spec.name,
-        spec.cells.len(),
-        args.threads.max(1)
-    );
-    let started = std::time::Instant::now();
-    let report = match run_campaign(&spec, args.threads) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("campaign failed: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    // Wall time goes to stderr only — the written reports must be
-    // byte-identical across runs.
-    eprintln!("ran in {:.2}s", started.elapsed().as_secs_f64());
-
-    if let Err(e) = std::fs::create_dir_all(&args.out) {
-        eprintln!("cannot create {}: {e}", args.out.display());
-        return ExitCode::from(2);
-    }
-    let json_path = args.out.join(format!("{}.json", spec.name));
-    let csv_path = args.out.join(format!("{}.csv", spec.name));
-    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
-        eprintln!("cannot write {}: {e}", json_path.display());
-        return ExitCode::from(2);
-    }
-    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
-        eprintln!("cannot write {}: {e}", csv_path.display());
-        return ExitCode::from(2);
-    }
-    if !args.quiet {
-        print!("{}", report.to_table());
-        println!("report: {} / {}", json_path.display(), csv_path.display());
-    }
-    let failures = report.failures();
-    if failures.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("{} assertion failure(s)", failures.len());
-        ExitCode::from(1)
     }
 }

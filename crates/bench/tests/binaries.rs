@@ -253,3 +253,156 @@ min_final_population = 12
     assert_eq!(res.status.code(), Some(2), "spec errors exit 2");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+const STORE_SPEC: &str = r#"
+[campaign]
+name = "stored"
+seed = 7
+reps = 2
+
+[cell]
+nodes = 8
+particles = 4
+budget = 30
+
+[sweep]
+kernel = ["cycle", "event"]
+"#;
+
+#[test]
+fn campaign_store_skips_finished_cells_and_recovers_corruption() {
+    let dir = std::env::temp_dir().join("gossipopt-bin-test-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("stored.toml");
+    std::fs::write(&spec_path, STORE_SPEC).unwrap();
+    let store_dir = dir.join("store");
+
+    let run = |out: &str| {
+        let res = campaign()
+            .arg(&spec_path)
+            .args(["--out", dir.join(out).to_str().unwrap(), "--store"])
+            .arg(&store_dir)
+            .arg("--quiet")
+            .output()
+            .expect("campaign runs");
+        assert!(
+            res.status.success(),
+            "{}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+        String::from_utf8_lossy(&res.stderr).into_owned()
+    };
+
+    // Cold run simulates everything; the warm run loads everything, and
+    // both render the same report bytes.
+    let cold = run("a");
+    assert!(cold.contains("store: 0 loaded, 4 executed"), "{cold}");
+    let warm = run("b");
+    assert!(warm.contains("store: 4 loaded, 0 executed"), "{warm}");
+    assert_eq!(
+        std::fs::read_to_string(dir.join("a/stored.json")).unwrap(),
+        std::fs::read_to_string(dir.join("b/stored.json")).unwrap(),
+        "loaded and executed cells must render identically"
+    );
+
+    // Truncate one stored entry: the bin must warn with the offending
+    // path, recompute that cell, and keep going.
+    let victim = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.is_dir())
+        .expect("store holds cell dirs");
+    std::fs::write(victim.join("entry.json"), b"{ truncated").unwrap();
+    let healed = run("c");
+    assert!(healed.contains("store: recovered"), "{healed}");
+    assert!(healed.contains("entry.json"), "{healed}");
+    assert!(healed.contains("store: 3 loaded, 1 executed"), "{healed}");
+
+    // --no-store stays silent about the store; pairing it with --store
+    // is a usage error.
+    let res = campaign()
+        .arg(&spec_path)
+        .args([
+            "--out",
+            dir.join("d").to_str().unwrap(),
+            "--no-store",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    assert!(!String::from_utf8_lossy(&res.stderr).contains("store:"));
+    let res = campaign()
+        .arg(&spec_path)
+        .args(["--store", store_dir.to_str().unwrap(), "--no-store"])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_report_renders_byte_identical_tables() {
+    let dir = std::env::temp_dir().join("gossipopt-bin-test-report");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("paper_table1.toml");
+    // A miniature stand-in for the committed paper tables: same shape
+    // (zip axis, reps, report-recognised name), tiny budget.
+    std::fs::write(
+        &spec_path,
+        r#"
+[campaign]
+name = "paper-table1"
+seed = 41
+reps = 2
+
+[cell]
+particles = 4
+budget = 30
+
+[cell.metrics]
+sample_every = 10
+capacity = 8
+
+[sweep.zip]
+nodes = [4, 8]
+gossip_every = [4, 8]
+"#,
+    )
+    .unwrap();
+
+    let render = |out: &str, threads: &str| {
+        let outdir = dir.join(out);
+        let res = campaign()
+            .arg("report")
+            .arg(&spec_path)
+            .args(["--out", outdir.to_str().unwrap()])
+            .args(["--store", outdir.join("store").to_str().unwrap()])
+            .args(["--threads", threads, "--quiet"])
+            .output()
+            .expect("campaign report runs");
+        assert!(
+            res.status.success(),
+            "{}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+        (
+            std::fs::read_to_string(outdir.join("paper_tables.txt")).unwrap(),
+            std::fs::read_to_string(outdir.join("curves_paper-table1.csv")).unwrap(),
+        )
+    };
+    let (tables_a, curves_a) = render("a", "1");
+    let (tables_b, curves_b) = render("b", "2");
+    assert_eq!(tables_a, tables_b, "tables must not depend on --threads");
+    assert_eq!(curves_a, curves_b, "curves must not depend on --threads");
+    assert!(tables_a.contains("== paper-table1"), "{tables_a}");
+    assert!(tables_a.contains("Table 1"), "caption is rendered");
+    assert!(
+        curves_a.starts_with("cell,seed,tick,best_quality,alive,delivered,wire_bytes\n"),
+        "{curves_a}"
+    );
+    assert!(curves_a.lines().count() > 2, "samples were captured");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -73,6 +73,27 @@ impl MetricsSpec {
 /// `record` never allocates after construction: the ring overwrites its
 /// oldest slot once full. `total_recorded` keeps the true sample count so
 /// reports can state whether the series was truncated.
+///
+/// ```
+/// use gossipopt_core::metrics::{MetricSample, MetricsRing, MetricsSpec};
+///
+/// let mut ring = MetricsRing::new(MetricsSpec { sample_every: 10, capacity: 3 });
+/// for tick in 0..=40 {
+///     if ring.wants(tick) {
+///         ring.record(MetricSample {
+///             tick,
+///             best_quality: 1.0 / (tick + 1) as f64,
+///             alive: 100,
+///             delivered: tick * 7,
+///             wire_bytes: tick * 64,
+///         });
+///     }
+/// }
+/// // 5 samples were taken; the ring retains the most recent 3, in order.
+/// assert_eq!(ring.total_recorded(), 5);
+/// let ticks: Vec<u64> = ring.to_series().iter().map(|s| s.tick).collect();
+/// assert_eq!(ticks, [20, 30, 40]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MetricsRing {
     every: u64,

@@ -9,6 +9,7 @@
 
 use crate::exec::{run_cell, CellReport};
 use crate::spec::{AssertSpec, CampaignSpec};
+use crate::store::{cell_key, Store};
 use crate::{Error, Result};
 use serde::{Deserialize, Serialize};
 
@@ -29,24 +30,89 @@ pub struct CampaignReport {
     pub cells: Vec<CellReport>,
 }
 
+/// A store-backed campaign run: the report plus what the store did.
+/// `report` is byte-identical whether cells were executed or loaded —
+/// only the counters differ between a cold and a warm run.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The campaign report (identical to a storeless run's).
+    pub report: CampaignReport,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Cells served from the store.
+    pub loaded: usize,
+    /// Diagnostics for store entries that were present but unusable
+    /// (corrupt / key mismatch) and therefore recomputed and overwritten;
+    /// grid order. Each names the offending path and the key components.
+    pub recovered: Vec<String>,
+}
+
 /// Run every cell of `spec` on up to `threads` workers (1 = sequential).
 /// The report is independent of `threads` and of scheduling order.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport> {
+    Ok(run_campaign_stored(spec, threads, None)?.report)
+}
+
+/// [`run_campaign`] with an optional content-addressed result [`Store`]:
+/// cells whose key is already present are loaded instead of simulated
+/// (incremental sweeps, crash resume), fresh results are persisted, and
+/// unusable entries are recomputed in place (never a campaign abort).
+pub fn run_campaign_stored(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<CampaignOutcome> {
     let jobs: Vec<usize> = (0..spec.cells.len()).collect();
-    let outs = rayon::execute_indexed(jobs, threads.max(1), &|i: usize| run_cell(&spec.cells[i]));
+    // Per cell: (outcome, executed?, recovery diagnostic).
+    let outs = rayon::execute_indexed(jobs, threads.max(1), &|i: usize| {
+        let cell = &spec.cells[i];
+        let Some(store) = store else {
+            return (run_cell(cell), true, None);
+        };
+        let key = cell_key(cell);
+        let recovered = match store.load(&key) {
+            Ok(Some(entry)) => return (Ok(entry.into_cell_report(cell)), false, None),
+            Ok(None) => None,
+            Err(e) => Some(e.to_string()),
+        };
+        let out = run_cell(cell).and_then(|report| {
+            store.save(&key, &report).map_err(|e| {
+                Error::Run(format!("store save {}: {e}", store.dir(&key).display()))
+            })?;
+            Ok(report)
+        });
+        (out, true, recovered)
+    });
     let mut cells = Vec::with_capacity(outs.len());
-    for (i, out) in outs.into_iter().enumerate() {
+    let (mut executed, mut loaded) = (0usize, 0usize);
+    let mut recovered = Vec::new();
+    for (i, (out, ran, diag)) in outs.into_iter().enumerate() {
         let mut cell =
             out.map_err(|e| Error::Run(format!("cell {i} ({}): {e}", spec.cells[i].name)))?;
         cell.index = i;
-        cell.failures = check_asserts(&spec.asserts, &cell);
+        let asserts = match &cell.cell.assert {
+            Some(over) => spec.asserts.overridden_by(over),
+            None => spec.asserts.clone(),
+        };
+        cell.failures = check_asserts(&asserts, &cell);
         cells.push(cell);
+        if ran {
+            executed += 1;
+        } else {
+            loaded += 1;
+        }
+        recovered.extend(diag);
     }
-    Ok(CampaignReport {
-        schema: SCHEMA.into(),
-        name: spec.name.clone(),
-        seed: spec.seed,
-        cells,
+    Ok(CampaignOutcome {
+        report: CampaignReport {
+            schema: SCHEMA.into(),
+            name: spec.name.clone(),
+            seed: spec.seed,
+            cells,
+        },
+        executed,
+        loaded,
+        recovered,
     })
 }
 
@@ -231,7 +297,7 @@ impl CampaignReport {
     }
 }
 
-fn csv_escape(s: &str) -> String {
+pub(crate) fn csv_escape(s: &str) -> String {
     if s.contains(',') || s.contains('"') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {

@@ -46,7 +46,14 @@
 //! * [`exec`] — the per-cell executor driving either kernel with timed
 //!   membership faults and the ring-buffer metrics tap;
 //! * [`campaign`] — the parallel runner, assertions and report
-//!   rendering (JSON / CSV / table).
+//!   rendering (JSON / CSV / table);
+//! * [`store`] — the content-addressed result store: cells are keyed by
+//!   (resolved exec spec, seed, code fingerprint), so re-running a
+//!   campaign loads finished cells instead of recomputing them —
+//!   incremental sweeps and crash resume;
+//! * [`report`] — the query layer over stored/combined results: the
+//!   paper's Tables 1–4 and convergence-curve CSVs, byte-identical
+//!   across runs and thread counts.
 //!
 //! Committed campaign files live in the repository's `scenarios/`
 //! directory (see its README for the cookbook); run one with
@@ -55,13 +62,19 @@
 pub mod campaign;
 pub mod exec;
 pub mod faults;
+pub mod report;
 pub mod spec;
+pub mod store;
 pub mod toml;
 
-pub use campaign::{run_campaign, CampaignReport, SCHEMA};
+pub use campaign::{run_campaign, run_campaign_stored, CampaignOutcome, CampaignReport, SCHEMA};
 pub use exec::{run_cell, CellReport};
 pub use faults::{FaultApp, FaultSchedule, FaultTarget};
+pub use report::{curves_csv, paper_title, render_paper_tables, render_table};
 pub use spec::{parse_campaign, AssertSpec, CampaignSpec, CellSpec, Fault, FaultSpec};
+pub use store::{
+    cell_key, Store, StoreEntry, StoreError, StoreKey, CODE_FINGERPRINT, STORE_SCHEMA,
+};
 
 use std::fmt;
 

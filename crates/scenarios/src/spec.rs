@@ -32,10 +32,18 @@
 //! kernel = ["cycle", "event"]
 //! churn = [0.0, 0.01]
 //!
+//! [sweep.zip]                # paired axes: ONE grid dimension whose
+//! nodes = [250, 500, 1000]   # keys advance in lock-step (equal-length
+//! budget = [800, 400, 200]   # arrays) — e.g. a fixed-total-budget scan
+//!
 //! [assert]                   # report assertions (CI gates)
 //! max_quality = 1.0
 //! min_final_population = 1
 //! ```
+//!
+//! A cell may carry its own `[cell.assert]` table overriding individual
+//! campaign-level bounds (set fields win, unset fields inherit) — useful
+//! when one swept corner legitimately converges slower than the rest.
 //!
 //! [`parse_campaign`] expands the sweep axes (document order, first axis
 //! slowest) into fully-validated [`CellSpec`]s, each with a label like
@@ -55,6 +63,23 @@ use serde::{Deserialize, Serialize, Value};
 /// simulation. String-typed dimensions (`kernel`, `topology`,
 /// `coordination`) use compact grammars so sweep axes read naturally in
 /// TOML; [`CellSpec::validate`] resolves and checks them.
+///
+/// Defaults are a small, fast, valid configuration, so tests and
+/// programmatic callers only override what they study:
+///
+/// ```
+/// use gossipopt_scenarios::CellSpec;
+///
+/// let cell = CellSpec {
+///     nodes: 32,
+///     topology: "kregular:3".into(),
+///     function: "rastrigin".into(),
+///     ..CellSpec::default()
+/// };
+/// cell.validate().expect("grammars resolve");
+/// assert_eq!(cell.kernel, "cycle");
+/// assert!(cell.seed.is_none(), "seed derives from campaign seed + index");
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
     /// Human label (auto-derived from the sweep axes; used in reports).
@@ -100,6 +125,11 @@ pub struct CellSpec {
     pub metrics: MetricsSpec,
     /// Timed fault schedule (TOML `[[cell.fault]]`).
     pub fault: Vec<FaultSpec>,
+    /// Per-cell assertion overrides (TOML `[cell.assert]`): set fields
+    /// replace the campaign-level `[assert]` bound for this cell only;
+    /// unset fields inherit. Not part of the simulation (excluded from
+    /// the result-store key).
+    pub assert: Option<AssertSpec>,
 }
 
 impl Default for CellSpec {
@@ -123,6 +153,7 @@ impl Default for CellSpec {
             stop_at_quality: None,
             metrics: MetricsSpec::default(),
             fault: Vec::new(),
+            assert: None,
         }
     }
 }
@@ -212,6 +243,33 @@ pub struct AssertSpec {
     /// Every cell's `payload_bytes` (wire bytes after frame coalescing)
     /// must be ≤ this — the regression gate on coordination wire volume.
     pub max_payload_bytes: Option<u64>,
+}
+
+/// The `[assert]` / `[cell.assert]` field names, shared by the typo guard.
+pub(crate) const ASSERT_KEYS: [&str; 6] = [
+    "max_quality",
+    "min_final_population",
+    "expect_poisoned",
+    "min_blocked",
+    "max_ticks",
+    "max_payload_bytes",
+];
+
+impl AssertSpec {
+    /// Campaign-level bounds overridden field-wise by a cell's own
+    /// `[cell.assert]` table: a field the override sets wins, an unset
+    /// field inherits the campaign bound. (Overrides replace bounds;
+    /// they cannot *remove* one — commit a looser value instead.)
+    pub fn overridden_by(&self, over: &AssertSpec) -> AssertSpec {
+        AssertSpec {
+            max_quality: over.max_quality.or(self.max_quality),
+            min_final_population: over.min_final_population.or(self.min_final_population),
+            expect_poisoned: over.expect_poisoned.or(self.expect_poisoned),
+            min_blocked: over.min_blocked.or(self.min_blocked),
+            max_ticks: over.max_ticks.or(self.max_ticks),
+            max_payload_bytes: over.max_payload_bytes.or(self.max_payload_bytes),
+        }
+    }
 }
 
 /// A fully-expanded campaign: validated cells plus assertions.
@@ -611,13 +669,18 @@ pub fn parse_campaign(text: &str) -> Result<CampaignSpec> {
     check_unknown_cell_keys(&defaults, &base, "cell")?;
 
     // Sweep axes in document order; values are raw TOML values substituted
-    // into the cell tree before typed parsing.
-    let mut axes: Vec<(String, Vec<Value>)> = Vec::new();
+    // into the cell tree before typed parsing. The reserved `zip` key
+    // introduces ONE axis whose member keys advance in lock-step.
+    let mut axes: Vec<Axis> = Vec::new();
     if let Some(sweep) = root.get("sweep") {
         let Value::Object(pairs) = sweep else {
             return Err(Error::Parse("[sweep] must be a table".into()));
         };
         for (key, v) in pairs {
+            if key == "zip" {
+                axes.push(parse_zip_axis(v)?);
+                continue;
+            }
             let Value::Array(options) = v else {
                 return Err(Error::Parse(format!(
                     "sweep.{key} must be an array of values"
@@ -626,42 +689,46 @@ pub fn parse_campaign(text: &str) -> Result<CampaignSpec> {
             if options.is_empty() {
                 return Err(Error::Parse(format!("sweep.{key} must not be empty")));
             }
-            axes.push((key.clone(), options.clone()));
+            axes.push(Axis::one(key.clone(), options.clone()));
+        }
+    }
+    // No cell key may be driven by two axes (zip members included).
+    let mut seen_keys: Vec<&str> = Vec::new();
+    for axis in &axes {
+        for key in axis.keys() {
+            if seen_keys.contains(&key) {
+                return Err(Error::Parse(format!(
+                    "sweep key `{key}` appears in more than one axis"
+                )));
+            }
+            seen_keys.push(key);
         }
     }
 
     let asserts: AssertSpec = match root.get("assert") {
         Some(v) => {
-            check_known_keys(
-                v,
-                &[
-                    "max_quality",
-                    "min_final_population",
-                    "expect_poisoned",
-                    "min_blocked",
-                    "max_ticks",
-                    "max_payload_bytes",
-                ],
-                "assert",
-            )?;
+            check_known_keys(v, &ASSERT_KEYS, "assert")?;
             AssertSpec::from_value(v).map_err(|e| Error::Parse(e.0))?
         }
         None => AssertSpec::default(),
     };
 
-    // Cross product, first axis slowest.
+    // Cross product, first axis slowest; a zip axis contributes a single
+    // dimension whose options set all member keys at once.
     let mut combos: Vec<(String, Value)> = vec![(String::new(), base)];
-    for (key, options) in &axes {
-        let mut next = Vec::with_capacity(combos.len() * options.len());
+    for axis in &axes {
+        let mut next = Vec::with_capacity(combos.len() * axis.len());
         for (label, tree) in &combos {
-            for opt in options {
+            for j in 0..axis.len() {
                 let mut tree = tree.clone();
-                set_path(&mut tree, key, opt.clone())?;
                 let mut label = label.clone();
-                if !label.is_empty() {
-                    label.push(' ');
+                for (key, options) in axis.columns() {
+                    set_path(&mut tree, key, options[j].clone())?;
+                    if !label.is_empty() {
+                        label.push(' ');
+                    }
+                    label.push_str(&format!("{key}={}", render_value(&options[j])));
                 }
-                label.push_str(&format!("{key}={}", render_value(opt)));
                 next.push((label, tree));
             }
         }
@@ -674,6 +741,7 @@ pub fn parse_campaign(text: &str) -> Result<CampaignSpec> {
             let index = cells.len();
             let merged = overlay(&defaults, &tree);
             check_fault_entry_keys(&merged)?;
+            check_assert_entry_keys(&merged)?;
             let mut cell = CellSpec::from_value(&merged).map_err(|e| Error::Parse(e.0))?;
             cell.name = if reps > 1 {
                 if label.is_empty() {
@@ -705,6 +773,86 @@ pub fn parse_campaign(text: &str) -> Result<CampaignSpec> {
         cells,
         asserts,
     })
+}
+
+/// One sweep dimension: one or more `(key, options)` columns advancing in
+/// lock-step. A plain `key = [...]` axis is a single column; a
+/// `[sweep.zip]` block contributes several equal-length columns.
+struct Axis {
+    cols: Vec<(String, Vec<Value>)>,
+}
+
+impl Axis {
+    fn one(key: String, options: Vec<Value>) -> Axis {
+        Axis {
+            cols: vec![(key, options)],
+        }
+    }
+
+    /// Grid positions this axis contributes.
+    fn len(&self) -> usize {
+        self.cols[0].1.len()
+    }
+
+    /// The `(key, options)` columns set at each position.
+    fn columns(&self) -> &[(String, Vec<Value>)] {
+        &self.cols
+    }
+
+    /// Every cell key this axis drives.
+    fn keys(&self) -> impl Iterator<Item = &str> {
+        self.cols.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// Parse the `[sweep.zip]` table: ≥ 2 equal-length arrays.
+fn parse_zip_axis(v: &Value) -> Result<Axis> {
+    let Value::Object(pairs) = v else {
+        return Err(Error::Parse(
+            "[sweep.zip] must be a table of equal-length arrays".into(),
+        ));
+    };
+    let mut cols: Vec<(String, Vec<Value>)> = Vec::new();
+    for (key, zv) in pairs {
+        let Value::Array(options) = zv else {
+            return Err(Error::Parse(format!(
+                "sweep.zip.{key} must be an array of values"
+            )));
+        };
+        if options.is_empty() {
+            return Err(Error::Parse(format!("sweep.zip.{key} must not be empty")));
+        }
+        cols.push((key.clone(), options.clone()));
+    }
+    if cols.len() < 2 {
+        return Err(Error::Parse(
+            "[sweep.zip] needs at least two keys (one key is a plain sweep axis)".into(),
+        ));
+    }
+    let len = cols[0].1.len();
+    for (key, options) in &cols[1..] {
+        if options.len() != len {
+            return Err(Error::Parse(format!(
+                "sweep.zip.{key} has {} values but `{}` has {len} — zipped axes must be \
+                 the same length",
+                options.len(),
+                cols[0].0
+            )));
+        }
+    }
+    Ok(Axis { cols })
+}
+
+/// Typo guard for the `[cell.assert]` override table (the defaults tree
+/// models `assert` as `null`, so [`check_unknown_cell_keys`] cannot see
+/// inside it — and the derived deserializer would silently drop stray
+/// keys). Checked on the merged tree so sweep-injected overrides are
+/// covered too.
+fn check_assert_entry_keys(tree: &Value) -> Result<()> {
+    match tree.get("assert") {
+        None | Some(Value::Null) => Ok(()),
+        Some(v) => check_known_keys(v, &ASSERT_KEYS, "cell.assert"),
+    }
 }
 
 /// Every key of `user` must exist in `known`.
@@ -945,6 +1093,88 @@ churn = [0.0, 0.01]
         )
         .unwrap();
         assert_eq!(spec, again, "expansion is deterministic");
+    }
+
+    #[test]
+    fn zip_axes_advance_in_lock_step() {
+        let spec = parse_campaign(
+            r#"
+[campaign]
+name = "zip"
+seed = 1
+
+[cell]
+particles = 4
+
+[sweep]
+kernel = ["cycle", "event"]
+
+[sweep.zip]
+nodes = [8, 16, 32]
+budget = [64, 32, 16]
+"#,
+        )
+        .unwrap();
+        // 2 kernels × 3 zipped positions (NOT 2 × 3 × 3).
+        assert_eq!(spec.cells.len(), 6);
+        for cell in &spec.cells {
+            assert_eq!(
+                cell.nodes as u64 * cell.budget,
+                512,
+                "zip pairs nodes with budget: {}",
+                cell.name
+            );
+        }
+        assert_eq!(spec.cells[0].name, "kernel=cycle nodes=8 budget=64");
+        assert_eq!(spec.cells[5].name, "kernel=event nodes=32 budget=16");
+    }
+
+    #[test]
+    fn zip_validation_rejects_bad_shapes() {
+        // Length mismatch.
+        let e =
+            parse_campaign("[cell]\nnodes=8\n[sweep.zip]\nnodes=[8,16]\nbudget=[1]\n").unwrap_err();
+        assert!(format!("{e}").contains("same length"), "{e}");
+        // A single zipped key is just a sweep axis — reject the noise.
+        assert!(parse_campaign("[cell]\nnodes=8\n[sweep.zip]\nnodes=[8,16]\n").is_err());
+        // The same key driven by two axes.
+        let e = parse_campaign(
+            "[cell]\nparticles=4\n[sweep]\nnodes=[8,16]\n[sweep.zip]\nnodes=[8,16]\nbudget=[4,2]\n",
+        )
+        .unwrap_err();
+        assert!(format!("{e}").contains("more than one axis"), "{e}");
+        // Zip of a non-array.
+        assert!(parse_campaign("[cell]\nnodes=8\n[sweep.zip]\nnodes=4\nbudget=[1,2]\n").is_err());
+    }
+
+    #[test]
+    fn cell_assert_overrides_parse_and_merge() {
+        let spec = parse_campaign(
+            r#"
+[cell]
+nodes = 8
+
+[cell.assert]
+max_quality = 99.0
+
+[assert]
+max_quality = 1.0
+min_final_population = 4
+"#,
+        )
+        .unwrap();
+        let over = spec.cells[0].assert.as_ref().unwrap();
+        assert_eq!(over.max_quality, Some(99.0));
+        let effective = spec.asserts.overridden_by(over);
+        assert_eq!(effective.max_quality, Some(99.0), "override wins");
+        assert_eq!(effective.min_final_population, Some(4), "unset inherits");
+        // Typos inside the override table are rejected, not dropped.
+        let e = parse_campaign("[cell]\nnodes = 8\n[cell.assert]\nmax_qualty = 1.0\n").unwrap_err();
+        assert!(format!("{e}").contains("cell.assert.max_qualty"), "{e}");
+        // ...including when a sweep axis injects the override.
+        let e = parse_campaign("[cell]\nnodes = 8\n[sweep]\n\"assert.max_qualty\" = [1.0]\n")
+            .unwrap_err();
+        assert!(format!("{e}").contains("max_qualty"), "{e}");
     }
 
     #[test]

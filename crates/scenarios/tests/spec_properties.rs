@@ -2,7 +2,7 @@
 //! plus validation (overlapping partition groups, out-of-range
 //! fractions) over randomized inputs.
 
-use gossipopt_scenarios::{parse_campaign, CellSpec, FaultSpec};
+use gossipopt_scenarios::{cell_key, parse_campaign, AssertSpec, CellSpec, FaultSpec};
 use proptest::prelude::*;
 
 /// Render a cell as a TOML campaign document (the emitter half of the
@@ -271,6 +271,55 @@ proptest! {
             ),
         };
         prop_assert!(parse_campaign(&text).is_err(), "fraction {frac} accepted");
+    }
+
+    #[test]
+    fn store_key_is_stable_and_ignores_non_exec_fields(cell in cell_strategy(), seed in 0u64..1000) {
+        let mut cell = cell;
+        cell.seed = Some(seed);
+        let key = cell_key(&cell);
+        // Recomputing (fresh canonicalization, fresh hash state) is
+        // bit-identical — the key is a pure function of the cell.
+        prop_assert_eq!(&cell_key(&cell).hash, &key.hash);
+        prop_assert_eq!(cell_key(&cell).seed, seed);
+        // The display label and the assert override are report-side
+        // concerns: changing them must keep every cache hit.
+        let mut renamed = cell.clone();
+        renamed.name = format!("{}-renamed", cell.name);
+        renamed.assert = Some(AssertSpec { max_quality: Some(0.25), ..AssertSpec::default() });
+        prop_assert_eq!(&cell_key(&renamed).hash, &key.hash);
+    }
+
+    #[test]
+    fn any_single_exec_field_change_changes_the_store_key(
+        cell in cell_strategy(),
+        field in 0usize..15,
+    ) {
+        let mut cell = cell;
+        cell.seed = Some(42);
+        let base = cell_key(&cell);
+        let mut mutated = cell.clone();
+        match field {
+            0 => mutated.nodes += 1,
+            1 => mutated.particles += 1,
+            2 => mutated.gossip_every += 1,
+            3 => mutated.budget += 1,
+            4 => mutated.kernel = if cell.kernel == "cycle" { "event".into() } else { "cycle".into() },
+            5 => mutated.threads += 1,
+            6 => mutated.topology = if cell.topology == "fullmesh" { "star".into() } else { "fullmesh".into() },
+            7 => mutated.coordination = if cell.coordination == "none" { "master-slave".into() } else { "none".into() },
+            8 => mutated.solver = if cell.solver == "de" { "ga".into() } else { "de".into() },
+            9 => mutated.function = if cell.function == "sphere" { "griewank".into() } else { "sphere".into() },
+            10 => mutated.dim += 1,
+            11 => mutated.churn = if cell.churn < 0.5 { cell.churn + 0.5 } else { cell.churn - 0.5 },
+            12 => mutated.loss = if cell.loss < 0.5 { cell.loss + 0.5 } else { cell.loss - 0.5 },
+            13 => mutated.seed = Some(43),
+            _ => mutated.stop_at_quality = Some(cell.stop_at_quality.map_or(1e-3, |q| q / 2.0)),
+        }
+        prop_assert_ne!(
+            &cell_key(&mutated).hash, &base.hash,
+            "mutating field #{} must change the key", field
+        );
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fail on broken intra-repo links in markdown files.
+#
+# Scans every tracked-ish *.md (excluding target/, vendor/, .git/) for
+# inline links/images `[text](target)`, resolves relative targets against
+# the file's directory, and exits 1 listing every target that does not
+# exist. External links (http/https/mailto) and pure anchors (#...) are
+# skipped; a `#fragment` suffix on a file target is stripped before the
+# existence check.
+#
+# Usage: scripts/check_links.sh [root-dir]
+set -euo pipefail
+
+root="${1:-.}"
+failures=0
+
+while IFS= read -r -d '' file; do
+    dir=$(dirname "$file")
+    # Pull out `](target)` occurrences, one per line.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        case "$path" in
+        /*) resolved="$root$path" ;; # repo-absolute
+        *) resolved="$dir/$path" ;;
+        esac
+        if [ ! -e "$resolved" ]; then
+            echo "BROKEN $file -> $target"
+            failures=$((failures + 1))
+        fi
+    done < <(grep -o ']([^)]*)' "$file" 2>/dev/null | sed 's/^](//; s/)$//')
+done < <(find "$root" \( -name target -o -name vendor -o -name .git \) -prune \
+    -o -name '*.md' -type f -print0)
+
+if [ "$failures" -gt 0 ]; then
+    echo "$failures broken link(s)" >&2
+    exit 1
+fi
+echo "markdown links OK"
