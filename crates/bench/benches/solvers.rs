@@ -23,6 +23,34 @@ fn bench_solver_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// Step cost of the lane-kernel solvers at the dimensionality extremes:
+/// dim 4 is exactly one 4-wide lane group (the kernels' break-even
+/// point), dim 32 is eight groups where the widened update loops earn
+/// their keep. Guards the `solvers::lanes` fast paths specifically —
+/// the dim-10 `solvers/step/{pso,de}` rows above track the paper's
+/// default configuration.
+fn bench_step_dims(c: &mut Criterion) {
+    for name in ["pso", "de"] {
+        let mut group = c.benchmark_group(&format!("solvers/step/{name}"));
+        for dim in [4usize, 32] {
+            let f = Sphere::new(dim);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("dim{dim}")),
+                &dim,
+                |b, _| {
+                    let mut solver = solver_by_name(name, 16).expect("registered");
+                    let mut rng = Xoshiro256pp::seeded(5);
+                    b.iter(|| {
+                        solver.step(black_box(&f), &mut rng);
+                        black_box(solver.evals())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_pso_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers/pso-variant");
     let f = Sphere::new(10);
@@ -92,6 +120,7 @@ fn bench_eval_batch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_solver_steps,
+    bench_step_dims,
     bench_pso_variants,
     bench_eval_batch
 );

@@ -24,11 +24,19 @@ pub enum Msg {
     CoordBatch(CoordBatch),
     /// Rumor-mongering coordination: a pushed optimum.
     RumorPush(GlobalBest),
+    /// A batch of same-destination rumor pushes fused into one frame (see
+    /// [`GossipBatch`]); the receiver acknowledges each item's original
+    /// source exactly as if the pushes had arrived unbatched.
+    RumorBatch(GossipBatch),
     /// Rumor-mongering coordination: feedback for an earlier push (the
     /// pusher's cooling signal).
     RumorFeedback(RumorAck),
     /// Island-model coordination: a migrating individual.
     Migrant(GlobalBest),
+    /// A batch of same-destination migrants fused into one frame (see
+    /// [`GossipBatch`]); unpacked in delivery order so the receiving
+    /// solver's RNG draws match unbatched delivery exactly.
+    MigrantBatch(GossipBatch),
     /// Master–slave baseline: slave reports its best to the hub.
     MasterReport(GlobalBest),
     /// Master–slave baseline: hub pushes the current global best.
@@ -89,6 +97,61 @@ impl CoordBatch {
     }
 }
 
+/// Several same-tick single-optimum messages (rumor pushes or migrants)
+/// for one destination, fused into a single frame.
+///
+/// The wire layout mirrors [`CoordBatch`] minus the kind byte — one tag
+/// covers one payload kind: an item-count varint, then per item a
+/// source-id varint, a `u32` dimensionality and either raw `f64`s (the
+/// frame's first payload, or a dimensionality mismatch) or zig-zag
+/// LEB128 varints of the `f64` bit-pattern deltas against that first
+/// payload. Once the epidemic converges on one optimum, every follower
+/// payload collapses to one byte per element.
+///
+/// Unlike [`CoordBatch`], whose anti-entropy traffic converges on one
+/// optimum, migrant batches routinely carry *dissimilar* payloads
+/// (distinct particles' personal bests), where bit-pattern deltas cost up
+/// to 10 bytes per element against 8 raw. Each follower item therefore
+/// picks the cheaper of delta and raw encoding; choosing raw is signalled
+/// by setting the (otherwise always clear) top bit of the item's
+/// dimensionality word, so a batch never costs more than its items' raw
+/// payloads plus one source varint each.
+#[derive(Debug, Clone)]
+pub struct GossipBatch {
+    /// `(original source, optimum)` in the original delivery order.
+    pub items: Vec<(NodeId, GlobalBest)>,
+}
+
+impl GossipBatch {
+    /// Serialized payload size in bytes under the runtime wire codec
+    /// (header excluded); see the type docs for the layout.
+    pub fn payload_wire_bytes(&self) -> usize {
+        let mut n = varint_len(self.items.len() as u64);
+        let mut reference: Option<&GlobalBest> = None;
+        for (src, g) in &self.items {
+            n += varint_len(src.raw()) + 4;
+            let raw = 8 * g.x.len() + 8;
+            match reference {
+                Some(r) if r.x.len() == g.x.len() => {
+                    let mut delta = 0usize;
+                    for (&x, &rx) in g.x.iter().zip(r.x.iter()) {
+                        delta += f64_delta_len(x, rx);
+                    }
+                    delta += f64_delta_len(g.f, r.f);
+                    n += delta.min(raw);
+                }
+                _ => {
+                    n += raw;
+                    if reference.is_none() {
+                        reference = Some(g);
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
 impl Msg {
     /// Serialized size of this message in bytes under the runtime wire
     /// codec (`gossipopt_runtime::encode`), version + tag header included.
@@ -112,6 +175,7 @@ impl Msg {
                 }
                 Msg::Coord(AntiEntropyMsg::Ask) => 0,
                 Msg::CoordBatch(b) => b.payload_wire_bytes(),
+                Msg::RumorBatch(b) | Msg::MigrantBatch(b) => b.payload_wire_bytes(),
                 Msg::RumorFeedback(_) => 1,
                 Msg::RumorPush(g)
                 | Msg::Migrant(g)
@@ -147,6 +211,50 @@ mod tests {
             Msg::Newscast(NewscastMsg::Request(Vec::new())).wire_bytes(),
             6
         );
+    }
+
+    #[test]
+    fn gossip_batch_sizing_collapses_identical_payloads() {
+        let g = GlobalBest::new(&[0.25; 10], 1.0);
+        let b = GossipBatch {
+            items: vec![(NodeId(1), g.clone()), (NodeId(2), g.clone())],
+        };
+        // Header 2 + count 1; first item: src 1 + dim 4 + 88 raw;
+        // second: src 1 + dim 4 + 11 one-byte deltas. Unbatched, the same
+        // two pushes cost 2 × 94.
+        assert_eq!(Msg::RumorBatch(b.clone()).wire_bytes(), 2 + 1 + 93 + 16);
+        assert_eq!(
+            Msg::MigrantBatch(b).wire_bytes(),
+            2 + 1 + 93 + 16,
+            "migrant batches share the layout"
+        );
+        assert_eq!(Msg::RumorPush(g).wire_bytes(), 94);
+    }
+
+    #[test]
+    fn gossip_batch_sizing_caps_dissimilar_payloads_at_raw() {
+        // Distinct migrant payloads (random bit patterns) make bit-pattern
+        // deltas cost up to 10 bytes per element; the per-item raw
+        // fallback caps every follower at its 8-byte-per-element raw size,
+        // so a batched run always undercuts the per-message headers.
+        let items: Vec<(NodeId, GlobalBest)> = (0..8u64)
+            .map(|i| {
+                let x: Vec<f64> = (0..10u64)
+                    .map(|j| f64::from_bits((i * 10 + j).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                    .collect();
+                let f = f64::from_bits(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
+                (NodeId(i + 1), GlobalBest { x: x.into(), f })
+            })
+            .collect();
+        let unbatched: usize = items
+            .iter()
+            .map(|(_, g)| Msg::Migrant(g.clone()).wire_bytes())
+            .sum();
+        let batched = Msg::MigrantBatch(GossipBatch { items }).wire_bytes();
+        // Header 2 + count 1 + 8 × (src 1 + dim 4 + 88 raw) is the worst
+        // case; unbatched the run costs 8 × 94.
+        assert!(batched <= 2 + 1 + 8 * 93, "{batched} exceeds the raw cap");
+        assert!(batched < unbatched, "{batched} >= {unbatched}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The composed framework node: topology + optimization + coordination.
 
-use crate::messages::{CoordBatch, Msg};
+use crate::messages::{CoordBatch, GossipBatch, Msg};
 use crate::rumor::{BestRumor, GlobalBest};
 use gossipopt_functions::Objective;
 use gossipopt_gossip::{
@@ -291,6 +291,23 @@ impl OptNode {
         }
     }
 
+    /// Shared by the `Msg::RumorPush` arm and per-item
+    /// [`Msg::RumorBatch`] unpacking: receive one pushed optimum and
+    /// acknowledge its original source. Draws no randomness, so batched
+    /// and unbatched delivery leave every RNG stream untouched.
+    fn handle_rumor_push(&mut self, from: NodeId, g: GlobalBest, ctx: &mut Ctx<'_, Msg>) {
+        // Compare against our freshest best, not a stale store.
+        self.sync_gossip_value();
+        if let CoordComp::Rumor(rm) = &mut self.coord {
+            let ack = rm.receive(g);
+            if ack == gossipopt_gossip::rumor::RumorAck::New {
+                let g = rm.value().expect("new implies value").clone();
+                self.adopt_remote(&g);
+            }
+            send_tracked(&mut self.bytes_sent, ctx, from, Msg::RumorFeedback(ack));
+        }
+    }
+
     fn coordinate(&mut self, ctx: &mut Ctx<'_, Msg>) {
         match (&self.coord, self.role) {
             (CoordComp::Isolated, _) => {}
@@ -440,16 +457,13 @@ impl Application for OptNode {
                     self.handle_coord(src, m, ctx);
                 }
             }
-            Msg::RumorPush(g) => {
-                // Compare against our freshest best, not a stale store.
-                self.sync_gossip_value();
-                if let CoordComp::Rumor(rm) = &mut self.coord {
-                    let ack = rm.receive(g);
-                    if ack == gossipopt_gossip::rumor::RumorAck::New {
-                        let g = rm.value().expect("new implies value").clone();
-                        self.adopt_remote(&g);
-                    }
-                    send_tracked(&mut self.bytes_sent, ctx, from, Msg::RumorFeedback(ack));
+            Msg::RumorPush(g) => self.handle_rumor_push(from, g, ctx),
+            Msg::RumorBatch(b) => {
+                // Unpack in delivery order, acknowledging each item's
+                // original source — byte-for-byte the state transitions
+                // and feedback of receiving the pushes unbatched.
+                for (src, g) in b.items {
+                    self.handle_rumor_push(src, g, ctx);
                 }
             }
             Msg::RumorFeedback(ack) => {
@@ -459,6 +473,14 @@ impl Application for OptNode {
             }
             Msg::Migrant(g) => {
                 self.solver.immigrate(g.to_point(), ctx.rng());
+            }
+            Msg::MigrantBatch(b) => {
+                // Unpack in delivery order: `immigrate` draws from the
+                // node RNG, so per-item order must match unbatched
+                // delivery exactly.
+                for (_src, g) in b.items {
+                    self.solver.immigrate(g.to_point(), ctx.rng());
+                }
             }
             Msg::MasterReport(g) => {
                 if self.role == Role::Master {
@@ -480,11 +502,29 @@ impl Application for OptNode {
     }
 
     fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Msg)>) -> u64 {
+        /// The fusible frame families: consecutive same-destination
+        /// messages of one family fuse into that family's batch kind.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Fuse {
+            Coord,
+            Rumor,
+            Migrant,
+        }
+        fn fuse_kind(m: &Msg) -> Option<Fuse> {
+            match m {
+                Msg::Coord(_) => Some(Fuse::Coord),
+                Msg::RumorPush(_) => Some(Fuse::Rumor),
+                Msg::Migrant(_) => Some(Fuse::Migrant),
+                _ => None,
+            }
+        }
         // Cheap pre-scan: leave the round untouched unless some
-        // consecutive same-destination pair is coordination traffic
-        // (random-peer topologies rarely produce runs).
+        // consecutive same-destination pair is fusible same-family
+        // traffic (random-peer topologies rarely produce runs).
         let fusible = round.windows(2).any(|w| {
-            w[0].1 == w[1].1 && matches!(w[0].2, Msg::Coord(_)) && matches!(w[1].2, Msg::Coord(_))
+            w[0].1 == w[1].1
+                && fuse_kind(&w[0].2).is_some()
+                && fuse_kind(&w[0].2) == fuse_kind(&w[1].2)
         });
         if !fusible {
             return 0;
@@ -494,29 +534,43 @@ impl Application for OptNode {
         round.reserve(taken.len());
         let mut it = taken.into_iter().peekable();
         while let Some((from, to, msg)) = it.next() {
+            let kind = fuse_kind(&msg);
             let run_continues = |next: Option<&(NodeId, NodeId, Msg)>| {
-                next.is_some_and(|(_, nto, nm)| *nto == to && matches!(nm, Msg::Coord(_)))
+                next.is_some_and(|(_, nto, nm)| *nto == to && fuse_kind(nm) == kind)
             };
-            if !matches!(msg, Msg::Coord(_)) || !run_continues(it.peek()) {
+            if kind.is_none() || !run_continues(it.peek()) {
                 round.push((from, to, msg));
                 continue;
             }
-            // Collect the maximal run of consecutive coordination
-            // messages for this destination.
-            let mut unbatched = msg.wire_bytes() as u64;
-            let Msg::Coord(first) = msg else {
-                unreachable!()
+            let kind = kind.expect("checked above");
+            // Collect the maximal run of consecutive same-family messages
+            // for this destination. Coord items keep their anti-entropy
+            // message; the rumor/migrant families carry bare optima.
+            let mut unbatched = 0u64;
+            let mut coord_items = Vec::new();
+            let mut gossip_items = Vec::new();
+            let mut push_item = |m: Msg, src: NodeId| {
+                unbatched += m.wire_bytes() as u64;
+                match m {
+                    Msg::Coord(c) => coord_items.push((src, c)),
+                    Msg::RumorPush(g) | Msg::Migrant(g) => gossip_items.push((src, g)),
+                    _ => unreachable!("run collected over fusible kinds only"),
+                }
             };
-            let mut batch = CoordBatch {
-                items: vec![(from, first)],
-            };
+            push_item(msg, from);
             while run_continues(it.peek()) {
                 let (nfrom, _, nmsg) = it.next().expect("peeked");
-                unbatched += nmsg.wire_bytes() as u64;
-                let Msg::Coord(m) = nmsg else { unreachable!() };
-                batch.items.push((nfrom, m));
+                push_item(nmsg, nfrom);
             }
-            let fused = Msg::CoordBatch(batch);
+            let fused = match kind {
+                Fuse::Coord => Msg::CoordBatch(CoordBatch { items: coord_items }),
+                Fuse::Rumor => Msg::RumorBatch(GossipBatch {
+                    items: gossip_items,
+                }),
+                Fuse::Migrant => Msg::MigrantBatch(GossipBatch {
+                    items: gossip_items,
+                }),
+            };
             let batched = fused.wire_bytes() as u64;
             if batched < unbatched {
                 saved += unbatched - batched;
@@ -524,11 +578,23 @@ impl Application for OptNode {
             } else {
                 // The frame would not shrink (payloads too dissimilar for
                 // the delta coding to win): keep the run unbatched.
-                let Msg::CoordBatch(b) = fused else {
-                    unreachable!()
-                };
-                for (src, m) in b.items {
-                    round.push((src, to, Msg::Coord(m)));
+                match fused {
+                    Msg::CoordBatch(b) => {
+                        for (src, m) in b.items {
+                            round.push((src, to, Msg::Coord(m)));
+                        }
+                    }
+                    Msg::RumorBatch(b) => {
+                        for (src, g) in b.items {
+                            round.push((src, to, Msg::RumorPush(g)));
+                        }
+                    }
+                    Msg::MigrantBatch(b) => {
+                        for (src, g) in b.items {
+                            round.push((src, to, Msg::Migrant(g)));
+                        }
+                    }
+                    _ => unreachable!("fused is always a batch kind"),
                 }
             }
         }

@@ -187,9 +187,8 @@ mod tests {
         for _round in 0..60 {
             // Collect pushes first to emulate simultaneity.
             let mut pushes: Vec<(usize, usize)> = Vec::new();
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..n {
-                if let Some((_gen, _r, k)) = nodes[i].on_tick() {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if let Some((_gen, _r, k)) = node.on_tick() {
                     for _ in 0..k {
                         let mut j = rng.index(n - 1);
                         if j >= i {

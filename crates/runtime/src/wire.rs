@@ -22,7 +22,16 @@
 //!   payload-carrying kinds, a `u32` dimension followed by either raw
 //!   `f64`s (the frame's first payload, or one whose dimension differs
 //!   from that reference) or zig-zag LEB128 varints of the `f64`
-//!   bit-pattern deltas against the reference payload.
+//!   bit-pattern deltas against the reference payload;
+//! * rumor/migrant batch — the coordination-batch layout minus the kind
+//!   byte (the tag already names the payload kind): an item-count varint,
+//!   then per item a source-id varint, a `u32` dimension and raw or
+//!   delta-coded `f64`s under the same first-payload reference rule.
+//!   Because migrant payloads are routinely dissimilar (distinct
+//!   particles, not one converged optimum), each follower item is encoded
+//!   as the cheaper of delta and raw; raw fallback is signalled by the
+//!   top bit of the item's dimension word, which real dimensionalities
+//!   never reach.
 //!
 //! Decoding is strict: trailing bytes, truncation, unknown tags and
 //! unknown versions are all errors (a corrupted optimum silently accepted
@@ -30,7 +39,7 @@
 //! truncation.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gossipopt_core::messages::{CoordBatch, Msg};
+use gossipopt_core::messages::{CoordBatch, GossipBatch, Msg};
 use gossipopt_core::rumor::GlobalBest;
 use gossipopt_gossip::view::Descriptor;
 use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg, RumorAck};
@@ -81,6 +90,8 @@ mod tag {
     pub const MASTER_REPORT: u8 = 8;
     pub const MASTER_UPDATE: u8 = 9;
     pub const COORD_BATCH: u8 = 10;
+    pub const RUMOR_BATCH: u8 = 11;
+    pub const MIGRANT_BATCH: u8 = 12;
 }
 
 mod kind {
@@ -128,6 +139,61 @@ fn put_coord_batch(buf: &mut BytesMut, b: &CoordBatch) {
                     out.extend_from_slice(&x.to_le_bytes());
                 }
                 out.extend_from_slice(&g.f.to_le_bytes());
+                if reference.is_none() {
+                    reference = Some(g);
+                }
+            }
+        }
+    }
+    buf.put_slice(&out);
+}
+
+/// Top bit of a gossip-batch item's dimensionality word: set when the
+/// follower payload is raw-encoded because bit-pattern deltas against the
+/// frame reference would cost more (dissimilar payloads pay up to 10
+/// bytes per element for deltas against 8 raw). Real dimensionalities
+/// never approach `2^31`, so the bit is otherwise always clear.
+const GOSSIP_RAW_FLAG: u32 = 1 << 31;
+
+fn put_gossip_batch(buf: &mut BytesMut, b: &GossipBatch) {
+    let mut out = Vec::with_capacity(b.payload_wire_bytes());
+    write_varint(&mut out, b.items.len() as u64);
+    let mut reference: Option<&GlobalBest> = None;
+    let raw_payload = |out: &mut Vec<u8>, g: &GlobalBest| {
+        for &x in g.x.iter() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.extend_from_slice(&g.f.to_le_bytes());
+    };
+    for (src, g) in &b.items {
+        write_varint(&mut out, src.raw());
+        let dim = g.x.len() as u32;
+        match reference {
+            // Same dimensionality as the frame reference: bit-pattern
+            // deltas (one byte per element once the epidemic converges) —
+            // unless the payload is dissimilar enough that raw is
+            // cheaper, in which case the dimension word's top bit tells
+            // the decoder it is raw.
+            Some(r) if r.x.len() == g.x.len() => {
+                let mut delta = Vec::with_capacity(8 * g.x.len() + 8);
+                for (&x, &rx) in g.x.iter().zip(r.x.iter()) {
+                    write_f64_delta(&mut delta, x, rx);
+                }
+                write_f64_delta(&mut delta, g.f, r.f);
+                if delta.len() <= 8 * g.x.len() + 8 {
+                    out.extend_from_slice(&dim.to_le_bytes());
+                    out.extend_from_slice(&delta);
+                } else {
+                    out.extend_from_slice(&(dim | GOSSIP_RAW_FLAG).to_le_bytes());
+                    raw_payload(&mut out, g);
+                }
+            }
+            // First payload (or a dimension mismatch): raw, and the first
+            // one becomes the reference — a deterministic rule, so no
+            // flag is needed here.
+            _ => {
+                out.extend_from_slice(&dim.to_le_bytes());
+                raw_payload(&mut out, g);
                 if reference.is_none() {
                     reference = Some(g);
                 }
@@ -195,6 +261,14 @@ pub fn encode(msg: &Msg) -> Bytes {
         Msg::CoordBatch(b) => {
             buf.put_u8(tag::COORD_BATCH);
             put_coord_batch(&mut buf, b);
+        }
+        Msg::RumorBatch(b) => {
+            buf.put_u8(tag::RUMOR_BATCH);
+            put_gossip_batch(&mut buf, b);
+        }
+        Msg::MigrantBatch(b) => {
+            buf.put_u8(tag::MIGRANT_BATCH);
+            put_gossip_batch(&mut buf, b);
         }
     }
     buf.freeze()
@@ -306,6 +380,59 @@ fn get_coord_batch(buf: &mut &[u8]) -> Result<CoordBatch, WireError> {
     Ok(CoordBatch { items })
 }
 
+fn get_gossip_batch(buf: &mut &[u8]) -> Result<GossipBatch, WireError> {
+    let count = get_varint(buf)?;
+    // Every item costs at least a source varint + a `u32` dimension;
+    // reject impossible counts before allocating.
+    if count.saturating_mul(5) > buf.len() as u64 {
+        return Err(WireError::LengthOverflow(count));
+    }
+    let mut items = Vec::with_capacity(count as usize);
+    let mut reference: Option<GlobalBest> = None;
+    for _ in 0..count {
+        let src = NodeId(get_varint(buf)?);
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let dim_word = buf.get_u32_le();
+        let force_raw = dim_word & GOSSIP_RAW_FLAG != 0;
+        let dim = (dim_word & !GOSSIP_RAW_FLAG) as usize;
+        let g = match &reference {
+            // Reference-dimension payloads are delta-coded unless the
+            // encoder's raw-fallback flag is set; capacity is bounded by
+            // the already-validated reference.
+            Some(r) if r.x.len() == dim && !force_raw => {
+                let mut x = Vec::with_capacity(dim);
+                for i in 0..dim {
+                    x.push(get_f64_delta(buf, r.x[i])?);
+                }
+                let f = get_f64_delta(buf, r.f)?;
+                GlobalBest { x: x.into(), f }
+            }
+            _ => {
+                if (dim as u64).saturating_mul(8) > buf.len() as u64 {
+                    return Err(WireError::LengthOverflow(dim as u64));
+                }
+                let mut x = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    x.push(buf.get_f64_le());
+                }
+                if buf.len() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let f = buf.get_f64_le();
+                let g = GlobalBest { x: x.into(), f };
+                if reference.is_none() {
+                    reference = Some(g.clone());
+                }
+                g
+            }
+        };
+        items.push((src, g));
+    }
+    Ok(GossipBatch { items })
+}
+
 fn get_descriptors(buf: &mut impl Buf) -> Result<Vec<Descriptor>, WireError> {
     need(buf, 4)?;
     let count = buf.get_u32_le() as u64;
@@ -349,6 +476,8 @@ pub fn decode(mut buf: &[u8]) -> Result<Msg, WireError> {
         tag::MASTER_REPORT => Msg::MasterReport(get_best(&mut buf)?),
         tag::MASTER_UPDATE => Msg::MasterUpdate(get_best(&mut buf)?),
         tag::COORD_BATCH => Msg::CoordBatch(get_coord_batch(&mut buf)?),
+        tag::RUMOR_BATCH => Msg::RumorBatch(get_gossip_batch(&mut buf)?),
+        tag::MIGRANT_BATCH => Msg::MigrantBatch(get_gossip_batch(&mut buf)?),
         other => return Err(WireError::BadTag(other)),
     };
     if buf.remaining() > 0 {
@@ -401,6 +530,22 @@ mod tests {
                 ],
             }),
             Msg::CoordBatch(CoordBatch { items: Vec::new() }),
+            // Gossip batches exercising the raw reference, an identical
+            // delta-coded payload, a near-identical one, and a dimension
+            // mismatch encoded raw.
+            Msg::RumorBatch(GossipBatch {
+                items: vec![
+                    (NodeId(9), best(10)),
+                    (NodeId(70_000), best(10)),
+                    (NodeId(2), perturbed(best(10))),
+                    (NodeId(1), best(3)),
+                ],
+            }),
+            Msg::RumorBatch(GossipBatch { items: Vec::new() }),
+            Msg::MigrantBatch(GossipBatch {
+                items: vec![(NodeId(4), best(10)), (NodeId(5), best(10))],
+            }),
+            Msg::MigrantBatch(GossipBatch { items: Vec::new() }),
         ]
     }
 
@@ -529,6 +674,95 @@ mod tests {
             batched * 3 < unbatched,
             "batched {batched} vs unbatched {unbatched}: identical payloads must collapse"
         );
+    }
+
+    #[test]
+    fn gossip_batch_of_identical_payloads_collapses_to_deltas() {
+        // The rumor-mongering steady state: every node pushes the same
+        // optimum. One 10-D payload is raw; each follower costs a src
+        // varint + dim + 11 delta bytes instead of 86 raw payload bytes.
+        let g = best(10);
+        let items: Vec<_> = (0..8u64).map(|i| (NodeId(i), g.clone())).collect();
+        let fused = Msg::RumorBatch(GossipBatch { items });
+        let unbatched: usize = (0..8).map(|_| Msg::RumorPush(g.clone()).wire_bytes()).sum();
+        let batched = encode(&fused).len();
+        assert_eq!(batched, fused.wire_bytes());
+        assert!(
+            batched * 3 < unbatched,
+            "batched {batched} vs unbatched {unbatched}: identical payloads must collapse"
+        );
+    }
+
+    #[test]
+    fn gossip_batch_dissimilar_payloads_fall_back_to_raw() {
+        // A migrant batch of unrelated bit patterns: deltas against the
+        // reference would cost up to 10 bytes per element, so every
+        // follower must take the flagged raw fallback — the frame stays
+        // within its items' raw sizes and still round-trips bit-exactly.
+        let items: Vec<_> = (0..6u64)
+            .map(|i| {
+                let x: Vec<f64> = (0..10u64)
+                    .map(|j| f64::from_bits((i * 10 + j).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                    .collect();
+                let f = f64::from_bits(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
+                (NodeId(i + 1), GlobalBest { x: x.into(), f })
+            })
+            .collect();
+        let unbatched: usize = items
+            .iter()
+            .map(|(_, g)| Msg::Migrant(g.clone()).wire_bytes())
+            .sum();
+        let m = Msg::MigrantBatch(GossipBatch { items });
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), m.wire_bytes());
+        // Header 2 + count 1 + 6 × (src 1 + dim 4 + 88 raw).
+        assert!(bytes.len() <= 2 + 1 + 6 * 93, "raw fallback must cap size");
+        assert!(bytes.len() < unbatched, "batching must still win");
+        let back = decode(&bytes).unwrap();
+        assert!(msg_eq(&m, &back), "{m:?} != {back:?}");
+    }
+
+    #[test]
+    fn gossip_batch_hostile_count_does_not_allocate() {
+        for t in [tag::RUMOR_BATCH, tag::MIGRANT_BATCH] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(WIRE_VERSION);
+            buf.put_u8(t);
+            // count = u64::MAX as an overlong-but-valid 10-byte varint.
+            buf.put_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+            let r = decode(&buf);
+            assert!(matches!(r, Err(WireError::LengthOverflow(_))), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn gossip_batch_hostile_dimension_does_not_allocate() {
+        // A batch item claiming 2^32-1 coordinates must fail fast.
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(tag::MIGRANT_BATCH);
+        buf.put_u8(1); // count
+        buf.put_u8(0); // src
+        buf.put_u32_le(u32::MAX);
+        let r = decode(&buf);
+        assert!(matches!(r, Err(WireError::LengthOverflow(_))), "{r:?}");
+    }
+
+    #[test]
+    fn gossip_batch_reference_rule_is_first_payload() {
+        // A dimension mismatch must not steal the reference from the
+        // frame's first payload.
+        let m = Msg::MigrantBatch(GossipBatch {
+            items: vec![
+                (NodeId(2), best(4)),
+                (NodeId(3), best(7)),
+                (NodeId(4), best(4)),
+            ],
+        });
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), m.wire_bytes());
+        let back = decode(&bytes).unwrap();
+        assert!(msg_eq(&m, &back), "{m:?} != {back:?}");
     }
 
     #[test]

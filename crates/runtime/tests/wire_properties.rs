@@ -1,6 +1,6 @@
 //! Property-based tests of the binary wire protocol.
 
-use gossipopt_core::messages::{CoordBatch, Msg};
+use gossipopt_core::messages::{CoordBatch, GossipBatch, Msg};
 use gossipopt_core::rumor::GlobalBest;
 use gossipopt_gossip::view::Descriptor;
 use gossipopt_gossip::{AntiEntropyMsg, NewscastMsg, RumorAck};
@@ -41,6 +41,11 @@ fn arb_batch() -> impl Strategy<Value = CoordBatch> {
     prop::collection::vec(arb_ae_item(), 0..12).prop_map(|items| CoordBatch { items })
 }
 
+fn arb_gossip_batch() -> impl Strategy<Value = GossipBatch> {
+    prop::collection::vec((any::<u64>().prop_map(NodeId), arb_bits_best()), 0..12)
+        .prop_map(|items| GossipBatch { items })
+}
+
 fn arb_descriptors() -> impl Strategy<Value = Vec<Descriptor>> {
     prop::collection::vec((any::<u64>(), any::<u64>()), 0..64).prop_map(|ds| {
         ds.into_iter()
@@ -66,6 +71,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         arb_best().prop_map(Msg::MasterReport),
         arb_best().prop_map(Msg::MasterUpdate),
         arb_batch().prop_map(Msg::CoordBatch),
+        arb_gossip_batch().prop_map(Msg::RumorBatch),
+        arb_gossip_batch().prop_map(Msg::MigrantBatch),
     ]
 }
 
@@ -94,6 +101,19 @@ fn canonical(m: &Msg) -> String {
                 .map(|(src, m)| format!("{}:{}", src.raw(), ae(m)))
                 .collect();
             format!("batch{items:?}")
+        }
+        Msg::RumorBatch(b) | Msg::MigrantBatch(b) => {
+            let tag = if matches!(m, Msg::RumorBatch(_)) {
+                "rbatch"
+            } else {
+                "mbatch"
+            };
+            let items: Vec<String> = b
+                .items
+                .iter()
+                .map(|(src, g)| format!("{}:{}", src.raw(), best(g)))
+                .collect();
+            format!("{tag}{items:?}")
         }
         Msg::RumorPush(g) => format!("push{}", best(g)),
         Msg::RumorFeedback(a) => format!("fb{a:?}"),
@@ -156,6 +176,32 @@ proptest! {
     #[test]
     fn batch_prefixes_always_fail(b in arb_batch(), frac in 0.0f64..1.0) {
         let bytes = encode(&Msg::CoordBatch(b));
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Gossip batch frames (rumor + migrant) round-trip bit-exactly for
+    /// arbitrary f64 bit patterns and their `Msg::wire_bytes` accounting
+    /// matches the bytes actually emitted.
+    #[test]
+    fn gossip_batch_roundtrip_and_accounting(b in arb_gossip_batch(), as_rumor in any::<bool>()) {
+        let m = if as_rumor {
+            Msg::RumorBatch(b)
+        } else {
+            Msg::MigrantBatch(b)
+        };
+        let bytes = encode(&m);
+        prop_assert_eq!(bytes.len(), m.wire_bytes());
+        let back = decode(&bytes).expect("well-formed gossip batch frames must decode");
+        prop_assert_eq!(canonical(&m), canonical(&back));
+    }
+
+    /// Every strict prefix of a gossip batch frame is rejected.
+    #[test]
+    fn gossip_batch_prefixes_always_fail(b in arb_gossip_batch(), frac in 0.0f64..1.0) {
+        let bytes = encode(&Msg::RumorBatch(b));
         let cut = ((bytes.len() as f64) * frac) as usize;
         if cut < bytes.len() {
             prop_assert!(decode(&bytes[..cut]).is_err());

@@ -349,7 +349,9 @@ fn run_event_cell(
                 best_quality: quality,
                 alive,
                 delivered: engine.delivered(),
-                wire_bytes: bytes,
+                // Node ledgers charge unbatched sizes; net off what the
+                // kernel's frame coalescing saved on the wire so far.
+                wire_bytes: bytes.saturating_sub(engine.frame_bytes_saved()),
             });
             quality
         } else {
@@ -371,7 +373,7 @@ fn run_event_cell(
         ticks: end / period,
         reached_threshold_at: reached_at,
         coordination_exchanges: exchanges,
-        payload_bytes: bytes,
+        payload_bytes: bytes.saturating_sub(engine.frame_bytes_saved()),
         messages_sent: engine.delivered() + engine.dropped(),
         messages_delivered: engine.delivered(),
         messages_dropped: engine.dropped(),

@@ -57,6 +57,16 @@ impl FaultTarget for OptNode {
                 .into_iter()
                 .map(|(src, m)| (src, Msg::Coord(m)))
                 .collect()),
+            Msg::RumorBatch(b) => Ok(b
+                .items
+                .into_iter()
+                .map(|(src, g)| (src, Msg::RumorPush(g)))
+                .collect()),
+            Msg::MigrantBatch(b) => Ok(b
+                .items
+                .into_iter()
+                .map(|(src, g)| (src, Msg::Migrant(g)))
+                .collect()),
             other => Err(other),
         }
     }

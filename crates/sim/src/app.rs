@@ -62,11 +62,14 @@ pub trait Application: Sized + Send {
     /// no-op.
     fn prefetch(&self) {}
 
-    /// Frame-coalescing hook for the phased delivery rounds.
+    /// Frame-coalescing hook for batched delivery.
     ///
     /// The phased cycle kernel hands each post-loss round — `(from, to,
     /// msg)` in canonical order, stably sorted by destination — to this
-    /// hook before sharding it for dispatch. An application may rewrite
+    /// hook before sharding it for dispatch; the event kernel's sharded
+    /// dispatch hands it each maximal run of seq-adjacent
+    /// same-destination deliveries of a same-timestamp batch (see
+    /// `EventConfig::coalesce_frames`). An application may rewrite
     /// *consecutive runs* of same-destination messages into batch frames
     /// of its own message type (e.g. `OptNode` fuses coordination
     /// messages into one delta-encoded `Msg::CoordBatch`), shrinking both

@@ -61,6 +61,21 @@
 //! `--threads 1/2/8`, and `tests/shard_equivalence.rs` asserts
 //! byte-identical delivery traces against the sequential engine under
 //! churn, loss and latency.
+//!
+//! ## Frame coalescing — `EventConfig::coalesce_frames`
+//!
+//! The sharded dispatch additionally offers the application the
+//! [`Application::coalesce_round`] hook: after triage, each maximal run of
+//! *seq-adjacent same-destination* deliveries in a same-timestamp segment
+//! may be fused into batch frames (e.g. `OptNode`'s delta-encoded
+//! coordination/rumor/migrant batches). Because the run's callbacks would
+//! execute back-to-back and route contiguously in the sequential engine
+//! anyway — and the application's batch contract preserves per-item state
+//! transitions, replies and RNG draws — fused dispatch stays bit-identical
+//! to the sequential engine; items merged away are still credited to the
+//! `delivered` counter. The only statistic that may differ from a
+//! sequential run is [`EventEngine::frame_bytes_saved`], which is always
+//! zero at `threads == 0`.
 
 use crate::app::{Application, Ctx};
 use crate::churn::ChurnConfig;
@@ -96,6 +111,14 @@ pub struct EventConfig {
     /// threads — results are bit-identical to the sequential engine at
     /// every thread count (see the module docs).
     pub threads: usize,
+    /// Let the application fuse seq-adjacent same-destination deliveries
+    /// of a same-timestamp batch into batch frames
+    /// ([`Application::coalesce_round`]); wire savings accumulate in
+    /// [`EventEngine::frame_bytes_saved`]. Only the sharded dispatch path
+    /// (`threads >= 1`) coalesces — the sequential engine never does, and
+    /// the fused run is bit-identical to it either way (see the module
+    /// docs); `frame_bytes_saved` is the only stat that may differ.
+    pub coalesce_frames: bool,
 }
 
 impl Default for EventConfig {
@@ -108,6 +131,7 @@ impl Default for EventConfig {
             churn: ChurnConfig::none(),
             bootstrap_sample: 8,
             threads: 0,
+            coalesce_frames: true,
         }
     }
 }
@@ -203,6 +227,7 @@ pub struct EventEngine<A: Application> {
     spawner: Option<Spawner<A>>,
     delivered: u64,
     dropped: u64,
+    frame_bytes_saved: u64,
     // Scratch buffers reused across events to keep dispatch allocation-free.
     /// Callback outbox reused by `process` (was a fresh `Vec` per event).
     outbox_buf: Vec<(NodeId, A::Message)>,
@@ -243,6 +268,7 @@ impl<A: Application> EventEngine<A> {
             spawner: None,
             delivered: 0,
             dropped: 0,
+            frame_bytes_saved: 0,
             outbox_buf: Vec::new(),
             join_outbox_buf: Vec::new(),
             contacts_buf: Vec::new(),
@@ -330,6 +356,13 @@ impl<A: Application> EventEngine<A> {
     /// Messages dropped so far (loss or dead destination).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Wire bytes saved by frame coalescing so far (see
+    /// [`EventConfig::coalesce_frames`]). Always `0` on the sequential
+    /// dispatch path (`threads == 0`), which never coalesces.
+    pub fn frame_bytes_saved(&self) -> u64 {
+        self.frame_bytes_saved
     }
 
     /// Read a live node's application state.
@@ -564,18 +597,16 @@ impl<A: Application> EventEngine<A> {
 
         // Triage: drop events for dead/unknown targets now (liveness is
         // static within the segment, so this matches the per-event checks
-        // of the sequential engine), and index live events by target slot.
-        let mut wrapped: Vec<Option<Event<A::Message>>> = events.into_iter().map(Some).collect();
-        let mut order: Vec<(u32, u32)> = Vec::with_capacity(wrapped.len());
-        for (i, ev) in wrapped.iter().enumerate() {
-            let ev = ev.as_ref().expect("just wrapped");
+        // of the sequential engine).
+        let mut live: Vec<Event<A::Message>> = Vec::with_capacity(events.len());
+        for ev in events {
             let target = match &ev.kind {
                 EventKind::Tick { node } => *node,
                 EventKind::Deliver { to, .. } => *to,
                 EventKind::Churn => unreachable!("segments are split at churn events"),
             };
             match self.arena.slot_index(target) {
-                Some(t) if self.arena.slots[t].alive => order.push((t as u32, i as u32)),
+                Some(t) if self.arena.slots[t].alive => live.push(ev),
                 _ => {
                     // Crashed-node timer lapses silently; message
                     // dead-letters.
@@ -585,8 +616,31 @@ impl<A: Application> EventEngine<A> {
                 }
             }
         }
-        if order.is_empty() {
+        if live.is_empty() {
             return;
+        }
+        // Coalesce hook: fuse seq-adjacent same-destination deliveries of
+        // the surviving events into batch frames (triaged events consumed
+        // nothing, so adjacency among survivors is adjacency in the order
+        // the sequential engine interleaves routing in).
+        if self.cfg.coalesce_frames {
+            self.coalesce_segment(&mut live);
+        }
+        // Index live events by target slot.
+        let mut wrapped: Vec<Option<Event<A::Message>>> = live.into_iter().map(Some).collect();
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(wrapped.len());
+        for (i, ev) in wrapped.iter().enumerate() {
+            let ev = ev.as_ref().expect("just wrapped");
+            let target = match &ev.kind {
+                EventKind::Tick { node } => *node,
+                EventKind::Deliver { to, .. } => *to,
+                EventKind::Churn => unreachable!("segments are split at churn events"),
+            };
+            let t = self
+                .arena
+                .slot_index(target)
+                .expect("triage kept known live targets");
+            order.push((t as u32, i as u32));
         }
         // Stable by target slot: each target's events stay in seq order
         // (batch index order = seq order).
@@ -703,6 +757,88 @@ impl<A: Application> EventEngine<A> {
                 self.schedule(period, EventKind::Tick { node: r.from });
             }
             self.return_replay_scratch(r.outbox);
+        }
+    }
+
+    /// Fuse seq-adjacent same-destination delivery runs of a triaged
+    /// same-timestamp segment into batch frames via
+    /// [`Application::coalesce_round`].
+    ///
+    /// Why this is bit-identical to unfused dispatch: the run's events are
+    /// adjacent among the segment's survivors, so the sequential engine
+    /// would process their callbacks back-to-back (the receiver's state
+    /// transitions and RNG draws match per-item unpacking by the
+    /// application's batch contract) and route their replies contiguously
+    /// in the same seq order — no other kernel-RNG consumer sits between
+    /// them. Items merged away are credited to `delivered` here, so the
+    /// kernel stats count per original frame exactly as unfused delivery
+    /// would.
+    fn coalesce_segment(&mut self, events: &mut Vec<Event<A::Message>>) {
+        fn deliver_dest<M>(ev: &Event<M>) -> Option<NodeId> {
+            match &ev.kind {
+                EventKind::Deliver { to, .. } => Some(*to),
+                _ => None,
+            }
+        }
+        // Cheap pre-scan: leave the segment untouched unless some
+        // adjacent pair delivers to the same destination.
+        let fusible = events
+            .windows(2)
+            .any(|w| deliver_dest(&w[0]).is_some() && deliver_dest(&w[0]) == deliver_dest(&w[1]));
+        if !fusible {
+            return;
+        }
+        let taken = std::mem::take(events);
+        events.reserve(taken.len());
+        let mut frames: Vec<(NodeId, NodeId, A::Message)> = Vec::new();
+        let mut seqs: Vec<u64> = Vec::new();
+        let mut it = taken.into_iter().peekable();
+        while let Some(ev) = it.next() {
+            let Some(to) = deliver_dest(&ev) else {
+                events.push(ev);
+                continue;
+            };
+            let run_continues = |next: Option<&Event<A::Message>>| {
+                next.is_some_and(|n| deliver_dest(n) == Some(to))
+            };
+            if !run_continues(it.peek()) {
+                events.push(ev);
+                continue;
+            }
+            // Collect the maximal run of adjacent deliveries for this
+            // destination and hand it to the application.
+            let time = ev.time;
+            frames.clear();
+            seqs.clear();
+            let EventKind::Deliver { from, msg, .. } = ev.kind else {
+                unreachable!("deliver_dest matched")
+            };
+            frames.push((from, to, msg));
+            seqs.push(ev.seq);
+            while run_continues(it.peek()) {
+                let nev = it.next().expect("peeked");
+                let EventKind::Deliver { from, msg, .. } = nev.kind else {
+                    unreachable!("deliver_dest matched")
+                };
+                frames.push((from, to, msg));
+                seqs.push(nev.seq);
+            }
+            let before = frames.len();
+            self.frame_bytes_saved += A::coalesce_round(&mut frames);
+            debug_assert!(frames.len() <= before, "coalescing must not grow a run");
+            // Frames merged away still arrive (inside a batch): credit
+            // them to the delivery counter now so stats count per
+            // original frame.
+            self.delivered += (before - frames.len()) as u64;
+            // Surviving frames keep the run's leading seqs — order within
+            // the run is preserved, so replay ordering is unchanged.
+            for ((from, to, msg), seq) in frames.drain(..).zip(seqs.iter().copied()) {
+                events.push(Event {
+                    time,
+                    seq,
+                    kind: EventKind::Deliver { from, to, msg },
+                });
+            }
         }
     }
 
@@ -994,6 +1130,127 @@ mod tests {
                 "threads={threads} diverged from the sequential engine"
             );
         }
+    }
+
+    /// Protocol whose frames fuse: every tick sends one payload item to
+    /// the contact; `coalesce_round` concatenates adjacent same-dest
+    /// frames (10 simulated bytes per frame, so a merged frame saves 10).
+    /// Receivers count per item, which makes fused and unfused delivery
+    /// observably identical.
+    #[derive(Debug)]
+    struct Fusing {
+        contact: Option<NodeId>,
+        ticks: u64,
+        items: u64,
+        sum: u64,
+    }
+
+    impl Application for Fusing {
+        type Message = Vec<u64>;
+
+        fn on_join(&mut self, contacts: &[NodeId], _ctx: &mut Ctx<'_, Vec<u64>>) {
+            self.contact = contacts.first().copied();
+        }
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+            self.ticks += 1;
+            if let Some(c) = self.contact {
+                ctx.send(c, vec![self.ticks]);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Vec<u64>, _ctx: &mut Ctx<'_, Vec<u64>>) {
+            self.items += msg.len() as u64;
+            self.sum += msg.iter().sum::<u64>();
+        }
+        fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Vec<u64>)>) -> u64 {
+            let mut saved = 0u64;
+            let taken = std::mem::take(round);
+            for (from, to, msg) in taken {
+                match round.last_mut() {
+                    Some((_, lto, lmsg)) if *lto == to => {
+                        lmsg.extend_from_slice(&msg);
+                        saved += 10;
+                    }
+                    _ => round.push((from, to, msg)),
+                }
+            }
+            saved
+        }
+    }
+
+    /// (delivered, dropped, per-node states, kernel RNG state, bytes saved).
+    type FusingDigest = (u64, u64, Vec<(u64, u64, u64, u64)>, [u64; 4], u64);
+
+    fn fusing_digest(threads: usize) -> FusingDigest {
+        let mut cfg = EventConfig::seeded(21);
+        cfg.threads = threads;
+        cfg.tick_period = 10;
+        cfg.jitter_phase = false; // synchronized ticks -> same-time batches
+        cfg.transport = Transport {
+            loss_prob: 0.05,
+            latency: Latency::Constant(3), // same-latency sends stay batched
+        };
+        let mut e: EventEngine<Fusing> = EventEngine::new(cfg);
+        for _ in 0..32 {
+            e.insert(Fusing {
+                contact: None,
+                ticks: 0,
+                items: 0,
+                sum: 0,
+            });
+        }
+        e.run(400);
+        let states = e
+            .nodes()
+            .map(|(id, a)| (id.raw(), a.ticks, a.items, a.sum))
+            .collect();
+        (
+            e.delivered(),
+            e.dropped(),
+            states,
+            e.kernel_rng.state(),
+            e.frame_bytes_saved(),
+        )
+    }
+
+    #[test]
+    fn coalesced_dispatch_is_bit_identical_to_sequential() {
+        // The event-kernel coalesce hook: fused runs change nothing the
+        // sequential engine can observe — delivered/dropped counts, node
+        // states and the kernel RNG stream all match; only the
+        // frame_bytes_saved ledger moves (and stays zero sequentially).
+        let (sd, sx, ss, srng, ssaved) = fusing_digest(0);
+        assert_eq!(ssaved, 0, "sequential dispatch never coalesces");
+        for threads in [1, 2, 8] {
+            let (d, x, s, rng, saved) = fusing_digest(threads);
+            assert_eq!(d, sd, "threads={threads} delivered diverged");
+            assert_eq!(x, sx, "threads={threads} dropped diverged");
+            assert_eq!(s, ss, "threads={threads} node states diverged");
+            assert_eq!(rng, srng, "threads={threads} kernel RNG diverged");
+            assert!(
+                saved > 0,
+                "threads={threads}: synchronized ticks to shared contacts must fuse"
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let mut cfg = EventConfig::seeded(21);
+        cfg.threads = 2;
+        cfg.jitter_phase = false;
+        cfg.coalesce_frames = false;
+        let mut e: EventEngine<Fusing> = EventEngine::new(cfg);
+        for _ in 0..32 {
+            e.insert(Fusing {
+                contact: None,
+                ticks: 0,
+                items: 0,
+                sum: 0,
+            });
+        }
+        e.run(400);
+        assert_eq!(e.frame_bytes_saved(), 0);
+        assert!(e.delivered() > 0);
     }
 
     #[test]

@@ -309,25 +309,17 @@ impl ArenaPso {
         // particle has been evaluated — `step` evaluates a particle before
         // it ever moves it). Same FP expressions and RNG draw order as the
         // general branch below, but with the per-dimension `Option` match
-        // and bound-policy match hoisted out and every operand pre-sliced
-        // to length `k` so the loop compiles branch- and bounds-check-free
-        // — this is the innermost kernel of the network tick.
+        // and bound-policy match hoisted out, every operand pre-sliced to
+        // length `k`, and the update run through the 4-wide lane kernel
+        // (see [`crate::lanes`]) — this is the innermost kernel of the
+        // network tick.
         if a.params.bounds == BoundPolicy::None {
             if let Some(g) = social.filter(|g| g.len() == k) {
                 let xs = &mut row.x[at..at + k];
                 let vs = &mut row.v[at..at + k];
                 let pb = &row.pbest_x[at..at + k];
                 let vmax = &a.vmax[..k];
-                for d in 0..k {
-                    let xd = xs[d];
-                    let cognitive = c1 * rng.next_f64() * (pb[d] - xd);
-                    let social_term = c2 * rng.next_f64() * (g[d] - xd);
-                    let attraction = cognitive + social_term;
-                    let mut vel = chi * (w * vs[d] + attraction);
-                    vel = vel.clamp(-vmax[d], vmax[d]);
-                    vs[d] = vel;
-                    xs[d] = xd + vel;
-                }
+                crate::lanes::pso_move_lanes(xs, vs, pb, g, vmax, c1, c2, chi, w, rng);
                 return;
             }
         }

@@ -105,12 +105,19 @@ impl Solver for DifferentialEvolution {
         let dim = f.dim();
         let forced = rng.index(dim); // at least one mutant coordinate survives
         let mut trial = self.population[i].clone();
-        for (d, gene) in trial.iter_mut().enumerate().take(dim) {
-            if d == forced || rng.chance(self.params.crossover) {
-                *gene = self.population[a][d]
-                    + self.params.f_weight * (self.population[b][d] - self.population[c][d]);
-            }
-        }
+        // 4-wide lane kernel (see [`crate::lanes`]): bit-identical to the
+        // scalar crossover loop, including the short-circuited `chance`
+        // draw at the forced dimension.
+        crate::lanes::de_crossover_lanes(
+            &mut trial[..dim],
+            &self.population[a],
+            &self.population[b],
+            &self.population[c],
+            forced,
+            self.params.f_weight,
+            self.params.crossover,
+            rng,
+        );
         let value = crate::eval_point(f, &trial);
         self.evals += 1;
         if value <= self.fitness[i] {

@@ -30,6 +30,7 @@ pub mod cmaes;
 pub mod de;
 pub mod es;
 pub mod ga;
+mod lanes;
 pub mod nelder_mead;
 pub mod pso;
 pub mod random_search;

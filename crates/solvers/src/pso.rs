@@ -428,6 +428,23 @@ impl Swarm {
         };
 
         let row = i * k;
+        // Hot specialization mirroring `ArenaPso`'s: classic influence, no
+        // bound policy and a known social attractor — the default
+        // distributed-PSO configuration. Same FP expressions and RNG draw
+        // order as the general loop below, run through the 4-wide lane
+        // kernel (see [`crate::lanes`]) so the per-dimension chains
+        // vectorize.
+        if self.params.influence == Influence::BestOfNeighborhood
+            && self.params.bounds == BoundPolicy::None
+        {
+            if let Some(g) = social.filter(|g| g.len() == k) {
+                let xs = &mut x[row..row + k];
+                let vs = &mut v[row..row + k];
+                let pb = &pbest_x[row..row + k];
+                crate::lanes::pso_move_lanes(xs, vs, pb, g, &self.vmax[..k], c1, c2, chi, w, rng);
+                return;
+            }
+        }
         for d in 0..k {
             let (lo, hi) = (self.bounds_lo[d], self.bounds_hi[d]);
             let vmax = self.vmax[d];
