@@ -37,6 +37,18 @@ const PAR_SIZES: &[usize] = &[10_000, 100_000];
 /// wall clock varies with the machine.
 const PAR_THREADS: usize = 2;
 
+/// `GOSSIPOPT_BENCH_THREADS` overrides [`PAR_THREADS`] for the scaling
+/// sweep (`scripts/bench.sh --threads-sweep N`); the committed baseline
+/// rows always run at the pinned default.
+fn par_threads() -> usize {
+    match std::env::var("GOSSIPOPT_BENCH_THREADS") {
+        Ok(v) => v
+            .parse()
+            .expect("GOSSIPOPT_BENCH_THREADS must be a thread count"),
+        Err(_) => PAR_THREADS,
+    }
+}
+
 /// The benchmark network: sphere(10), 4 particles per node, coordination
 /// every 4 evaluations over a degree-4 expander. The budget is effectively
 /// unbounded so the steady state never goes quiet mid-measurement.
@@ -102,7 +114,7 @@ fn bench_dpso_par_cycle(c: &mut Criterion) {
             let recipe = recipe(n);
             let mut cfg = CycleConfig::seeded(11);
             cfg.bootstrap_sample = 0;
-            cfg.threads = PAR_THREADS; // phased sharded tick
+            cfg.threads = par_threads(); // phased sharded tick
             let mut e: CycleEngine<OptNode> = CycleEngine::new(cfg);
             for i in 0..n {
                 e.insert(recipe.build(i).expect("validated"));
@@ -122,7 +134,7 @@ fn bench_dpso_par_event(c: &mut Criterion) {
             let mut cfg = EventConfig::seeded(12);
             cfg.bootstrap_sample = 0;
             cfg.tick_period = 10;
-            cfg.threads = PAR_THREADS; // sharded same-timestamp batches
+            cfg.threads = par_threads(); // sharded same-timestamp batches
             let mut e: EventEngine<OptNode> = EventEngine::new(cfg);
             for i in 0..n {
                 e.insert(recipe.build(i).expect("validated"));

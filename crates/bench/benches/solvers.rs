@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossipopt_functions::{by_name, Sphere};
 use gossipopt_solvers::{solver_by_name, Inertia, PsoParams, Solver, Swarm};
-use gossipopt_util::{Rng64, Xoshiro256pp};
+use gossipopt_util::{AlignedBox, Rng64, Xoshiro256pp};
 use std::hint::black_box;
 
 fn bench_solver_steps(c: &mut Criterion) {
@@ -95,13 +95,13 @@ fn bench_eval_batch(c: &mut Criterion) {
         for dim in [4usize, 32] {
             let f = by_name(registry_name, dim).expect("registered");
             let mut rng = Xoshiro256pp::seeded(11);
-            let xs: Vec<f64> = (0..POINTS * dim)
-                .map(|i| {
-                    let (lo, hi) = f.bounds(i % dim);
-                    rng.range_f64(lo, hi)
-                })
-                .collect();
-            let mut out = vec![0.0f64; POINTS];
+            // 64-byte-aligned scratch so the AVX2 lane kernels measure
+            // aligned-load throughput, matching the arena's row layout.
+            let xs = AlignedBox::new_with(POINTS * dim, |i| {
+                let (lo, hi) = f.bounds(i % dim);
+                rng.range_f64(lo, hi)
+            });
+            let mut out = AlignedBox::new_with(POINTS, |_| 0.0f64);
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("dim{dim}")),
                 &dim,

@@ -18,7 +18,15 @@
 //!   fresh results are persisted, corrupt entries are recomputed in
 //!   place (with a warning naming the offending path and key);
 //! * `--no-store` — always simulate, never persist;
+//! * `--simd MODE` — force the objective/solver kernel backend
+//!   (`auto` | `avx2` | `scalar`; same as `GOSSIPOPT_SIMD`). Results are
+//!   bit-identical either way — this knob exists for benchmarking and
+//!   the CI path diff;
 //! * `--quiet` — suppress the summary table.
+//!
+//! `campaign simd-path` prints the backend the process would use
+//! (`avx2` or `scalar`, after env/flag resolution) and exits — the bench
+//! harness records it in `BENCH_kernel.json` host metadata.
 //!
 //! Report mode — `campaign report [spec.toml ...]` (default: the four
 //! committed `scenarios/paper_table{1..4}.toml` campaigns) runs or loads
@@ -38,8 +46,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: campaign <spec.toml> [--out DIR] [--threads N] \
-                     [--store DIR | --no-store] [--quiet]\n       \
-                     campaign report [spec.toml ...] [same options]";
+                     [--store DIR | --no-store] [--simd auto|avx2|scalar] [--quiet]\n       \
+                     campaign report [spec.toml ...] [same options]\n       \
+                     campaign simd-path";
 
 /// The campaigns `campaign report` renders when none are listed.
 const PAPER_TABLES: [&str; 4] = [
@@ -88,6 +97,12 @@ fn parse_args() -> Result<Args, String> {
                 store_explicit = true;
             }
             "--no-store" => no_store = true,
+            "--simd" => {
+                let mode = it.next().ok_or("--simd requires auto|avx2|scalar")?;
+                let path = gossipopt_util::simd::parse_mode(&mode)?;
+                gossipopt_util::simd::set_path(path);
+                eprintln!("simd: forcing the {} kernel backend", path.name());
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             "report" if first_positional => {
@@ -222,6 +237,12 @@ fn run(args: &Args) -> Result<u8, String> {
 }
 
 fn main() -> ExitCode {
+    // `campaign simd-path`: print the resolved kernel backend for this
+    // host/env and exit (consumed by scripts/bench.sh host metadata).
+    if std::env::args().nth(1).as_deref() == Some("simd-path") {
+        println!("{}", gossipopt_util::simd::active().name());
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -15,6 +15,7 @@
 //! instead (and only admits the dimensionalities with published optima).
 
 use crate::Objective;
+use gossipopt_util::simd::V;
 use std::f64::consts::PI;
 
 macro_rules! extended_objective {
@@ -24,7 +25,7 @@ macro_rules! extended_objective {
         min_dim: $min_dim:expr,
         optimum: $opt:expr,
         eval($x:ident) $body:block
-        lanes($pts:ident, $dim:ident) $lanes_body:block
+        lanes($simd:ident, $pts:ident, $dim:ident) $lanes_body:block
     ) => {
         $(#[$meta])*
         #[derive(Debug, Clone)]
@@ -46,16 +47,27 @@ macro_rules! extended_objective {
             #[inline(always)]
             fn eval_point($x: &[f64]) -> f64 $body
 
-            /// Four-points-at-once kernel (see [`crate::lanes`]); each lane
-            /// replays `eval_point`'s arithmetic in the same order, so
-            /// results stay bit-identical while the four independent chains
-            /// vectorize. Index loops are deliberate: the `d`-outer /
-            /// `l`-inner order is the bit-identity contract.
+            /// Four-points-at-once kernel (see [`crate::lanes`]), generic
+            /// over the SIMD backend; each lane replays `eval_point`'s
+            /// arithmetic in the same order (packed expressions keep the
+            /// scalar associativity, transcendentals go through `map`), so
+            /// results stay bit-identical on every backend.
             #[allow(clippy::needless_range_loop)]
             #[inline(always)]
-            fn eval_lanes($pts: [&[f64]; 4]) -> [f64; 4] {
+            fn eval_lanes<$simd: gossipopt_util::simd::SimdOps>($pts: [&[f64]; 4]) -> [f64; 4] {
                 let $dim = $pts[0].len();
                 $lanes_body
+            }
+        }
+
+        impl crate::lanes::LaneKernel for $name {
+            #[inline(always)]
+            fn lanes<LK: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+                Self::eval_lanes::<LK>(pts)
+            }
+            #[inline(always)]
+            fn point(&self, x: &[f64]) -> f64 {
+                Self::eval_point(x)
             }
         }
 
@@ -75,8 +87,7 @@ macro_rules! extended_objective {
             }
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, self.dim, "stride must equal the dimensionality");
-                assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
-                crate::lanes::eval_groups(xs, k, out, Self::eval_lanes, Self::eval_point);
+                crate::lanes::eval_groups(xs, k, out, self);
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 ($opt)(self.dim)
@@ -123,23 +134,28 @@ macro_rules! fixed_2d_objective {
             }
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, 2, "stride must equal the dimensionality");
-                assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
-                crate::lanes::eval_groups(
-                    xs,
-                    2,
-                    out,
-                    |pts| {
-                        let mut r = [0.0f64; 4];
-                        for l in 0..4 {
-                            r[l] = Self::eval_point(pts[l][0], pts[l][1]);
-                        }
-                        r
-                    },
-                    |p| Self::eval_point(p[0], p[1]),
-                );
+                crate::lanes::eval_groups(xs, 2, out, self);
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 Some($opt.to_vec())
+            }
+        }
+
+        impl crate::lanes::LaneKernel for $name {
+            // These 2-D kernels are transcendental-dominated; the lane win
+            // is the four independent chains, so every backend runs the
+            // same per-lane scalar kernel (trivially bit-identical).
+            #[inline(always)]
+            fn lanes<LK: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+                let mut r = [0.0f64; 4];
+                for (l, p) in pts.iter().enumerate() {
+                    r[l] = Self::eval_point(p[0], p[1]);
+                }
+                r
+            }
+            #[inline(always)]
+            fn point(&self, x: &[f64]) -> f64 {
+                Self::eval_point(x[0], x[1])
             }
         }
     };
@@ -165,17 +181,20 @@ extended_objective! {
             .sum();
         head + mid + tail
     }
-    lanes(pts, k) {
+    lanes(S, pts, k) {
         let w = |v: f64| 1.0 + (v - 1.0) / 4.0;
         // -0.0 is `Iterator::sum`'s additive identity for f64; seeding the
         // lanes with it keeps signed zeros (and empty sums) bit-identical.
-        let mut mid = [-0.0f64; 4];
+        // The per-term sin²/powi factors are transcendental, so each whole
+        // term routes through `map` (identical scalar code per lane).
+        let mut mid = V::<S>::splat(-0.0);
         for d in 0..k - 1 {
-            for l in 0..4 {
-                let wi = w(pts[l][d]);
-                mid[l] += (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2));
-            }
+            mid = mid + V::<S>::gather(&pts, d).map(|v| {
+                let wi = w(v);
+                (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2))
+            });
         }
+        let mid = mid.to_array();
         let mut r = [0.0f64; 4];
         for l in 0..4 {
             let w1 = w(pts[l][0]);
@@ -215,21 +234,17 @@ extended_objective! {
             .sum();
         head + tail
     }
-    lanes(pts, k) {
-        let mut tail = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut tail = V::<S>::splat(-0.0);
         for d in 0..k - 1 {
             let wgt = (d + 2) as f64;
-            for l in 0..4 {
-                let (a, b) = (pts[l][d], pts[l][d + 1]);
-                let t = 2.0 * b * b - a;
-                tail[l] += wgt * t * t;
-            }
+            let a = V::<S>::gather(&pts, d);
+            let b = V::<S>::gather(&pts, d + 1);
+            let t = 2.0 * b * b - a;
+            tail = tail + wgt * t * t;
         }
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = (pts[l][0] - 1.0).powi(2) + tail[l];
-        }
-        r
+        let head = V::<S>::gather(&pts, 0).map(|v| (v - 1.0).powi(2));
+        (head + tail).to_array()
     }
 }
 
@@ -245,16 +260,14 @@ extended_objective! {
             .map(|(i, v)| (i + 1) as f64 * v * v)
             .sum()
     }
-    lanes(pts, k) {
-        let mut acc = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
             let wgt = (d + 1) as f64;
-            for l in 0..4 {
-                let v = pts[l][d];
-                acc[l] += wgt * v * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            acc = acc + wgt * v * v;
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -267,19 +280,14 @@ extended_objective! {
     eval(x) {
         x[0] * x[0] + 1e6 * x[1..].iter().map(|v| v * v).sum::<f64>()
     }
-    lanes(pts, k) {
-        let mut s = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut s = V::<S>::splat(-0.0);
         for d in 1..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                s[l] += v * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            s = s + v * v;
         }
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = pts[l][0] * pts[l][0] + 1e6 * s[l];
-        }
-        r
+        let x0 = V::<S>::gather(&pts, 0);
+        (x0 * x0 + 1e6 * s).to_array()
     }
 }
 
@@ -299,23 +307,18 @@ extended_objective! {
             .map(|(i, v)| 10f64.powf(6.0 * i as f64 / (d - 1) as f64) * v * v)
             .sum()
     }
-    lanes(pts, k) {
+    lanes(S, pts, k) {
         if k == 1 {
-            let mut r = [0.0f64; 4];
-            for l in 0..4 {
-                r[l] = pts[l][0] * pts[l][0];
-            }
-            return r;
+            let v = V::<S>::gather(&pts, 0);
+            return (v * v).to_array();
         }
-        let mut acc = [-0.0f64; 4];
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
             let wgt = 10f64.powf(6.0 * d as f64 / (k - 1) as f64);
-            for l in 0..4 {
-                let v = pts[l][d];
-                acc[l] += wgt * v * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            acc = acc + wgt * v * v;
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -328,15 +331,13 @@ extended_objective! {
     eval(x) {
         x.iter().map(|v| (v * v.sin() + 0.1 * v).abs()).sum()
     }
-    lanes(pts, k) {
-        let mut acc = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                acc[l] += (v * v.sin() + 0.1 * v).abs();
-            }
+            // sin dominates the term; keep the whole thing per-lane scalar.
+            acc = acc + V::<S>::gather(&pts, d).map(|v| (v * v.sin() + 0.1 * v).abs());
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -351,14 +352,13 @@ extended_objective! {
         let r = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         1.0 - (2.0 * PI * r).cos() + 0.1 * r
     }
-    lanes(pts, k) {
-        let mut s = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut s = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                s[l] += v * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            s = s + v * v;
         }
+        let s = s.to_array();
         let mut out = [0.0f64; 4];
         for l in 0..4 {
             let r = s[l].sqrt();
@@ -399,24 +399,23 @@ extended_objective! {
         }
         SCHWEFEL226_OFFSET * x.len() as f64 - raw + penalty
     }
-    lanes(pts, k) {
-        let mut raw = [0.0f64; 4];
-        let mut penalty = [0.0f64; 4];
+    lanes(S, pts, k) {
+        let lo = V::<S>::splat(-500.0);
+        let hi = V::<S>::splat(500.0);
+        let mut raw = V::<S>::splat(0.0);
+        let mut penalty = V::<S>::splat(0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                let c = v.clamp(-500.0, 500.0);
-                raw[l] += c * c.abs().sqrt().sin();
-                let excess = v - c;
-                penalty[l] += excess * excess;
-            }
+            let v = V::<S>::gather(&pts, d);
+            // Packed clamp is bit-identical to f64::clamp for ordered
+            // bounds (see gossipopt_util::simd); the sin factor stays
+            // per-lane scalar.
+            let c = v.clamp(lo, hi);
+            raw = raw + c * c.map(|x| x.abs().sqrt().sin());
+            let excess = v - c;
+            penalty = penalty + excess * excess;
         }
         let base = SCHWEFEL226_OFFSET * k as f64;
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = base - raw[l] + penalty[l];
-        }
-        r
+        (base - raw + penalty).to_array()
     }
 }
 

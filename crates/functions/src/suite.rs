@@ -21,6 +21,7 @@
 //! Styblinski–Tang) support the future-work experiments.
 
 use crate::Objective;
+use gossipopt_util::simd::V;
 use std::f64::consts::PI;
 
 macro_rules! simple_objective {
@@ -29,7 +30,7 @@ macro_rules! simple_objective {
         $name:ident, $str_name:expr, lo: $lo:expr, hi: $hi:expr,
         optimum: $opt:expr,
         eval($x:ident) $body:block
-        lanes($pts:ident, $dim:ident) $lanes_body:block
+        lanes($simd:ident, $pts:ident, $dim:ident) $lanes_body:block
     ) => {
         $(#[$meta])*
         #[derive(Debug, Clone)]
@@ -49,16 +50,27 @@ macro_rules! simple_objective {
             #[inline(always)]
             fn eval_point($x: &[f64]) -> f64 $body
 
-            /// Four-points-at-once kernel (see [`crate::lanes`]); each lane
-            /// replays `eval_point`'s arithmetic in the same order, so
-            /// results stay bit-identical while the four independent chains
-            /// vectorize. Index loops are deliberate: the `d`-outer /
-            /// `l`-inner order is the bit-identity contract.
+            /// Four-points-at-once kernel (see [`crate::lanes`]), generic
+            /// over the SIMD backend; each lane replays `eval_point`'s
+            /// arithmetic in the same order (packed expressions keep the
+            /// scalar associativity, transcendentals go through `map`), so
+            /// results stay bit-identical on every backend.
             #[allow(clippy::needless_range_loop)]
             #[inline(always)]
-            fn eval_lanes($pts: [&[f64]; 4]) -> [f64; 4] {
+            fn eval_lanes<$simd: gossipopt_util::simd::SimdOps>($pts: [&[f64]; 4]) -> [f64; 4] {
                 let $dim = $pts[0].len();
                 $lanes_body
+            }
+        }
+
+        impl crate::lanes::LaneKernel for $name {
+            #[inline(always)]
+            fn lanes<LK: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+                Self::eval_lanes::<LK>(pts)
+            }
+            #[inline(always)]
+            fn point(&self, x: &[f64]) -> f64 {
+                Self::eval_point(x)
             }
         }
 
@@ -78,10 +90,10 @@ macro_rules! simple_objective {
             }
             fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
                 assert_eq!(k, self.dim, "stride must equal the dimensionality");
-                assert_eq!(xs.len(), k * out.len(), "xs must hold out.len() points");
                 // One virtual dispatch for the whole batch; groups of four
-                // points run the lane kernel, the tail the scalar one.
-                crate::lanes::eval_groups(xs, k, out, Self::eval_lanes, Self::eval_point);
+                // points run the lane kernel on the active SIMD backend,
+                // the tail the scalar one (length checked there).
+                crate::lanes::eval_groups(xs, k, out, self);
             }
             fn optimum_position(&self) -> Option<Vec<f64>> {
                 ($opt)(self.dim)
@@ -95,17 +107,15 @@ simple_objective! {
     Sphere, "sphere", lo: -100.0, hi: 100.0,
     optimum: |d| Some(vec![0.0; d]),
     eval(x) { x.iter().map(|v| v * v).sum() }
-    lanes(pts, k) {
+    lanes(S, pts, k) {
         // -0.0 is `Iterator::sum`'s additive identity for f64; seeding the
         // lanes with it keeps signed zeros (and empty sums) bit-identical.
-        let mut acc = [-0.0f64; 4];
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                acc[l] += v * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            acc = acc + v * v;
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -122,16 +132,15 @@ simple_objective! {
             })
             .sum()
     }
-    lanes(pts, k) {
-        let mut acc = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k.saturating_sub(1) {
-            for l in 0..4 {
-                let (a, b) = (pts[l][d], pts[l][d + 1]);
-                let t = b - a * a;
-                acc[l] += 100.0 * t * t + (1.0 - a) * (1.0 - a);
-            }
+            let a = V::<S>::gather(&pts, d);
+            let b = V::<S>::gather(&pts, d + 1);
+            let t = b - a * a;
+            acc = acc + (100.0 * t * t + (1.0 - a) * (1.0 - a));
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -149,22 +158,16 @@ simple_objective! {
             .sum();
         s1 + s2 * s2 + s2 * s2 * s2 * s2
     }
-    lanes(pts, k) {
-        let mut s1 = [-0.0f64; 4];
-        let mut s2 = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut s1 = V::<S>::splat(-0.0);
+        let mut s2 = V::<S>::splat(-0.0);
         for d in 0..k {
             let w = 0.5 * (d + 1) as f64;
-            for l in 0..4 {
-                let v = pts[l][d];
-                s1[l] += v * v;
-                s2[l] += w * v;
-            }
+            let v = V::<S>::gather(&pts, d);
+            s1 = s1 + v * v;
+            s2 = s2 + w * v;
         }
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = s1[l] + s2[l] * s2[l] + s2[l] * s2[l] * s2[l] * s2[l];
-        }
-        r
+        (s1 + s2 * s2 + s2 * s2 * s2 * s2).to_array()
     }
 }
 
@@ -182,22 +185,16 @@ simple_objective! {
             .product();
         1.0 + s - p
     }
-    lanes(pts, k) {
-        let mut s = [-0.0f64; 4];
-        let mut prod = [1.0f64; 4];
+    lanes(S, pts, k) {
+        let mut s = V::<S>::splat(-0.0);
+        let mut prod = V::<S>::splat(1.0);
         for d in 0..k {
             let root = ((d + 1) as f64).sqrt();
-            for l in 0..4 {
-                let v = pts[l][d];
-                s[l] += v * v;
-                prod[l] *= (v / root).cos();
-            }
+            let v = V::<S>::gather(&pts, d);
+            s = s + v * v;
+            prod = prod * (v / root).map(f64::cos);
         }
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = 1.0 + s[l] / 4000.0 - prod[l];
-        }
-        r
+        (1.0 + s / 4000.0 - prod).to_array()
     }
 }
 
@@ -212,20 +209,14 @@ simple_objective! {
                 .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
                 .sum::<f64>()
     }
-    lanes(pts, k) {
-        let mut acc = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                acc[l] += v * v - 10.0 * (2.0 * PI * v).cos();
-            }
+            let v = V::<S>::gather(&pts, d);
+            acc = acc + (v * v - 10.0 * v.map(|x| (2.0 * PI * x).cos()));
         }
         let base = 10.0 * k as f64;
-        let mut r = [0.0f64; 4];
-        for l in 0..4 {
-            r[l] = base + acc[l];
-        }
-        r
+        (base + acc).to_array()
     }
 }
 
@@ -239,17 +230,18 @@ simple_objective! {
         let cs = x.iter().map(|v| (2.0 * PI * v).cos()).sum::<f64>() / d;
         -20.0 * (-0.2 * sq.sqrt()).exp() - cs.exp() + 20.0 + std::f64::consts::E
     }
-    lanes(pts, k) {
-        let mut sq = [-0.0f64; 4];
-        let mut cs = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut sq = V::<S>::splat(-0.0);
+        let mut cs = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let v = pts[l][d];
-                sq[l] += v * v;
-                cs[l] += (2.0 * PI * v).cos();
-            }
+            let v = V::<S>::gather(&pts, d);
+            sq = sq + v * v;
+            cs = cs + v.map(|x| (2.0 * PI * x).cos());
         }
+        // The exponential combine is all transcendentals; finish each
+        // lane with the scalar kernel's exact expression.
         let dd = k as f64;
+        let (sq, cs) = (sq.to_array(), cs.to_array());
         let mut r = [0.0f64; 4];
         for l in 0..4 {
             let a = sq[l] / dd;
@@ -274,16 +266,14 @@ simple_objective! {
         }
         total
     }
-    lanes(pts, k) {
-        let mut total = [0.0f64; 4];
-        let mut prefix = [0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut total = V::<S>::splat(0.0);
+        let mut prefix = V::<S>::splat(0.0);
         for d in 0..k {
-            for l in 0..4 {
-                prefix[l] += pts[l][d];
-                total[l] += prefix[l] * prefix[l];
-            }
+            prefix = prefix + V::<S>::gather(&pts, d);
+            total = total + prefix * prefix;
         }
-        total
+        total.to_array()
     }
 }
 
@@ -300,15 +290,13 @@ simple_objective! {
             })
             .sum()
     }
-    lanes(pts, k) {
-        let mut acc = [-0.0f64; 4];
+    lanes(S, pts, k) {
+        let mut acc = V::<S>::splat(-0.0);
         for d in 0..k {
-            for l in 0..4 {
-                let t = (pts[l][d] + 0.5).floor();
-                acc[l] += t * t;
-            }
+            let t = (V::<S>::gather(&pts, d) + 0.5).floor();
+            acc = acc + t * t;
         }
-        acc
+        acc.to_array()
     }
 }
 
@@ -321,6 +309,20 @@ impl DeJongF2 {
     /// Create the (always 2-D) De Jong F2 instance.
     pub fn new() -> Self {
         DeJongF2
+    }
+}
+
+impl crate::lanes::LaneKernel for DeJongF2 {
+    #[inline(always)]
+    fn lanes<S: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+        let x0 = V::<S>::gather(&pts, 0);
+        let x1 = V::<S>::gather(&pts, 1);
+        let t = x0 * x0 - x1;
+        (100.0 * t * t + (1.0 - x0) * (1.0 - x0)).to_array()
+    }
+    #[inline(always)]
+    fn point(&self, x: &[f64]) -> f64 {
+        self.eval(x)
     }
 }
 
@@ -341,21 +343,7 @@ impl Objective for DeJongF2 {
     }
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, 2);
-        assert_eq!(xs.len(), k * out.len());
-        crate::lanes::eval_groups(
-            xs,
-            2,
-            out,
-            |pts| {
-                let mut r = [0.0f64; 4];
-                for l in 0..4 {
-                    let t = pts[l][0] * pts[l][0] - pts[l][1];
-                    r[l] = 100.0 * t * t + (1.0 - pts[l][0]) * (1.0 - pts[l][0]);
-                }
-                r
-            },
-            |p| self.eval(p),
-        );
+        crate::lanes::eval_groups(xs, 2, out, self);
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![1.0, 1.0])
@@ -402,23 +390,24 @@ impl Objective for SchafferF6 {
     }
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, 2);
-        assert_eq!(xs.len(), k * out.len());
-        crate::lanes::eval_groups(
-            xs,
-            2,
-            out,
-            |pts| {
-                let mut r = [0.0f64; 4];
-                for l in 0..4 {
-                    r[l] = Self::ripple(pts[l][0] * pts[l][0] + pts[l][1] * pts[l][1]);
-                }
-                r
-            },
-            |p| self.eval(p),
-        );
+        crate::lanes::eval_groups(xs, 2, out, self);
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0, 0.0])
+    }
+}
+
+impl crate::lanes::LaneKernel for SchafferF6 {
+    #[inline(always)]
+    fn lanes<S: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+        let x0 = V::<S>::gather(&pts, 0);
+        let x1 = V::<S>::gather(&pts, 1);
+        // The ripple is sin/sqrt-heavy: packed radius, per-lane ripple.
+        (x0 * x0 + x1 * x1).map(Self::ripple).to_array()
+    }
+    #[inline(always)]
+    fn point(&self, x: &[f64]) -> f64 {
+        self.eval(x)
     }
 }
 
@@ -455,26 +444,28 @@ impl Objective for SchafferF6Nd {
     }
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, self.dim);
-        assert_eq!(xs.len(), k * out.len());
-        crate::lanes::eval_groups(
-            xs,
-            k,
-            out,
-            |pts| {
-                let mut acc = [-0.0f64; 4];
-                for d in 0..k - 1 {
-                    for l in 0..4 {
-                        let (a, b) = (pts[l][d], pts[l][d + 1]);
-                        acc[l] += SchafferF6::ripple(a * a + b * b);
-                    }
-                }
-                acc
-            },
-            |p| self.eval(p),
-        );
+        crate::lanes::eval_groups(xs, k, out, self);
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![0.0; self.dim])
+    }
+}
+
+impl crate::lanes::LaneKernel for SchafferF6Nd {
+    #[inline(always)]
+    fn lanes<S: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+        let k = pts[0].len();
+        let mut acc = V::<S>::splat(-0.0);
+        for d in 0..k - 1 {
+            let a = V::<S>::gather(&pts, d);
+            let b = V::<S>::gather(&pts, d + 1);
+            acc = acc + (a * a + b * b).map(SchafferF6::ripple);
+        }
+        acc.to_array()
+    }
+    #[inline(always)]
+    fn point(&self, x: &[f64]) -> f64 {
+        self.eval(x)
     }
 }
 
@@ -519,40 +510,30 @@ impl Objective for StyblinskiTang {
     }
     fn eval_batch(&self, xs: &[f64], k: usize, out: &mut [f64]) {
         assert_eq!(k, self.dim);
-        assert_eq!(xs.len(), k * out.len());
-        let offset = STYBLINSKI_MIN_PER_DIM * self.dim as f64;
-        crate::lanes::eval_groups(
-            xs,
-            k,
-            out,
-            |pts| {
-                let mut raw = [-0.0f64; 4];
-                // Deliberate index loop: d-outer / l-inner is the
-                // bit-identity contract with the scalar path.
-                #[allow(clippy::needless_range_loop)]
-                for d in 0..k {
-                    for l in 0..4 {
-                        let v = pts[l][d];
-                        raw[l] += 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v);
-                    }
-                }
-                let mut r = [0.0f64; 4];
-                for l in 0..4 {
-                    r[l] = raw[l] - offset;
-                }
-                r
-            },
-            |p| {
-                let raw: f64 = p
-                    .iter()
-                    .map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v))
-                    .sum();
-                raw - offset
-            },
-        );
+        crate::lanes::eval_groups(xs, k, out, self);
     }
     fn optimum_position(&self) -> Option<Vec<f64>> {
         Some(vec![STYBLINSKI_ARGMIN; self.dim])
+    }
+}
+
+impl crate::lanes::LaneKernel for StyblinskiTang {
+    #[inline(always)]
+    fn lanes<S: gossipopt_util::simd::SimdOps>(&self, pts: [&[f64]; 4]) -> [f64; 4] {
+        let k = pts[0].len();
+        let offset = STYBLINSKI_MIN_PER_DIM * self.dim as f64;
+        let mut raw = V::<S>::splat(-0.0);
+        for d in 0..k {
+            // powi lowers to an intrinsic whose expansion we don't pin;
+            // route the whole polynomial term through `map` so both
+            // backends run the identical scalar expression per lane.
+            raw = raw + V::<S>::gather(&pts, d).map(|v| 0.5 * (v.powi(4) - 16.0 * v * v + 5.0 * v));
+        }
+        (raw - offset).to_array()
+    }
+    #[inline(always)]
+    fn point(&self, x: &[f64]) -> f64 {
+        self.eval(x)
     }
 }
 

@@ -1,0 +1,87 @@
+//! Registry-wide SIMD path equivalence: `eval_batch` forced onto the
+//! scalar-lane backend must agree **bit for bit** with `eval_batch`
+//! forced onto the AVX2 backend, for every registered objective, at
+//! dimensionalities exercising full 4-wide lane groups and scalar tails,
+//! over both in-domain points and adversarial out-of-domain / special
+//! values. Together with the per-operation backend proptests in
+//! `gossipopt_util`, this pins the whole objective registry to the SIMD
+//! bit-identity contract (ARCHITECTURE.md, "Explicit SIMD dispatch").
+//!
+//! The file holds a single test so the process-global path override
+//! (`simd::set_path`) is never flipped concurrently. Hosts without AVX2
+//! degrade to scalar-vs-scalar (vacuously true).
+
+use gossipopt_functions::{by_name, names};
+use gossipopt_util::simd;
+use gossipopt_util::{Rng64, SplitMix64, Xoshiro256pp};
+use proptest::prelude::*;
+
+/// Specials to splice in: the kernels must agree even on inputs no
+/// solver produces (NaN trajectories, infinities, signed zeros).
+const SPECIALS: [f64; 7] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    0.0,
+    -0.0,
+    f64::MIN_POSITIVE / 2.0, // subnormal
+    1e308,
+];
+
+/// Build one batch: mostly 1.5x-domain samples, with specials spliced in
+/// at positions keyed by `salt`.
+fn batch(f: &dyn gossipopt_functions::Objective, n: usize, salt: u64) -> Vec<f64> {
+    let k = f.dim();
+    let mut rng = Xoshiro256pp::seeded(salt);
+    let mut sm = SplitMix64::new(salt ^ 0x5eed);
+    (0..n * k)
+        .map(|i| {
+            let (lo, hi) = f.bounds(i % k);
+            let draw = rng.range_f64(lo * 1.5, hi * 1.5);
+            // ~1 in 8 positions becomes a special value.
+            let roll = sm.mix();
+            if roll.is_multiple_of(8) {
+                SPECIALS[(roll >> 8) as usize % SPECIALS.len()]
+            } else {
+                draw
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// The single path-flipping test (see module docs): every registry
+    /// objective, both backends, same bits.
+    #[test]
+    fn registry_batches_agree_across_backends(salt in any::<u64>(), n_sel in 1usize..10) {
+        for name in names() {
+            for dim in [1usize, 2, 3, 4, 5, 7, 8, 12, 33] {
+                let f = by_name(name, dim).expect("registered");
+                let k = f.dim();
+                let xs = batch(f.as_ref(), n_sel, salt ^ (k as u64) << 32);
+                let mut scalar_out = vec![0.0f64; n_sel];
+                simd::set_path(simd::SimdPath::Scalar);
+                f.eval_batch(&xs, k, &mut scalar_out);
+                if !simd::avx2_supported() {
+                    continue;
+                }
+                let mut avx2_out = vec![0.0f64; n_sel];
+                simd::set_path(simd::SimdPath::Avx2);
+                f.eval_batch(&xs, k, &mut avx2_out);
+                simd::set_path(simd::SimdPath::Scalar);
+                for i in 0..n_sel {
+                    prop_assert_eq!(
+                        scalar_out[i].to_bits(),
+                        avx2_out[i].to_bits(),
+                        "{} dim {}: point {} diverged across backends ({} vs {})",
+                        name,
+                        k,
+                        i,
+                        scalar_out[i],
+                        avx2_out[i]
+                    );
+                }
+            }
+        }
+    }
+}

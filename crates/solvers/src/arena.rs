@@ -42,9 +42,12 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-/// Fixed-size column of `T` with row-granular interior mutability.
+/// Fixed-size column of `T` with row-granular interior mutability,
+/// 64-byte aligned (see [`gossipopt_util::mem::AlignedBox`]) so f64 rows
+/// laid out at 8-multiple strides start on cache-line boundaries and the
+/// SIMD lane kernels' 4-wide groups never straddle lines.
 struct Column<T> {
-    cells: Box<[UnsafeCell<T>]>,
+    cells: gossipopt_util::AlignedBox<UnsafeCell<T>>,
 }
 
 // SAFETY: a `Column` is an inert buffer; all mutation goes through
@@ -55,16 +58,13 @@ unsafe impl<T: Send> Sync for Column<T> {}
 
 impl<T: Clone> Column<T> {
     fn new(len: usize, fill: T) -> Self {
-        // Advise huge pages *before* first touch: with THP in `madvise`
-        // mode the kernel only installs 2 MiB pages at fault time for
-        // advised ranges, and the columns are walked in random row order
-        // every tick — at large capacities 4 KiB pages overflow the TLB
-        // (which also makes hardware drop the sweep's prefetches).
-        let mut cells: Vec<UnsafeCell<T>> = Vec::with_capacity(len);
-        gossipopt_util::mem::advise_hugepages(cells.as_ptr(), len * std::mem::size_of::<T>());
-        cells.extend((0..len).map(|_| UnsafeCell::new(fill.clone())));
+        // AlignedBox advises huge pages *before* first touch: with THP in
+        // `madvise` mode the kernel only installs 2 MiB pages at fault
+        // time for advised ranges, and the columns are walked in random
+        // row order every tick — at large capacities 4 KiB pages overflow
+        // the TLB (which also makes hardware drop the sweep's prefetches).
         Column {
-            cells: cells.into_boxed_slice(),
+            cells: gossipopt_util::AlignedBox::new_with(len, |_| UnsafeCell::new(fill.clone())),
         }
     }
 
@@ -101,6 +101,12 @@ pub struct SwarmArena {
     particles: usize,
     dim: usize,
     capacity: usize,
+    /// Element stride between consecutive rows in the `f64` per-dimension
+    /// columns: `particles * dim` rounded up to a multiple of 8, so every
+    /// row starts on a 64-byte boundary of the aligned columns (the pad
+    /// elements are never read or written). Row *slices* keep length
+    /// `particles * dim`.
+    row_stride: usize,
     next_row: AtomicU32,
     /// Cached constriction factor and inertia weight (same hoisting as
     /// [`crate::Swarm`]).
@@ -165,21 +171,24 @@ impl SwarmArena {
             bounds_hi.push(hi);
             vmax.push(params.vmax_frac * (hi - lo));
         }
-        let stride = particles * dim;
+        // Pad each row out to a whole number of cache lines (8 f64s) so
+        // row starts inherit the columns' 64-byte alignment.
+        let row_stride = (particles * dim).next_multiple_of(8);
         SwarmArena {
             params,
             particles,
             dim,
             capacity,
+            row_stride,
             next_row: AtomicU32::new(0),
             chi,
             w,
             bounds_lo,
             bounds_hi,
             vmax,
-            x: Column::new(capacity * stride, 0.0),
-            v: Column::new(capacity * stride, 0.0),
-            pbest_x: Column::new(capacity * stride, 0.0),
+            x: Column::new(capacity * row_stride, 0.0),
+            v: Column::new(capacity * row_stride, 0.0),
+            pbest_x: Column::new(capacity * row_stride, 0.0),
             pbest_f: Column::new(capacity * particles, f64::INFINITY),
             evaluated: Column::new(capacity * particles, false),
         }
@@ -236,9 +245,9 @@ impl SwarmArena {
         debug_assert!(row < self.capacity);
         let stride = self.particles * self.dim;
         Row {
-            x: self.x.slice_mut(row * stride, stride),
-            v: self.v.slice_mut(row * stride, stride),
-            pbest_x: self.pbest_x.slice_mut(row * stride, stride),
+            x: self.x.slice_mut(row * self.row_stride, stride),
+            v: self.v.slice_mut(row * self.row_stride, stride),
+            pbest_x: self.pbest_x.slice_mut(row * self.row_stride, stride),
             pbest_f: self.pbest_f.slice_mut(row * self.particles, self.particles),
             evaluated: self
                 .evaluated
@@ -462,8 +471,7 @@ impl Solver for ArenaPso {
 
     fn prefetch(&self) {
         let a = &self.arena;
-        let stride = a.particles * a.dim;
-        let at = self.row as usize * stride + self.cursor * a.dim;
+        let at = self.row as usize * a.row_stride + self.cursor * a.dim;
         // The next `step` reads this particle's position/velocity/pbest
         // segments plus the per-particle flag columns; pull their first
         // lines in now (a row segment is at most a couple of lines — the

@@ -20,15 +20,19 @@
 //! * [`csv`] — a tiny dependency-free CSV writer for experiment artifacts.
 //! * [`varint`] — LEB128 varints and bit-pattern f64 deltas shared by the
 //!   simulator's byte accounting and the runtime wire codec.
+//! * [`simd`] — the explicit 4-wide f64 dispatch layer (AVX2 intrinsics
+//!   with a bit-identical portable fallback) behind the objective and
+//!   solver lane kernels; forced via `GOSSIPOPT_SIMD={auto,avx2,scalar}`.
 
 pub mod csv;
 pub mod hypothesis;
 pub mod mem;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod varint;
 
 pub use hypothesis::{mann_whitney, MannWhitney};
-pub use mem::prefetch_read;
+pub use mem::{prefetch_read, AlignedBox};
 pub use rng::{Rng64, SplitMix64, StreamId, Xoshiro256pp};
 pub use stats::{OnlineStats, Summary};

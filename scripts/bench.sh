@@ -19,7 +19,17 @@
 #                                 interleave base and working-tree rounds
 #                                 in one session, so the recorded speedups
 #                                 never compare numbers from different
-#                                 hosts, thermal states or toolchains
+#                                 hosts, thermal states or toolchains.
+#                                 Each round also re-runs the dpso and
+#                                 solvers benches with GOSSIPOPT_SIMD=scalar
+#                                 so the rows record the same-session
+#                                 AVX2-vs-scalar kernel delta
+#   scripts/bench.sh --threads-sweep [N]
+#                                 run the `dpso-par/*` family at every
+#                                 worker-thread count 1..N (default nproc)
+#                                 and merge the scaling curve into
+#                                 BENCH_kernel.json as a `threads_sweep`
+#                                 block (baseline `results` rows untouched)
 #
 # Refresh mode: each round runs both bench binaries once with JSON capture;
 # the baseline records, per benchmark, the best (min) and median ns/iter
@@ -68,6 +78,13 @@ case "${1:-}" in
     export CRITERION_SAMPLES="${CRITERION_SAMPLES:-20}"
     export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-200}"
     ;;
+--threads-sweep)
+    MODE=sweep
+    SWEEP_MAX="${2:-$(nproc)}"
+    ROUNDS=1
+    export CRITERION_SAMPLES="${CRITERION_SAMPLES:-10}"
+    export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-200}"
+    ;;
 *)
     ROUNDS="${1:-5}"
     export CRITERION_SAMPLES="${CRITERION_SAMPLES:-20}"
@@ -85,14 +102,69 @@ PAR_THREADS="${PAR_THREADS:-0}"
 
 RAW="$(mktemp /tmp/gossipopt-bench.XXXXXX.jsonl)"
 RAW_BASE="$(mktemp /tmp/gossipopt-bench-base.XXXXXX.jsonl)"
+RAW_SCALAR="$(mktemp /tmp/gossipopt-bench-scalar.XXXXXX.jsonl)"
 AB_WORKTREE="target/ab-base"
 cleanup() {
-    rm -f "$RAW" "$RAW_BASE"
+    rm -f "$RAW" "$RAW_BASE" "$RAW_SCALAR" "$RAW".t*
     if [[ "$MODE" == ab ]]; then
+        # Remove the baseline worktree even on failure/interrupt, and
+        # prune so a dead target/ab-base never blocks the next --ab run.
         git worktree remove --force "$AB_WORKTREE" 2>/dev/null || true
+        git worktree prune 2>/dev/null || true
     fi
 }
-trap cleanup EXIT
+# INT/TERM on top of EXIT: an interrupted --ab run must not leave the
+# registered worktree behind.
+trap cleanup EXIT INT TERM
+
+# The kernel backend the bench binaries will use (avx2 or scalar after
+# GOSSIPOPT_SIMD resolution) — recorded in the baseline's host block.
+cargo build --release -q -p gossipopt_bench --bin campaign
+SIMD_PATH="$(./target/release/campaign simd-path)"
+
+if [[ "$MODE" == sweep ]]; then
+    echo "== building dpso bench (release)"
+    cargo bench -p gossipopt_bench --bench dpso --no-run
+    for t in $(seq 1 "$SWEEP_MAX"); do
+        echo "== threads-sweep: dpso-par @ $t worker thread(s)"
+        CRITERION_JSON="$RAW.t$t" GOSSIPOPT_BENCH_THREADS="$t" \
+            cargo bench -q -p gossipopt_bench --bench dpso -- dpso-par
+    done
+    python3 - "$RAW" "$SWEEP_MAX" "$SIMD_PATH" <<'EOF'
+import json, sys, collections, os
+
+raw_prefix, sweep_max, simd_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+if not os.path.exists("BENCH_kernel.json"):
+    sys.exit("BENCH_kernel.json missing: refresh the baseline first (scripts/bench.sh)")
+doc = json.load(open("BENCH_kernel.json"))
+
+rows = []
+for t in range(1, sweep_max + 1):
+    per = collections.defaultdict(list)
+    for line in open(f"{raw_prefix}.t{t}"):
+        r = json.loads(line)
+        per[r["id"]].append(r["ns_per_iter"])
+    rows.append({
+        "threads": t,
+        "ns_per_iter": {k: round(min(v), 1) for k, v in sorted(per.items())},
+    })
+
+# The scaling curve rides alongside the baseline: --check only gates the
+# `results` rows, so sweep data never makes the regression gate flaky.
+doc["threads_sweep"] = {
+    "note": ("dpso-par family at each worker-thread count, 1..max_threads; "
+             "regenerate with scripts/bench.sh --threads-sweep N"),
+    "max_threads": sweep_max,
+    "criterion_samples": int(os.environ.get("CRITERION_SAMPLES", 0)),
+    "simd_path": simd_path,
+    "rows": rows,
+}
+json.dump(doc, open("BENCH_kernel.json", "w"), indent=2)
+open("BENCH_kernel.json", "a").write("\n")
+print(f"wrote BENCH_kernel.json threads_sweep (1..{sweep_max} threads)")
+EOF
+    exit 0
+fi
 
 echo "== building benches (release)"
 build_benches
@@ -114,6 +186,15 @@ for round in $(seq 1 "$ROUNDS"); do
         run_benches "$RAW_BASE" "$AB_WORKTREE"
     fi
     run_benches "$RAW"
+    if [[ "$MODE" == ab && "$SIMD_PATH" == avx2 ]]; then
+        # Same-session scalar leg for the kernel-bearing benches: the
+        # row's simd_speedup is then an honest AVX2-vs-scalar delta
+        # measured interleaved with the vector rounds above.
+        for b in dpso solvers; do
+            CRITERION_JSON="$RAW_SCALAR" GOSSIPOPT_SIMD=scalar \
+                cargo bench -q -p gossipopt_bench --bench "$b"
+        done
+    fi
 done
 
 WIRE_NET=0
@@ -187,10 +268,11 @@ EOF
     exit 0
 fi
 
-python3 - "$RAW" "$RAW_BASE" "$MODE" "$HOST_CORES" "$PAR_THREADS" "${AB_BASE_SHA:-}" "$WIRE_NET" "$WIRE_GROSS" <<'EOF'
+python3 - "$RAW" "$RAW_BASE" "$MODE" "$HOST_CORES" "$PAR_THREADS" "${AB_BASE_SHA:-}" "$WIRE_NET" "$WIRE_GROSS" "$RAW_SCALAR" "$SIMD_PATH" <<'EOF'
 import json, sys, collections, statistics, os
 
-raw_path, base_path, mode, cores, par_threads, ab_sha, wire_net, wire_gross = sys.argv[1:9]
+(raw_path, base_path, mode, cores, par_threads, ab_sha, wire_net, wire_gross,
+ scalar_path, simd_path) = sys.argv[1:11]
 
 def load(path):
     rows = collections.defaultdict(list)
@@ -202,6 +284,7 @@ def load(path):
 
 raw = load(raw_path)
 base = load(base_path) if mode == "ab" else {}
+scalar = load(scalar_path) if mode == "ab" else {}
 
 previous = {}
 if os.path.exists("BENCH_kernel.json"):
@@ -228,6 +311,13 @@ for key in sorted(raw):
         row["ab_before_ns_per_iter"] = ab_before
         row["ab_after_ns_per_iter"] = cur
         row["ab_speedup"] = round(ab_before / cur, 2) if cur else None
+    if key in scalar:
+        # Same-session GOSSIPOPT_SIMD=scalar leg of the working tree:
+        # simd_speedup is the AVX2-vs-scalar kernel delta (honest even
+        # when break-even — sim-dominated rows sit near 1.0x).
+        sc = round(min(scalar[key]), 1)
+        row["scalar_ns_per_iter"] = sc
+        row["simd_speedup"] = round(sc / cur, 2) if cur else None
     if previous.get(key):
         row["before_ns_per_iter"] = previous[key]
         row["speedup"] = round(previous[key] / cur, 2)
@@ -246,6 +336,7 @@ doc = {
         "cores": int(cores),
         "dpso_par_threads": int(par_threads),
         "criterion_samples": int(os.environ.get("CRITERION_SAMPLES", 0)),
+        "simd_path": simd_path,
     },
     "results": rows,
 }
