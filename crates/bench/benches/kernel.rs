@@ -120,11 +120,36 @@ fn bench_event_chatty(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The wall-clock recorder must be effectively free when disabled: the
+    // solver/eval hot loops run a `wall::start()`/`wall::finish()` pair
+    // per step, which must reduce to one relaxed atomic load. This row
+    // times that gate at dpso/cycle/10000 call volume (10k spans per
+    // iteration); it sits under the same regression gate as every other
+    // row, so a disabled-path cost creeping in fails `--check`.
+    let mut group = c.benchmark_group("obs/overhead");
+    gossipopt_obs::wall::set_enabled(false);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("disabled-span/10000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                let span = gossipopt_obs::wall::start();
+                acc = acc.wrapping_add(black_box(i));
+                gossipopt_obs::wall::finish(gossipopt_obs::wall::Phase::SolverStep, span);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_quiet_ticks,
     bench_chatty_ticks,
     bench_event_quiet,
-    bench_event_chatty
+    bench_event_chatty,
+    bench_obs_overhead
 );
 criterion_main!(benches);

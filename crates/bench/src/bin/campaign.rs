@@ -22,11 +22,27 @@
 //!   (`auto` | `avx2` | `scalar`; same as `GOSSIPOPT_SIMD`). Results are
 //!   bit-identical either way — this knob exists for benchmarking and
 //!   the CI path diff;
+//! * `--obs-out DIR` — export observability snapshots: per cell
+//!   `DIR/cell_<i>/{obs_det.json, obs.prom}` plus `obs_wall.json`
+//!   (the flag switches the wall-clock recorder on), and a campaign-level
+//!   `DIR/campaign_obs_det.json`. The deterministic files are
+//!   byte-identical across runs, `--threads`, and `--simd` paths — CI
+//!   diffs them like fingerprints (report mode nests per campaign:
+//!   `DIR/<name>/...`);
 //! * `--quiet` — suppress the summary table.
 //!
 //! `campaign simd-path` prints the backend the process would use
 //! (`avx2` or `scalar`, after env/flag resolution) and exits — the bench
 //! harness records it in `BENCH_kernel.json` host metadata.
+//!
+//! `campaign trace <dir> [cell]` renders a stored snapshot as a
+//! convergence timeline, a per-kind wire table, and (when the wall plane
+//! was captured) a phase-timing table. `<dir>` may be a cell directory,
+//! an `--obs-out` directory (pick a cell with `[cell]`, default 0), or a
+//! store hash directory.
+//!
+//! All stderr narration routes through `gossipopt_obs::log`; set
+//! `GOSSIPOPT_LOG=error|warn|info|debug` to filter (default `info`).
 //!
 //! Report mode — `campaign report [spec.toml ...]` (default: the four
 //! committed `scenarios/paper_table{1..4}.toml` campaigns) runs or loads
@@ -38,16 +54,21 @@
 //! Exit status: `0` when every cell ran and every `[assert]` bound held;
 //! `1` on assertion failures; `2` on usage/spec errors.
 
+use gossipopt_obs::snapshot::DetSnapshot;
+use gossipopt_obs::wall::WallSnapshot;
+use gossipopt_obs::{log, wall};
 use gossipopt_scenarios::{
-    curves_csv, parse_campaign, render_paper_tables, run_campaign_stored, CampaignOutcome,
+    curves_csv, parse_campaign, render_paper_tables, run_campaign_observed, CampaignOutcome,
     CampaignSpec, Store,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: campaign <spec.toml> [--out DIR] [--threads N] \
-                     [--store DIR | --no-store] [--simd auto|avx2|scalar] [--quiet]\n       \
+                     [--store DIR | --no-store] [--simd auto|avx2|scalar] \
+                     [--obs-out DIR] [--quiet]\n       \
                      campaign report [spec.toml ...] [same options]\n       \
+                     campaign trace <dir> [cell]\n       \
                      campaign simd-path";
 
 /// The campaigns `campaign report` renders when none are listed.
@@ -63,6 +84,7 @@ struct Args {
     specs: Vec<PathBuf>,
     out: PathBuf,
     store: Option<PathBuf>, // None = --no-store
+    obs_out: Option<PathBuf>,
     threads: usize,
     quiet: bool,
 }
@@ -74,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
     let mut store: Option<PathBuf> = None;
     let mut no_store = false;
     let mut store_explicit = false;
+    let mut obs_out: Option<PathBuf> = None;
     let mut threads = 1usize;
     let mut quiet = false;
     let mut first_positional = true;
@@ -101,7 +124,12 @@ fn parse_args() -> Result<Args, String> {
                 let mode = it.next().ok_or("--simd requires auto|avx2|scalar")?;
                 let path = gossipopt_util::simd::parse_mode(&mode)?;
                 gossipopt_util::simd::set_path(path);
-                eprintln!("simd: forcing the {} kernel backend", path.name());
+                log::info(&format!("simd: forcing the {} kernel backend", path.name()));
+            }
+            "--obs-out" => {
+                obs_out = Some(PathBuf::from(
+                    it.next().ok_or("--obs-out requires a directory")?,
+                ));
             }
             "--quiet" => quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -138,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
         specs,
         out,
         store,
+        obs_out,
         threads,
         quiet,
     })
@@ -156,25 +185,27 @@ fn run_one(
     spec: &CampaignSpec,
     threads: usize,
     store: Option<&Store>,
+    obs_dir: Option<&Path>,
 ) -> Result<CampaignOutcome, String> {
-    eprintln!(
+    log::info(&format!(
         "campaign `{}`: {} cells on {} worker thread(s)",
         spec.name,
         spec.cells.len(),
         threads.max(1)
-    );
+    ));
     let started = std::time::Instant::now();
-    let outcome = run_campaign_stored(spec, threads, store).map_err(|e| e.to_string())?;
+    let outcome =
+        run_campaign_observed(spec, threads, store, obs_dir).map_err(|e| e.to_string())?;
     for warning in &outcome.recovered {
-        eprintln!("store: recovered {warning}");
+        log::warn(&format!("store: recovered {warning}"));
     }
     if store.is_some() {
-        eprintln!(
+        log::info(&format!(
             "store: {} loaded, {} executed",
             outcome.loaded, outcome.executed
-        );
+        ));
     }
-    eprintln!("ran in {:.2}s", started.elapsed().as_secs_f64());
+    log::info(&format!("ran in {:.2}s", started.elapsed().as_secs_f64()));
     Ok(outcome)
 }
 
@@ -198,10 +229,25 @@ fn run(args: &Args) -> Result<u8, String> {
         specs.push(load_spec(path)?);
     }
 
+    // The wall-clock recorder rides along with the export flag; the
+    // deterministic plane is captured (cheaply) either way.
+    if args.obs_out.is_some() {
+        wall::set_enabled(true);
+    }
+
     let mut reports = Vec::new();
     let mut failures = Vec::new();
     for spec in &specs {
-        let outcome = run_one(spec, args.threads, store.as_ref())?;
+        // Report mode runs several campaigns: nest their exports so
+        // `cell_<i>` directories cannot collide.
+        let obs_dir = args.obs_out.as_ref().map(|dir| {
+            if specs.len() > 1 {
+                dir.join(&spec.name)
+            } else {
+                dir.clone()
+            }
+        });
+        let outcome = run_one(spec, args.threads, store.as_ref(), obs_dir.as_deref())?;
         failures.extend(outcome.report.failures());
         let json_path = args.out.join(format!("{}.json", spec.name));
         let csv_path = args.out.join(format!("{}.csv", spec.name));
@@ -231,9 +277,145 @@ fn run(args: &Args) -> Result<u8, String> {
     if failures.is_empty() {
         Ok(0)
     } else {
-        eprintln!("{} assertion failure(s)", failures.len());
+        log::error(&format!("{} assertion failure(s)", failures.len()));
         Ok(1)
     }
+}
+
+/// Resolve the directory holding `obs_det.json` for `campaign trace`:
+/// a cell/store-hash directory directly, or an `--obs-out` directory
+/// with `cell_<index>` children.
+fn resolve_trace_dir(dir: &Path, index: usize) -> Result<PathBuf, String> {
+    if dir.join("obs_det.json").is_file() {
+        return Ok(dir.to_path_buf());
+    }
+    let nested = dir.join(format!("cell_{index}"));
+    if nested.join("obs_det.json").is_file() {
+        return Ok(nested);
+    }
+    Err(format!(
+        "no obs_det.json under {} (or its cell_{index}/) — export one with --obs-out",
+        dir.display()
+    ))
+}
+
+/// `campaign trace <dir> [cell]`: render a stored snapshot for humans.
+fn run_trace(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .ok_or("usage: campaign trace <dir> [cell]")?;
+    let index: usize = match args.get(1) {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("cell index must be a number, got `{text}`"))?,
+        None => 0,
+    };
+    if args.len() > 2 {
+        return Err("usage: campaign trace <dir> [cell]".to_string());
+    }
+    let cell_dir = resolve_trace_dir(&dir, index)?;
+    let det_path = cell_dir.join("obs_det.json");
+    let text = std::fs::read_to_string(&det_path)
+        .map_err(|e| format!("cannot read {}: {e}", det_path.display()))?;
+    let det: DetSnapshot = serde_json::from_str(&text)
+        .map_err(|e| format!("corrupt {}: {}", det_path.display(), e.0))?;
+    let wall = std::fs::read_to_string(cell_dir.join("obs_wall.json"))
+        .ok()
+        .and_then(|text| serde_json::from_str::<WallSnapshot>(&text).ok());
+    print!("{}", render_trace(&det, wall.as_ref()));
+    Ok(())
+}
+
+/// The `campaign trace` rendering: convergence timeline, per-kind wire
+/// table, and the phase-timing table when the wall plane was captured.
+fn render_trace(det: &DetSnapshot, wall: Option<&WallSnapshot>) -> String {
+    let campaign = if det.campaign.is_empty() {
+        "<none>".to_string()
+    } else {
+        format!("`{}`", det.campaign)
+    };
+    let mut out = format!(
+        "cell {} `{}` (campaign {campaign}, seed {}, {} ticks)\n\n",
+        det.cell, det.label, det.seed, det.ticks
+    );
+
+    out.push_str("convergence timeline:\n");
+    out.push_str(&format!(
+        "  {:>8} {:>8} {:>14}\n",
+        "tick", "node", "quality"
+    ));
+    if det.trace.is_empty() {
+        out.push_str("  (no improvement events recorded)\n");
+    }
+    for ev in &det.trace {
+        out.push_str(&format!(
+            "  {:>8} {:>8} {:>14.6e}\n",
+            ev.tick, ev.node, ev.quality
+        ));
+    }
+    out.push_str(&format!("  final best quality: {:e}\n\n", det.best_quality));
+
+    out.push_str("wire accounting:\n");
+    out.push_str(&format!(
+        "  {:<16} {:>10} {:>10} {:>12}\n",
+        "kind", "sent", "delivered", "bytes"
+    ));
+    for row in &det.wire {
+        if row.sent == 0 && row.delivered == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<16} {:>10} {:>10} {:>12}\n",
+            row.kind, row.sent, row.delivered, row.bytes
+        ));
+    }
+    for row in &det.frame_saved {
+        if row.bytes_saved > 0 {
+            out.push_str(&format!(
+                "  frame savings [{}]: {} bytes\n",
+                row.class, row.bytes_saved
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  payload bytes: {} (wire {} − saved {})\n",
+        det.payload_bytes,
+        det.wire_bytes_total(),
+        det.frame_saved_total()
+    ));
+    out.push_str(&format!(
+        "  merge rounds: {}, fault events: {}, churn: +{} −{}\n\n",
+        det.merge_rounds, det.fault_events, det.churn_joins, det.churn_crashes
+    ));
+
+    out.push_str("phase timing:\n");
+    match wall {
+        None => out.push_str("  wall plane: disabled (export with --obs-out to capture)\n"),
+        Some(wall) => {
+            out.push_str(&format!(
+                "  {:<16} {:>10} {:>12} {:>12}\n",
+                "phase", "count", "total_ms", "mean_us"
+            ));
+            for row in &wall.phases {
+                let total_ms = row.total_ns as f64 / 1e6;
+                let mean_us = if row.count == 0 {
+                    0.0
+                } else {
+                    row.total_ns as f64 / row.count as f64 / 1e3
+                };
+                out.push_str(&format!(
+                    "  {:<16} {:>10} {:>12.3} {:>12.3}\n",
+                    row.phase, row.count, total_ms, mean_us
+                ));
+            }
+            out.push_str(&format!(
+                "  rayon: {} home runs, {} steals\n",
+                wall.rayon_home_runs, wall.rayon_steals
+            ));
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -243,17 +425,28 @@ fn main() -> ExitCode {
         println!("{}", gossipopt_util::simd::active().name());
         return ExitCode::SUCCESS;
     }
+    // `campaign trace <dir> [cell]`: render a stored snapshot and exit.
+    if std::env::args().nth(1).as_deref() == Some("trace") {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        return match run_trace(&rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                log::error(&msg);
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
-            eprintln!("{msg}");
+            log::error(&msg);
             return ExitCode::from(2);
         }
     };
     match run(&args) {
         Ok(code) => ExitCode::from(code),
         Err(msg) => {
-            eprintln!("{msg}");
+            log::error(&msg);
             ExitCode::from(2)
         }
     }

@@ -112,7 +112,7 @@ fn main() -> ExitCode {
     let args = match parse() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("{e}");
+            gossipopt_obs::log::error(&e);
             return ExitCode::from(2);
         }
     };
@@ -128,7 +128,7 @@ fn main() -> ExitCode {
         Some(p) => match load_spec(p) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("{e}");
+                gossipopt_obs::log::error(&e);
                 return ExitCode::from(2);
             }
         },
@@ -136,7 +136,7 @@ fn main() -> ExitCode {
     };
     if let Some(transport) = args.deploy {
         let Budget::PerNode(budget_per_node) = args.budget else {
-            eprintln!("gossipopt-cli: --deploy supports per-node budgets only");
+            gossipopt_obs::log::error("gossipopt-cli: --deploy supports per-node budgets only");
             return ExitCode::from(2);
         };
         let mut cfg = gossipopt_runtime::ClusterConfig::new(spec.clone(), &args.function);
@@ -164,7 +164,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("gossipopt-cli: {e}");
+                gossipopt_obs::log::error(&format!("gossipopt-cli: {e}"));
                 ExitCode::FAILURE
             }
         };
@@ -197,7 +197,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("gossipopt-cli: {e}");
+            gossipopt_obs::log::error(&format!("gossipopt-cli: {e}"));
             ExitCode::FAILURE
         }
     }

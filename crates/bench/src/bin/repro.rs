@@ -371,7 +371,7 @@ fn run_command(cmd: &str, scale: &Scale, out: &Path) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}")),
     }
-    eprintln!("[{cmd}] finished in {:.1?}", started.elapsed());
+    gossipopt_obs::log::info(&format!("[{cmd}] finished in {:.1?}", started.elapsed()));
     Ok(())
 }
 
@@ -379,21 +379,21 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("{e}");
+            gossipopt_obs::log::error(&e);
             return ExitCode::from(2);
         }
     };
     let _ = (opts.reps_override, opts.seed_override);
-    eprintln!(
+    gossipopt_obs::log::info(&format!(
         "repro: scale reps={} max_nodes={} budget=2^{} out={}",
         opts.scale.reps,
         opts.scale.max_nodes,
         20 - opts.scale.budget_shift,
         opts.out.display()
-    );
+    ));
     for cmd in &opts.commands {
         if let Err(e) = run_command(cmd, &opts.scale, &opts.out) {
-            eprintln!("repro {cmd}: {e}");
+            gossipopt_obs::log::error(&format!("repro {cmd}: {e}"));
             return ExitCode::FAILURE;
         }
     }

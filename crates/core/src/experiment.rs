@@ -241,10 +241,11 @@ pub struct RunReport {
     pub coordination_exchanges: u64,
     /// Wire bytes sent by the nodes (topology + coordination traffic,
     /// sized by `Msg::wire_bytes`) — the paper's communication cost in
-    /// bytes rather than message counts. Like `total_evals` and
-    /// `coordination_exchanges`, this sums over nodes alive at the end of
-    /// the run: counters of churn-crashed nodes are lost with them, so
-    /// under churn all three are a lower bound on network-wide activity.
+    /// bytes rather than message counts. Sums over nodes alive at the end
+    /// of the run **plus** the kernel's retired-node accumulator (byte
+    /// ledgers harvested from nodes at death), so this is exact even
+    /// under churn. (`total_evals` and `coordination_exchanges` still sum
+    /// over surviving nodes only and remain lower bounds under churn.)
     pub payload_bytes: u64,
     /// Kernel message statistics.
     pub messages_sent: u64,
@@ -541,7 +542,10 @@ pub fn run_distributed(
             }
             if let Some(ring) = ring.as_mut() {
                 if ring.wants(now) {
-                    let mut wire_bytes = 0u64;
+                    // Live ledgers plus the kernel's retired-node
+                    // accumulator: bytes from churn-crashed senders stay
+                    // counted, making the sample exact under churn.
+                    let mut wire_bytes = engine.retired_wire_counts().total_bytes();
                     for (_, node) in view.iter() {
                         wire_bytes += node.payload_bytes_sent();
                     }
@@ -599,6 +603,9 @@ pub fn run_distributed(
         payload_bytes += node.payload_bytes_sent();
     }
     let stats: KernelStats = engine.stats();
+    // Crashed senders' ledgers were harvested into the kernel's retired
+    // accumulator at death — fold them in so churn never loses bytes.
+    payload_bytes += engine.retired_wire_counts().total_bytes();
     Ok(RunReport {
         best_quality: quality,
         best_value: value,
@@ -733,7 +740,9 @@ pub fn run_distributed_async(
             end = engine.run_until(t * period, period, &mut observer);
             if ring.wants(t) {
                 let mut quality = f64::INFINITY;
-                let mut wire_bytes = 0u64;
+                // Include the retired-node accumulator so bytes from
+                // churn-crashed senders stay counted (exact under churn).
+                let mut wire_bytes = engine.retired_wire_counts().total_bytes();
                 for (_, node) in engine.nodes() {
                     quality = quality.min(node.quality());
                     wire_bytes += node.payload_bytes_sent();
@@ -772,6 +781,8 @@ pub fn run_distributed_async(
         exchanges += node.exchanges_initiated();
         payload_bytes += node.payload_bytes_sent();
     }
+    // Fold in ledgers harvested from churn-crashed nodes at death.
+    payload_bytes += engine.retired_wire_counts().total_bytes();
     Ok(RunReport {
         best_quality: quality,
         best_value: value,

@@ -152,7 +152,47 @@ impl GossipBatch {
     }
 }
 
+/// Number of [`Msg`] wire kinds (matches [`Msg::kind_index`]'s range).
+pub const KIND_COUNT: usize = 10;
+
+/// Stable snake_case names of every wire kind, in enum declaration order
+/// (indexable by [`Msg::kind_index`]).
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "newscast",
+    "coord",
+    "coord_batch",
+    "rumor_push",
+    "rumor_batch",
+    "rumor_feedback",
+    "migrant",
+    "migrant_batch",
+    "master_report",
+    "master_update",
+];
+
 impl Msg {
+    /// Index of this message's wire kind in enum declaration order; the
+    /// per-kind observability counters are arrays indexed by this.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Msg::Newscast(_) => 0,
+            Msg::Coord(_) => 1,
+            Msg::CoordBatch(_) => 2,
+            Msg::RumorPush(_) => 3,
+            Msg::RumorBatch(_) => 4,
+            Msg::RumorFeedback(_) => 5,
+            Msg::Migrant(_) => 6,
+            Msg::MigrantBatch(_) => 7,
+            Msg::MasterReport(_) => 8,
+            Msg::MasterUpdate(_) => 9,
+        }
+    }
+
+    /// Stable snake_case name of this message's wire kind.
+    pub fn kind_name(&self) -> &'static str {
+        KIND_NAMES[self.kind_index()]
+    }
+
     /// Serialized size of this message in bytes under the runtime wire
     /// codec (`gossipopt_runtime::encode`), version + tag header included.
     ///

@@ -29,9 +29,11 @@ pub struct MetricSample {
     pub alive: usize,
     /// Cumulative messages delivered by the kernel up to the sample.
     pub delivered: u64,
-    /// Cumulative wire bytes sent by the live nodes (see
-    /// `Msg::wire_bytes`); like `RunReport::payload_bytes` this sums over
-    /// nodes alive at the sample, so under churn it is a lower bound.
+    /// Cumulative wire bytes sent up to the sample (see
+    /// `Msg::wire_bytes`): the sum over nodes alive at the sample plus the
+    /// kernel's retired-node accumulator (bytes harvested from nodes at
+    /// death), so like `RunReport::payload_bytes` it is **exact under
+    /// churn** — crashed senders' traffic stays counted.
     pub wire_bytes: u64,
 }
 
@@ -251,5 +253,76 @@ mod tests {
         let text = serde_json::to_string(&s).unwrap();
         let back: MetricSample = serde_json::from_str(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn cadence_not_dividing_budget_samples_only_full_periods() {
+        // budget 47, sample_every 10: samples land on 0,10,20,30,40 — the
+        // trailing partial period past tick 40 contributes nothing.
+        let mut ring = MetricsRing::new(MetricsSpec {
+            sample_every: 10,
+            capacity: 64,
+        });
+        for tick in 0..47 {
+            if ring.wants(tick) {
+                ring.record(sample(tick));
+            }
+        }
+        let ticks: Vec<u64> = ring.to_series().iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, [0, 10, 20, 30, 40]);
+        assert_eq!(ring.total_recorded(), 5);
+    }
+
+    proptest::proptest! {
+        /// Wraparound invariant: after `n > c` samples, a capacity-`c`
+        /// ring retains exactly the last `c` samples, in order, while
+        /// `total_recorded` still reports the true count.
+        #[test]
+        fn wraparound_retains_exactly_the_last_capacity_samples(
+            capacity in 1usize..32,
+            overshoot in 1u64..100,
+        ) {
+            let n = capacity as u64 + overshoot;
+            let mut ring = MetricsRing::new(MetricsSpec {
+                sample_every: 1,
+                capacity,
+            });
+            for t in 0..n {
+                ring.record(sample(t));
+            }
+            let ticks: Vec<u64> =
+                ring.to_series().iter().map(|s| s.tick).collect();
+            let expected: Vec<u64> = (n - capacity as u64..n).collect();
+            proptest::prop_assert_eq!(ticks, expected);
+            proptest::prop_assert_eq!(ring.total_recorded(), n);
+        }
+
+        /// Under-capacity rings keep every sample in order regardless of
+        /// the sampling cadence.
+        #[test]
+        fn partial_ring_is_lossless_for_any_cadence(
+            every in 1u64..20,
+            budget in 0u64..200,
+            capacity in 256usize..300,
+        ) {
+            let mut ring = MetricsRing::new(MetricsSpec {
+                sample_every: every,
+                capacity,
+            });
+            let mut expected = Vec::new();
+            for tick in 0..budget {
+                if ring.wants(tick) {
+                    ring.record(sample(tick));
+                    expected.push(tick);
+                }
+            }
+            let ticks: Vec<u64> =
+                ring.to_series().iter().map(|s| s.tick).collect();
+            proptest::prop_assert_eq!(&ticks, &expected);
+            // The cadence may not divide the budget: the count is the
+            // ceiling of budget / every, never rounded up past it.
+            let want = budget.div_ceil(every);
+            proptest::prop_assert_eq!(ring.total_recorded(), want);
+        }
     }
 }

@@ -7,7 +7,8 @@ use gossipopt_gossip::{
     AntiEntropy, AntiEntropyMsg, ExchangeMode, Newscast, NewscastConfig, PartialView, PeerSampler,
     StaticSampler,
 };
-use gossipopt_sim::{Application, Ctx, NodeId};
+use gossipopt_obs::wall::{self, Phase};
+use gossipopt_sim::{frame_class, Application, Ctx, FrameSavings, NodeId, WireCounts};
 use gossipopt_solvers::Solver;
 use gossipopt_util::Xoshiro256pp;
 use std::sync::Arc;
@@ -105,19 +106,21 @@ pub struct OptNode {
     eval_budget: Option<u64>,
     /// Count of coordination exchanges this node initiated.
     exchanges_initiated: u64,
-    /// Wire bytes of every message this node sent (topology and
-    /// coordination traffic alike) — the paper reports communication cost,
-    /// so reports can state volume in bytes, not just counts.
-    bytes_sent: u64,
+    /// Per-wire-kind ledger of every message this node sent and received
+    /// (topology and coordination traffic alike) — the paper reports
+    /// communication cost, so reports can state volume in bytes per
+    /// message kind, not just counts. Indexed by [`Msg::kind_index`].
+    wire: WireCounts,
 }
 
-/// Queue `msg` on `ctx` while charging its wire size to `bytes` — every
-/// [`OptNode`] send goes through here so the byte ledger cannot drift from
-/// the traffic. (Free function so the accumulator can borrow one field
-/// while a service component borrows another.)
+/// Queue `msg` on `ctx` while charging its wire size and kind to the
+/// per-kind ledger — every [`OptNode`] send goes through here so the byte
+/// accounting cannot drift from the traffic. (Free function so the
+/// accumulator can borrow one field while a service component borrows
+/// another.)
 #[inline]
-fn send_tracked(bytes: &mut u64, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg) {
-    *bytes += msg.wire_bytes() as u64;
+fn send_tracked(wire: &mut WireCounts, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg) {
+    wire.record_send(msg.kind_index(), msg.wire_bytes() as u64);
     ctx.send(to, msg);
 }
 
@@ -142,7 +145,7 @@ impl OptNode {
             gossip_every,
             eval_budget,
             exchanges_initiated: 0,
-            bytes_sent: 0,
+            wire: WireCounts::new(),
         }
     }
 
@@ -186,7 +189,7 @@ impl OptNode {
 
     /// Total wire bytes this node has sent (see [`Msg::wire_bytes`]).
     pub fn payload_bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.wire.total_bytes()
     }
 
     /// The solver's registry name.
@@ -286,7 +289,7 @@ impl OptNode {
                 self.adopt_remote(&g);
             }
             if let Some(r) = reply {
-                send_tracked(&mut self.bytes_sent, ctx, from, Msg::Coord(r));
+                send_tracked(&mut self.wire, ctx, from, Msg::Coord(r));
             }
         }
     }
@@ -304,7 +307,7 @@ impl OptNode {
                 let g = rm.value().expect("new implies value").clone();
                 self.adopt_remote(&g);
             }
-            send_tracked(&mut self.bytes_sent, ctx, from, Msg::RumorFeedback(ack));
+            send_tracked(&mut self.wire, ctx, from, Msg::RumorFeedback(ack));
         }
     }
 
@@ -319,7 +322,7 @@ impl OptNode {
                 if let Some(msg) = ae.initiate() {
                     if let Some(peer) = self.topology.sample(ctx.rng()) {
                         self.exchanges_initiated += 1;
-                        send_tracked(&mut self.bytes_sent, ctx, peer, Msg::Coord(msg));
+                        send_tracked(&mut self.wire, ctx, peer, Msg::Coord(msg));
                     }
                 }
             }
@@ -332,12 +335,7 @@ impl OptNode {
                     for _ in 0..fanout {
                         if let Some(peer) = self.topology.sample(ctx.rng()) {
                             self.exchanges_initiated += 1;
-                            send_tracked(
-                                &mut self.bytes_sent,
-                                ctx,
-                                peer,
-                                Msg::RumorPush(g.clone()),
-                            );
+                            send_tracked(&mut self.wire, ctx, peer, Msg::RumorPush(g.clone()));
                         }
                     }
                 }
@@ -351,7 +349,7 @@ impl OptNode {
                     if let Some(peer) = self.topology.sample(ctx.rng()) {
                         self.exchanges_initiated += 1;
                         send_tracked(
-                            &mut self.bytes_sent,
+                            &mut self.wire,
                             ctx,
                             peer,
                             Msg::Migrant(GlobalBest::from_point(&e)),
@@ -363,7 +361,7 @@ impl OptNode {
                 if let Some(b) = self.solver.best() {
                     self.exchanges_initiated += 1;
                     send_tracked(
-                        &mut self.bytes_sent,
+                        &mut self.wire,
                         ctx,
                         master,
                         Msg::MasterReport(GlobalBest::from_point(b)),
@@ -388,7 +386,9 @@ impl Application for OptNode {
         // 1. Function optimization service: one evaluation per tick.
         let may_evaluate = self.eval_budget.is_none_or(|b| self.solver.evals() < b);
         if may_evaluate {
+            let span = wall::start();
             self.solver.step(self.objective.as_ref(), ctx.rng());
+            wall::finish(Phase::SolverStep, span);
         }
 
         // 2. Topology service maintenance (periodic NEWSCAST exchange;
@@ -396,7 +396,7 @@ impl Application for OptNode {
         if let TopologyComp::Newscast(nc) = &mut self.topology {
             let (self_id, now) = (ctx.self_id, ctx.now);
             if let Some((peer, msg)) = nc.on_tick(self_id, now, ctx.rng()) {
-                send_tracked(&mut self.bytes_sent, ctx, peer, Msg::Newscast(msg));
+                send_tracked(&mut self.wire, ctx, peer, Msg::Newscast(msg));
             }
         }
 
@@ -439,12 +439,13 @@ impl Application for OptNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.wire.record_delivery(msg.kind_index());
         match msg {
             Msg::Newscast(m) => {
                 if let TopologyComp::Newscast(nc) = &mut self.topology {
                     let (self_id, now) = (ctx.self_id, ctx.now);
                     if let Some(reply) = nc.handle(self_id, from, m, now, ctx.rng()) {
-                        send_tracked(&mut self.bytes_sent, ctx, from, Msg::Newscast(reply));
+                        send_tracked(&mut self.wire, ctx, from, Msg::Newscast(reply));
                     }
                 }
             }
@@ -487,7 +488,7 @@ impl Application for OptNode {
                     self.adopt_remote(&g);
                     if let Some(b) = self.solver.best() {
                         send_tracked(
-                            &mut self.bytes_sent,
+                            &mut self.wire,
                             ctx,
                             from,
                             Msg::MasterUpdate(GlobalBest::from_point(b)),
@@ -501,7 +502,7 @@ impl Application for OptNode {
         }
     }
 
-    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Msg)>) -> u64 {
+    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Msg)>) -> FrameSavings {
         /// The fusible frame families: consecutive same-destination
         /// messages of one family fuse into that family's batch kind.
         #[derive(Clone, Copy, PartialEq, Eq)]
@@ -509,6 +510,15 @@ impl Application for OptNode {
             Coord,
             Rumor,
             Migrant,
+        }
+        impl Fuse {
+            fn class(self) -> usize {
+                match self {
+                    Fuse::Coord => frame_class::COORD,
+                    Fuse::Rumor => frame_class::RUMOR,
+                    Fuse::Migrant => frame_class::MIGRANT,
+                }
+            }
         }
         fn fuse_kind(m: &Msg) -> Option<Fuse> {
             match m {
@@ -527,9 +537,9 @@ impl Application for OptNode {
                 && fuse_kind(&w[0].2) == fuse_kind(&w[1].2)
         });
         if !fusible {
-            return 0;
+            return FrameSavings::default();
         }
-        let mut saved = 0u64;
+        let mut saved = FrameSavings::default();
         let taken = std::mem::take(round);
         round.reserve(taken.len());
         let mut it = taken.into_iter().peekable();
@@ -573,7 +583,7 @@ impl Application for OptNode {
             };
             let batched = fused.wire_bytes() as u64;
             if batched < unbatched {
-                saved += unbatched - batched;
+                saved.add(kind.class(), unbatched - batched);
                 round.push((from, to, fused));
             } else {
                 // The frame would not shrink (payloads too dissimilar for
@@ -599,6 +609,10 @@ impl Application for OptNode {
             }
         }
         saved
+    }
+
+    fn wire_counts(&self) -> WireCounts {
+        self.wire
     }
 }
 

@@ -7,11 +7,14 @@
 //! and CSV outputs are **byte-identical across runs and worker counts**,
 //! which the determinism CI job diffs across fresh processes.
 
-use crate::exec::{run_cell, CellReport};
+use crate::exec::{run_cell, run_cell_obs, CellReport};
 use crate::spec::{AssertSpec, CampaignSpec};
 use crate::store::{cell_key, Store};
 use crate::{Error, Result};
+use gossipopt_obs::snapshot::{CampaignObs, RunSnapshot};
+use gossipopt_obs::OBS_SCHEMA;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Report schema identifier; bump when the report shape changes so CI
 /// consumers fail loudly instead of misreading fields.
@@ -62,10 +65,32 @@ pub fn run_campaign_stored(
     threads: usize,
     store: Option<&Store>,
 ) -> Result<CampaignOutcome> {
+    run_campaign_observed(spec, threads, store, None)
+}
+
+/// [`run_campaign_stored`] with optional per-cell observability export.
+///
+/// With `obs_dir = Some(dir)`, every cell writes
+/// `dir/cell_<i>/{obs_det.json, obs.prom}` (plus `obs_wall.json` when the
+/// wall-clock recorder is enabled), and the campaign writes
+/// `dir/campaign_obs_det.json` after the grid completes. Deterministic
+/// snapshots of store-loaded cells are copied from the store's sidecars;
+/// a stored entry without one is re-executed (and its sidecar persisted)
+/// so the export is always complete. The campaign report itself is
+/// byte-identical with or without an `obs_dir`.
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: Option<&Store>,
+    obs_dir: Option<&Path>,
+) -> Result<CampaignOutcome> {
     let jobs: Vec<usize> = (0..spec.cells.len()).collect();
     // Per cell: (outcome, executed?, recovery diagnostic).
     let outs = rayon::execute_indexed(jobs, threads.max(1), &|i: usize| {
         let cell = &spec.cells[i];
+        if let Some(obs_dir) = obs_dir {
+            return run_one_observed(spec, i, store, obs_dir);
+        }
         let Some(store) = store else {
             return (run_cell(cell), true, None);
         };
@@ -103,6 +128,21 @@ pub fn run_campaign_stored(
         }
         recovered.extend(diag);
     }
+    if let Some(dir) = obs_dir {
+        let obs = CampaignObs {
+            schema: OBS_SCHEMA.into(),
+            campaign: spec.name.clone(),
+            cells: spec.cells.len() as u64,
+            store_loaded: loaded as u64,
+            store_executed: executed as u64,
+            store_recovered: recovered.len() as u64,
+        };
+        std::fs::create_dir_all(dir)
+            .and_then(|()| {
+                std::fs::write(dir.join("campaign_obs_det.json"), obs.to_canonical_json())
+            })
+            .map_err(|e| Error::Run(format!("obs write {}: {e}", dir.display())))?;
+    }
     Ok(CampaignOutcome {
         report: CampaignReport {
             schema: SCHEMA.into(),
@@ -114,6 +154,69 @@ pub fn run_campaign_stored(
         loaded,
         recovered,
     })
+}
+
+/// The observed-path body of one campaign cell: serve the deterministic
+/// snapshot from the store's sidecar when possible, otherwise execute
+/// with [`run_cell_obs`], persist, and export under `obs_dir/cell_<i>/`.
+fn run_one_observed(
+    spec: &CampaignSpec,
+    i: usize,
+    store: Option<&Store>,
+    obs_dir: &Path,
+) -> (Result<CellReport>, bool, Option<String>) {
+    let cell = &spec.cells[i];
+    let keyed = store.map(|s| (s, cell_key(cell)));
+    let mut recovered = None;
+    if let Some((store, key)) = &keyed {
+        match store.load(key) {
+            Ok(Some(entry)) => {
+                if let Some(mut det) = store.load_obs(key) {
+                    det.campaign = spec.name.clone();
+                    det.cell = i as u64;
+                    let snap = RunSnapshot { det, wall: None };
+                    let out =
+                        write_cell_obs(obs_dir, i, &snap).map(|()| entry.into_cell_report(cell));
+                    return (out, false, None);
+                }
+                // Entry present but no obs sidecar (written before the
+                // observability layer): re-execute to produce one.
+            }
+            Ok(None) => {}
+            Err(e) => recovered = Some(e.to_string()),
+        }
+    }
+    let out = run_cell_obs(cell).and_then(|(report, mut snap)| {
+        snap.det.campaign = spec.name.clone();
+        snap.det.cell = i as u64;
+        if let Some((store, key)) = &keyed {
+            store
+                .save(key, &report)
+                .and_then(|()| store.save_obs(key, &snap.det))
+                .map_err(|e| Error::Run(format!("store save {}: {e}", store.dir(key).display())))?;
+        }
+        write_cell_obs(obs_dir, i, &snap)?;
+        Ok(report)
+    });
+    (out, true, recovered)
+}
+
+/// Write one cell's observability exports under `dir/cell_<index>/`.
+/// `obs_wall.json` appears only when the wall plane was captured, so the
+/// deterministic files can be diffed with a bare recursive compare.
+fn write_cell_obs(dir: &Path, index: usize, snap: &RunSnapshot) -> Result<()> {
+    let cell_dir = dir.join(format!("cell_{index}"));
+    std::fs::create_dir_all(&cell_dir)
+        .map_err(|e| Error::Run(format!("obs dir {}: {e}", cell_dir.display())))?;
+    let write = |name: &str, text: String| {
+        std::fs::write(cell_dir.join(name), text)
+            .map_err(|e| Error::Run(format!("obs write {}/{name}: {e}", cell_dir.display())))
+    };
+    write("obs_det.json", snap.det.to_canonical_json())?;
+    if let Some(wall) = &snap.wall {
+        write("obs_wall.json", wall.to_json())?;
+    }
+    write("obs.prom", snap.to_prometheus())
 }
 
 /// Evaluate the campaign assertions against one cell.

@@ -14,11 +14,18 @@ use crate::faults::{FaultApp, FaultSchedule};
 use crate::spec::{CellSpec, Fault};
 use crate::{Error, Result};
 use gossipopt_core::experiment::{AsyncOpts, Budget, DistributedPsoSpec, NodeRecipe, RunReport};
+use gossipopt_core::messages::KIND_NAMES;
 use gossipopt_core::metrics::{MetricSample, MetricsRing};
 use gossipopt_core::node::OptNode;
 use gossipopt_functions::Objective;
+use gossipopt_obs::snapshot::{
+    DetSnapshot, FrameClassRow, RunSnapshot, TickHistogram, TraceEvent, WireRow,
+};
+use gossipopt_obs::wall::{self, WallSnapshot};
+use gossipopt_obs::OBS_SCHEMA;
 use gossipopt_sim::{
-    Control, CycleConfig, CycleEngine, EventConfig, EventEngine, NodeId, Transport,
+    frame_class, Application, Control, CycleConfig, CycleEngine, EventConfig, EventEngine,
+    FrameSavings, NodeId, Transport, WireCounts,
 };
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
 use serde::{Deserialize, Serialize};
@@ -47,6 +54,55 @@ pub struct CellReport {
     pub poisoned: bool,
     /// Assertion failures (filled by the campaign runner; empty = pass).
     pub failures: Vec<String>,
+}
+
+/// Deterministic-plane raw material harvested by the cell loops: pure
+/// functions of the cell spec and seed, assembled into a
+/// [`DetSnapshot`] by [`run_cell_obs`].
+struct RawObs {
+    /// Per-kind wire totals: live nodes at the end plus the kernel's
+    /// retired accumulator (exact under churn).
+    wire: WireCounts,
+    /// Per-class frame-batching savings.
+    frame_saved: FrameSavings,
+    /// Cycle-kernel phased merge rounds (`0` on the event kernel).
+    merge_rounds: u64,
+    /// Fault-schedule firings: each scripted crash/join plus each
+    /// partition, heal, and corrupt-optimum activation.
+    fault_events: u64,
+    /// Nodes joined by churn or flash-crowd events.
+    churn_joins: u64,
+    /// Nodes crashed by churn or scripted fault events.
+    churn_crashes: u64,
+    /// Global best-improvement events at metric-sample granularity.
+    trace: Vec<TraceEvent>,
+}
+
+impl RawObs {
+    fn new() -> RawObs {
+        RawObs {
+            wire: WireCounts::new(),
+            frame_saved: FrameSavings::default(),
+            merge_rounds: 0,
+            fault_events: 0,
+            churn_joins: 0,
+            churn_crashes: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Record a best-improvement trace event when `quality` beats the
+    /// best seen so far (`best_seen` is updated in place).
+    fn trace_improvement(&mut self, best_seen: &mut f64, tick: u64, node: u64, quality: f64) {
+        if quality < *best_seen {
+            *best_seen = quality;
+            self.trace.push(TraceEvent {
+                tick,
+                node,
+                quality,
+            });
+        }
+    }
 }
 
 /// Membership faults the executor applies through the engine.
@@ -83,6 +139,24 @@ impl EngineFaults {
         }
         (crash, join)
     }
+
+    /// Message-plane fault transitions at tick `t`: partition starts,
+    /// partition heals, and corrupt-optimum activations. These are
+    /// applied inside [`FaultSchedule`], not through the engine, so the
+    /// executor only counts them (for `DetSnapshot::fault_events`).
+    fn window_events_at(&self, t: u64) -> u64 {
+        let mut events = 0u64;
+        for f in &self.faults {
+            match *f {
+                Fault::Partition { at, heal_at, .. } => {
+                    events += u64::from(at == t) + u64::from(heal_at == t);
+                }
+                Fault::CorruptOptimum { at, .. } => events += u64::from(at == t),
+                _ => {}
+            }
+        }
+        events
+    }
 }
 
 /// Kernel bootstrap-contact count, mirroring `core::experiment`: NEWSCAST
@@ -98,6 +172,34 @@ fn bootstrap_sample(spec: &DistributedPsoSpec, n: usize) -> usize {
 /// Run one cell (validates first). Deterministic per cell: all randomness
 /// derives from the cell's resolved seed.
 pub fn run_cell(cell: &CellSpec) -> Result<CellReport> {
+    Ok(run_cell_inner(cell)?.0)
+}
+
+/// Run one cell and capture both observability planes.
+///
+/// The deterministic plane ([`DetSnapshot`]) is derived purely from
+/// simulation state and is byte-identical across runs, worker-thread
+/// counts, and SIMD paths; `campaign`/`cell` are left blank for the
+/// campaign runner to fill. The wall-clock plane is attached only when
+/// the global recorder is on ([`wall::set_enabled`]) and holds the
+/// *delta* over this run — phase latencies plus rayon-shim
+/// steal/home-run counts.
+pub fn run_cell_obs(cell: &CellSpec) -> Result<(CellReport, RunSnapshot)> {
+    let wall_before =
+        wall::is_enabled().then(|| (WallSnapshot::capture(), rayon::scheduler_counters()));
+    let (out, raw) = run_cell_inner(cell)?;
+    let wall = wall_before.map(|(before, (home0, steals0))| {
+        let mut delta = WallSnapshot::capture().minus(&before);
+        let (home1, steals1) = rayon::scheduler_counters();
+        delta.rayon_home_runs = home1.saturating_sub(home0);
+        delta.rayon_steals = steals1.saturating_sub(steals0);
+        delta
+    });
+    let det = assemble_det(cell, &out, raw);
+    Ok((out, RunSnapshot { det, wall }))
+}
+
+fn run_cell_inner(cell: &CellSpec) -> Result<(CellReport, RawObs)> {
     cell.validate()?;
     let spec = cell.to_dist_spec()?;
     let seed = cell.resolved_seed();
@@ -108,21 +210,72 @@ pub fn run_cell(cell: &CellSpec) -> Result<CellReport> {
         NodeRecipe::new(&spec, Arc::clone(&objective), budget, seed).map_err(Error::from_core)?;
     let faults = cell.compiled_faults()?;
 
-    let (report, blocked_messages) = match cell.kernel.as_str() {
+    let (report, blocked_messages, raw) = match cell.kernel.as_str() {
         "cycle" => run_cycle_cell(cell, &spec, recipe, &faults, seed),
         "event" => run_event_cell(cell, &spec, recipe, &faults, seed),
         other => unreachable!("validated kernel {other}"),
     };
     let poisoned = report.best_quality < POISON_EPSILON;
-    Ok(CellReport {
-        index: 0,
-        label: cell.name.clone(),
-        cell: cell.clone(),
-        report,
-        blocked_messages,
-        poisoned,
-        failures: Vec::new(),
-    })
+    Ok((
+        CellReport {
+            index: 0,
+            label: cell.name.clone(),
+            cell: cell.clone(),
+            report,
+            blocked_messages,
+            poisoned,
+            failures: Vec::new(),
+        },
+        raw,
+    ))
+}
+
+/// Fill a [`DetSnapshot`] from a finished cell: every wire kind and
+/// frame class in declaration order (zeros included) so equal runs
+/// serialize to equal bytes.
+fn assemble_det(cell: &CellSpec, out: &CellReport, raw: RawObs) -> DetSnapshot {
+    let wire = KIND_NAMES
+        .iter()
+        .enumerate()
+        .map(|(k, name)| WireRow {
+            kind: (*name).to_string(),
+            sent: raw.wire.sent[k],
+            delivered: raw.wire.delivered[k],
+            bytes: raw.wire.bytes[k],
+        })
+        .collect();
+    let frame_saved = frame_class::NAMES
+        .iter()
+        .enumerate()
+        .map(|(c, name)| FrameClassRow {
+            class: (*name).to_string(),
+            bytes_saved: raw.frame_saved.by_class[c],
+        })
+        .collect();
+    let mut delivered_hist = TickHistogram::new();
+    let mut prev = 0u64;
+    for s in &out.report.samples {
+        delivered_hist.observe(s.delivered.saturating_sub(prev));
+        prev = s.delivered;
+    }
+    DetSnapshot {
+        schema: OBS_SCHEMA.to_string(),
+        campaign: String::new(),
+        cell: 0,
+        label: out.label.clone(),
+        seed: cell.resolved_seed(),
+        ticks: out.report.ticks,
+        wire,
+        frame_saved,
+        payload_bytes: out.report.payload_bytes,
+        merge_rounds: raw.merge_rounds,
+        fault_events: raw.fault_events,
+        churn_joins: raw.churn_joins,
+        churn_crashes: raw.churn_crashes,
+        delivered_hist,
+        trace: raw.trace,
+        best_quality: out.report.best_quality,
+    }
 }
 
 /// Per-tick observer: the global best quality only — the stop check
@@ -136,45 +289,64 @@ fn scan_quality<'a>(nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>
     quality
 }
 
-/// Sampled-tick observer: `(quality, wire bytes, alive)` for the ring.
+/// Sampled-tick observer: `(quality, argmin node, wire bytes, alive)`
+/// for the ring and the best-improvement trace.
 fn scan_sample<'a>(
     nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>,
-) -> (f64, u64, usize) {
+) -> (f64, u64, u64, usize) {
     let mut quality = f64::INFINITY;
+    let mut best_node = 0u64;
     let mut bytes = 0u64;
     let mut alive = 0usize;
-    for (_, app) in nodes {
-        quality = quality.min(app.inner().quality());
+    for (id, app) in nodes {
+        let q = app.inner().quality();
+        if q < quality {
+            quality = q;
+            best_node = id.raw();
+        }
         bytes += app.inner().payload_bytes_sent();
         alive += 1;
     }
-    (quality, bytes, alive)
+    (quality, best_node, bytes, alive)
+}
+
+/// End-of-run totals over the surviving nodes.
+struct ScanTotals {
+    quality: f64,
+    value: f64,
+    evals: u64,
+    exchanges: u64,
+    /// Per-kind wire counts of the live nodes (the caller adds the
+    /// kernel's retired accumulator for exact totals under churn).
+    wire: WireCounts,
+    blocked: u64,
+    alive: usize,
 }
 
 /// End-of-run observer scan shared by both kernels.
-fn scan<'a>(
-    nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>,
-) -> (f64, f64, u64, u64, u64, u64, usize) {
-    let mut quality = f64::INFINITY;
-    let mut value = f64::INFINITY;
-    let mut evals = 0u64;
-    let mut exchanges = 0u64;
-    let mut bytes = 0u64;
-    let mut blocked = 0u64;
-    let mut alive = 0usize;
+fn scan<'a>(nodes: impl Iterator<Item = (NodeId, &'a FaultApp<OptNode>)>) -> ScanTotals {
+    let mut totals = ScanTotals {
+        quality: f64::INFINITY,
+        value: f64::INFINITY,
+        evals: 0,
+        exchanges: 0,
+        wire: WireCounts::new(),
+        blocked: 0,
+        alive: 0,
+    };
     for (_, app) in nodes {
         let node = app.inner();
-        quality = quality.min(node.quality());
+        totals.quality = totals.quality.min(node.quality());
         if let Some(b) = node.best() {
-            value = value.min(b.f);
+            totals.value = totals.value.min(b.f);
         }
-        evals += node.evals();
-        exchanges += node.exchanges_initiated();
-        bytes += node.payload_bytes_sent();
-        blocked += app.blocked();
-        alive += 1;
+        totals.evals += node.evals();
+        totals.exchanges += node.exchanges_initiated();
+        totals.wire.add(&app.wire_counts());
+        totals.blocked += app.blocked();
+        totals.alive += 1;
     }
-    (quality, value, evals, exchanges, bytes, blocked, alive)
+    totals
 }
 
 fn run_cycle_cell(
@@ -183,7 +355,7 @@ fn run_cycle_cell(
     recipe: NodeRecipe,
     faults: &[Fault],
     seed: u64,
-) -> (RunReport, u64) {
+) -> (RunReport, u64, RawObs) {
     let n = spec.nodes;
     let sched = Arc::new(FaultSchedule::new(faults, cell.dim, seed, 1));
     let mut engine_faults = EngineFaults::new(faults, seed);
@@ -220,12 +392,20 @@ fn run_cycle_cell(
     let stop_quality = cell.stop_at_quality;
     let mut reached_at: Option<u64> = None;
     let mut ticks = max_ticks;
+    let mut raw = RawObs::new();
+    let mut scripted_crashes = 0u64;
+    let mut scripted_joins = 0u64;
+    let mut best_seen = f64::INFINITY;
 
     for t in 0..max_ticks {
         // Membership faults scheduled for the upcoming tick fire first.
         let upcoming = t + 1;
         let (crash, join) =
             engine_faults.at_tick(upcoming, || engine.nodes().map(|(id, _)| id).collect());
+        scripted_crashes += crash.len() as u64;
+        scripted_joins += join as u64;
+        raw.fault_events +=
+            crash.len() as u64 + join as u64 + engine_faults.window_events_at(upcoming);
         for id in crash {
             engine.crash(id);
         }
@@ -236,15 +416,18 @@ fn run_cycle_cell(
         engine.tick();
         let now = engine.now();
         let quality = if ring.wants(now) {
-            let (quality, bytes, alive) = scan_sample(engine.nodes());
+            let (quality, best_node, bytes, alive) = scan_sample(engine.nodes());
+            raw.trace_improvement(&mut best_seen, now, best_node, quality);
             ring.record(MetricSample {
                 tick: now,
                 best_quality: quality,
                 alive,
                 delivered: engine.stats().delivered,
-                // Node ledgers charge unbatched sizes; net off what the
-                // kernel's frame coalescing saved on the wire so far.
-                wire_bytes: bytes.saturating_sub(engine.stats().frame_bytes_saved),
+                // Node ledgers charge unbatched sizes: add back what
+                // crashed senders had on their ledgers at death, then
+                // net off what the kernel's frame coalescing saved.
+                wire_bytes: (bytes + engine.retired_wire_counts().total_bytes())
+                    .saturating_sub(engine.stats().frame_bytes_saved),
             });
             quality
         } else {
@@ -259,24 +442,36 @@ fn run_cycle_cell(
         }
     }
 
-    let (quality, value, evals, exchanges, bytes, blocked, alive) = scan(engine.nodes());
+    let totals = scan(engine.nodes());
     let stats = engine.stats();
+    raw.wire = totals.wire;
+    raw.wire.add(&engine.retired_wire_counts());
+    raw.frame_saved = engine.frame_saved();
+    raw.merge_rounds = engine.merge_rounds();
+    // The cycle kernel counts scripted crashes into `stats.crashes`
+    // (joins stay churn-only); normalize both to churn + scripted.
+    raw.churn_crashes = stats.crashes;
+    raw.churn_joins = stats.joins + scripted_joins;
+    debug_assert!(stats.crashes >= scripted_crashes);
     let report = RunReport {
-        best_quality: quality,
-        best_value: value,
-        total_evals: evals,
+        best_quality: totals.quality,
+        best_value: totals.value,
+        total_evals: totals.evals,
         ticks,
         reached_threshold_at: reached_at,
-        coordination_exchanges: exchanges,
-        payload_bytes: bytes.saturating_sub(stats.frame_bytes_saved),
+        coordination_exchanges: totals.exchanges,
+        payload_bytes: raw
+            .wire
+            .total_bytes()
+            .saturating_sub(stats.frame_bytes_saved),
         messages_sent: stats.sent,
         messages_delivered: stats.delivered,
         messages_dropped: stats.lost + stats.dead_letter + stats.hop_overflow,
-        final_population: alive,
+        final_population: totals.alive,
         trace: Vec::new(),
         samples: ring.to_series(),
     };
-    (report, blocked)
+    (report, totals.blocked, raw)
 }
 
 fn run_event_cell(
@@ -285,7 +480,7 @@ fn run_event_cell(
     recipe: NodeRecipe,
     faults: &[Fault],
     seed: u64,
-) -> (RunReport, u64) {
+) -> (RunReport, u64, RawObs) {
     let n = spec.nodes;
     let opts = AsyncOpts::default();
     let period = opts.tick_period;
@@ -331,9 +526,16 @@ fn run_event_cell(
     let stop_quality = cell.stop_at_quality;
     let mut reached_at: Option<u64> = None;
     let mut end = 0u64;
+    let mut raw = RawObs::new();
+    let mut scripted_crashes = 0u64;
+    let mut scripted_joins = 0u64;
+    let mut best_seen = f64::INFINITY;
 
     for t in 1..=horizon {
         let (crash, join) = engine_faults.at_tick(t, || engine.nodes().map(|(id, _)| id).collect());
+        scripted_crashes += crash.len() as u64;
+        scripted_joins += join as u64;
+        raw.fault_events += crash.len() as u64 + join as u64 + engine_faults.window_events_at(t);
         for id in crash {
             engine.crash(id);
         }
@@ -343,15 +545,18 @@ fn run_event_cell(
 
         end = engine.run_until(t * period, period, |_, _| Control::Continue);
         let quality = if ring.wants(t) {
-            let (quality, bytes, alive) = scan_sample(engine.nodes());
+            let (quality, best_node, bytes, alive) = scan_sample(engine.nodes());
+            raw.trace_improvement(&mut best_seen, t, best_node, quality);
             ring.record(MetricSample {
                 tick: t,
                 best_quality: quality,
                 alive,
                 delivered: engine.delivered(),
-                // Node ledgers charge unbatched sizes; net off what the
-                // kernel's frame coalescing saved on the wire so far.
-                wire_bytes: bytes.saturating_sub(engine.frame_bytes_saved()),
+                // Node ledgers charge unbatched sizes: add back what
+                // crashed senders had on their ledgers at death, then
+                // net off what the kernel's frame coalescing saved.
+                wire_bytes: (bytes + engine.retired_wire_counts().total_bytes())
+                    .saturating_sub(engine.frame_bytes_saved()),
             });
             quality
         } else {
@@ -365,23 +570,36 @@ fn run_event_cell(
         }
     }
 
-    let (quality, value, evals, exchanges, bytes, blocked, alive) = scan(engine.nodes());
+    let totals = scan(engine.nodes());
+    raw.wire = totals.wire;
+    raw.wire.add(&engine.retired_wire_counts());
+    raw.frame_saved = engine.frame_saved();
+    // The event kernel drains a queue; phased merge rounds are a
+    // cycle-kernel concept.
+    raw.merge_rounds = 0;
+    // The event kernel's counters are churn-process-only; fold in the
+    // scripted membership faults for parity with the cycle kernel.
+    raw.churn_crashes = engine.churn_crashes() + scripted_crashes;
+    raw.churn_joins = engine.churn_joins() + scripted_joins;
     let report = RunReport {
-        best_quality: quality,
-        best_value: value,
-        total_evals: evals,
+        best_quality: totals.quality,
+        best_value: totals.value,
+        total_evals: totals.evals,
         ticks: end / period,
         reached_threshold_at: reached_at,
-        coordination_exchanges: exchanges,
-        payload_bytes: bytes.saturating_sub(engine.frame_bytes_saved()),
+        coordination_exchanges: totals.exchanges,
+        payload_bytes: raw
+            .wire
+            .total_bytes()
+            .saturating_sub(engine.frame_bytes_saved()),
         messages_sent: engine.delivered() + engine.dropped(),
         messages_delivered: engine.delivered(),
         messages_dropped: engine.dropped(),
-        final_population: alive,
+        final_population: totals.alive,
         trace: Vec::new(),
         samples: ring.to_series(),
     };
-    (report, blocked)
+    (report, totals.blocked, raw)
 }
 
 #[cfg(test)]
@@ -547,6 +765,90 @@ mod tests {
             // Before the fault the network was honest.
             let early = out.report.samples.iter().find(|s| s.tick < 20).unwrap();
             assert!(early.best_quality >= 0.0, "{kernel}: honest before `at`");
+        }
+    }
+
+    #[test]
+    fn obs_per_kind_wire_sums_match_payload_bytes() {
+        // Acceptance identity, churn included: summing the per-kind
+        // sent-side bytes and netting off frame savings must reproduce
+        // RunReport::payload_bytes exactly on both kernels.
+        for kernel in ["cycle", "event"] {
+            let cell = CellSpec {
+                kernel: kernel.into(),
+                churn: 0.02,
+                loss: 0.05,
+                ..small_cell()
+            };
+            let (out, snap) = run_cell_obs(&cell).unwrap();
+            assert_eq!(
+                snap.det.wire_bytes_total() - snap.det.frame_saved_total(),
+                out.report.payload_bytes,
+                "{kernel}: per-kind rows must sum to the report total"
+            );
+            assert_eq!(snap.det.wire.len(), KIND_NAMES.len());
+            assert_eq!(snap.det.frame_saved.len(), frame_class::COUNT);
+            assert!(
+                snap.det
+                    .trace
+                    .windows(2)
+                    .all(|w| w[1].quality < w[0].quality),
+                "{kernel}: trace qualities must be strictly improving"
+            );
+            assert_eq!(snap.det.best_quality, out.report.best_quality);
+        }
+    }
+
+    #[test]
+    fn obs_det_snapshot_is_byte_identical_across_runs() {
+        let cell = CellSpec {
+            churn: 0.01,
+            loss: 0.1,
+            ..small_cell()
+        };
+        let (_, a) = run_cell_obs(&cell).unwrap();
+        let (_, b) = run_cell_obs(&cell).unwrap();
+        assert_eq!(a.det.to_canonical_json(), b.det.to_canonical_json());
+        assert!(a.wall.is_none(), "wall plane stays off unless enabled");
+    }
+
+    #[test]
+    fn obs_counts_scripted_faults_symmetrically() {
+        // A massacre plus flash crowd must land in fault_events and the
+        // churn counters identically on both kernels.
+        let mut dets = Vec::new();
+        for kernel in ["cycle", "event"] {
+            let mut cell = CellSpec {
+                kernel: kernel.into(),
+                ..small_cell()
+            };
+            cell.fault.push(FaultSpec {
+                kind: "massacre".into(),
+                at: 20,
+                heal_at: None,
+                groups: None,
+                join: None,
+                kill_frac: Some(0.5),
+                node_frac: None,
+                lie: None,
+            });
+            cell.fault.push(FaultSpec {
+                kind: "flash_crowd".into(),
+                at: 30,
+                heal_at: None,
+                groups: None,
+                join: Some(10),
+                kill_frac: None,
+                node_frac: None,
+                lie: None,
+            });
+            let (_, snap) = run_cell_obs(&cell).unwrap();
+            dets.push(snap.det);
+        }
+        for det in &dets {
+            assert_eq!(det.fault_events, 8 + 10, "8 crashed + 10 joiners");
+            assert_eq!(det.churn_crashes, 8);
+            assert_eq!(det.churn_joins, 10);
         }
     }
 

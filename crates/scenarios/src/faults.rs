@@ -25,7 +25,7 @@ use crate::spec::Fault;
 use gossipopt_core::messages::Msg;
 use gossipopt_core::node::OptNode;
 use gossipopt_core::rumor::GlobalBest;
-use gossipopt_sim::{Application, Ctx, NodeId, Ticks};
+use gossipopt_sim::{Application, Ctx, FrameSavings, NodeId, Ticks, WireCounts};
 use std::sync::Arc;
 
 /// A node the fault injector knows how to corrupt.
@@ -298,8 +298,12 @@ impl<A: FaultTarget> Application for FaultApp<A> {
         }
     }
 
-    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> u64 {
+    fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> FrameSavings {
         A::coalesce_round(round)
+    }
+
+    fn wire_counts(&self) -> WireCounts {
+        self.inner.wire_counts()
     }
 }
 

@@ -44,9 +44,14 @@
 //! * [`faults`] — the [`FaultApp`] protocol wrapper executing partition
 //!   windows and byzantine corruption, plus the compiled schedule;
 //! * [`exec`] — the per-cell executor driving either kernel with timed
-//!   membership faults and the ring-buffer metrics tap;
+//!   membership faults and the ring-buffer metrics tap; `run_cell_obs`
+//!   additionally assembles a deterministic observability snapshot
+//!   (per-kind wire accounting, frame savings, churn/fault counters, a
+//!   best-improvement trace) plus an optional wall-clock plane;
 //! * [`campaign`] — the parallel runner, assertions and report
-//!   rendering (JSON / CSV / table);
+//!   rendering (JSON / CSV / table); `run_campaign_observed` exports
+//!   per-cell `obs_det.json` / `obs.prom` snapshots under an output
+//!   directory;
 //! * [`store`] — the content-addressed result store: cells are keyed by
 //!   (resolved exec spec, seed, code fingerprint), so re-running a
 //!   campaign loads finished cells instead of recomputing them —
@@ -67,8 +72,11 @@ pub mod spec;
 pub mod store;
 pub mod toml;
 
-pub use campaign::{run_campaign, run_campaign_stored, CampaignOutcome, CampaignReport, SCHEMA};
-pub use exec::{run_cell, CellReport};
+pub use campaign::{
+    run_campaign, run_campaign_observed, run_campaign_stored, CampaignOutcome, CampaignReport,
+    SCHEMA,
+};
+pub use exec::{run_cell, run_cell_obs, CellReport};
 pub use faults::{FaultApp, FaultSchedule, FaultTarget};
 pub use report::{curves_csv, paper_title, render_paper_tables, render_table};
 pub use spec::{parse_campaign, AssertSpec, CampaignSpec, CellSpec, Fault, FaultSpec};

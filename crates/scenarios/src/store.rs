@@ -60,6 +60,7 @@
 use crate::exec::CellReport;
 use crate::spec::CellSpec;
 use gossipopt_core::experiment::RunReport;
+use gossipopt_obs::snapshot::{DetSnapshot, RunSnapshot};
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::io;
@@ -72,7 +73,7 @@ pub const STORE_SCHEMA: &str = "gossipopt-store/v1";
 /// Simulation-semantics version folded into every key. Bump the trailing
 /// tag whenever seeded trajectories change (the fingerprint CI job is the
 /// tripwire for *unintended* changes); the crate version covers releases.
-pub const CODE_FINGERPRINT: &str = concat!("gossipopt-", env!("CARGO_PKG_VERSION"), "+sim1");
+pub const CODE_FINGERPRINT: &str = concat!("gossipopt-", env!("CARGO_PKG_VERSION"), "+sim2");
 
 /// The execution-relevant subset of a [`CellSpec`] as a JSON value tree
 /// in fixed, explicit field order — the canonical form the key hashes.
@@ -324,6 +325,37 @@ impl Store {
             &dir.join("samples.csv"),
             samples_csv(&entry.report).as_bytes(),
         )
+    }
+
+    /// Persist a cell's deterministic observability snapshot alongside
+    /// its entry (`obs_det.json` + a det-only `obs.prom` rendering).
+    ///
+    /// Observability sidecars are **not key material**: they are derived
+    /// from the same run the entry records, so storing or deleting them
+    /// never changes cache hits. Requires [`Store::save`] to have created
+    /// the entry directory (call it first).
+    pub fn save_obs(&self, key: &StoreKey, det: &DetSnapshot) -> io::Result<()> {
+        let dir = self.dir(key);
+        std::fs::create_dir_all(&dir)?;
+        write_atomic(
+            &dir.join("obs_det.json"),
+            det.to_canonical_json().as_bytes(),
+        )?;
+        let prom = RunSnapshot {
+            det: det.clone(),
+            wall: None,
+        }
+        .to_prometheus();
+        write_atomic(&dir.join("obs.prom"), prom.as_bytes())
+    }
+
+    /// Load the stored deterministic snapshot for `key`, if present and
+    /// parseable. Any failure reads as "absent" — the caller re-executes
+    /// the cell and overwrites, mirroring entry corruption recovery.
+    pub fn load_obs(&self, key: &StoreKey) -> Option<DetSnapshot> {
+        let text = std::fs::read_to_string(self.dir(key).join("obs_det.json")).ok()?;
+        let det: DetSnapshot = serde_json::from_str(&text).ok()?;
+        (det.schema == gossipopt_obs::OBS_SCHEMA).then_some(det)
     }
 }
 

@@ -3,7 +3,8 @@
 //! and the byte-identity of reports regardless of where cells came from.
 
 use gossipopt_scenarios::{
-    cell_key, parse_campaign, run_campaign_stored, run_cell, CampaignSpec, CellSpec, Store,
+    cell_key, parse_campaign, run_campaign_observed, run_campaign_stored, run_cell, CampaignSpec,
+    CellSpec, Store,
 };
 use std::path::PathBuf;
 
@@ -18,7 +19,7 @@ fn store_key_hash_is_a_cross_process_constant() {
         seed: Some(5),
         ..CellSpec::default()
     };
-    assert_eq!(cell_key(&cell).hash, "2222e89129110751119e9aef5e96a2e2");
+    assert_eq!(cell_key(&cell).hash, "127d961473baf961b4583918670bfd5f");
 }
 
 /// A per-test temporary store rooted under the target dir's temp space.
@@ -185,6 +186,42 @@ fn per_cell_assert_overrides_gate_per_cell() {
         strict.cells.len(),
         "without overrides the 1e-30 bound fails every cell"
     );
+}
+
+#[test]
+fn observed_campaign_exports_snapshots_and_reuses_store_sidecars() {
+    // Cold run: every cell executes, persisting obs sidecars next to its
+    // entry. Warm run into a fresh export dir: zero executions, yet the
+    // deterministic snapshots come out byte-identical — the sidecar is a
+    // faithful substitute for re-simulation.
+    let spec = small_campaign();
+    let (store, dir) = tmp_store("observed");
+    let obs_a = std::env::temp_dir().join("gossipopt-obs-it-a");
+    let obs_b = std::env::temp_dir().join("gossipopt-obs-it-b");
+    let _ = std::fs::remove_dir_all(&obs_a);
+    let _ = std::fs::remove_dir_all(&obs_b);
+
+    let cold = run_campaign_observed(&spec, 2, Some(&store), Some(&obs_a)).unwrap();
+    assert_eq!(cold.executed, spec.cells.len());
+    let warm = run_campaign_observed(&spec, 2, Some(&store), Some(&obs_b)).unwrap();
+    assert_eq!(warm.executed, 0, "obs sidecars serve the warm run");
+    assert_eq!(cold.report.to_json(), warm.report.to_json());
+
+    for i in 0..spec.cells.len() {
+        let cell = format!("cell_{i}");
+        let a = std::fs::read_to_string(obs_a.join(&cell).join("obs_det.json")).unwrap();
+        let b = std::fs::read_to_string(obs_b.join(&cell).join("obs_det.json")).unwrap();
+        assert_eq!(a, b, "cell {i}: loaded det snapshot must match executed");
+        assert!(obs_a.join(&cell).join("obs.prom").exists());
+        assert!(
+            !obs_a.join(&cell).join("obs_wall.json").exists(),
+            "wall plane stays off unless enabled"
+        );
+    }
+    assert!(obs_a.join("campaign_obs_det.json").exists());
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(obs_a);
+    let _ = std::fs::remove_dir_all(obs_b);
 }
 
 #[test]

@@ -3,6 +3,132 @@
 use crate::ids::{NodeId, Ticks};
 use gossipopt_util::Xoshiro256pp;
 
+/// Maximum number of distinct wire kinds a [`WireCounts`] can track.
+///
+/// Sized above the present `Msg` kind count (10) so adding a wire kind
+/// does not change this type's layout.
+pub const MAX_WIRE_KINDS: usize = 16;
+
+/// Per-wire-kind message accounting an application can expose to the
+/// kernel via [`Application::wire_counts`].
+///
+/// Indexed by the application's own kind numbering (for `OptNode`,
+/// `Msg::kind_index`). Purely simulation-state-derived, so these feed the
+/// deterministic observability plane. The engines harvest a dying node's
+/// counts into an engine-owned `retired` accumulator before dropping the
+/// slot, which is what makes churn-era byte accounting exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCounts {
+    /// Messages sent, by kind index.
+    pub sent: [u64; MAX_WIRE_KINDS],
+    /// Wire bytes sent, by kind index.
+    pub bytes: [u64; MAX_WIRE_KINDS],
+    /// Messages delivered to this node, by kind index.
+    pub delivered: [u64; MAX_WIRE_KINDS],
+}
+
+impl WireCounts {
+    /// All-zero counts.
+    pub fn new() -> WireCounts {
+        WireCounts {
+            sent: [0; MAX_WIRE_KINDS],
+            bytes: [0; MAX_WIRE_KINDS],
+            delivered: [0; MAX_WIRE_KINDS],
+        }
+    }
+
+    /// Add another node's counts into this accumulator, element-wise.
+    pub fn add(&mut self, other: &WireCounts) {
+        for k in 0..MAX_WIRE_KINDS {
+            self.sent[k] += other.sent[k];
+            self.bytes[k] += other.bytes[k];
+            self.delivered[k] += other.delivered[k];
+        }
+    }
+
+    /// Count one sent message of `kind` costing `bytes` on the wire.
+    #[inline]
+    pub fn record_send(&mut self, kind: usize, bytes: u64) {
+        self.sent[kind] += 1;
+        self.bytes[kind] += bytes;
+    }
+
+    /// Count one delivered message of `kind`.
+    #[inline]
+    pub fn record_delivery(&mut self, kind: usize) {
+        self.delivered[kind] += 1;
+    }
+
+    /// Total wire bytes across kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total sent messages across kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total delivered messages across kinds.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+}
+
+impl Default for WireCounts {
+    fn default() -> WireCounts {
+        WireCounts::new()
+    }
+}
+
+/// Frame-class indices for [`FrameSavings`] attribution.
+pub mod frame_class {
+    /// Anti-entropy coordination batches (`CoordBatch`).
+    pub const COORD: usize = 0;
+    /// Rumor-push batches (`RumorBatch`).
+    pub const RUMOR: usize = 1;
+    /// Island-model migrant batches (`MigrantBatch`).
+    pub const MIGRANT: usize = 2;
+    /// Savings an application reports without attributing a class.
+    pub const OTHER: usize = 3;
+    /// Number of frame classes.
+    pub const COUNT: usize = 4;
+    /// Stable class names, indexable by the constants above.
+    pub const NAMES: [&str; COUNT] = ["coord", "rumor", "migrant", "other"];
+}
+
+/// Wire bytes saved by [`Application::coalesce_round`], attributed per
+/// batch class so the deterministic observability plane can report which
+/// frame kind the savings came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameSavings {
+    /// Bytes saved, indexed by the [`frame_class`] constants.
+    pub by_class: [u64; frame_class::COUNT],
+}
+
+impl FrameSavings {
+    /// Total bytes saved across classes (what the kernel's aggregate
+    /// `frame_bytes_saved` statistic accumulates).
+    pub fn total(&self) -> u64 {
+        self.by_class.iter().sum()
+    }
+
+    /// Credit `bytes` of savings to `class`.
+    #[inline]
+    pub fn add(&mut self, class: usize, bytes: u64) {
+        self.by_class[class] += bytes;
+    }
+
+    /// Savings with no class attribution (credited to
+    /// [`frame_class::OTHER`]) — the shape legacy `u64`-returning hooks
+    /// map onto.
+    pub fn from_total(bytes: u64) -> FrameSavings {
+        let mut s = FrameSavings::default();
+        s.by_class[frame_class::OTHER] = bytes;
+        s
+    }
+}
+
 /// A per-node protocol state machine.
 ///
 /// Both engines drive implementations through the same three entry points:
@@ -75,16 +201,26 @@ pub trait Application: Sized + Send {
     /// messages into one delta-encoded `Msg::CoordBatch`), shrinking both
     /// the simulated wire traffic and, in a real deployment, the frames
     /// on the socket. Returns the wire bytes saved (the byte accounting
-    /// delta between the replaced messages and their batch frames), which
-    /// the kernel accumulates into its statistics.
+    /// delta between the replaced messages and their batch frames),
+    /// attributed per batch class; the kernel accumulates the
+    /// [`FrameSavings::total`] into its statistics and keeps the
+    /// per-class split for the observability plane.
     ///
     /// Contract: the rewrite must preserve per-destination processing
     /// order and the exact replies each receiver would have emitted, so
     /// trajectories and kernel statistics other than byte accounting are
     /// unchanged — the kernel counts `sent`/`delivered` *before* calling
     /// this hook. The default does nothing.
-    fn coalesce_round(_round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> u64 {
-        0
+    fn coalesce_round(_round: &mut Vec<(NodeId, NodeId, Self::Message)>) -> FrameSavings {
+        FrameSavings::default()
+    }
+
+    /// Per-wire-kind accounting of this node's traffic, if the
+    /// application keeps any (see [`WireCounts`]). The engines harvest
+    /// this at node death so churn never loses bytes from the totals.
+    /// The default reports all zeros.
+    fn wire_counts(&self) -> WireCounts {
+        WireCounts::new()
     }
 }
 

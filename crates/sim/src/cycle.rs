@@ -51,12 +51,13 @@
 //! explicit joins keep the sequential path (they run in the sequential
 //! churn phase of the tick).
 
-use crate::app::{Application, Ctx};
+use crate::app::{Application, Ctx, FrameSavings, WireCounts};
 use crate::churn::ChurnConfig;
 use crate::ids::{NodeId, Ticks};
 use crate::slots::{Slot, SlotArena};
 use crate::transport::Transport;
 use crate::Control;
+use gossipopt_obs::wall::{self, Phase};
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
 use std::collections::VecDeque;
 
@@ -179,6 +180,15 @@ pub struct CycleEngine<A: Application> {
     deferred: VecDeque<(NodeId, NodeId, A::Message)>,
     spawner: Option<Spawner<A>>,
     stats: KernelStats,
+    /// Per-class split of `stats.frame_bytes_saved` (deterministic
+    /// observability plane; kept outside `KernelStats`, which equality-
+    /// compared tests and fingerprints pin).
+    frame_saved: FrameSavings,
+    /// Phased delivery rounds executed across the run.
+    merge_rounds: u64,
+    /// Wire counts harvested from nodes at death, so churn never loses
+    /// traffic from the per-kind totals.
+    retired: WireCounts,
     // Scratch buffers reused across ticks to keep the hot loop allocation-free.
     order_buf: Vec<u32>,
     outbox_buf: Vec<(NodeId, A::Message)>,
@@ -234,6 +244,9 @@ impl<A: Application> CycleEngine<A> {
             deferred: VecDeque::new(),
             spawner: None,
             stats: KernelStats::default(),
+            frame_saved: FrameSavings::default(),
+            merge_rounds: 0,
+            retired: WireCounts::new(),
             order_buf: Vec::new(),
             outbox_buf: Vec::new(),
             queue_buf: VecDeque::new(),
@@ -299,6 +312,10 @@ impl<A: Application> CycleEngine<A> {
     /// Crash a node (scripted failure). Returns `false` if it was already
     /// dead or unknown. Crashed nodes never come back; a rejoin is a new id.
     pub fn crash(&mut self, id: NodeId) -> bool {
+        if let Some(app) = self.arena.get(id) {
+            let counts = app.wire_counts();
+            self.retired.add(&counts);
+        }
         if self.arena.kill(id) {
             self.stats.crashes += 1;
             true
@@ -326,6 +343,8 @@ impl<A: Application> CycleEngine<A> {
             let victim = alive[pick];
             let slot = self.arena.slot_of[victim.raw() as usize] as usize;
             debug_assert!(self.arena.slots[slot].alive, "sampled without replacement");
+            let counts = self.arena.slots[slot].app.wire_counts();
+            self.retired.add(&counts);
             self.arena.kill_slot_deferred(slot);
             self.stats.crashes += 1;
         }
@@ -352,6 +371,24 @@ impl<A: Application> CycleEngine<A> {
     /// Cumulative kernel statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Per-class split of [`KernelStats::frame_bytes_saved`]
+    /// (`frame_saved().total() == stats().frame_bytes_saved`).
+    pub fn frame_saved(&self) -> FrameSavings {
+        self.frame_saved
+    }
+
+    /// Phased delivery rounds executed so far (`0` on the sequential
+    /// path, which drains a queue instead of running merge rounds).
+    pub fn merge_rounds(&self) -> u64 {
+        self.merge_rounds
+    }
+
+    /// Per-kind wire counts harvested from nodes that have died. Add
+    /// these to the live nodes' counts for exact totals under churn.
+    pub fn retired_wire_counts(&self) -> WireCounts {
+        self.retired
     }
 
     /// Read a live node's application state.
@@ -542,6 +579,7 @@ impl<A: Application> CycleEngine<A> {
                     tmp: self.par_out_pool.pop().unwrap_or_default(),
                 })
                 .collect();
+            let callback_span = wall::start();
             let outs = rayon::execute_indexed(tasks, threads, &|mut shard: TickShard<'_, A>| {
                 for &pos in shard.live {
                     let slot = &mut shard.slots[pos as usize - shard.base];
@@ -558,6 +596,7 @@ impl<A: Application> CycleEngine<A> {
                 }
                 (shard.acc, shard.tmp)
             });
+            wall::finish(Phase::CycleCallback, callback_span);
             // Shard order = ascending source slot, so this concatenation is
             // already sorted by (source slot, emission seq) — the tiebreak
             // the stable by-destination sort in `deliver_phased` preserves.
@@ -601,6 +640,7 @@ impl<A: Application> CycleEngine<A> {
             }
             rounds += 1;
 
+            let merge_span = wall::start();
             // Canonical order: destination slot; stable, so the incoming
             // (source slot, seq) order is the tiebreak.
             round.sort_by_key(|&(_, to, _)| to.raw());
@@ -636,6 +676,7 @@ impl<A: Application> CycleEngine<A> {
             let delivered = round.len() as u64;
             self.stats.delivered += delivered;
             report.delivered += delivered;
+            wall::finish(Phase::CycleMerge, merge_span);
             if round.is_empty() {
                 break;
             }
@@ -646,7 +687,15 @@ impl<A: Application> CycleEngine<A> {
             // respect destination boundaries, so the shard cuts below and
             // each receiver's processing order are unaffected.
             if self.cfg.coalesce_frames {
-                self.stats.frame_bytes_saved += A::coalesce_round(round);
+                let savings = A::coalesce_round(round);
+                self.stats.frame_bytes_saved += savings.total();
+                self.frame_saved
+                    .by_class
+                    .iter_mut()
+                    .zip(savings.by_class)
+                    .for_each(|(acc, got)| {
+                        *acc += got;
+                    });
             }
 
             // Cut the survivor stream into shard batches at destination
@@ -687,6 +736,7 @@ impl<A: Application> CycleEngine<A> {
                     tmp: self.par_out_pool.pop().unwrap_or_default(),
                 })
                 .collect();
+            let dispatch_span = wall::start();
             let outs = rayon::execute_indexed(tasks, threads, &|mut shard: DeliverShard<'_, A>| {
                 for (from, to, msg) in shard.msgs.drain(..) {
                     let slot = &mut shard.slots[to.raw() as usize - shard.base];
@@ -702,6 +752,7 @@ impl<A: Application> CycleEngine<A> {
                 }
                 (shard.msgs, shard.replies, shard.tmp)
             });
+            wall::finish(Phase::CycleDispatch, dispatch_span);
             // Replies concatenate in shard order = canonical parent order;
             // they are the next breadth-first round.
             debug_assert!(round.is_empty());
@@ -712,6 +763,7 @@ impl<A: Application> CycleEngine<A> {
                 self.return_out_scratch(tmp);
             }
         }
+        self.merge_rounds += rounds as u64;
     }
 
     /// Run `ticks` ticks unconditionally.
@@ -756,6 +808,8 @@ impl<A: Application> CycleEngine<A> {
                     break;
                 }
                 if self.kernel_rng.chance(churn.crash_prob_per_tick) {
+                    let counts = self.arena.slots[i as usize].app.wire_counts();
+                    self.retired.add(&counts);
                     self.arena.kill_slot_deferred(i as usize);
                     self.stats.crashes += 1;
                     report.crashes += 1;

@@ -77,12 +77,13 @@
 //! sequential run is [`EventEngine::frame_bytes_saved`], which is always
 //! zero at `threads == 0`.
 
-use crate::app::{Application, Ctx};
+use crate::app::{Application, Ctx, FrameSavings, WireCounts};
 use crate::churn::ChurnConfig;
 use crate::ids::{NodeId, Ticks};
 use crate::slots::SlotArena;
 use crate::transport::Transport;
 use crate::Control;
+use gossipopt_obs::wall::{self, Phase};
 use gossipopt_util::{Rng64, StreamId, Xoshiro256pp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -228,6 +229,15 @@ pub struct EventEngine<A: Application> {
     delivered: u64,
     dropped: u64,
     frame_bytes_saved: u64,
+    /// Per-class split of `frame_bytes_saved` (observability plane).
+    frame_saved: FrameSavings,
+    /// Wire counts harvested from nodes at death, so churn never loses
+    /// traffic from the per-kind totals.
+    retired: WireCounts,
+    /// Nodes crashed by the churn process.
+    churn_crashes: u64,
+    /// Nodes joined by the churn process.
+    churn_joins: u64,
     // Scratch buffers reused across events to keep dispatch allocation-free.
     /// Callback outbox reused by `process` (was a fresh `Vec` per event).
     outbox_buf: Vec<(NodeId, A::Message)>,
@@ -269,6 +279,10 @@ impl<A: Application> EventEngine<A> {
             delivered: 0,
             dropped: 0,
             frame_bytes_saved: 0,
+            frame_saved: FrameSavings::default(),
+            retired: WireCounts::new(),
+            churn_crashes: 0,
+            churn_joins: 0,
             outbox_buf: Vec::new(),
             join_outbox_buf: Vec::new(),
             contacts_buf: Vec::new(),
@@ -335,6 +349,10 @@ impl<A: Application> EventEngine<A> {
     /// Crash a node immediately. In-flight messages to it will be dropped
     /// at delivery time.
     pub fn crash(&mut self, id: NodeId) -> bool {
+        if let Some(app) = self.arena.get(id) {
+            let counts = app.wire_counts();
+            self.retired.add(&counts);
+        }
         self.arena.kill(id)
     }
 
@@ -363,6 +381,28 @@ impl<A: Application> EventEngine<A> {
     /// dispatch path (`threads == 0`), which never coalesces.
     pub fn frame_bytes_saved(&self) -> u64 {
         self.frame_bytes_saved
+    }
+
+    /// Per-class split of [`EventEngine::frame_bytes_saved`]
+    /// (`frame_saved().total() == frame_bytes_saved()`).
+    pub fn frame_saved(&self) -> FrameSavings {
+        self.frame_saved
+    }
+
+    /// Per-kind wire counts harvested from nodes that have died. Add
+    /// these to the live nodes' counts for exact totals under churn.
+    pub fn retired_wire_counts(&self) -> WireCounts {
+        self.retired
+    }
+
+    /// Nodes crashed by the churn process so far.
+    pub fn churn_crashes(&self) -> u64 {
+        self.churn_crashes
+    }
+
+    /// Nodes joined by the churn process so far.
+    pub fn churn_joins(&self) -> u64 {
+        self.churn_joins
     }
 
     /// Read a live node's application state.
@@ -688,6 +728,7 @@ impl<A: Application> EventEngine<A> {
                     .split_off(self.replay_pool.len() - per_shard_pool),
             })
             .collect();
+        let dispatch_span = wall::start();
         let outs = rayon::execute_indexed(tasks, threads, &|mut shard: EventShard<'_, A>| {
             let mut replays: Vec<Replay<A::Message>> = Vec::new();
             let mut delivered = 0u64;
@@ -737,6 +778,7 @@ impl<A: Application> EventEngine<A> {
             }
             (replays, delivered, shard.pool)
         });
+        wall::finish(Phase::EventDispatch, dispatch_span);
 
         // Replay phase: sequential, in seq order — the exact interleaving
         // of kernel-RNG draws and sequence allocation the per-event loop
@@ -824,7 +866,13 @@ impl<A: Application> EventEngine<A> {
                 seqs.push(nev.seq);
             }
             let before = frames.len();
-            self.frame_bytes_saved += A::coalesce_round(&mut frames);
+            let savings = A::coalesce_round(&mut frames);
+            self.frame_bytes_saved += savings.total();
+            self.frame_saved
+                .by_class
+                .iter_mut()
+                .zip(savings.by_class)
+                .for_each(|(acc, got)| *acc += got);
             debug_assert!(frames.len() <= before, "coalescing must not grow a run");
             // Frames merged away still arrive (inside a batch): credit
             // them to the delivery counter now so stats count per
@@ -882,7 +930,10 @@ impl<A: Application> EventEngine<A> {
                     break;
                 }
                 if self.kernel_rng.chance(churn.crash_prob_per_tick) {
+                    let counts = self.arena.slots[i as usize].app.wire_counts();
+                    self.retired.add(&counts);
                     self.arena.kill_slot_deferred(i as usize);
+                    self.churn_crashes += 1;
                     crashed_any = true;
                 }
             }
@@ -902,6 +953,7 @@ impl<A: Application> EventEngine<A> {
             let app = spawner(id, &mut node_rng);
             self.spawner = Some(spawner);
             self.insert(app);
+            self.churn_joins += 1;
         }
     }
 }
@@ -1161,7 +1213,7 @@ mod tests {
             self.items += msg.len() as u64;
             self.sum += msg.iter().sum::<u64>();
         }
-        fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Vec<u64>)>) -> u64 {
+        fn coalesce_round(round: &mut Vec<(NodeId, NodeId, Vec<u64>)>) -> FrameSavings {
             let mut saved = 0u64;
             let taken = std::mem::take(round);
             for (from, to, msg) in taken {
@@ -1173,7 +1225,7 @@ mod tests {
                     _ => round.push((from, to, msg)),
                 }
             }
-            saved
+            FrameSavings::from_total(saved)
         }
     }
 

@@ -35,7 +35,7 @@ pub mod ids;
 mod slots;
 pub mod transport;
 
-pub use app::{Application, Ctx};
+pub use app::{frame_class, Application, Ctx, FrameSavings, WireCounts, MAX_WIRE_KINDS};
 pub use churn::ChurnConfig;
 pub use cycle::{CycleConfig, CycleEngine, StepReport};
 pub use event::{EventConfig, EventEngine};

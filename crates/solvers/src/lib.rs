@@ -146,8 +146,10 @@ pub trait Solver: Send {
 /// bit-identical to calling `eval` directly.
 #[inline]
 pub fn eval_point(f: &dyn Objective, x: &[f64]) -> f64 {
+    let span = gossipopt_obs::wall::start();
     let mut out = [0.0f64];
     f.eval_batch(x, x.len(), &mut out);
+    gossipopt_obs::wall::finish(gossipopt_obs::wall::Phase::EvalBatch, span);
     out[0]
 }
 

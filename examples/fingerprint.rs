@@ -211,7 +211,7 @@ fn force_simd_path() {
             let path =
                 gossipopt::util::simd::parse_mode(&mode).unwrap_or_else(|e| panic!("--simd: {e}"));
             gossipopt::util::simd::set_path(path);
-            eprintln!("simd: forcing the {} kernel backend", path.name());
+            gossipopt::obs::log::info(&format!("simd: forcing the {} kernel backend", path.name()));
             return;
         }
     }

@@ -9,6 +9,11 @@
 //! This facade crate re-exports the workspace crates under one namespace:
 //!
 //! * [`util`] — deterministic PRNG streams and online statistics;
+//! * [`obs`] — two-plane observability: deterministic run snapshots
+//!   (per-kind wire accounting, frame savings, churn/fault counters,
+//!   best-improvement traces — byte-identical across threads and SIMD
+//!   paths), wall-clock phase histograms, and the `GOSSIPOPT_LOG`
+//!   structured-logging facade;
 //! * [`functions`] — the benchmark objective suite (Sphere, Rosenbrock, …);
 //! * [`sim`] — a PeerSim-equivalent cycle- and event-driven P2P simulator;
 //! * [`gossip`] — Newscast peer sampling, anti-entropy, rumor mongering,
@@ -103,6 +108,7 @@
 pub use gossipopt_core as core;
 pub use gossipopt_functions as functions;
 pub use gossipopt_gossip as gossip;
+pub use gossipopt_obs as obs;
 pub use gossipopt_runtime as runtime;
 pub use gossipopt_scenarios as scenarios;
 pub use gossipopt_sim as sim;

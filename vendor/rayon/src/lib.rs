@@ -36,8 +36,28 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Items run inside their claimer's sticky home block (process-lifetime,
+/// relaxed; see [`scheduler_counters`]).
+static HOME_RUNS: AtomicU64 = AtomicU64::new(0);
+/// Items claimed by the steal sweep (process-lifetime, relaxed).
+static STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(home_runs, steals)` scheduling counters across every
+/// [`execute_indexed`] call of this process: how many items ran inside
+/// their claimer's sticky home block versus via the steal sweep. Relaxed
+/// atomics — cheap enough to stay always-on, precise enough for the
+/// wall-clock observability plane (they never feed determinism diffs).
+/// The sequential `threads <= 1` fast path bypasses the pool and counts
+/// toward neither.
+pub fn scheduler_counters() -> (u64, u64) {
+    (
+        HOME_RUNS.load(Ordering::Relaxed),
+        STEALS.load(Ordering::Relaxed),
+    )
+}
 
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
@@ -326,9 +346,14 @@ where
     let body = || {
         // The claim flag is an atomic swap, so exactly one participant
         // wins each index; the slot mutex synchronizes the item payload.
-        let run_if_unclaimed = |i: usize| {
+        let run_if_unclaimed = |i: usize, home: bool| {
             if claimed[i].swap(true, Ordering::Relaxed) {
                 return;
+            }
+            if home {
+                HOME_RUNS.fetch_add(1, Ordering::Relaxed);
+            } else {
+                STEALS.fetch_add(1, Ordering::Relaxed);
             }
             let item = slots[i]
                 .lock()
@@ -340,11 +365,11 @@ where
         };
         let home = home_block(thread_ordinal() % threads, threads, n);
         for i in home.clone() {
-            run_if_unclaimed(i);
+            run_if_unclaimed(i, true);
         }
         // Steal sweep: everything outside the home block, wrapping.
         for i in (home.end..n).chain(0..home.start) {
-            run_if_unclaimed(i);
+            run_if_unclaimed(i, false);
         }
     };
 
@@ -530,6 +555,17 @@ mod tests {
         // The pool must still be usable afterwards.
         let out = super::execute_indexed((0..16u32).collect(), 4, &|x| x + 1);
         assert_eq!(out, (1..17u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_counters_account_every_pool_item() {
+        let (h0, s0) = super::scheduler_counters();
+        super::execute_indexed((0..128u32).collect(), 4, &|x| x);
+        let (h1, s1) = super::scheduler_counters();
+        assert!(
+            (h1 - h0) + (s1 - s0) >= 128,
+            "every claimed item lands in exactly one counter"
+        );
     }
 
     #[test]
